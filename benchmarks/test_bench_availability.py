@@ -1,0 +1,52 @@
+"""E6 — Section V-C: availability, MTTF, MTTR, lost node-hours.
+
+Regenerates the availability analysis: MTTF from the operational
+per-node MTBE (the paper's conservative all-errors-interrupt
+assumption), MTTR from the measured unavailability episodes, and the
+99.5% availability / ~7 minutes-per-day downtime headline.
+
+The benchmarked operation is the availability report computation.
+"""
+
+from repro.analysis import AvailabilityAnalysis, MtbeAnalysis
+from repro.core.periods import PeriodName
+from repro.reporting import report_figure2
+
+from conftest import write_result
+
+
+def test_bench_availability(benchmark, delta_run, results_dir):
+    artifacts, result = delta_run
+    mtbe = MtbeAnalysis(result.errors, artifacts.window, artifacts.node_count)
+    per_node = mtbe.overall(PeriodName.OPERATIONAL).per_node_mtbe_hours
+    analysis = AvailabilityAnalysis(
+        result.downtime, artifacts.window, artifacts.node_count
+    )
+
+    report = benchmark(lambda: analysis.report(per_node))
+
+    comparison = report_figure2(
+        result.downtime, artifacts.window, artifacts.node_count, per_node
+    )
+    lines = [
+        f"MTTF (per-node MTBE, op): {report.mttf_hours:.1f} h (paper: 162)",
+        f"MTTR: {report.mttr_hours:.2f} h (paper: 0.88)",
+        f"availability (formula): {report.availability_formula:.4f} (paper: 0.995)",
+        f"availability (direct): {report.availability_direct:.4f}",
+        f"downtime minutes/day: {report.downtime_minutes_per_day:.1f} (paper: ~7)",
+        f"lost node-hours: {report.downtime_node_hours:.0f} (paper: ~5700)",
+        f"episodes: {report.episodes}, replacements: {report.replacements}",
+        "",
+        comparison.render(),
+    ]
+    text = "\n".join(lines)
+    write_result(results_dir, "availability.txt", text)
+    print()
+    print(text)
+
+    assert comparison.all_ok, comparison.render()
+    # The headline: ~99.5% availability, single-digit minutes per day.
+    assert 0.99 <= report.availability_formula <= 0.998
+    assert 3.0 <= report.downtime_minutes_per_day <= 15.0
+    # Direct availability is higher: not every error drains a node.
+    assert report.availability_direct >= report.availability_formula

@@ -1,0 +1,63 @@
+"""Section IV(iv) — PMU ↔ MMU error correlation.
+
+The paper reports that PMU SPI communication errors "exhibited high
+correlations with MMU errors".  This benchmark measures the
+directional follow statistics on the full run: the probability that a
+PMU error is followed by an MMU error on the same GPU within 15
+minutes, and its lift over independent-arrival expectations.
+
+The benchmarked operation is the full class x class correlation matrix.
+"""
+
+from repro.analysis.correlation import (
+    correlation_matrix,
+    follow_probability,
+    strongest_chains,
+)
+from repro.core.xid import EventClass
+
+from conftest import write_result
+
+
+def test_bench_correlation(benchmark, delta_run, results_dir):
+    artifacts, result = delta_run
+
+    matrix = benchmark(
+        lambda: correlation_matrix(result.errors, artifacts.window)
+    )
+
+    pmu_mmu = follow_probability(
+        result.errors,
+        EventClass.PMU_SPI_ERROR,
+        EventClass.MMU_ERROR,
+        artifacts.window,
+    )
+    chains = strongest_chains(matrix)
+    lines = [
+        "Section IV(iv) — cross-class correlation",
+        f"P(MMU within 15 min after PMU, same GPU) = "
+        f"{pmu_mmu.probability:.3f} "
+        f"({pmu_mmu.followed}/{pmu_mmu.source_events}; "
+        f"expected {pmu_mmu.expected_probability:.4f}, "
+        f"lift {pmu_mmu.lift:.0f}x)",
+        "strongest chains:",
+    ]
+    lines += [
+        f"  {stat.source.value} -> {stat.target.value}: "
+        f"p={stat.probability:.3f}, lift={stat.lift:.0f}x "
+        f"({stat.followed}/{stat.source_events})"
+        for stat in chains[:5]
+    ]
+    text = "\n".join(lines)
+    write_result(results_dir, "correlation.txt", text)
+    print()
+    print(text)
+
+    # The paper's observed chain must be present and strong.
+    assert pmu_mmu.lift is not None and pmu_mmu.lift > 5.0
+    assert pmu_mmu.probability > 0.2
+    assert any(
+        stat.source is EventClass.PMU_SPI_ERROR
+        and stat.target is EventClass.MMU_ERROR
+        for stat in chains
+    )

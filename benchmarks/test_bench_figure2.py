@@ -1,0 +1,45 @@
+"""E4 — Figure 2: unavailability time distribution.
+
+Regenerates the paper's Figure 2 from the downtime episodes the
+pipeline recovers out of the raw logs (drain / out-of-service /
+returned-to-service lines): histogram, percentiles, and the 0.88-hour
+mean repair time.
+
+The benchmarked operation is the distribution computation.
+"""
+
+from repro.analysis import AvailabilityAnalysis
+from repro.reporting import figure2_csv, render_figure2
+
+from conftest import write_result
+
+
+def test_bench_figure2(benchmark, delta_run, results_dir):
+    artifacts, result = delta_run
+    analysis = AvailabilityAnalysis(
+        result.downtime, artifacts.window, artifacts.node_count
+    )
+
+    dist = benchmark(analysis.distribution)
+
+    rendered = render_figure2(dist)
+    write_result(
+        results_dir, "figure2.txt", rendered + "\n\n" + figure2_csv(dist)
+    )
+    print()
+    print(rendered)
+
+    # Shape of Figure 2: most episodes are sub-hour reboot cycles with
+    # a long replacement tail.
+    assert dist.episodes > 500
+    assert 0.6 <= dist.mean_hours <= 1.2  # paper: 0.88 h
+    assert dist.p50_hours < dist.mean_hours  # right-skewed
+    assert dist.p99_hours > 3 * dist.mean_hours
+    # Majority of mass below 1.5 hours.
+    fractions = dist.fractions()
+    below_90m = sum(
+        f
+        for f, low in zip(fractions, dist.bin_edges_hours)
+        if low < 1.5
+    )
+    assert below_90m > 0.75

@@ -1,0 +1,76 @@
+"""E7 — Section V-A job statistics: volumes and success rates.
+
+Regenerates the population headline: 1,445,119 GPU jobs at 74.68%
+success, 1,686,696 CPU jobs at 74.90%, with 69.86% of GPU jobs on a
+single GPU.  Counts are compared at full-scale-equivalent (the run is
+thinned by ``job_scale``; proportions are scale-invariant).
+
+The benchmarked operation is the population-statistics pass.
+"""
+
+from repro.analysis import JobStatistics
+from repro.calibration import paper
+from repro.reporting.compare import ComparisonReport
+
+from conftest import write_result
+
+#: job_scale of the workload-focused run.
+SCALE = 0.05
+
+
+def test_bench_jobstats(benchmark, workload_run, results_dir):
+    artifacts = workload_run
+    stats = JobStatistics(artifacts.job_records, artifacts.window)
+
+    population = benchmark(stats.population)
+
+    report = ComparisonReport("E7 — Section V-A job population")
+    report.add(
+        "GPU jobs (full-scale equivalent)",
+        paper.JOB_POPULATION.gpu_jobs,
+        population.gpu_jobs / SCALE,
+        0.10,
+    )
+    report.add(
+        "CPU jobs (full-scale equivalent)",
+        paper.JOB_POPULATION.cpu_jobs,
+        population.cpu_jobs / SCALE,
+        0.10,
+    )
+    report.add(
+        "GPU success rate",
+        paper.JOB_POPULATION.gpu_success_rate,
+        population.gpu_success_rate,
+        0.05,
+    )
+    report.add(
+        "CPU success rate",
+        paper.JOB_POPULATION.cpu_success_rate,
+        population.cpu_success_rate,
+        0.05,
+    )
+    report.add(
+        "single-GPU fraction",
+        paper.JOB_POPULATION.single_gpu_fraction,
+        population.single_gpu_fraction,
+        0.05,
+    )
+    report.add(
+        "2-4 GPU fraction",
+        paper.JOB_POPULATION.two_to_four_gpu_fraction,
+        population.two_to_four_fraction,
+        0.10,
+    )
+    report.add(
+        ">4 GPU fraction",
+        paper.JOB_POPULATION.over_four_gpu_fraction,
+        population.over_four_fraction,
+        0.30,
+    )
+    write_result(results_dir, "jobstats.txt", report.render())
+    print()
+    print(report.render())
+    assert report.all_ok, report.render()
+
+    # GPU and CPU partitions succeed at nearly identical rates.
+    assert abs(population.gpu_success_rate - population.cpu_success_rate) < 0.03

@@ -1,0 +1,91 @@
+"""E8 + A3 — NVLink propagation and the CRC-retry ablation.
+
+E8 regenerates Section IV(v): 42% of operational NVLink error
+manifestations touch two or more GPUs, reconstructed purely from the
+coalesced error stream (simultaneous XID 74 groups per node).
+
+A3 re-runs a reduced study with CRC retransmission disabled and shows
+the job-failure probability for NVLink-encountering jobs rising — the
+mechanism the paper credits for the 46% of jobs that survive.
+"""
+
+from dataclasses import replace
+
+from repro import DeltaStudy, StudyConfig
+from repro.analysis import JobImpactAnalysis, nvlink_manifestations
+from repro.calibration.delta import delta_fault_suite
+from repro.core.xid import EventClass
+from repro.pipeline import run_pipeline
+from repro.reporting import report_nvlink
+
+from conftest import write_result
+
+
+def test_bench_nvlink_propagation(benchmark, delta_run, results_dir):
+    artifacts, result = delta_run
+
+    stats = benchmark(
+        lambda: nvlink_manifestations(result.errors, artifacts.window)
+    )
+
+    report = report_nvlink(result.errors, artifacts.window)
+    lines = [
+        f"manifestations: {stats.manifestations}",
+        f"multi-GPU: {stats.multi_gpu_manifestations} "
+        f"({stats.multi_gpu_fraction * 100:.1f}%, paper: 42%)",
+        f"size histogram: {dict(sorted(stats.size_histogram.items()))}",
+        "",
+        report.render(),
+    ]
+    text = "\n".join(lines)
+    write_result(results_dir, "nvlink.txt", text)
+    print()
+    print(text)
+    assert report.all_ok, report.render()
+    # Manifestation sizes are dominated by 1 and 2 GPUs.
+    small = stats.size_histogram.get(1, 0) + stats.size_histogram.get(2, 0)
+    assert small / stats.manifestations > 0.85
+
+
+def _nvlink_failure_probability(tmp_path, crc_enabled, seed=13):
+    suite = delta_fault_suite(include_episode=False)
+    nvlink = replace(
+        suite.nvlink,
+        link_model=replace(suite.nvlink.link_model, crc_retry_enabled=crc_enabled),
+    )
+    config = replace(
+        StudyConfig.small(seed=seed, job_scale=0.05),
+        fault_suite=replace(suite, nvlink=nvlink),
+    )
+    out = tmp_path / f"crc_{crc_enabled}"
+    artifacts = DeltaStudy(config).run(out)
+    result = run_pipeline(out)
+    impact = JobImpactAnalysis(result.errors, result.jobs, artifacts.window).run()
+    row = impact.per_class.get(EventClass.NVLINK_ERROR)
+    return row
+
+
+def test_bench_crc_ablation_a3(benchmark, tmp_path, results_dir):
+    with_crc = _nvlink_failure_probability(tmp_path, True)
+
+    without_crc = benchmark.pedantic(
+        lambda: _nvlink_failure_probability(tmp_path, False),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = "\n".join(
+        [
+            "A3 — NVLink CRC retry ablation (small configuration)",
+            f"CRC on : P(fail | NVLink encounter) = "
+            f"{with_crc.failure_probability:.3f} "
+            f"({with_crc.jobs_encountering} encounters)",
+            f"CRC off: P(fail | NVLink encounter) = "
+            f"{without_crc.failure_probability:.3f} "
+            f"({without_crc.jobs_encountering} encounters)",
+        ]
+    )
+    write_result(results_dir, "ablation_a3.txt", text)
+    print()
+    print(text)
+    assert without_crc.failure_probability > with_crc.failure_probability

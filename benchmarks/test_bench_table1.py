@@ -1,0 +1,52 @@
+"""E1 — Table I: GPU error counts and MTBE, pre-op vs operational.
+
+Regenerates the paper's Table I from raw artifacts: Stage-II output is
+fed to :class:`~repro.analysis.mtbe.MtbeAnalysis`, the table is
+rendered next to the paper's published counts, and every large-count
+cell is asserted to sit within its tolerance band.
+
+The benchmarked operation is the Table I computation itself (error
+stream → per-class, per-period counts and MTBEs).
+"""
+
+from repro.analysis import MtbeAnalysis
+from repro.core.periods import PeriodName
+from repro.core.xid import EventClass
+from repro.reporting import render_table1, report_table1
+
+from conftest import write_result
+
+
+def test_bench_table1(benchmark, delta_run, results_dir):
+    artifacts, result = delta_run
+
+    def compute():
+        analysis = MtbeAnalysis(
+            result.errors, artifacts.window, artifacts.node_count
+        )
+        analysis.table1()
+        return analysis
+
+    analysis = benchmark(compute)
+
+    table = render_table1(analysis)
+    report = report_table1(analysis)
+    write_result(
+        results_dir, "table1.txt", table + "\n\n" + report.render()
+    )
+    print()
+    print(table)
+    print(report.render())
+
+    # Every Table I comparison must hold at this scale and seed.
+    assert report.all_ok, report.render()
+
+    # The paper's qualitative orderings must hold regardless of bands:
+    op = PeriodName.OPERATIONAL
+    gsp = analysis.class_stat(op, EventClass.GSP_ERROR)
+    mmu = analysis.class_stat(op, EventClass.MMU_ERROR)
+    nvlink = analysis.class_stat(op, EventClass.NVLINK_ERROR)
+    # MMU, GSP, NVLink dominate the operational error mix (>98%).
+    dominant = gsp.count + mmu.count + nvlink.count
+    total = analysis.overall(op, exclude_outliers=False).count
+    assert dominant / total > 0.95

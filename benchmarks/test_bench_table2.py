@@ -1,0 +1,42 @@
+"""E2 — Table II: job-failure probability given each GPU error class.
+
+Regenerates Table II by correlating the coalesced error stream with the
+Slurm accounting records using the paper's 20-second attribution
+window, and checks the per-class propagation probabilities (MMU ~90%,
+PMU ~98%, GSP 100%, NVLink ~54%, contained ECC 100%).
+
+The benchmarked operation is the full job-impact attribution pass.
+"""
+
+from repro.analysis import JobImpactAnalysis
+from repro.core.xid import EventClass
+from repro.reporting import render_table2, report_table2
+
+from conftest import write_result
+
+
+def test_bench_table2(benchmark, delta_run, results_dir):
+    artifacts, result = delta_run
+
+    impact = benchmark(
+        lambda: JobImpactAnalysis(
+            result.errors, result.jobs, artifacts.window
+        ).run()
+    )
+
+    table = render_table2(impact)
+    report = report_table2(impact)
+    write_result(results_dir, "table2.txt", table + "\n\n" + report.render())
+    print()
+    print(table)
+    print(report.render())
+
+    assert report.all_ok, report.render()
+
+    # Qualitative shape: the error classes the paper ranks as
+    # unsurvivable really are deadlier than NVLink errors.
+    nvlink = impact.per_class[EventClass.NVLINK_ERROR].failure_probability
+    for deadly in (EventClass.GSP_ERROR, EventClass.MMU_ERROR):
+        assert impact.per_class[deadly].failure_probability > nvlink
+    # Roughly half of NVLink-encountering jobs survive (Section IV(v)).
+    assert 0.30 <= nvlink <= 0.80

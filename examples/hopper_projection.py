@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Grace Hopper projection: what would this study find on H100 nodes?
+
+The paper's stated future work extends the analysis to NVIDIA Grace
+Hopper systems.  This example runs the same pipeline against the
+projected H100 scenario (see ``repro.calibration.hopper`` for the
+documented assumptions) and compares it with the measured A100
+baseline: per-node MTBE, the memory-vs-hardware ratio, and projected
+availability.
+
+Usage::
+
+    python examples/hopper_projection.py [--gsp-mult 0.35] [--seed 5]
+
+Numbers on the H100 side are *projections under stated multipliers*,
+not measurements — the point is that the whole study tooling transfers
+to the next system unchanged.
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import DeltaStudy, StudyConfig
+from repro.analysis import AvailabilityAnalysis, MtbeAnalysis
+from repro.calibration.hopper import HopperProjection, hopper_study_config
+from repro.core.periods import PeriodName
+from repro.pipeline import run_pipeline
+
+
+def measure(config, label):
+    out = Path(tempfile.mkdtemp(prefix=f"repro-{label}-"))
+    artifacts = DeltaStudy(config).run(out)
+    result = run_pipeline(out)
+    mtbe = MtbeAnalysis(result.errors, artifacts.window, artifacts.node_count)
+    op = mtbe.overall(PeriodName.OPERATIONAL)
+    availability = AvailabilityAnalysis(
+        result.downtime, artifacts.window, artifacts.node_count
+    ).report(op.per_node_mtbe_hours)
+    return {
+        "per_node_mtbe_h": op.per_node_mtbe_hours,
+        "memory_ratio": mtbe.memory_vs_hardware_ratio(),
+        "availability": availability.availability_formula,
+        "downtime_min_day": availability.downtime_minutes_per_day,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gsp-mult", type=float, default=0.35)
+    parser.add_argument("--nvlink-mult", type=float, default=0.8)
+    parser.add_argument("--memory-mult", type=float, default=1.6)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--job-scale", type=float, default=0.02)
+    args = parser.parse_args(argv)
+
+    print("== A100 baseline (Delta calibration) ==")
+    a100 = measure(
+        StudyConfig.delta(seed=args.seed, job_scale=args.job_scale), "a100"
+    )
+
+    projection = HopperProjection(
+        gsp_rate_multiplier=args.gsp_mult,
+        nvlink_rate_multiplier=args.nvlink_mult,
+        memory_rate_multiplier=args.memory_mult,
+    )
+    print("== H100 projection (DeltaAI-like, 114 GH200 nodes) ==")
+    h100 = measure(
+        hopper_study_config(
+            seed=args.seed + 1, job_scale=args.job_scale, projection=projection
+        ),
+        "h100",
+    )
+
+    rows = (
+        ("operational per-node MTBE (h)", "per_node_mtbe_h", "{:.0f}"),
+        ("memory vs non-memory MTBE ratio", "memory_ratio", "{:.0f}x"),
+        ("availability", "availability", "{:.4f}"),
+        ("downtime (min/node/day)", "downtime_min_day", "{:.1f}"),
+    )
+    print(f"\n{'metric':<34s} {'A100 (measured)':>16s} {'H100 (projected)':>17s}")
+    print("-" * 70)
+    for label, key, fmt in rows:
+        print(
+            f"{label:<34s} {fmt.format(a100[key]):>16s} "
+            f"{fmt.format(h100[key]):>17s}"
+        )
+
+    gain = h100["per_node_mtbe_h"] / a100["per_node_mtbe_h"]
+    print(
+        f"\nunder these assumptions the projected per-node MTBE improves "
+        f"{gain:.2f}x, dominated by the GSP multiplier "
+        f"({projection.gsp_rate_multiplier})."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""What-if: how much reliability does fixing the GSP buy?
+
+The paper identifies the GPU System Processor (GSP) as the most
+vulnerable A100 hardware component: 100% of GSP errors kill user jobs
+and every one costs a node reboot.  NVIDIA's practical workaround at
+the time was disabling GSP firmware offload.  This example runs the
+calibrated study twice — as measured, and with GSP faults eliminated —
+and compares per-node MTBE, availability, and GSP-attributed job
+failures.
+
+By default it runs the full Delta geometry (106 nodes, 1170 days,
+~2 minutes per variant).  Pass ``--small`` for a quick shrunken run;
+note that the small configuration compresses Table-I-scale error
+counts into 8 nodes and 80 days, so its *absolute* availability is far
+more pessimistic than Delta's — only the relative improvement is
+meaningful there.
+
+Usage::
+
+    python examples/what_if_gsp.py [--seed 3] [--small]
+"""
+
+import argparse
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+from repro import DeltaStudy, StudyConfig
+from repro.analysis import (
+    AvailabilityAnalysis,
+    JobImpactAnalysis,
+    MtbeAnalysis,
+)
+from repro.core.periods import PeriodName
+from repro.core.xid import EventClass
+from repro.pipeline import run_pipeline
+
+
+def run_variant(seed: int, disable_gsp: bool, small: bool):
+    if small:
+        config = StudyConfig.small(seed=seed, job_scale=0.05)
+    else:
+        config = StudyConfig.delta(seed=seed, job_scale=0.02)
+    if disable_gsp:
+        suite = config.fault_suite
+        patched = tuple(
+            replace(cfg, pre_op_count=0.0, op_count=0.0)
+            if cfg.event_class is EventClass.GSP_ERROR
+            else cfg
+            for cfg in suite.simple_faults
+        )
+        config = replace(config, fault_suite=replace(suite, simple_faults=patched))
+    out = Path(tempfile.mkdtemp(prefix="repro-gsp-"))
+    artifacts = DeltaStudy(config).run(out)
+    result = run_pipeline(out)
+    mtbe = MtbeAnalysis(result.errors, artifacts.window, artifacts.node_count)
+    op_stat = mtbe.overall(PeriodName.OPERATIONAL)
+    impact = JobImpactAnalysis(result.errors, result.jobs, artifacts.window).run()
+    gsp_row = impact.per_class.get(EventClass.GSP_ERROR)
+    availability = AvailabilityAnalysis(
+        result.downtime, artifacts.window, artifacts.node_count
+    ).report(op_stat.per_node_mtbe_hours)
+    return {
+        "per_node_mtbe_h": op_stat.per_node_mtbe_hours,
+        "gsp_failed_jobs": gsp_row.gpu_failed_jobs if gsp_row else 0,
+        "availability": availability.availability_formula,
+        "downtime_min_per_day": availability.downtime_minutes_per_day,
+        "downtime_episodes": availability.episodes,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--small", action="store_true",
+                        help="quick shrunken run (relative numbers only)")
+    args = parser.parse_args(argv)
+
+    print("== baseline: GSP as measured on Delta ==")
+    baseline = run_variant(args.seed, disable_gsp=False, small=args.small)
+    print("== what-if: GSP faults eliminated ==")
+    fixed = run_variant(args.seed, disable_gsp=True, small=args.small)
+
+    rows = (
+        ("operational per-node MTBE (h)", "per_node_mtbe_h", "{:.0f}"),
+        ("GSP-attributed job failures", "gsp_failed_jobs", "{:d}"),
+        ("availability", "availability", "{:.4f}"),
+        ("downtime (min/node/day)", "downtime_min_per_day", "{:.1f}"),
+        ("downtime episodes", "downtime_episodes", "{:d}"),
+    )
+    print(f"\n{'metric':<32s} {'baseline':>12s} {'GSP fixed':>12s}")
+    print("-" * 58)
+    for label, key, fmt in rows:
+        print(
+            f"{label:<32s} {fmt.format(baseline[key]):>12s} "
+            f"{fmt.format(fixed[key]):>12s}"
+        )
+
+    gain = fixed["per_node_mtbe_h"] / baseline["per_node_mtbe_h"]
+    print(
+        f"\neliminating GSP faults improves per-node MTBE by {gain:.2f}x and "
+        f"removes all {baseline['gsp_failed_jobs']} GSP-attributed job "
+        "failures in this run"
+    )
+    if args.small:
+        print(
+            "(small configuration: error rates are compressed ~175x versus "
+            "Delta, so absolute availability is pessimistic — compare "
+            "columns, not values)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

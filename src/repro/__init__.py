@@ -1,0 +1,47 @@
+"""repro — reproduction of "Characterizing Modern GPU Resilience and
+Impact in HPC Systems: A Case Study of A100 GPUs" (DSN 2025).
+
+The library has two halves that mirror the paper's pipeline (Fig. 1):
+
+* **Generation** (:class:`DeltaStudy`) — a discrete-event simulator of
+  the Delta HPC system (106 A100 nodes, Slurm workload, calibrated GPU
+  fault processes, SRE operations) that emits the raw artifacts the
+  paper's authors collected: day-partitioned syslog with NVRM XID
+  lines and a Slurm accounting database.
+* **Analysis** (:mod:`repro.pipeline`, :mod:`repro.analysis`) — the
+  paper's Stage-II/III processing: regex extraction, error coalescing,
+  MTBE statistics (Table I), job-impact attribution (Table II), job
+  population statistics (Table III), and availability (Figure 2).
+
+Quickstart::
+
+    from pathlib import Path
+    from repro import DeltaStudy, StudyConfig
+
+    artifacts = DeltaStudy(StudyConfig.small()).run(Path("out"))
+    print(artifacts.summary())
+"""
+
+from .cluster import Cluster, ClusterShape
+from .core import (
+    ErrorCategory,
+    EventClass,
+    PeriodName,
+    StudyWindow,
+)
+from .study import DeltaStudy, StudyArtifacts, StudyConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterShape",
+    "ErrorCategory",
+    "EventClass",
+    "PeriodName",
+    "StudyWindow",
+    "DeltaStudy",
+    "StudyArtifacts",
+    "StudyConfig",
+    "__version__",
+]

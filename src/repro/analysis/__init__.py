@@ -1,0 +1,93 @@
+"""Stage-III analysis: MTBE, job impact, availability, job statistics,
+NVLink propagation, ML classification, and headline composition."""
+
+from .availability import (
+    AvailabilityAnalysis,
+    AvailabilityReport,
+    UnavailabilityDistribution,
+)
+from .correlation import (
+    FollowStat,
+    correlation_matrix,
+    follow_probability,
+    strongest_chains,
+)
+from .headline import HeadlineReport, compute_headline
+from .job_impact import (
+    DEFAULT_ATTRIBUTION_WINDOW_SECONDS,
+    AttributionGranularity,
+    ClassImpact,
+    JobImpactAnalysis,
+    JobImpactResult,
+)
+from .jobstats import BucketStats, JobStatistics, PopulationStats
+from .mitigation import (
+    CheckpointPolicy,
+    MitigationAnalysis,
+    MitigationReport,
+)
+from .ml import ClassifierQuality, is_ml_job_name, validate_classifier
+from .mtbe import MtbeAnalysis, MtbeStat, OutlierGpu
+from .nvlink import NvlinkManifestationStats, nvlink_manifestations
+from .replication import MetricSummary, ReplicatedStudy
+from .spatial import (
+    SpatialStats,
+    UnitErrorCount,
+    gini_coefficient,
+    node_error_counts,
+    repeat_offenders,
+    spatial_stats,
+)
+from .temporal import (
+    InterArrivalStats,
+    burstiness_by_class,
+    hour_of_day_profile,
+    inter_arrival_stats,
+    monthly_error_series,
+    trend_ratio,
+)
+
+__all__ = [
+    "AvailabilityAnalysis",
+    "AvailabilityReport",
+    "UnavailabilityDistribution",
+    "FollowStat",
+    "correlation_matrix",
+    "follow_probability",
+    "strongest_chains",
+    "HeadlineReport",
+    "compute_headline",
+    "DEFAULT_ATTRIBUTION_WINDOW_SECONDS",
+    "AttributionGranularity",
+    "ClassImpact",
+    "JobImpactAnalysis",
+    "JobImpactResult",
+    "BucketStats",
+    "JobStatistics",
+    "PopulationStats",
+    "CheckpointPolicy",
+    "MitigationAnalysis",
+    "MitigationReport",
+    "ClassifierQuality",
+    "is_ml_job_name",
+    "validate_classifier",
+    "MtbeAnalysis",
+    "MtbeStat",
+    "OutlierGpu",
+    "NvlinkManifestationStats",
+    "nvlink_manifestations",
+    "MetricSummary",
+    "ReplicatedStudy",
+    "SpatialStats",
+    "UnitErrorCount",
+    "gini_coefficient",
+    "node_error_counts",
+    "repeat_offenders",
+    "spatial_stats",
+    "InterArrivalStats",
+    "burstiness_by_class",
+    "hour_of_day_profile",
+    "inter_arrival_stats",
+    "monthly_error_series",
+    "trend_ratio",
+]

@@ -1,0 +1,185 @@
+"""Availability analysis (Section V-C, Figure 2).
+
+Combines the downtime episodes recovered from logs with the error
+statistics to produce:
+
+* the unavailable-duration distribution (Figure 2) as histogram and
+  percentile series;
+* MTTR (mean unavailable duration; paper: 0.88 h);
+* cumulative node-hours lost (paper: ~5,700);
+* availability two ways — the paper's formula
+  ``MTTF / (MTTF + MTTR)`` with MTTF taken from the per-node MTBE
+  under the conservative all-errors-interrupt assumption, and the
+  direct measurement ``1 - downtime / (nodes x period)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import DowntimeRecord
+
+#: Default histogram bin edges for Figure 2, in hours.
+DEFAULT_BIN_EDGES_HOURS: Tuple[float, ...] = (
+    0.0,
+    0.25,
+    0.5,
+    0.75,
+    1.0,
+    1.5,
+    2.0,
+    3.0,
+    6.0,
+    12.0,
+    24.0,
+    48.0,
+)
+
+
+@dataclass(frozen=True)
+class UnavailabilityDistribution:
+    """Figure 2: the distribution of unavailable durations.
+
+    Attributes:
+        bin_edges_hours: histogram bin edges.
+        counts: episodes per bin (overflow beyond the last edge is
+            appended as a final bin).
+        mean_hours / p50_hours / p95_hours / p99_hours: summary stats.
+        episodes: total episodes.
+    """
+
+    bin_edges_hours: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    mean_hours: Optional[float]
+    p50_hours: Optional[float]
+    p95_hours: Optional[float]
+    p99_hours: Optional[float]
+    episodes: int
+
+    def fractions(self) -> Tuple[float, ...]:
+        """Bin counts normalized to fractions (empty-safe)."""
+        total = sum(self.counts)
+        if total == 0:
+            return tuple(0.0 for _ in self.counts)
+        return tuple(c / total for c in self.counts)
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Section V-C outputs.
+
+    Attributes:
+        mttr_hours: mean unavailable duration.
+        mttf_hours: per-node mean time to failure (from MTBE, under the
+            all-errors-interrupt assumption).
+        availability_formula: MTTF / (MTTF + MTTR).
+        availability_direct: 1 - downtime / (nodes x period).
+        downtime_node_hours: cumulative unavailable node-hours.
+        downtime_minutes_per_day: average downtime per node per day.
+        episodes: downtime episodes observed.
+        replacements: episodes that ended in a GPU swap.
+    """
+
+    mttr_hours: Optional[float]
+    mttf_hours: Optional[float]
+    availability_formula: Optional[float]
+    availability_direct: float
+    downtime_node_hours: float
+    downtime_minutes_per_day: float
+    episodes: int
+    replacements: int
+
+
+class AvailabilityAnalysis:
+    """Availability statistics over downtime episodes.
+
+    Args:
+        downtime: unavailability episodes (from logs or ground truth).
+        window: study window.
+        node_count: A100 node count.
+        period: period to analyze (the paper uses the operational
+            period for availability).
+    """
+
+    def __init__(
+        self,
+        downtime: Sequence[DowntimeRecord],
+        window: StudyWindow,
+        node_count: int,
+        period: PeriodName = PeriodName.OPERATIONAL,
+    ) -> None:
+        self._window = window
+        self._node_count = node_count
+        self._period = window.period(period)
+        self._episodes = [
+            r for r in downtime if self._period.contains(r.start)
+        ]
+
+    @property
+    def episodes(self) -> List[DowntimeRecord]:
+        """Episodes inside the analyzed period."""
+        return list(self._episodes)
+
+    def distribution(
+        self, bin_edges_hours: Sequence[float] = DEFAULT_BIN_EDGES_HOURS
+    ) -> UnavailabilityDistribution:
+        """Figure 2: histogram + percentiles of unavailable durations."""
+        durations = np.array([r.duration_hours for r in self._episodes])
+        edges = list(bin_edges_hours)
+        if durations.size == 0:
+            return UnavailabilityDistribution(
+                bin_edges_hours=tuple(edges),
+                counts=tuple(0 for _ in range(len(edges))),
+                mean_hours=None,
+                p50_hours=None,
+                p95_hours=None,
+                p99_hours=None,
+                episodes=0,
+            )
+        histogram, _ = np.histogram(durations, bins=edges)
+        overflow = int((durations >= edges[-1]).sum())
+        counts = tuple(int(c) for c in histogram) + (overflow,)
+        return UnavailabilityDistribution(
+            bin_edges_hours=tuple(edges),
+            counts=counts,
+            mean_hours=float(durations.mean()),
+            p50_hours=float(np.percentile(durations, 50)),
+            p95_hours=float(np.percentile(durations, 95)),
+            p99_hours=float(np.percentile(durations, 99)),
+            episodes=int(durations.size),
+        )
+
+    def report(self, per_node_mtbe_hours: Optional[float]) -> AvailabilityReport:
+        """Section V-C report.
+
+        Args:
+            per_node_mtbe_hours: the operational per-node MTBE from
+                :class:`~repro.analysis.mtbe.MtbeAnalysis`; used as the
+                MTTF under the paper's conservative assumption.
+        """
+        durations = [r.duration_hours for r in self._episodes]
+        mttr = float(np.mean(durations)) if durations else None
+        downtime_hours = float(np.sum(durations)) if durations else 0.0
+        period_hours = self._period.duration_hours
+        capacity = self._node_count * period_hours
+        direct = 1.0 - downtime_hours / capacity if capacity > 0 else 1.0
+        formula = None
+        if per_node_mtbe_hours is not None and mttr is not None:
+            formula = per_node_mtbe_hours / (per_node_mtbe_hours + mttr)
+        minutes_per_day = (
+            (1.0 - (formula if formula is not None else direct)) * 24.0 * 60.0
+        )
+        return AvailabilityReport(
+            mttr_hours=mttr,
+            mttf_hours=per_node_mtbe_hours,
+            availability_formula=formula,
+            availability_direct=direct,
+            downtime_node_hours=downtime_hours,
+            downtime_minutes_per_day=minutes_per_day,
+            episodes=len(self._episodes),
+            replacements=sum(1 for r in self._episodes if r.gpu_replaced),
+        )

@@ -1,0 +1,174 @@
+"""Cross-class error correlation (paper Section IV(iv)).
+
+The paper observes that "PMU SPI communication errors ... exhibited
+high correlations with MMU errors" — a propagation chain where a PMU
+communication failure degrades clock/voltage management and surfaces
+as MMU faults shortly after.  This module measures exactly that kind
+of structure from the coalesced error stream:
+
+* :func:`follow_probability` — P(an error of class B occurs on the
+  same unit within Δt after an error of class A), together with the
+  *lift* over what independent Poisson traffic would produce.  Lift
+  far above 1 marks a causal/propagation chain.
+* :func:`correlation_matrix` — the full class x class table.
+
+The fault injector's PMU → MMU propagation is the planted ground
+truth; the integration tests check this analysis finds it (and finds
+no spurious chain between unrelated classes).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.periods import StudyWindow
+from ..core.records import ExtractedError
+from ..core.xid import EventClass
+
+#: Default follow window: propagation delays are minutes, not hours.
+DEFAULT_FOLLOW_WINDOW_SECONDS = 900.0
+
+
+@dataclass(frozen=True)
+class FollowStat:
+    """Directional correlation between two error classes.
+
+    Attributes:
+        source / target: the ordered class pair (A then B).
+        source_events: class-A errors analyzed.
+        followed: of those, how many had a class-B error on the same
+            unit within the window.
+        probability: ``followed / source_events``.
+        expected_probability: what independent arrivals would give
+            (per-unit class-B rate x window length, capped at 1).
+        lift: probability / expected (``None`` when the expectation is
+            zero); >> 1 indicates a propagation chain.
+    """
+
+    source: EventClass
+    target: EventClass
+    source_events: int
+    followed: int
+    probability: Optional[float]
+    expected_probability: Optional[float]
+
+    @property
+    def lift(self) -> Optional[float]:
+        if (
+            self.probability is None
+            or self.expected_probability is None
+            or self.expected_probability <= 0
+        ):
+            return None
+        return self.probability / self.expected_probability
+
+
+def _unit_key(error: ExtractedError) -> Tuple[str, object]:
+    return (error.node, error.gpu_index if error.gpu_index is not None else -1)
+
+
+def follow_probability(
+    errors: Sequence[ExtractedError],
+    source: EventClass,
+    target: EventClass,
+    window: StudyWindow,
+    within_seconds: float = DEFAULT_FOLLOW_WINDOW_SECONDS,
+) -> FollowStat:
+    """P(target error on the same unit within Δt after a source error).
+
+    The expectation baseline treats the target class as a homogeneous
+    Poisson process per unit: ``rate_per_unit x Δt``, where the unit
+    population is every unit that logged *any* analyzed error (a
+    conservative stand-in for the fleet size when only the error
+    stream is available).
+    """
+    if within_seconds <= 0:
+        raise ValueError("within_seconds must be positive")
+    by_unit_target: Dict[Tuple[str, object], List[float]] = defaultdict(list)
+    units = set()
+    target_total = 0
+    source_events: List[ExtractedError] = []
+    for error in errors:
+        units.add(_unit_key(error))
+        if error.event_class is target:
+            by_unit_target[_unit_key(error)].append(error.time)
+            target_total += 1
+        if error.event_class is source:
+            source_events.append(error)
+    for times in by_unit_target.values():
+        times.sort()
+
+    if not source_events:
+        return FollowStat(source, target, 0, 0, None, None)
+
+    followed = 0
+    for event in source_events:
+        times = by_unit_target.get(_unit_key(event))
+        if not times:
+            continue
+        index = bisect.bisect_right(times, event.time)
+        if index < len(times) and times[index] - event.time <= within_seconds:
+            followed += 1
+
+    probability = followed / len(source_events)
+    duration = window.end - window.start
+    expected = None
+    if units and duration > 0:
+        rate_per_unit = target_total / len(units) / duration
+        expected = min(1.0, rate_per_unit * within_seconds)
+    return FollowStat(
+        source=source,
+        target=target,
+        source_events=len(source_events),
+        followed=followed,
+        probability=probability,
+        expected_probability=expected,
+    )
+
+
+def correlation_matrix(
+    errors: Sequence[ExtractedError],
+    window: StudyWindow,
+    classes: Optional[Sequence[EventClass]] = None,
+    within_seconds: float = DEFAULT_FOLLOW_WINDOW_SECONDS,
+    min_source_events: int = 10,
+) -> Dict[Tuple[EventClass, EventClass], FollowStat]:
+    """Directional follow statistics for every ordered class pair.
+
+    Pairs whose source class has fewer than ``min_source_events``
+    occurrences are omitted (their probabilities are noise).
+    """
+    if classes is None:
+        present = {e.event_class for e in errors}
+        classes = sorted(present, key=lambda c: c.value)
+    matrix: Dict[Tuple[EventClass, EventClass], FollowStat] = {}
+    for source in classes:
+        for target in classes:
+            if source is target:
+                continue
+            stat = follow_probability(
+                errors, source, target, window, within_seconds
+            )
+            if stat.source_events >= min_source_events:
+                matrix[(source, target)] = stat
+    return matrix
+
+
+def strongest_chains(
+    matrix: Dict[Tuple[EventClass, EventClass], FollowStat],
+    min_lift: float = 3.0,
+    min_followed: int = 3,
+) -> List[FollowStat]:
+    """Pairs with clear propagation structure, strongest lift first."""
+    chains = [
+        stat
+        for stat in matrix.values()
+        if stat.lift is not None
+        and stat.lift >= min_lift
+        and stat.followed >= min_followed
+    ]
+    chains.sort(key=lambda s: -(s.lift or 0.0))
+    return chains

@@ -1,0 +1,95 @@
+"""Headline findings: the abstract/Section-I statistics, composed.
+
+One call produces every headline number the paper leads with, from a
+pipeline result:
+
+(i) the pre-op → op per-node MTBE degradation (~23%),
+(ii) the memory-vs-hardware MTBE ratio (~160x),
+(iii) the GSP degradation factor (~5.6x),
+(iv) the NVLink job-failure fraction (~54%) and multi-GPU propagation
+     fraction (~42%),
+(v) availability (~99.5%) with MTTF/MTTR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import DowntimeRecord, ExtractedError
+from ..core.xid import ErrorCategory, EventClass
+from ..slurm.types import JobRecord
+from .availability import AvailabilityAnalysis, AvailabilityReport
+from .job_impact import JobImpactAnalysis
+from .mtbe import MtbeAnalysis
+from .nvlink import nvlink_manifestations
+
+
+@dataclass(frozen=True)
+class HeadlineReport:
+    """Measured counterparts of the paper's headline findings."""
+
+    pre_op_per_node_mtbe_hours: Optional[float]
+    op_per_node_mtbe_hours: Optional[float]
+    mtbe_degradation_fraction: Optional[float]
+    memory_per_node_mtbe_hours: Optional[float]
+    non_memory_per_node_mtbe_hours: Optional[float]
+    memory_vs_hardware_ratio: Optional[float]
+    gsp_pre_op_per_node_mtbe_hours: Optional[float]
+    gsp_op_per_node_mtbe_hours: Optional[float]
+    gsp_degradation_factor: Optional[float]
+    nvlink_job_failure_fraction: Optional[float]
+    nvlink_multi_gpu_fraction: Optional[float]
+    availability: AvailabilityReport
+
+
+def compute_headline(
+    errors: Sequence[ExtractedError],
+    jobs: Sequence[JobRecord],
+    downtime: Sequence[DowntimeRecord],
+    window: StudyWindow,
+    node_count: int,
+) -> HeadlineReport:
+    """Compute every headline statistic from pipeline outputs."""
+    mtbe = MtbeAnalysis(errors, window, node_count)
+    pre_overall = mtbe.overall(PeriodName.PRE_OPERATIONAL)
+    op_overall = mtbe.overall(PeriodName.OPERATIONAL)
+
+    gsp_pre = mtbe.class_stat(PeriodName.PRE_OPERATIONAL, EventClass.GSP_ERROR)
+    gsp_op = mtbe.class_stat(PeriodName.OPERATIONAL, EventClass.GSP_ERROR)
+    gsp_factor = None
+    if (
+        gsp_pre.per_node_mtbe_hours is not None
+        and gsp_op.per_node_mtbe_hours not in (None, 0.0)
+    ):
+        gsp_factor = gsp_pre.per_node_mtbe_hours / gsp_op.per_node_mtbe_hours
+
+    impact = JobImpactAnalysis(errors, jobs, window).run()
+    nvlink_impact = impact.per_class.get(EventClass.NVLINK_ERROR)
+    nvlink_failure = (
+        nvlink_impact.failure_probability if nvlink_impact is not None else None
+    )
+    nvlink_stats = nvlink_manifestations(errors, window)
+
+    availability = AvailabilityAnalysis(downtime, window, node_count).report(
+        op_overall.per_node_mtbe_hours
+    )
+
+    memory = mtbe.category(PeriodName.OPERATIONAL, ErrorCategory.MEMORY)
+    return HeadlineReport(
+        pre_op_per_node_mtbe_hours=pre_overall.per_node_mtbe_hours,
+        op_per_node_mtbe_hours=op_overall.per_node_mtbe_hours,
+        mtbe_degradation_fraction=mtbe.degradation_fraction(),
+        memory_per_node_mtbe_hours=memory.per_node_mtbe_hours,
+        non_memory_per_node_mtbe_hours=mtbe.non_memory(
+            PeriodName.OPERATIONAL
+        ).per_node_mtbe_hours,
+        memory_vs_hardware_ratio=mtbe.memory_vs_hardware_ratio(),
+        gsp_pre_op_per_node_mtbe_hours=gsp_pre.per_node_mtbe_hours,
+        gsp_op_per_node_mtbe_hours=gsp_op.per_node_mtbe_hours,
+        gsp_degradation_factor=gsp_factor,
+        nvlink_job_failure_fraction=nvlink_failure,
+        nvlink_multi_gpu_fraction=nvlink_stats.multi_gpu_fraction,
+        availability=availability,
+    )

@@ -1,0 +1,193 @@
+"""Job-impact analysis: GPU errors vs user jobs (Table II, Section V-B).
+
+Implements the paper's attribution method:
+
+* A job *encounters* an error when the error occurred on a GPU (or, at
+  node granularity, a node) in the job's allocation while the job was
+  running.
+* A job is **GPU-failed** when it ended unsuccessfully and an
+  encountered error lies within the attribution window (20 seconds)
+  before the job's end time.
+* The per-class failure probability is
+  ``GPU-failed jobs encountering the class / jobs encountering it``.
+
+Granularity is configurable: the paper had GPU-level placement data;
+the ``NODE`` mode shows what the analysis would conclude with only
+node-level correlation (an attribution-methodology ablation).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.periods import StudyWindow
+from ..core.records import ExtractedError
+from ..core.xid import EventClass
+from ..slurm.types import JobRecord
+
+#: The paper's attribution window: an error within this many seconds
+#: before a failed job's end is a potential cause.
+DEFAULT_ATTRIBUTION_WINDOW_SECONDS = 20.0
+
+
+class AttributionGranularity(enum.Enum):
+    """Spatial granularity of error-job correlation."""
+
+    GPU = "gpu"
+    NODE = "node"
+
+
+@dataclass(frozen=True)
+class ClassImpact:
+    """Table II row: one error class's impact on jobs.
+
+    Attributes:
+        event_class: the error class.
+        jobs_encountering: jobs that overlapped the class's errors.
+        gpu_failed_jobs: of those, jobs that failed with the error in
+            the attribution window.
+        failure_probability: the row's headline ratio (``None`` with
+            no encounters).
+    """
+
+    event_class: EventClass
+    jobs_encountering: int
+    gpu_failed_jobs: int
+
+    @property
+    def failure_probability(self) -> Optional[float]:
+        if self.jobs_encountering == 0:
+            return None
+        return self.gpu_failed_jobs / self.jobs_encountering
+
+
+@dataclass
+class JobImpactResult:
+    """Full output of the job-impact analysis.
+
+    Attributes:
+        per_class: Table II rows keyed by event class.
+        total_gpu_failed_jobs: distinct jobs attributed to GPU errors.
+        total_jobs_analyzed: GPU jobs inside the analysis period.
+        gpu_failed_job_ids: the attributed job ids (for validation).
+    """
+
+    per_class: Dict[EventClass, ClassImpact]
+    total_gpu_failed_jobs: int
+    total_jobs_analyzed: int
+    gpu_failed_job_ids: Set[int] = field(default_factory=set)
+
+
+class JobImpactAnalysis:
+    """Correlates coalesced errors with Slurm job records.
+
+    Args:
+        errors: coalesced errors.
+        jobs: finished job records (all partitions; CPU jobs are
+            ignored automatically).
+        window: study window; only operational-period jobs are
+            analyzed, per Section III-B.
+        attribution_window_seconds: the 20-second window.
+        granularity: GPU- or node-level correlation.
+    """
+
+    def __init__(
+        self,
+        errors: Sequence[ExtractedError],
+        jobs: Sequence[JobRecord],
+        window: StudyWindow,
+        attribution_window_seconds: float = DEFAULT_ATTRIBUTION_WINDOW_SECONDS,
+        granularity: AttributionGranularity = AttributionGranularity.GPU,
+    ) -> None:
+        self._window = window
+        self._attribution = attribution_window_seconds
+        self._granularity = granularity
+        # Per-node error index sorted by time for bisection.
+        self._by_node: Dict[str, List[Tuple[float, Optional[int], EventClass]]] = (
+            defaultdict(list)
+        )
+        for error in errors:
+            self._by_node[error.node].append(
+                (error.time, error.gpu_index, error.event_class)
+            )
+        for entries in self._by_node.values():
+            entries.sort(key=lambda e: e[0])
+        self._node_times: Dict[str, List[float]] = {
+            node: [t for t, _, _ in entries]
+            for node, entries in self._by_node.items()
+        }
+        self._jobs = jobs
+
+    def _errors_for_job(
+        self, job: JobRecord
+    ) -> List[Tuple[float, EventClass]]:
+        """(time, class) of errors the job encountered while running."""
+        found: List[Tuple[float, EventClass]] = []
+        for node in job.allocation.nodes:
+            entries = self._by_node.get(node)
+            if not entries:
+                continue
+            times = self._node_times[node]
+            lo = bisect.bisect_left(times, job.start_time)
+            hi = bisect.bisect_right(times, job.end_time)
+            allocated = set(job.allocation.gpus_on(node))
+            for time, gpu_index, event_class in entries[lo:hi]:
+                if self._granularity is AttributionGranularity.GPU:
+                    if gpu_index is not None and gpu_index not in allocated:
+                        continue
+                found.append((time, event_class))
+        return found
+
+    def run(self) -> JobImpactResult:
+        """Run the attribution over every operational-period GPU job."""
+        encountering: Dict[EventClass, Set[int]] = defaultdict(set)
+        failed: Dict[EventClass, Set[int]] = defaultdict(set)
+        gpu_failed_jobs: Set[int] = set()
+        analyzed = 0
+        operational = self._window.operational
+        for job in self._jobs:
+            if job.gpu_count <= 0:
+                continue
+            if not operational.contains(job.end_time):
+                continue
+            analyzed += 1
+            hits = self._errors_for_job(job)
+            if not hits:
+                continue
+            classes_seen = {event_class for _, event_class in hits}
+            for event_class in classes_seen:
+                encountering[event_class].add(job.job_id)
+            if job.state.is_success:
+                continue
+            cutoff = job.end_time - self._attribution
+            causes = {
+                event_class
+                for time, event_class in hits
+                if cutoff <= time <= job.end_time
+            }
+            if causes:
+                gpu_failed_jobs.add(job.job_id)
+                for event_class in causes:
+                    failed[event_class].add(job.job_id)
+
+        per_class: Dict[EventClass, ClassImpact] = {}
+        for event_class in EventClass:
+            n_enc = len(encountering.get(event_class, ()))
+            n_fail = len(failed.get(event_class, ()))
+            if n_enc == 0 and n_fail == 0:
+                continue
+            per_class[event_class] = ClassImpact(
+                event_class=event_class,
+                jobs_encountering=n_enc,
+                gpu_failed_jobs=n_fail,
+            )
+        return JobImpactResult(
+            per_class=per_class,
+            total_gpu_failed_jobs=len(gpu_failed_jobs),
+            total_jobs_analyzed=analyzed,
+            gpu_failed_job_ids=gpu_failed_jobs,
+        )

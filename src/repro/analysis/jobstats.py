@@ -1,0 +1,195 @@
+"""Job population statistics (Table III and Section V-A).
+
+Computes, from the Slurm accounting records alone:
+
+* per-GPU-count-bucket job counts and shares;
+* elapsed-time mean / P50 / P99 in minutes;
+* GPU-hours split into ML and non-ML using the name heuristic of
+  :mod:`repro.analysis.ml`;
+* overall GPU/CPU job counts and success rates (Section V-A).
+
+A ``scale`` factor rescales absolute totals back to full-scale Delta
+for side-by-side comparison with the paper (shares, percentiles, and
+probabilities are scale-invariant and are never rescaled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.periods import StudyWindow
+from ..slurm.types import JobRecord
+from ..workload.spec import TABLE3_BUCKETS, GpuBucket
+from .ml import is_ml_job_name
+
+
+@dataclass(frozen=True)
+class BucketStats:
+    """One Table III row computed from accounting records.
+
+    Attributes:
+        bucket: the GPU-count bucket definition.
+        count: jobs in the bucket (at simulation scale).
+        share: fraction of all GPU jobs.
+        mean_minutes / p50_minutes / p99_minutes: elapsed-time stats.
+        ml_gpu_hours / non_ml_gpu_hours: GPU-hours by the name
+            heuristic (at simulation scale).
+    """
+
+    bucket: GpuBucket
+    count: int
+    share: float
+    mean_minutes: Optional[float]
+    p50_minutes: Optional[float]
+    p99_minutes: Optional[float]
+    ml_gpu_hours: float
+    non_ml_gpu_hours: float
+
+
+@dataclass(frozen=True)
+class PopulationStats:
+    """Section V-A totals.
+
+    Attributes:
+        gpu_jobs / cpu_jobs: job counts at simulation scale.
+        gpu_success_rate / cpu_success_rate: completion fractions.
+        single_gpu_fraction: share of GPU jobs using exactly one GPU.
+        two_to_four_fraction: share using 2-4 GPUs.
+        over_four_fraction: share using more than 4 GPUs.
+    """
+
+    gpu_jobs: int
+    cpu_jobs: int
+    gpu_success_rate: Optional[float]
+    cpu_success_rate: Optional[float]
+    single_gpu_fraction: Optional[float]
+    two_to_four_fraction: Optional[float]
+    over_four_fraction: Optional[float]
+
+
+class JobStatistics:
+    """Table III / Section V-A statistics over accounting records.
+
+    Args:
+        jobs: finished job records.
+        window: study window; ``operational_only`` restricts the
+            population the way the paper's job analysis does.
+        buckets: GPU-count bucketing (defaults to Table III's).
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[JobRecord],
+        window: StudyWindow,
+        operational_only: bool = True,
+        buckets: Tuple[GpuBucket, ...] = TABLE3_BUCKETS,
+    ) -> None:
+        self._buckets = buckets
+        if operational_only:
+            operational = window.operational
+            jobs = [j for j in jobs if operational.contains(j.end_time)]
+        self._gpu_jobs = [j for j in jobs if j.gpu_count > 0]
+        self._cpu_jobs = [j for j in jobs if j.gpu_count == 0]
+
+    def bucket_stats(self) -> List[BucketStats]:
+        """Compute every Table III row."""
+        total = len(self._gpu_jobs)
+        rows: List[BucketStats] = []
+        for bucket in self._buckets:
+            members = [
+                j
+                for j in self._gpu_jobs
+                if bucket.min_gpus <= j.gpu_count <= bucket.max_gpus
+            ]
+            if members:
+                minutes = np.array([j.elapsed_minutes for j in members])
+                mean = float(minutes.mean())
+                p50 = float(np.percentile(minutes, 50))
+                p99 = float(np.percentile(minutes, 99))
+            else:
+                mean = p50 = p99 = None
+            ml_hours = sum(
+                j.gpu_hours for j in members if is_ml_job_name(j.name)
+            )
+            non_ml_hours = sum(
+                j.gpu_hours for j in members if not is_ml_job_name(j.name)
+            )
+            rows.append(
+                BucketStats(
+                    bucket=bucket,
+                    count=len(members),
+                    share=(len(members) / total) if total else 0.0,
+                    mean_minutes=mean,
+                    p50_minutes=p50,
+                    p99_minutes=p99,
+                    ml_gpu_hours=ml_hours,
+                    non_ml_gpu_hours=non_ml_hours,
+                )
+            )
+        return rows
+
+    def population(self) -> PopulationStats:
+        """Section V-A totals and success rates."""
+        gpu_total = len(self._gpu_jobs)
+        cpu_total = len(self._cpu_jobs)
+        gpu_success = (
+            sum(1 for j in self._gpu_jobs if j.state.is_success) / gpu_total
+            if gpu_total
+            else None
+        )
+        cpu_success = (
+            sum(1 for j in self._cpu_jobs if j.state.is_success) / cpu_total
+            if cpu_total
+            else None
+        )
+        single = two_four = over_four = None
+        if gpu_total:
+            single = sum(1 for j in self._gpu_jobs if j.gpu_count == 1) / gpu_total
+            two_four = (
+                sum(1 for j in self._gpu_jobs if 2 <= j.gpu_count <= 4) / gpu_total
+            )
+            over_four = sum(1 for j in self._gpu_jobs if j.gpu_count > 4) / gpu_total
+        return PopulationStats(
+            gpu_jobs=gpu_total,
+            cpu_jobs=cpu_total,
+            gpu_success_rate=gpu_success,
+            cpu_success_rate=cpu_success,
+            single_gpu_fraction=single,
+            two_to_four_fraction=two_four,
+            over_four_fraction=over_four,
+        )
+
+    def queue_wait_stats(self) -> Optional[Tuple[float, float, float]]:
+        """Queue-wait statistics for GPU jobs: (mean, P50, P99) minutes.
+
+        Wait is ``start - submit``; the scheduler's load and drain
+        behaviour shows up here long before it shows in failures.
+        Returns ``None`` with no GPU jobs.
+        """
+        if not self._gpu_jobs:
+            return None
+        waits = np.array(
+            [max(0.0, j.start_time - j.submit_time) / 60.0 for j in self._gpu_jobs]
+        )
+        return (
+            float(waits.mean()),
+            float(np.percentile(waits, 50)),
+            float(np.percentile(waits, 99)),
+        )
+
+    def total_gpu_hours(self) -> float:
+        """GPU-hours consumed by the analyzed GPU jobs."""
+        return sum(j.gpu_hours for j in self._gpu_jobs)
+
+    def ml_fraction_of_gpu_hours(self) -> Optional[float]:
+        """Share of GPU-hours classified as ML by the name heuristic."""
+        total = self.total_gpu_hours()
+        if total <= 0:
+            return None
+        ml = sum(
+            j.gpu_hours for j in self._gpu_jobs if is_ml_job_name(j.name)
+        )
+        return ml / total

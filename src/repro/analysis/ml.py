@@ -1,0 +1,82 @@
+"""Name-based ML-workload classification (Section V-A).
+
+"Since explicit labels indicating whether a job was machine learning
+related were unavailable, we approximated the fraction of ML jobs by
+analyzing job names ... job names including keywords like *model* or
+*train* were considered indicative of ML workloads."
+
+:func:`is_ml_job_name` is that heuristic.  Because users also run ML
+under opaque names, the classifier is imperfect by construction; the
+:func:`validate_classifier` helper quantifies precision/recall against
+simulator ground truth (tests assert high precision, bounded recall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Keywords indicative of ML workloads in job names.
+ML_KEYWORDS: Tuple[str, ...] = (
+    "train",
+    "model",
+    "bert",
+    "gpt",
+    "llm",
+    "llama",
+    "torch",
+    "gan",
+    "deep",
+    "finetune",
+    "inference",
+    "resnet",
+)
+
+
+def is_ml_job_name(name: str) -> bool:
+    """True when a job name carries an ML-indicative keyword."""
+    lowered = name.lower()
+    return any(keyword in lowered for keyword in ML_KEYWORDS)
+
+
+@dataclass(frozen=True)
+class ClassifierQuality:
+    """Precision/recall of the keyword classifier vs ground truth.
+
+    Attributes:
+        true_positive / false_positive / false_negative / true_negative:
+            the confusion-matrix counts.
+    """
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @property
+    def precision(self) -> Optional[float]:
+        """P(truly ML | classified ML)."""
+        denom = self.true_positive + self.false_positive
+        return None if denom == 0 else self.true_positive / denom
+
+    @property
+    def recall(self) -> Optional[float]:
+        """P(classified ML | truly ML)."""
+        denom = self.true_positive + self.false_negative
+        return None if denom == 0 else self.true_positive / denom
+
+
+def validate_classifier(
+    names_and_truth: Iterable[Tuple[str, bool]]
+) -> ClassifierQuality:
+    """Score the keyword heuristic against ground-truth labels."""
+    counts: Dict[Tuple[bool, bool], int] = {}
+    for name, truth in names_and_truth:
+        key = (is_ml_job_name(name), bool(truth))
+        counts[key] = counts.get(key, 0) + 1
+    return ClassifierQuality(
+        true_positive=counts.get((True, True), 0),
+        false_positive=counts.get((True, False), 0),
+        false_negative=counts.get((False, True), 0),
+        true_negative=counts.get((False, False), 0),
+    )

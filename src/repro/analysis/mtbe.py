@@ -1,0 +1,284 @@
+"""Error statistics: counts and mean time between errors (Table I).
+
+Implements the paper's Stage-III error statistics (Section III-B):
+
+* per-class, per-period error counts over the coalesced error stream;
+* system-wide MTBE = period length / count;
+* per-node MTBE = system-wide MTBE x number of A100 nodes;
+* category aggregation (GPU hardware vs memory vs interconnect, plus
+  the "non-memory" grouping behind the paper's 160x memory-reliability
+  claim);
+* outlier exclusion: the paper's footnote 5 excludes the 38,900
+  uncontained errors that came from one faulty GPU when quoting the
+  pre-operational per-node MTBE.  We implement the SRE rule
+  generically: within one (class, period), any single GPU contributing
+  more than ``outlier_threshold`` of the errors is flagged and its
+  errors can be excluded from aggregate MTBE.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import AnalysisError
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import ExtractedError
+from ..core.xid import ErrorCategory, EventClass, spec_for
+
+#: Outlier rule: one GPU producing over half a class-period's errors,
+#: with at least this many errors, is an outlier unit.
+DEFAULT_OUTLIER_SHARE = 0.5
+DEFAULT_OUTLIER_MIN_COUNT = 100
+
+
+@dataclass(frozen=True)
+class MtbeStat:
+    """Count + MTBE for one grouping.
+
+    Attributes:
+        count: coalesced errors in the group.
+        system_mtbe_hours: period_hours / count (``None`` for zero
+            counts, matching Table I's "-" cells).
+        per_node_mtbe_hours: system MTBE x node count.
+    """
+
+    count: int
+    system_mtbe_hours: Optional[float]
+    per_node_mtbe_hours: Optional[float]
+
+
+@dataclass(frozen=True)
+class OutlierGpu:
+    """A GPU excluded by the SRE outlier rule.
+
+    Attributes:
+        node / gpu_key: identity of the unit (gpu_key is the resolved
+            index or the raw PCI address).
+        event_class: the error class it dominated.
+        period: which period it dominated in.
+        count: errors it produced there.
+        share: its share of the class-period total.
+    """
+
+    node: str
+    gpu_key: object
+    event_class: EventClass
+    period: PeriodName
+    count: int
+    share: float
+
+
+def _gpu_key(error: ExtractedError) -> object:
+    return error.gpu_index if error.gpu_index is not None else -1
+
+
+class MtbeAnalysis:
+    """Table I statistics over a coalesced error stream.
+
+    Args:
+        errors: coalesced errors (any order).
+        window: the study window used for period attribution.
+        node_count: A100 node count (the per-node multiplier; 106 on
+            Delta).
+        outlier_share / outlier_min_count: SRE outlier rule knobs.
+    """
+
+    def __init__(
+        self,
+        errors: Sequence[ExtractedError],
+        window: StudyWindow,
+        node_count: int,
+        outlier_share: float = DEFAULT_OUTLIER_SHARE,
+        outlier_min_count: int = DEFAULT_OUTLIER_MIN_COUNT,
+    ) -> None:
+        if node_count <= 0:
+            raise AnalysisError(f"node_count must be positive, got {node_count}")
+        self._window = window
+        self._node_count = node_count
+        # counts[(period, class)][(node, gpu_key)] = n
+        self._unit_counts: Dict[
+            Tuple[PeriodName, EventClass], Counter
+        ] = defaultdict(Counter)
+        for error in errors:
+            period = window.period_of(error.time)
+            self._unit_counts[(period, error.event_class)][
+                (error.node, _gpu_key(error))
+            ] += 1
+        self._outliers = self._find_outliers(outlier_share, outlier_min_count)
+        self._outlier_units: Dict[Tuple[PeriodName, EventClass], Set[tuple]] = (
+            defaultdict(set)
+        )
+        for outlier in self._outliers:
+            self._outlier_units[(outlier.period, outlier.event_class)].add(
+                (outlier.node, outlier.gpu_key)
+            )
+
+    # ------------------------------------------------------------------
+    # Outlier detection
+    # ------------------------------------------------------------------
+
+    def _find_outliers(
+        self, share_threshold: float, min_count: int
+    ) -> List[OutlierGpu]:
+        outliers: List[OutlierGpu] = []
+        for (period, event_class), units in self._unit_counts.items():
+            total = sum(units.values())
+            if total < min_count:
+                continue
+            for (node, gpu_key), count in units.items():
+                share = count / total
+                if share > share_threshold and count >= min_count:
+                    outliers.append(
+                        OutlierGpu(
+                            node=node,
+                            gpu_key=gpu_key,
+                            event_class=event_class,
+                            period=period,
+                            count=count,
+                            share=share,
+                        )
+                    )
+        outliers.sort(key=lambda o: -o.count)
+        return outliers
+
+    @property
+    def outliers(self) -> List[OutlierGpu]:
+        """Units flagged by the SRE outlier rule."""
+        return list(self._outliers)
+
+    # ------------------------------------------------------------------
+    # Count helpers
+    # ------------------------------------------------------------------
+
+    def count(
+        self,
+        period: PeriodName,
+        event_class: EventClass,
+        exclude_outliers: bool = False,
+    ) -> int:
+        """Coalesced error count for one class and period."""
+        units = self._unit_counts.get((period, event_class))
+        if not units:
+            return 0
+        excluded = (
+            self._outlier_units.get((period, event_class), set())
+            if exclude_outliers
+            else set()
+        )
+        return sum(n for unit, n in units.items() if unit not in excluded)
+
+    def _stat(self, period: PeriodName, count: int) -> MtbeStat:
+        hours = self._window.period(period).duration_hours
+        if count <= 0:
+            return MtbeStat(count=0, system_mtbe_hours=None, per_node_mtbe_hours=None)
+        system = hours / count
+        return MtbeStat(
+            count=count,
+            system_mtbe_hours=system,
+            per_node_mtbe_hours=system * self._node_count,
+        )
+
+    # ------------------------------------------------------------------
+    # Table I views
+    # ------------------------------------------------------------------
+
+    def class_stat(
+        self,
+        period: PeriodName,
+        event_class: EventClass,
+        exclude_outliers: bool = False,
+    ) -> MtbeStat:
+        """Count and MTBE for one class (one Table I cell group)."""
+        return self._stat(period, self.count(period, event_class, exclude_outliers))
+
+    def table1(
+        self, exclude_outliers: bool = False
+    ) -> Dict[EventClass, Dict[PeriodName, MtbeStat]]:
+        """The full Table I: per class, both periods."""
+        from ..core.xid import table1_order
+
+        table: Dict[EventClass, Dict[PeriodName, MtbeStat]] = {}
+        for event_class in table1_order():
+            table[event_class] = {
+                period: self.class_stat(period, event_class, exclude_outliers)
+                for period in (
+                    PeriodName.PRE_OPERATIONAL,
+                    PeriodName.OPERATIONAL,
+                )
+            }
+        return table
+
+    def aggregate(
+        self,
+        period: PeriodName,
+        classes: Iterable[EventClass],
+        exclude_outliers: bool = False,
+    ) -> MtbeStat:
+        """Count and MTBE aggregated over several classes."""
+        total = sum(
+            self.count(period, event_class, exclude_outliers)
+            for event_class in classes
+        )
+        return self._stat(period, total)
+
+    def overall(
+        self, period: PeriodName, exclude_outliers: bool = True
+    ) -> MtbeStat:
+        """All analyzed classes together — the paper's per-node MTBE.
+
+        The default excludes outlier units, matching footnote 5 (the
+        pre-operational 199-hour figure drops the 38,900 episode
+        errors).
+        """
+        classes = [ec for ec in EventClass]
+        return self.aggregate(period, classes, exclude_outliers)
+
+    def category(
+        self,
+        period: PeriodName,
+        category: ErrorCategory,
+        exclude_outliers: bool = True,
+    ) -> MtbeStat:
+        """Aggregate over one error category."""
+        classes = [
+            ec for ec in EventClass if spec_for(ec).category is category
+        ]
+        return self.aggregate(period, classes, exclude_outliers)
+
+    def non_memory(
+        self, period: PeriodName, exclude_outliers: bool = True
+    ) -> MtbeStat:
+        """Hardware + interconnect (the paper's "GPU hardware" in the
+        160x memory-reliability comparison)."""
+        classes = [
+            ec
+            for ec in EventClass
+            if spec_for(ec).category is not ErrorCategory.MEMORY
+        ]
+        return self.aggregate(period, classes, exclude_outliers)
+
+    def memory_vs_hardware_ratio(
+        self, period: PeriodName = PeriodName.OPERATIONAL
+    ) -> Optional[float]:
+        """Per-node MTBE ratio, memory over non-memory (paper: ~160x)."""
+        memory = self.category(period, ErrorCategory.MEMORY)
+        other = self.non_memory(period)
+        if (
+            memory.per_node_mtbe_hours is None
+            or other.per_node_mtbe_hours is None
+            or other.per_node_mtbe_hours == 0
+        ):
+            return None
+        return memory.per_node_mtbe_hours / other.per_node_mtbe_hours
+
+    def degradation_fraction(self) -> Optional[float]:
+        """Fractional per-node MTBE loss, pre-op → op (paper: 0.23)."""
+        pre = self.overall(PeriodName.PRE_OPERATIONAL)
+        op = self.overall(PeriodName.OPERATIONAL)
+        if pre.per_node_mtbe_hours is None or op.per_node_mtbe_hours is None:
+            return None
+        if pre.per_node_mtbe_hours == 0:
+            return None
+        return 1.0 - op.per_node_mtbe_hours / pre.per_node_mtbe_hours

@@ -1,0 +1,98 @@
+"""NVLink-specific statistics (Section IV(v)).
+
+From the coalesced error stream alone, reconstructs NVLink error
+*manifestations* — groups of XID 74 errors on different GPUs of the
+same node within a small grouping window — and computes the fraction
+touching two or more GPUs (paper: 42% in the operational period).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import ExtractedError
+from ..core.xid import EventClass
+
+#: GPUs of one node logging XID 74 within this window are treated as
+#: one manifestation (endpoints of the same faulty link report nearly
+#: simultaneously).
+DEFAULT_GROUPING_WINDOW_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class NvlinkManifestationStats:
+    """Manifestation-level NVLink statistics for one period.
+
+    Attributes:
+        manifestations: reconstructed manifestation count.
+        multi_gpu_manifestations: those touching >= 2 GPUs.
+        errors: underlying per-GPU error count.
+        size_histogram: manifestation-size -> count.
+    """
+
+    manifestations: int
+    multi_gpu_manifestations: int
+    errors: int
+    size_histogram: Dict[int, int]
+
+    @property
+    def multi_gpu_fraction(self) -> Optional[float]:
+        """Fraction of manifestations on >= 2 GPUs (paper: 0.42)."""
+        if self.manifestations == 0:
+            return None
+        return self.multi_gpu_manifestations / self.manifestations
+
+
+def nvlink_manifestations(
+    errors: Sequence[ExtractedError],
+    window: StudyWindow,
+    period: PeriodName = PeriodName.OPERATIONAL,
+    grouping_window_seconds: float = DEFAULT_GROUPING_WINDOW_SECONDS,
+) -> NvlinkManifestationStats:
+    """Group NVLink errors into manifestations and summarize them."""
+    bounds = window.period(period)
+    per_node: Dict[str, List[ExtractedError]] = defaultdict(list)
+    total_errors = 0
+    for error in errors:
+        if error.event_class is not EventClass.NVLINK_ERROR:
+            continue
+        if not bounds.contains(error.time):
+            continue
+        per_node[error.node].append(error)
+        total_errors += 1
+
+    histogram: Dict[int, int] = defaultdict(int)
+    manifestations = 0
+    multi = 0
+    for node_errors in per_node.values():
+        node_errors.sort(key=lambda e: e.time)
+        group_gpus: set = set()
+        last_time: Optional[float] = None
+
+        def close_group() -> None:
+            nonlocal manifestations, multi
+            if not group_gpus:
+                return
+            size = len(group_gpus)
+            histogram[size] += 1
+            manifestations += 1
+            if size >= 2:
+                multi += 1
+
+        for error in node_errors:
+            if last_time is None or error.time - last_time > grouping_window_seconds:
+                close_group()
+                group_gpus = set()
+            group_gpus.add(error.gpu_index)
+            last_time = error.time
+        close_group()
+
+    return NvlinkManifestationStats(
+        manifestations=manifestations,
+        multi_gpu_manifestations=multi,
+        errors=total_errors,
+        size_histogram=dict(histogram),
+    )

@@ -1,0 +1,192 @@
+"""Replicated studies: headline metrics with confidence intervals.
+
+A single simulated study is one draw from the calibrated stochastic
+model; careful reproduction reports *distributions* over seeds.  This
+module runs N independent replicates (each on its own forked random
+universe), computes the headline metrics per replicate, and aggregates
+them into mean / standard deviation / normal-approximation confidence
+intervals — the numbers EXPERIMENTS.md's single-run bands should be
+read against.
+
+Replicates run memory-only (no artifacts on disk) and use the
+simulator's ground-truth logical events directly: replication studies
+quantify the *model's* spread, and the pipeline's extraction fidelity
+is validated separately (it recovers logical events to within ~1%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.periods import PeriodName
+from ..core.records import ExtractedError
+from ..core.xid import EventClass
+from ..study.config import StudyConfig
+from ..study.runner import DeltaStudy
+from .mtbe import MtbeAnalysis
+
+#: z-value for the default 95% confidence interval.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric over replicates.
+
+    Attributes:
+        name: metric name.
+        values: per-replicate values (replicates where the metric was
+            undefined are dropped).
+        mean / std: sample statistics.
+        ci_low / ci_high: 95% normal-approximation interval on the mean.
+    """
+
+    name: str
+    values: Sequence[float]
+
+    @property
+    def n(self) -> int:
+        """Number of replicates with a defined value."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> Optional[float]:
+        if not self.values:
+            return None
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> Optional[float]:
+        if len(self.values) < 2:
+            return None
+        mean = self.mean
+        assert mean is not None
+        variance = sum((v - mean) ** 2 for v in self.values) / (
+            len(self.values) - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def ci_half_width(self) -> Optional[float]:
+        std = self.std
+        if std is None:
+            return None
+        return _Z95 * std / math.sqrt(len(self.values))
+
+    @property
+    def ci_low(self) -> Optional[float]:
+        mean, half = self.mean, self.ci_half_width
+        if mean is None or half is None:
+            return None
+        return mean - half
+
+    @property
+    def ci_high(self) -> Optional[float]:
+        mean, half = self.mean, self.ci_half_width
+        if mean is None or half is None:
+            return None
+        return mean + half
+
+    def contains(self, value: float) -> Optional[bool]:
+        """Whether a reference value falls inside the 95% CI."""
+        if self.ci_low is None or self.ci_high is None:
+            return None
+        return self.ci_low <= value <= self.ci_high
+
+    def render(self) -> str:
+        """One summary line."""
+        if self.mean is None:
+            return f"{self.name}: no data"
+        if self.ci_half_width is None:
+            return f"{self.name}: {self.mean:.3g} (n={self.n})"
+        return (
+            f"{self.name}: {self.mean:.3g} ± {self.ci_half_width:.2g} "
+            f"(95% CI, n={self.n})"
+        )
+
+
+def _headline_metrics(errors: List[ExtractedError], window, node_count: int):
+    mtbe = MtbeAnalysis(errors, window, node_count)
+    pre = mtbe.overall(PeriodName.PRE_OPERATIONAL)
+    op = mtbe.overall(PeriodName.OPERATIONAL)
+    gsp_pre = mtbe.class_stat(PeriodName.PRE_OPERATIONAL, EventClass.GSP_ERROR)
+    gsp_op = mtbe.class_stat(PeriodName.OPERATIONAL, EventClass.GSP_ERROR)
+    gsp_factor = None
+    if gsp_pre.per_node_mtbe_hours and gsp_op.per_node_mtbe_hours:
+        gsp_factor = gsp_pre.per_node_mtbe_hours / gsp_op.per_node_mtbe_hours
+    return {
+        "pre_op_per_node_mtbe_hours": pre.per_node_mtbe_hours,
+        "op_per_node_mtbe_hours": op.per_node_mtbe_hours,
+        "mtbe_degradation_fraction": mtbe.degradation_fraction(),
+        "memory_vs_hardware_ratio": mtbe.memory_vs_hardware_ratio(),
+        "gsp_degradation_factor": gsp_factor,
+    }
+
+
+def _events_as_errors(artifacts) -> List[ExtractedError]:
+    return [
+        ExtractedError(
+            time=event.time,
+            node=event.node,
+            gpu_index=event.gpu_index,
+            event_class=event.event_class,
+            xid=event.xid,
+        )
+        for event in artifacts.logical_events
+    ]
+
+
+class ReplicatedStudy:
+    """Runs N independent replicates of a study configuration.
+
+    Args:
+        base_config: the configuration to replicate; each replicate
+            gets a distinct derived seed.
+        replicates: number of independent runs.
+        metrics_fn: optional override mapping
+            ``(errors, window, node_count)`` to a metric dict; defaults
+            to the headline metrics.
+    """
+
+    def __init__(
+        self,
+        base_config: StudyConfig,
+        replicates: int = 5,
+        metrics_fn: Optional[Callable] = None,
+    ) -> None:
+        if replicates < 1:
+            raise ValueError("need at least one replicate")
+        self._base = base_config
+        self._replicates = replicates
+        self._metrics_fn = metrics_fn or _headline_metrics
+
+    def run(self) -> Dict[str, MetricSummary]:
+        """Run every replicate and aggregate the metrics."""
+        from dataclasses import replace
+
+        collected: Dict[str, List[float]] = {}
+        for index in range(self._replicates):
+            seed = self._base.seed * 1009 + index * 7919 + 13
+            config = replace(self._base, seed=seed)
+            artifacts = DeltaStudy(config).run(None)
+            errors = _events_as_errors(artifacts)
+            metrics = self._metrics_fn(
+                errors, config.window, artifacts.node_count
+            )
+            for name, value in metrics.items():
+                if value is not None:
+                    collected.setdefault(name, []).append(float(value))
+        return {
+            name: MetricSummary(name=name, values=tuple(values))
+            for name, values in collected.items()
+        }
+
+    def render(self, summaries: Optional[Dict[str, MetricSummary]] = None) -> str:
+        """Run (if needed) and render the replication report."""
+        if summaries is None:
+            summaries = self.run()
+        lines = [f"replication report ({self._replicates} replicates)"]
+        lines.extend(s.render() for s in summaries.values())
+        return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Spatial error characterization: concentration across nodes and GPUs.
+
+Extends Stage III with the spatial analyses of the paper's related
+work (Gupta et al. DSN'15 studied spatial properties of failures at
+extreme scale): how unevenly errors distribute over hardware units,
+which single units dominate (the SRE "repeat offender" view behind
+Delta's GPU-replacement policy), and a Gini coefficient of error
+concentration.
+
+A healthy fleet shows near-uniform spread (Gini ≈ 0 for equal rates);
+defective units — like the 17-day episode GPU — push the coefficient
+toward 1 and surface at the top of the offender ranking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import ExtractedError
+from ..core.xid import EventClass
+
+
+@dataclass(frozen=True)
+class UnitErrorCount:
+    """Error count attributed to one hardware unit.
+
+    Attributes:
+        node: node name.
+        gpu_key: GPU index (or raw PCI address when unresolved).
+        count: coalesced errors attributed to the unit.
+        share: fraction of the analyzed error population.
+    """
+
+    node: str
+    gpu_key: object
+    count: int
+    share: float
+
+
+@dataclass(frozen=True)
+class SpatialStats:
+    """Concentration statistics over the analyzed error population.
+
+    Attributes:
+        total_errors: errors analyzed.
+        units_with_errors: distinct (node, GPU) units that erred.
+        top_offenders: the heaviest units, descending.
+        top1_share / top5_share: concentration at the head.
+        gini: Gini coefficient over all units *with* errors
+            (``None`` when no errors).
+    """
+
+    total_errors: int
+    units_with_errors: int
+    top_offenders: Tuple[UnitErrorCount, ...]
+    top1_share: Optional[float]
+    top5_share: Optional[float]
+    gini: Optional[float]
+
+
+def gini_coefficient(counts: Sequence[int]) -> Optional[float]:
+    """Gini coefficient of a non-negative count vector.
+
+    0 = perfectly even, →1 = fully concentrated.  ``None`` for empty or
+    all-zero input.
+    """
+    values = np.sort(np.asarray([c for c in counts if c >= 0], dtype=float))
+    if values.size == 0 or values.sum() == 0:
+        return None
+    n = values.size
+    index = np.arange(1, n + 1)
+    return float((2 * index - n - 1).dot(values) / (n * values.sum()))
+
+
+def spatial_stats(
+    errors: Sequence[ExtractedError],
+    window: Optional[StudyWindow] = None,
+    period: Optional[PeriodName] = None,
+    event_class: Optional[EventClass] = None,
+    top_k: int = 10,
+) -> SpatialStats:
+    """Concentration statistics over (node, GPU) units.
+
+    Args:
+        errors: coalesced errors.
+        window/period: optional period filter.
+        event_class: optional class filter.
+        top_k: offenders to report.
+    """
+    counter: Counter = Counter()
+    total = 0
+    for error in errors:
+        if event_class is not None and error.event_class is not event_class:
+            continue
+        if period is not None and window is not None:
+            if window.period_of(error.time) is not period:
+                continue
+        key = (
+            error.node,
+            error.gpu_index if error.gpu_index is not None else -1,
+        )
+        counter[key] += 1
+        total += 1
+
+    if total == 0:
+        return SpatialStats(0, 0, (), None, None, None)
+
+    ranked = counter.most_common()
+    offenders = tuple(
+        UnitErrorCount(node=node, gpu_key=gpu, count=count, share=count / total)
+        for (node, gpu), count in ranked[:top_k]
+    )
+    top1 = ranked[0][1] / total
+    top5 = sum(count for _, count in ranked[:5]) / total
+    return SpatialStats(
+        total_errors=total,
+        units_with_errors=len(counter),
+        top_offenders=offenders,
+        top1_share=top1,
+        top5_share=top5,
+        gini=gini_coefficient([count for _, count in ranked]),
+    )
+
+
+def node_error_counts(
+    errors: Sequence[ExtractedError],
+    event_class: Optional[EventClass] = None,
+) -> List[Tuple[str, int]]:
+    """Per-node error counts, descending."""
+    counter: Counter = Counter()
+    for error in errors:
+        if event_class is not None and error.event_class is not event_class:
+            continue
+        counter[error.node] += 1
+    return counter.most_common()
+
+
+def repeat_offenders(
+    errors: Sequence[ExtractedError],
+    min_count: int = 3,
+    event_class: Optional[EventClass] = None,
+) -> List[UnitErrorCount]:
+    """Units with at least ``min_count`` errors — replacement candidates.
+
+    Mirrors the SRE policy of tracking units that repeatedly log
+    critical errors (Delta replaces GPUs that repeatedly log RRFs).
+    """
+    stats = spatial_stats(errors, event_class=event_class, top_k=10**6)
+    return [u for u in stats.top_offenders if u.count >= min_count]

@@ -1,0 +1,13 @@
+"""Paper-derived calibration: fault-suite parameters and reference
+values for comparisons."""
+
+from .delta import delta_fault_suite, delta_memory_chain, delta_nvlink, delta_simple_faults
+from . import paper
+
+__all__ = [
+    "delta_fault_suite",
+    "delta_memory_chain",
+    "delta_nvlink",
+    "delta_simple_faults",
+    "paper",
+]

@@ -1,0 +1,140 @@
+"""Grace Hopper (H100) projection scenario — the paper's future work.
+
+The paper closes with: "Future work extends this analysis to the
+NVIDIA Grace Hopper systems that are equipped with H100 GPUs."  NCSA's
+follow-on system (DeltaAI) pairs 114 nodes of 4-way GH200 superchips.
+No three-year error record exists for it yet, so this module ships a
+**clearly-labelled projection**: the A100 calibration with per-class
+rate multipliers encoding the architectural deltas, so the same
+pipeline, experiments, and what-if tooling run unchanged against the
+next-generation scenario.
+
+Projection assumptions (documented, easily overridden):
+
+* **GSP** — the A100-era GSP firmware instability dominates Delta's
+  hardware errors; two more years of firmware maturation are assumed
+  to cut the rate to 35%.
+* **Memory** — HBM3 at 96 GB/GPU: more capacity exposed to upsets
+  (rate x1.6) but the same remapping/containment machinery.
+* **NVLink** — NVLink 4 with PAM4 signalling and stronger FEC: rate
+  x0.8 and a higher retry-masking probability.
+* **MMU / PMU / fallen-off-bus** — carried over unchanged (dominated
+  by software and board-level effects, not the GPU die).
+
+These multipliers are knobs, not claims; `HopperProjection` is a
+dataclass so studies can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cluster.topology import ClusterShape
+from ..core.xid import EventClass
+from ..faults.config import FaultSuiteConfig
+from .delta import delta_fault_suite
+
+#: DeltaAI-like fleet: 114 four-way GH200 nodes.
+HOPPER_SHAPE = ClusterShape(four_way_nodes=114, eight_way_nodes=0, cpu_nodes=0)
+
+
+@dataclass(frozen=True)
+class HopperProjection:
+    """Per-class rate multipliers for the H100 projection.
+
+    A multiplier scales both the pre-operational and operational
+    calibrated rates of the corresponding A100 class.
+    """
+
+    gsp_rate_multiplier: float = 0.35
+    memory_rate_multiplier: float = 1.6
+    nvlink_rate_multiplier: float = 0.8
+    nvlink_retry_success: float = 0.30
+    mmu_rate_multiplier: float = 1.0
+    pmu_rate_multiplier: float = 1.0
+    fob_rate_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "gsp_rate_multiplier",
+            "memory_rate_multiplier",
+            "nvlink_rate_multiplier",
+            "mmu_rate_multiplier",
+            "pmu_rate_multiplier",
+            "fob_rate_multiplier",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.nvlink_retry_success <= 1.0:
+            raise ValueError("nvlink_retry_success must be in [0, 1]")
+
+
+_SIMPLE_MULTIPLIER_FIELDS = {
+    EventClass.GSP_ERROR: "gsp_rate_multiplier",
+    EventClass.MMU_ERROR: "mmu_rate_multiplier",
+    EventClass.PMU_SPI_ERROR: "pmu_rate_multiplier",
+    EventClass.FALLEN_OFF_BUS: "fob_rate_multiplier",
+}
+
+
+def hopper_fault_suite(
+    projection: HopperProjection = HopperProjection(),
+) -> FaultSuiteConfig:
+    """The projected H100 fault suite.
+
+    Starts from the A100 calibration (without the defective-GPU
+    episode — a unit-specific defect, not an architectural property)
+    and applies the projection multipliers.
+    """
+    suite = delta_fault_suite(include_episode=False)
+    simple = tuple(
+        replace(
+            cfg,
+            pre_op_count=cfg.pre_op_count
+            * getattr(projection, _SIMPLE_MULTIPLIER_FIELDS[cfg.event_class]),
+            op_count=cfg.op_count
+            * getattr(projection, _SIMPLE_MULTIPLIER_FIELDS[cfg.event_class]),
+        )
+        for cfg in suite.simple_faults
+    )
+    chain = suite.memory_chain
+    chain = replace(
+        chain,
+        pre_op=replace(
+            chain.pre_op,
+            uncorrectable_count=chain.pre_op.uncorrectable_count
+            * projection.memory_rate_multiplier,
+        ),
+        op=replace(
+            chain.op,
+            uncorrectable_count=chain.op.uncorrectable_count
+            * projection.memory_rate_multiplier,
+        ),
+    )
+    nvlink = replace(
+        suite.nvlink,
+        pre_op_count=suite.nvlink.pre_op_count * projection.nvlink_rate_multiplier,
+        op_count=suite.nvlink.op_count * projection.nvlink_rate_multiplier,
+        link_model=replace(
+            suite.nvlink.link_model,
+            retry_success_probability=projection.nvlink_retry_success,
+        ),
+    )
+    return replace(suite, simple_faults=simple, memory_chain=chain, nvlink=nvlink)
+
+
+def hopper_study_config(
+    seed: int = 2026,
+    job_scale: float = 0.05,
+    projection: HopperProjection = HopperProjection(),
+):
+    """A full study configuration for the H100 projection scenario."""
+    from ..study.config import StudyConfig
+    from ..workload.generator import WorkloadConfig
+
+    return StudyConfig(
+        seed=seed,
+        cluster_shape=HOPPER_SHAPE,
+        fault_suite=hopper_fault_suite(projection),
+        workload=WorkloadConfig(job_scale=job_scale),
+    )

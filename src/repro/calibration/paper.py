@@ -1,0 +1,121 @@
+"""The paper's published numbers, as data.
+
+Reporting code compares measured statistics against these references
+and EXPERIMENTS.md records the deltas.  Nothing in the simulator or the
+analysis pipeline reads this module — it exists purely on the
+comparison side, so the reproduction cannot accidentally "peek".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.xid import EventClass
+
+#: Number of A100 nodes (the per-node MTBE multiplier).
+NODE_COUNT = 106
+
+#: Study geometry.
+TOTAL_DAYS = 1_170
+OPERATIONAL_DAYS = 895
+TOTAL_GPU_HOURS_MILLIONS = 12.5
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I: counts and MTBEs for an event class."""
+
+    event_class: EventClass
+    pre_op_count: int
+    op_count: int
+    pre_op_system_mtbe_hours: Optional[float]
+    pre_op_per_node_mtbe_hours: Optional[float]
+    op_system_mtbe_hours: Optional[float]
+    op_per_node_mtbe_hours: Optional[float]
+
+
+#: Table I, verbatim (None where the paper prints "-").
+TABLE1: Tuple[Table1Row, ...] = (
+    Table1Row(EventClass.MMU_ERROR, 1_078, 8_863, 6.1, 649, 2.4, 257),
+    Table1Row(EventClass.DBE, 0, 1, None, None, None, None),
+    Table1Row(EventClass.UNCORRECTABLE_ECC, 46, 34, 143, 15_208, 632, 66_967),
+    Table1Row(EventClass.ROW_REMAP_EVENT, 31, 34, 213, 22_568, 632, 66_967),
+    Table1Row(EventClass.ROW_REMAP_FAILURE, 15, 0, 440, 46_640, None, None),
+    Table1Row(EventClass.NVLINK_ERROR, 2_092, 1_922, 3, 334, 11, 1_185),
+    Table1Row(EventClass.FALLEN_OFF_BUS, 4, 10, 1_650, 174_900, 2_184, 227_688),
+    Table1Row(EventClass.CONTAINED_MEMORY_ERROR, 22, 13, 300, 31_800, 1_652, 175_145),
+    Table1Row(
+        EventClass.UNCONTAINED_MEMORY_ERROR, 38_900, 11, 0.17, 18, 1_953, 206_989
+    ),
+    Table1Row(EventClass.GSP_ERROR, 209, 3_857, 32, 3_347, 5.6, 590),
+    Table1Row(EventClass.PMU_SPI_ERROR, 8, 77, 825, 87_450, 279, 29_569),
+)
+
+TABLE1_BY_CLASS: Dict[EventClass, Table1Row] = {r.event_class: r for r in TABLE1}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: job-failure probability given an XID."""
+
+    xid: int
+    event_class: EventClass
+    gpu_failed_jobs: int
+    jobs_encountering: int
+    failure_probability: float
+
+
+#: Table II, verbatim.
+TABLE2: Tuple[Table2Row, ...] = (
+    Table2Row(31, EventClass.MMU_ERROR, 3_206, 3_543, 0.9048),
+    Table2Row(122, EventClass.PMU_SPI_ERROR, 40, 41, 0.9756),
+    Table2Row(119, EventClass.GSP_ERROR, 31, 31, 1.0),
+    Table2Row(74, EventClass.NVLINK_ERROR, 43, 80, 0.5375),
+    Table2Row(94, EventClass.CONTAINED_MEMORY_ERROR, 5, 5, 1.0),
+)
+
+TABLE2_BY_CLASS: Dict[EventClass, Table2Row] = {r.event_class: r for r in TABLE2}
+
+#: Total GPU-failed jobs over the operational period.
+TOTAL_GPU_FAILED_JOBS = 3_285
+
+
+@dataclass(frozen=True)
+class HeadlineFindings:
+    """The paper's headline statistics (abstract / Section I)."""
+
+    pre_op_per_node_mtbe_hours: float = 199.0
+    op_per_node_mtbe_hours: float = 154.0
+    mtbe_degradation_fraction: float = 0.23
+    memory_vs_hardware_mtbe_ratio: float = 160.0
+    op_memory_per_node_mtbe_hours: float = 24_749.0
+    op_non_memory_per_node_mtbe_hours: float = 155.0
+    gsp_degradation_factor: float = 5.6
+    nvlink_job_failure_fraction: float = 0.54
+    nvlink_multi_gpu_fraction: float = 0.42
+    availability: float = 0.995
+    mttf_hours: float = 162.0
+    mttr_hours: float = 0.88
+    downtime_node_hours: float = 5_700.0
+    episode_coalesced_errors: int = 38_900
+    episode_days: float = 17.0
+
+
+HEADLINE = HeadlineFindings()
+
+
+@dataclass(frozen=True)
+class JobPopulationStats:
+    """Section V-A job statistics."""
+
+    gpu_jobs: int = 1_445_119
+    cpu_jobs: int = 1_686_696
+    gpu_success_rate: float = 0.7468
+    cpu_success_rate: float = 0.7490
+    single_gpu_fraction: float = 0.6986
+    two_to_four_gpu_fraction: float = 0.2731
+    over_four_gpu_fraction: float = 0.0283
+
+
+JOB_POPULATION = JobPopulationStats()

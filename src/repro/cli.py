@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the full workflow:
+
+* ``simulate`` — run a study and write the raw artifacts.
+* ``pipeline`` — run Stage-II extraction/coalescing over an artifact
+  directory and print a summary.
+* ``report`` — run Stage-III analyses over an artifact directory and
+  print the paper's tables/figures (optionally with paper comparisons).
+* ``experiments`` — regenerate the EXPERIMENTS.md record from fresh
+  runs.
+
+Examples::
+
+    python -m repro simulate out/ --preset small --seed 7
+    python -m repro pipeline out/
+    python -m repro report out/ --compare
+    python -m repro experiments EXPERIMENTS.md --job-scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import DeltaStudy, StudyConfig
+from .analysis import (
+    AvailabilityAnalysis,
+    JobImpactAnalysis,
+    JobStatistics,
+    MtbeAnalysis,
+)
+from .pipeline import run_pipeline
+from .reporting import (
+    build_all_reports,
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+_PRESETS = ("small", "delta", "delta-workload")
+
+
+def _build_config(preset: str, seed: int, job_scale: Optional[float]) -> StudyConfig:
+    if preset == "small":
+        kwargs = {} if job_scale is None else {"job_scale": job_scale}
+        return StudyConfig.small(seed=seed, include_episode=True, **kwargs)
+    if preset == "delta":
+        kwargs = {} if job_scale is None else {"job_scale": job_scale}
+        return StudyConfig.delta(seed=seed, **kwargs)
+    if preset == "delta-workload":
+        kwargs = {} if job_scale is None else {"job_scale": job_scale}
+        return StudyConfig.delta_workload_focused(seed=seed, **kwargs)
+    raise SystemExit(f"unknown preset {preset!r} (choose from {_PRESETS})")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config(args.preset, args.seed, args.job_scale)
+    artifacts = DeltaStudy(config).run(Path(args.output_dir))
+    print(artifacts.summary())
+    print(f"artifacts written to {args.output_dir}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    result = run_pipeline(
+        Path(args.artifact_dir), window_seconds=args.coalesce_window
+    )
+    stats = result.extraction_stats
+    print(f"raw lines scanned:        {stats.total_lines}")
+    print(f"matched error lines:      {stats.matched_lines}")
+    print(f"excluded XID 13/43 lines: {stats.excluded_xid_lines}")
+    print(f"malformed lines skipped:  {stats.malformed_lines}")
+    print(
+        f"coalesced errors:         {len(result.errors)} "
+        f"(reduction {result.coalescing_reduction:.1f}x, "
+        f"dt={args.coalesce_window:.0f}s)"
+    )
+    print(f"downtime episodes:        {len(result.downtime)}")
+    print(f"job records:              {len(result.jobs)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core.periods import StudyWindow
+
+    artifact_dir = Path(args.artifact_dir)
+    result = run_pipeline(artifact_dir, window_seconds=args.coalesce_window)
+    window = (
+        StudyWindow.delta_default() if args.delta_window else _infer_window(result)
+    )
+    node_count = args.nodes
+
+    mtbe = MtbeAnalysis(result.errors, window, node_count)
+    print("==== Table I ====")
+    print(render_table1(mtbe, include_paper=args.compare))
+    impact = JobImpactAnalysis(result.errors, result.jobs, window).run()
+    print("\n==== Table II ====")
+    print(render_table2(impact, include_paper=args.compare))
+    stats = JobStatistics(result.jobs, window)
+    print("\n==== Table III ====")
+    print(render_table3(stats.bucket_stats(), stats.population()))
+    availability = AvailabilityAnalysis(result.downtime, window, node_count)
+    print("\n==== Figure 2 ====")
+    print(render_figure2(availability.distribution()))
+    if args.compare:
+        print("\n==== paper comparisons ====")
+        for report in build_all_reports(
+            result.errors, result.jobs, result.downtime, window, node_count
+        ):
+            print()
+            print(report.render())
+    return 0
+
+
+def _infer_window(result):
+    """Pick an analysis window from the artifact contents."""
+    from .core.periods import StudyWindow
+
+    last = max(
+        [e.time for e in result.errors]
+        + [j.end_time for j in result.jobs]
+        + [0.0]
+    )
+    if last > 400 * 86400:
+        return StudyWindow.delta_default()
+    total_days = max(last / 86400.0, 2.0)
+    return StudyWindow.scaled(
+        pre_days=total_days / 4, op_days=3 * total_days / 4
+    )
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from .reporting.summary import render_summary
+
+    result = run_pipeline(
+        Path(args.artifact_dir), window_seconds=args.coalesce_window
+    )
+    window = _infer_window(result)
+    print(
+        render_summary(
+            result.errors, result.jobs, result.downtime, window, args.nodes
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import tempfile
+    from .reporting.experiments_md import build_experiments_markdown
+
+    work = Path(tempfile.mkdtemp(prefix="repro-cli-experiments-"))
+    config = StudyConfig.delta(seed=args.seed, job_scale=args.job_scale)
+    artifacts = DeltaStudy(config).run(work)
+    result = run_pipeline(work)
+    workload = DeltaStudy(
+        StudyConfig.delta_workload_focused(
+            seed=args.seed + 1, job_scale=args.job_scale
+        )
+    ).run(None)
+    markdown = build_experiments_markdown(
+        errors=result.errors,
+        jobs=result.jobs,
+        downtime=result.downtime,
+        workload_jobs=workload.job_records,
+        window=artifacts.window,
+        node_count=artifacts.node_count,
+        run_description=(
+            f"Generated by `python -m repro experiments` with seed "
+            f"{args.seed} and job_scale {args.job_scale}."
+        ),
+    )
+    Path(args.path).write_text(markdown, encoding="utf-8")
+    print(f"wrote {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A100 GPU resilience study — simulator and analysis pipeline",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run a study, write artifacts")
+    simulate.add_argument("output_dir")
+    simulate.add_argument("--preset", choices=_PRESETS, default="small")
+    simulate.add_argument("--seed", type=int, default=2022)
+    simulate.add_argument("--job-scale", type=float, default=None)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    pipeline = sub.add_parser("pipeline", help="Stage-II over an artifact dir")
+    pipeline.add_argument("artifact_dir")
+    pipeline.add_argument("--coalesce-window", type=float, default=30.0)
+    pipeline.set_defaults(func=_cmd_pipeline)
+
+    report = sub.add_parser("report", help="Stage-III tables and figures")
+    report.add_argument("artifact_dir")
+    report.add_argument("--coalesce-window", type=float, default=30.0)
+    report.add_argument("--nodes", type=int, default=106,
+                        help="A100 node count (per-node MTBE multiplier)")
+    report.add_argument("--compare", action="store_true",
+                        help="include paper values and comparison reports")
+    report.add_argument("--delta-window", action="store_true",
+                        help="force the 1170-day Delta study window")
+    report.set_defaults(func=_cmd_report)
+
+    summary = sub.add_parser("summary", help="one-page study summary")
+    summary.add_argument("artifact_dir")
+    summary.add_argument("--nodes", type=int, default=106)
+    summary.add_argument("--coalesce-window", type=float, default=30.0)
+    summary.set_defaults(func=_cmd_summary)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the EXPERIMENTS.md record"
+    )
+    experiments.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    experiments.add_argument("--seed", type=int, default=2022)
+    experiments.add_argument("--job-scale", type=float, default=0.05)
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

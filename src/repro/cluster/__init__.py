@@ -1,0 +1,20 @@
+"""The machine under study: nodes, GPUs, NVLink topology, inventory."""
+
+from .gpu import A100_MEMORY_GIB, A100_SPARE_ROWS, GpuHealth, GpuState
+from .inventory import Inventory, InventoryEntry
+from .node import Node, NodeKind, NodeState
+from .topology import Cluster, ClusterShape
+
+__all__ = [
+    "A100_MEMORY_GIB",
+    "A100_SPARE_ROWS",
+    "GpuHealth",
+    "GpuState",
+    "Inventory",
+    "InventoryEntry",
+    "Node",
+    "NodeKind",
+    "NodeState",
+    "Cluster",
+    "ClusterShape",
+]

@@ -1,0 +1,120 @@
+"""Model of a single NVIDIA A100 GPU and its mutable runtime state.
+
+Each A100 carries 40 GB of HBM2e memory, SECDED ECC protection, and a
+pool of 512 spare rows usable for row remapping (paper Table I notes:
+"an NVIDIA Ampere A100 GPU supports ... up to 512-row remapping").  The
+``GpuState`` tracks the remapping pool, offlined pages, and health so
+the recovery layer (:mod:`repro.gpu.memory`) and the ops layer can make
+the same decisions Delta's driver + SREs made.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Set
+
+#: HBM2e capacity per A100 on Delta, in GiB.
+A100_MEMORY_GIB = 40
+
+#: Spare rows available for row remapping on an Ampere A100.
+A100_SPARE_ROWS = 512
+
+#: PCI bus addresses assigned to GPU indices 0..7 within a node.  The
+#: values follow the typical HGX A100 enumeration; the analysis pipeline
+#: resolves them back to GPU indices through the node inventory, exactly
+#: as Delta's SREs do with their hardware database.
+PCI_ADDRESSES = (
+    "0000:07:00",
+    "0000:46:00",
+    "0000:85:00",
+    "0000:C7:00",
+    "0000:0B:00",
+    "0000:4A:00",
+    "0000:89:00",
+    "0000:CB:00",
+)
+
+
+class GpuHealth(enum.Enum):
+    """Coarse GPU health as seen by node health checks."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"  # erroring but still hosting work
+    FAILED = "failed"  # requires reset/reboot before reuse
+    REPLACED = "replaced"  # physically swapped out (terminal for the unit)
+
+
+@dataclass
+class GpuState:
+    """Mutable runtime state of one physical GPU.
+
+    Attributes:
+        node: owning node name.
+        index: GPU index within the node (0-based).
+        serial: synthetic unit serial number; changes when the physical
+            unit is swapped so analyses can track replacements.
+        spare_rows_left: remaining row-remapping budget.
+        remapped_rows: number of rows remapped so far on this unit.
+        offlined_pages: memory pages dynamically offlined at runtime.
+        health: current coarse health.
+        busy: True while at least one job is using this GPU.
+    """
+
+    node: str
+    index: int
+    serial: str
+    spare_rows_left: int = A100_SPARE_ROWS
+    remapped_rows: int = 0
+    offlined_pages: Set[int] = field(default_factory=set)
+    health: GpuHealth = GpuHealth.HEALTHY
+    busy: bool = False
+
+    @property
+    def pci_address(self) -> str:
+        """PCI bus address of this GPU (stable per index)."""
+        return PCI_ADDRESSES[self.index]
+
+    @property
+    def name(self) -> str:
+        """Fully qualified GPU name, e.g. ``"gpua042/gpu2"``."""
+        return f"{self.node}/gpu{self.index}"
+
+    def can_remap(self) -> bool:
+        """True when at least one spare row remains for remapping."""
+        return self.spare_rows_left > 0
+
+    def consume_spare_row(self) -> None:
+        """Use one spare row for a successful remap.
+
+        Raises ``RuntimeError`` if the pool is already exhausted; the
+        caller must check :meth:`can_remap` and log an RRF instead.
+        """
+        if self.spare_rows_left <= 0:
+            raise RuntimeError(f"{self.name}: spare-row pool exhausted")
+        self.spare_rows_left -= 1
+        self.remapped_rows += 1
+
+    def offline_page(self, page: int) -> bool:
+        """Dynamically offline a memory page; returns False if already out."""
+        if page in self.offlined_pages:
+            return False
+        self.offlined_pages.add(page)
+        return True
+
+    def reset(self) -> None:
+        """GPU reset: clears error state but keeps remap/offline history.
+
+        Row remaps survive resets (they are recorded in the InfoROM);
+        this mirrors the A100 memory-management documentation.
+        """
+        if self.health is not GpuHealth.REPLACED:
+            self.health = GpuHealth.HEALTHY
+
+    def replace(self, new_serial: str) -> None:
+        """Physically swap the unit: fresh spare rows, clean health."""
+        self.serial = new_serial
+        self.spare_rows_left = A100_SPARE_ROWS
+        self.remapped_rows = 0
+        self.offlined_pages = set()
+        self.health = GpuHealth.HEALTHY

@@ -1,0 +1,94 @@
+"""Hardware inventory: the PCI-address → GPU-index resolution table.
+
+Raw NVRM log lines identify a GPU by PCI bus address (``NVRM: Xid
+(PCI:0000:C7:00): ...``).  Delta's SREs resolve those to physical GPUs
+through a hardware database; we emit the equivalent as ``inventory.json``
+next to the raw logs, and the Stage-II pipeline loads it to translate
+addresses back to ``(node, gpu_index)`` pairs.  Keeping this as a
+separate artifact — rather than letting the analyzer peek into the
+simulator — preserves the paper's actual information flow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from .topology import Cluster
+
+
+@dataclass(frozen=True)
+class InventoryEntry:
+    """One GPU's identity in the hardware database."""
+
+    node: str
+    gpu_index: int
+    pci_address: str
+    serial: str
+
+
+class Inventory:
+    """PCI-address resolution table for a cluster's GPUs."""
+
+    def __init__(self, entries: Dict[Tuple[str, str], InventoryEntry]) -> None:
+        # Keyed by (node, pci_address): PCI addresses repeat across nodes.
+        self._entries = entries
+
+    @classmethod
+    def from_cluster(cls, cluster: Cluster) -> "Inventory":
+        """Snapshot the inventory of a simulated cluster."""
+        entries: Dict[Tuple[str, str], InventoryEntry] = {}
+        for node in cluster.gpu_nodes():
+            for gpu in node.gpus:
+                entry = InventoryEntry(
+                    node=node.name,
+                    gpu_index=gpu.index,
+                    pci_address=gpu.pci_address,
+                    serial=gpu.serial,
+                )
+                entries[(node.name, gpu.pci_address)] = entry
+        return cls(entries)
+
+    def resolve(self, node: str, pci_address: str) -> Optional[int]:
+        """GPU index for a (node, PCI address) pair, or ``None``."""
+        entry = self._entries.get((node, pci_address))
+        return entry.gpu_index if entry is not None else None
+
+    def entries(self) -> Tuple[InventoryEntry, ...]:
+        """All entries in stable (node, index) order."""
+        return tuple(
+            sorted(self._entries.values(), key=lambda e: (e.node, e.gpu_index))
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def save(self, path: Path) -> None:
+        """Write the inventory as JSON (the ``inventory.json`` artifact)."""
+        payload = [
+            {
+                "node": e.node,
+                "gpu_index": e.gpu_index,
+                "pci_address": e.pci_address,
+                "serial": e.serial,
+            }
+            for e in self.entries()
+        ]
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path) -> "Inventory":
+        """Load an inventory previously written by :meth:`save`."""
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries: Dict[Tuple[str, str], InventoryEntry] = {}
+        for item in payload:
+            entry = InventoryEntry(
+                node=item["node"],
+                gpu_index=int(item["gpu_index"]),
+                pci_address=item["pci_address"],
+                serial=item["serial"],
+            )
+            entries[(entry.node, entry.pci_address)] = entry
+        return cls(entries)

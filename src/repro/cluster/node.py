@@ -1,0 +1,89 @@
+"""Model of a Delta compute node.
+
+Two node flavours matter to the study:
+
+* **A100 GPU nodes** — one 64-core AMD EPYC Milan CPU plus 4 or 8 A100
+  GPUs (100 four-way and 6 eight-way nodes on Delta).
+* **CPU-only nodes** — two 64-core EPYC Milan CPUs; included because
+  Section V-A compares GPU-job and CPU-job success rates.
+
+Node state tracks schedulability (up / draining / down) so the Slurm
+layer and the ops layer agree on where jobs can run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.exceptions import TopologyError
+from .gpu import GpuState
+
+
+class NodeKind(enum.Enum):
+    """Hardware flavour of a node."""
+
+    CPU = "cpu"
+    GPU_A100_4WAY = "a100_4way"
+    GPU_A100_8WAY = "a100_8way"
+
+
+class NodeState(enum.Enum):
+    """Scheduler-visible node state (mirrors Slurm node states)."""
+
+    IDLE = "idle"  # up, no jobs
+    ALLOCATED = "allocated"  # up, running jobs
+    DRAINING = "draining"  # no new jobs; waiting for current jobs
+    DOWN = "down"  # rebooting or awaiting repair
+
+
+@dataclass
+class Node:
+    """One compute node with its GPUs and scheduler-visible state.
+
+    Attributes:
+        name: node name (e.g. ``"gpua042"``, ``"cn017"``).
+        kind: CPU-only or A100 4-way/8-way.
+        gpus: per-GPU state objects (empty for CPU nodes).
+        cpu_cores: schedulable cores (64 on GPU nodes, 128 on CPU nodes).
+        state: current scheduler state.
+    """
+
+    name: str
+    kind: NodeKind
+    gpus: List[GpuState] = field(default_factory=list)
+    cpu_cores: int = 64
+    state: NodeState = NodeState.IDLE
+
+    @property
+    def gpu_count(self) -> int:
+        """Number of GPUs installed in the node."""
+        return len(self.gpus)
+
+    @property
+    def is_gpu_node(self) -> bool:
+        """True for A100 nodes."""
+        return self.kind is not NodeKind.CPU
+
+    @property
+    def schedulable(self) -> bool:
+        """True when the scheduler may place new work here."""
+        return self.state in (NodeState.IDLE, NodeState.ALLOCATED)
+
+    def gpu(self, index: int) -> GpuState:
+        """Return the GPU at ``index``; raises TopologyError if absent."""
+        if index < 0 or index >= len(self.gpus):
+            raise TopologyError(f"{self.name} has no GPU index {index}")
+        return self.gpus[index]
+
+    def gpu_by_pci(self, pci_address: str) -> Optional[GpuState]:
+        """Resolve a PCI bus address to a GPU, as the inventory does."""
+        for gpu in self.gpus:
+            if gpu.pci_address == pci_address:
+                return gpu
+        return None
+
+    def free_gpu_indices(self) -> List[int]:
+        """Indices of GPUs currently not allocated to any job."""
+        return [g.index for g in self.gpus if not g.busy]

@@ -1,0 +1,38 @@
+"""Core types shared across the library: time base, XID catalog, study
+periods, record types, and the exception hierarchy."""
+
+from .exceptions import (
+    AnalysisError,
+    CalibrationError,
+    ConfigurationError,
+    LogFormatError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TopologyError,
+)
+from .periods import Period, PeriodName, StudyWindow
+from .records import DowntimeRecord, ExtractedError, GpuErrorEvent
+from .xid import CATALOG, ErrorCategory, EventClass, RecoveryAction, XidSpec
+
+__all__ = [
+    "AnalysisError",
+    "CalibrationError",
+    "ConfigurationError",
+    "LogFormatError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "TopologyError",
+    "Period",
+    "PeriodName",
+    "StudyWindow",
+    "DowntimeRecord",
+    "ExtractedError",
+    "GpuErrorEvent",
+    "CATALOG",
+    "ErrorCategory",
+    "EventClass",
+    "RecoveryAction",
+    "XidSpec",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A study or component configuration is inconsistent or incomplete."""
+
+
+class CalibrationError(ReproError):
+    """Calibrated parameters are missing or out of their valid range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class SchedulingError(ReproError):
+    """The Slurm-like scheduler was asked to do something impossible."""
+
+
+class TopologyError(ReproError):
+    """The cluster topology is malformed (unknown node, bad NVLink pair...)."""
+
+
+class LogFormatError(ReproError):
+    """A raw log line or accounting record could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """A Stage-III analysis was run on inconsistent or insufficient data."""

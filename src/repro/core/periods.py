@@ -1,0 +1,155 @@
+"""Study periods: pre-operational vs operational (paper Section III-A).
+
+Delta's SREs divide the 1170-day measurement window into a
+*pre-operational* (bring-up and testing) period, January–September 2022,
+and an *operational* (production) period, October 2022 – March 2025.
+Job-impact analysis only considers the operational period; Table I
+reports error statistics for both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Iterator, Tuple
+
+from .timebase import HOUR, from_datetime
+
+
+class PeriodName(enum.Enum):
+    """Identifier for a study period."""
+
+    PRE_OPERATIONAL = "pre_operational"
+    OPERATIONAL = "operational"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Period:
+    """A half-open time interval ``[start, end)`` in simulation seconds."""
+
+    name: PeriodName
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"period {self.name} is empty: [{self.start}, {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the period in seconds."""
+        return self.end - self.start
+
+    @property
+    def duration_hours(self) -> float:
+        """Length of the period in hours (the MTBE unit)."""
+        return self.duration / HOUR
+
+    @property
+    def duration_days(self) -> float:
+        """Length of the period in days."""
+        return self.duration / (24 * HOUR)
+
+    def contains(self, instant: float) -> bool:
+        """True when an instant falls inside ``[start, end)``."""
+        return self.start <= instant < self.end
+
+    def clip(self, start: float, end: float) -> float:
+        """Overlap (seconds) between ``[start, end)`` and this period.
+
+        Used when apportioning job runtime or node downtime to periods.
+        """
+        lo = max(self.start, start)
+        hi = min(self.end, end)
+        return max(0.0, hi - lo)
+
+
+@dataclass(frozen=True)
+class StudyWindow:
+    """The full measurement window split into its two periods.
+
+    The default boundaries follow the paper: pre-operational runs from
+    the study epoch (January 1, 2022) to October 1, 2022; operational
+    runs from there to March 16, 2025 — 1170 days total, of which 895
+    are operational (matching Section IV's "895-day operational
+    period").
+    """
+
+    pre_operational: Period
+    operational: Period
+
+    def __post_init__(self) -> None:
+        if self.pre_operational.end != self.operational.start:
+            raise ValueError("periods must be contiguous")
+
+    @classmethod
+    def delta_default(cls) -> "StudyWindow":
+        """The Delta study window used throughout the paper."""
+        pre_start = 0.0
+        boundary = from_datetime(datetime(2022, 10, 1, tzinfo=timezone.utc))
+        end = from_datetime(datetime(2025, 3, 15, tzinfo=timezone.utc))
+        return cls(
+            pre_operational=Period(PeriodName.PRE_OPERATIONAL, pre_start, boundary),
+            operational=Period(PeriodName.OPERATIONAL, boundary, end),
+        )
+
+    @classmethod
+    def scaled(cls, pre_days: float, op_days: float) -> "StudyWindow":
+        """A shortened window for tests and quick examples.
+
+        Keeps the two-period structure but with caller-chosen lengths
+        (in days), so unit tests can run second-scale simulations.
+        """
+        day = 24 * HOUR
+        boundary = pre_days * day
+        return cls(
+            pre_operational=Period(PeriodName.PRE_OPERATIONAL, 0.0, boundary),
+            operational=Period(
+                PeriodName.OPERATIONAL, boundary, boundary + op_days * day
+            ),
+        )
+
+    @property
+    def start(self) -> float:
+        """Start of the measurement window."""
+        return self.pre_operational.start
+
+    @property
+    def end(self) -> float:
+        """End of the measurement window."""
+        return self.operational.end
+
+    @property
+    def total_days(self) -> float:
+        """Total measurement length in days (paper: 1170)."""
+        return (self.end - self.start) / (24 * HOUR)
+
+    def period_of(self, instant: float) -> PeriodName:
+        """Which period an instant falls in.
+
+        Instants at or beyond the window end are attributed to the
+        operational period (log lines written exactly at shutdown).
+        """
+        if self.pre_operational.contains(instant):
+            return PeriodName.PRE_OPERATIONAL
+        return PeriodName.OPERATIONAL
+
+    def period(self, name: PeriodName) -> Period:
+        """Look up a period by name."""
+        if name is PeriodName.PRE_OPERATIONAL:
+            return self.pre_operational
+        return self.operational
+
+    def __iter__(self) -> Iterator[Period]:
+        yield self.pre_operational
+        yield self.operational
+
+    def as_tuple(self) -> Tuple[Period, Period]:
+        """Both periods, pre-operational first."""
+        return (self.pre_operational, self.operational)

@@ -1,0 +1,121 @@
+"""Shared record types flowing between the simulator and the pipeline.
+
+Three record families exist:
+
+* :class:`GpuErrorEvent` — a *logical* GPU error produced by the fault
+  layer (one physical error occurrence, before duplicate log lines are
+  emitted).  The pipeline's coalescing stage should recover these from
+  raw logs.
+* :class:`ExtractedError` — an error record recovered by Stage-II
+  extraction + coalescing from raw syslog text.  It intentionally has a
+  separate type from :class:`GpuErrorEvent`: the analyzer only sees what
+  the logs contain.
+* :class:`DowntimeRecord` — one node-unavailability episode (drain →
+  reboot → health check), used by the availability analysis (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .xid import EventClass
+
+
+@dataclass(frozen=True)
+class GpuErrorEvent:
+    """A logical GPU error occurrence inside the simulator.
+
+    Attributes:
+        time: simulation time of the (first) occurrence, seconds.
+        node: node name, e.g. ``"gpub042"``.
+        gpu_index: index of the GPU within the node (0-based); ``None``
+            for node-scoped events with no attributable GPU.
+        event_class: which Table-I event class this is.
+        xid: the concrete XID code emitted to the log (one of the
+            class's codes), or ``None`` for the aggregate
+            uncorrectable-ECC accounting event which has no XID line.
+        episode_id: identifier tying together the repeated errors of a
+            single underlying fault episode (e.g. a GSP fault that keeps
+            erroring until the node is rebooted).
+        affected_gpus: GPU indices an interconnect error manifested on
+            (NVLink errors can propagate to two or more GPUs).
+    """
+
+    time: float
+    node: str
+    gpu_index: Optional[int]
+    event_class: EventClass
+    xid: Optional[int]
+    episode_id: int = 0
+    affected_gpus: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative event time {self.time}")
+
+
+@dataclass(frozen=True)
+class ExtractedError:
+    """An error recovered from raw logs by Stage-II processing.
+
+    Attributes:
+        time: timestamp of the first log line of the coalesced group.
+        node: node name parsed from the syslog hostname field.
+        gpu_index: GPU index resolved through the node inventory (PCI
+            address → index), ``None`` when unresolvable.
+        event_class: classified event class.
+        xid: raw XID code (``None`` for aggregate ECC accounting lines).
+        raw_line_count: how many raw log lines were coalesced into this
+            single error (1 when no duplicates were seen).
+        last_time: timestamp of the last coalesced line.
+    """
+
+    time: float
+    node: str
+    gpu_index: Optional[int]
+    event_class: EventClass
+    xid: Optional[int]
+    raw_line_count: int = 1
+    last_time: Optional[float] = None
+
+    @property
+    def span(self) -> float:
+        """Seconds between first and last coalesced raw line."""
+        if self.last_time is None:
+            return 0.0
+        return max(0.0, self.last_time - self.time)
+
+
+@dataclass(frozen=True)
+class DowntimeRecord:
+    """One node-unavailability episode.
+
+    Attributes:
+        node: node name.
+        start: when the node stopped accepting work (drain began).
+        end: when the node returned to service (passed health checks).
+        cause: event class of the error that triggered the episode.
+        gpu_replaced: True when recovery required a physical GPU swap
+            rather than a reset/reboot.
+    """
+
+    node: str
+    start: float
+    end: float
+    cause: EventClass
+    gpu_replaced: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("downtime ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        """Unavailable time in seconds."""
+        return self.end - self.start
+
+    @property
+    def duration_hours(self) -> float:
+        """Unavailable time in hours (the unit of Figure 2)."""
+        return self.duration / 3600.0

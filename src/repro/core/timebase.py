@@ -1,0 +1,91 @@
+"""Time base for the Delta resilience study.
+
+All simulation timestamps are measured in *seconds since the study epoch*
+(January 1, 2022, 00:00:00 UTC), stored as floats.  This module provides
+the epoch, unit constants, and conversions between simulation seconds and
+wall-clock ``datetime`` objects, which are needed when rendering syslog
+lines and Slurm accounting records (both carry ISO-8601 wall-clock
+timestamps, exactly like the artifacts the paper consumed).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+#: Study epoch: measurement begins January 2022 (paper, Section III-A).
+STUDY_EPOCH = datetime(2022, 1, 1, 0, 0, 0, tzinfo=timezone.utc)
+
+#: One second, the base unit of simulation time.
+SECOND = 1.0
+
+#: One minute in simulation seconds.
+MINUTE = 60.0
+
+#: One hour in simulation seconds.
+HOUR = 3600.0
+
+#: One day in simulation seconds.
+DAY = 86400.0
+
+#: One (365-day) year in simulation seconds.
+YEAR = 365.0 * DAY
+
+
+def to_datetime(sim_seconds: float) -> datetime:
+    """Convert simulation seconds since :data:`STUDY_EPOCH` to a UTC datetime.
+
+    >>> to_datetime(0.0).isoformat()
+    '2022-01-01T00:00:00+00:00'
+    """
+    return STUDY_EPOCH + timedelta(seconds=sim_seconds)
+
+
+def from_datetime(moment: datetime) -> float:
+    """Convert a datetime to simulation seconds since :data:`STUDY_EPOCH`.
+
+    Naive datetimes are interpreted as UTC, which matches how Delta's
+    consolidated per-day logs are stamped.
+    """
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=timezone.utc)
+    return (moment - STUDY_EPOCH).total_seconds()
+
+
+def format_syslog_timestamp(sim_seconds: float) -> str:
+    """Render a simulation time as the ISO timestamp used in syslog lines."""
+    return to_datetime(sim_seconds).strftime("%Y-%m-%dT%H:%M:%S.%f")
+
+
+def parse_syslog_timestamp(text: str) -> float:
+    """Parse a syslog ISO timestamp back into simulation seconds.
+
+    This is the inverse of :func:`format_syslog_timestamp` and is used by
+    the Stage-II extraction code when reading raw log files.
+    """
+    moment = datetime.strptime(text, "%Y-%m-%dT%H:%M:%S.%f")
+    return from_datetime(moment)
+
+
+def format_slurm_timestamp(sim_seconds: float) -> str:
+    """Render a simulation time in Slurm's ``sacct`` timestamp format."""
+    return to_datetime(sim_seconds).strftime("%Y-%m-%dT%H:%M:%S")
+
+
+def parse_slurm_timestamp(text: str) -> float:
+    """Parse a Slurm ``sacct`` timestamp back into simulation seconds."""
+    moment = datetime.strptime(text, "%Y-%m-%dT%H:%M:%S")
+    return from_datetime(moment)
+
+
+def day_index(sim_seconds: float) -> int:
+    """Return the zero-based study day an instant falls on.
+
+    Delta consolidates system logs into one file per day (Section III-A);
+    the writer uses this to pick the output file for a log line.
+    """
+    return int(sim_seconds // DAY)
+
+
+def hours(sim_seconds: float) -> float:
+    """Convert simulation seconds to hours (used by MTBE reporting)."""
+    return sim_seconds / HOUR

@@ -1,0 +1,304 @@
+"""NVIDIA XID error catalog and taxonomy (paper Table I, Section II-B).
+
+The paper selects a set of *high-impact* XID error codes from NVIDIA's
+XID documentation, NVIDIA developer-forum guidance, and Delta SRE input,
+and groups them into three categories: GPU **hardware**, **NVLink
+interconnect**, and GPU **memory**.  This module is the single source of
+truth for that taxonomy: which codes exist, how they are grouped, what
+recovery action each requires, and which codes are *excluded* from the
+analysis (XID 13 and XID 43 are app-triggered and not health signals).
+
+Two events in the study are not single XIDs:
+
+* ``UNCORRECTABLE_ECC`` — the aggregate "uncorrectable ECC memory error"
+  row of Table I (multiple SBEs or a DBE at one location, as counted by
+  the driver's ECC accounting rather than a dedicated XID line).
+* Paired codes — GSP errors are XID 119/120 and PMU SPI errors are
+  XID 122/123; the paper reports each pair as one event class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+
+class ErrorCategory(enum.Enum):
+    """Top-level grouping of GPU errors used throughout the paper."""
+
+    HARDWARE = "hardware"
+    MEMORY = "memory"
+    INTERCONNECT = "interconnect"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RecoveryAction(enum.Enum):
+    """Recovery action a given error class requires (Table I column 5)."""
+
+    #: No dedicated action documented by NVIDIA.
+    NOT_SPECIFIED = "not specified"
+    #: GPU reset (or node reboot) clears the error.
+    GPU_RESET = "gpu reset"
+    #: GPU reset or manual SRE intervention required.
+    GPU_RESET_OR_SRE = "gpu reset or SRE intervention"
+    #: Full node reboot required (GSP errors in practice on Delta).
+    NODE_REBOOT = "node reboot"
+    #: Triggers row remapping; reset needed only if remapping fails.
+    ROW_REMAP = "row remapping"
+
+
+class EventClass(enum.Enum):
+    """Error/event classes analyzed by the study (rows of Table I).
+
+    Values are stable string identifiers used in serialized artifacts
+    (log extraction output, calibration files, reports).
+    """
+
+    MMU_ERROR = "mmu_error"
+    DBE = "dbe"
+    UNCORRECTABLE_ECC = "uncorrectable_ecc"
+    ROW_REMAP_EVENT = "row_remap_event"
+    ROW_REMAP_FAILURE = "row_remap_failure"
+    NVLINK_ERROR = "nvlink_error"
+    FALLEN_OFF_BUS = "fallen_off_bus"
+    CONTAINED_MEMORY_ERROR = "contained_memory_error"
+    UNCONTAINED_MEMORY_ERROR = "uncontained_memory_error"
+    GSP_ERROR = "gsp_error"
+    PMU_SPI_ERROR = "pmu_spi_error"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class XidSpec:
+    """Static description of one analyzed event class.
+
+    Attributes:
+        event_class: canonical identifier for the class.
+        xid_codes: XID codes that map to this class (empty for the
+            aggregate uncorrectable-ECC accounting row).
+        abbreviation: short name used in tables (e.g. ``"RRE"``).
+        category: hardware / memory / interconnect grouping.
+        description: human-readable description (Table I column 4).
+        recovery_action: documented recovery requirement.
+        node_scoped: True when the error takes down the whole node
+            rather than a single GPU (GSP and fallen-off-the-bus errors
+            require a node drain/reboot on Delta).
+    """
+
+    event_class: EventClass
+    xid_codes: Tuple[int, ...]
+    abbreviation: str
+    category: ErrorCategory
+    description: str
+    recovery_action: RecoveryAction
+    node_scoped: bool = False
+
+
+#: XID codes excluded from the analysis despite high volume: they are
+#: triggered by user software and are not indicators of GPU health
+#: (paper Section II-B).
+EXCLUDED_XIDS: Tuple[int, ...] = (13, 43)
+
+_SPECS: Tuple[XidSpec, ...] = (
+    XidSpec(
+        event_class=EventClass.MMU_ERROR,
+        xid_codes=(31,),
+        abbreviation="MMU Error",
+        category=ErrorCategory.HARDWARE,
+        description="GPU memory management unit (MMU) error.",
+        recovery_action=RecoveryAction.NOT_SPECIFIED,
+    ),
+    XidSpec(
+        event_class=EventClass.DBE,
+        xid_codes=(48,),
+        abbreviation="DBE",
+        category=ErrorCategory.MEMORY,
+        description="Double bit ECC memory error (DBE).",
+        recovery_action=RecoveryAction.ROW_REMAP,
+    ),
+    XidSpec(
+        event_class=EventClass.UNCORRECTABLE_ECC,
+        xid_codes=(),
+        abbreviation="Uncorrectable ECC",
+        category=ErrorCategory.MEMORY,
+        description="Multiple SBEs or a DBE at a memory location.",
+        recovery_action=RecoveryAction.ROW_REMAP,
+    ),
+    XidSpec(
+        event_class=EventClass.ROW_REMAP_EVENT,
+        xid_codes=(63,),
+        abbreviation="RRE",
+        category=ErrorCategory.MEMORY,
+        description=(
+            "Row remapping event, triggered by 1 DBE or 2 SBEs at the "
+            "same memory address."
+        ),
+        recovery_action=RecoveryAction.GPU_RESET,
+    ),
+    XidSpec(
+        event_class=EventClass.ROW_REMAP_FAILURE,
+        xid_codes=(64,),
+        abbreviation="RRF",
+        category=ErrorCategory.MEMORY,
+        description="Row remapping failure of a row remapping event.",
+        recovery_action=RecoveryAction.GPU_RESET,
+    ),
+    XidSpec(
+        event_class=EventClass.NVLINK_ERROR,
+        xid_codes=(74,),
+        abbreviation="NVLink Error",
+        category=ErrorCategory.INTERCONNECT,
+        description=(
+            "NVLink error, indicating connection issues between GPUs "
+            "via the NVLink interconnect."
+        ),
+        recovery_action=RecoveryAction.GPU_RESET_OR_SRE,
+    ),
+    XidSpec(
+        event_class=EventClass.FALLEN_OFF_BUS,
+        xid_codes=(79,),
+        abbreviation="GPU Fallen Off the Bus",
+        category=ErrorCategory.HARDWARE,
+        description=(
+            "GPU has fallen off the system bus and is not reachable, "
+            "typically caused by driver or hardware errors."
+        ),
+        recovery_action=RecoveryAction.GPU_RESET_OR_SRE,
+        node_scoped=True,
+    ),
+    XidSpec(
+        event_class=EventClass.CONTAINED_MEMORY_ERROR,
+        xid_codes=(94,),
+        abbreviation="Contained Memory Error",
+        category=ErrorCategory.MEMORY,
+        description=(
+            "Uncorrectable contained ECC error: containment succeeded and "
+            "the affected processes were terminated."
+        ),
+        recovery_action=RecoveryAction.NOT_SPECIFIED,
+    ),
+    XidSpec(
+        event_class=EventClass.UNCONTAINED_MEMORY_ERROR,
+        xid_codes=(95,),
+        abbreviation="Uncontained Memory Error",
+        category=ErrorCategory.MEMORY,
+        description=(
+            "Uncontained memory error: uncorrectable error containment "
+            "was unsuccessful."
+        ),
+        recovery_action=RecoveryAction.GPU_RESET_OR_SRE,
+    ),
+    XidSpec(
+        event_class=EventClass.GSP_ERROR,
+        xid_codes=(119, 120),
+        abbreviation="GSP Error",
+        category=ErrorCategory.HARDWARE,
+        description=(
+            "GPU System Processor (GSP) RPC timeout/error. GSP is a "
+            "coprocessor that offloads driver tasks from the CPU."
+        ),
+        recovery_action=RecoveryAction.NODE_REBOOT,
+        node_scoped=True,
+    ),
+    XidSpec(
+        event_class=EventClass.PMU_SPI_ERROR,
+        xid_codes=(122, 123),
+        abbreviation="PMU SPI Error",
+        category=ErrorCategory.HARDWARE,
+        description=(
+            "PMU SPI RPC read failure, indicating failed communication "
+            "with the Power Management Unit."
+        ),
+        recovery_action=RecoveryAction.NOT_SPECIFIED,
+    ),
+)
+
+#: Catalog of analyzed event classes, in Table I row order.
+CATALOG: Tuple[XidSpec, ...] = _SPECS
+
+_BY_CLASS: Mapping[EventClass, XidSpec] = {s.event_class: s for s in _SPECS}
+_BY_XID: Mapping[int, XidSpec] = {
+    code: spec for spec in _SPECS for code in spec.xid_codes
+}
+
+#: Every XID code the Stage-II extraction regex should match.
+ANALYZED_XIDS: Tuple[int, ...] = tuple(sorted(_BY_XID))
+
+
+def spec_for(event_class: EventClass) -> XidSpec:
+    """Return the catalog entry for an event class."""
+    return _BY_CLASS[event_class]
+
+
+def spec_for_xid(xid: int) -> Optional[XidSpec]:
+    """Return the catalog entry an XID code maps to, or ``None``.
+
+    Excluded codes (13, 43) and codes outside the study return ``None``;
+    callers use this to filter during extraction.
+    """
+    return _BY_XID.get(xid)
+
+
+def classify_xid(xid: int) -> Optional[EventClass]:
+    """Map a raw XID code to its analyzed event class, if any."""
+    spec = _BY_XID.get(xid)
+    return spec.event_class if spec is not None else None
+
+
+def is_excluded(xid: int) -> bool:
+    """True for XID codes the paper explicitly excludes (13 and 43)."""
+    return xid in EXCLUDED_XIDS
+
+
+def classes_in_category(category: ErrorCategory) -> Tuple[EventClass, ...]:
+    """Event classes belonging to one category, in Table I order."""
+    return tuple(s.event_class for s in _SPECS if s.category is category)
+
+
+def hardware_classes() -> Tuple[EventClass, ...]:
+    """GPU-hardware event classes (MMU, fallen-off-bus, GSP, PMU)."""
+    return classes_in_category(ErrorCategory.HARDWARE)
+
+
+def memory_classes() -> Tuple[EventClass, ...]:
+    """GPU-memory event classes (DBE, uncorrectable ECC, RRE, RRF,
+    contained and uncontained memory errors)."""
+    return classes_in_category(ErrorCategory.MEMORY)
+
+
+def interconnect_classes() -> Tuple[EventClass, ...]:
+    """NVLink interconnect event classes."""
+    return classes_in_category(ErrorCategory.INTERCONNECT)
+
+
+def primary_xid(event_class: EventClass) -> Optional[int]:
+    """The representative XID code for a class (first of a pair), or
+    ``None`` for the aggregate uncorrectable-ECC accounting row."""
+    codes = _BY_CLASS[event_class].xid_codes
+    return codes[0] if codes else None
+
+
+def validate_catalog(specs: Iterable[XidSpec] = CATALOG) -> None:
+    """Sanity-check a catalog: XID codes unique, none excluded.
+
+    Raises ``ValueError`` on violation.  Run by the test suite and by
+    :mod:`repro.calibration` when loading custom catalogs.
+    """
+    seen: set = set()
+    for spec in specs:
+        for code in spec.xid_codes:
+            if code in seen:
+                raise ValueError(f"XID {code} appears in multiple specs")
+            if code in EXCLUDED_XIDS:
+                raise ValueError(f"XID {code} is excluded from the study")
+            seen.add(code)
+
+
+def table1_order() -> Sequence[EventClass]:
+    """Event classes in the order Table I lists them."""
+    return tuple(s.event_class for s in _SPECS)

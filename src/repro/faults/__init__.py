@@ -1,0 +1,43 @@
+"""Stochastic fault models, arrival processes, and the fault injector."""
+
+from .arrivals import (
+    PersistentEpisodeProcess,
+    PiecewisePoissonProcess,
+    UtilizationCoupledProcess,
+    sample_poisson_arrivals,
+)
+from .config import (
+    DefectiveEpisodeConfig,
+    DuplicationConfig,
+    EpisodeShape,
+    FaultSuiteConfig,
+    ImpactPolicy,
+    KillScope,
+    MemoryChainConfig,
+    MemoryChainPeriodParams,
+    NvlinkFaultConfig,
+    SimpleFaultConfig,
+    TargetPolicy,
+    UtilizationCouplingConfig,
+)
+from .injector import FaultInjector
+
+__all__ = [
+    "PersistentEpisodeProcess",
+    "PiecewisePoissonProcess",
+    "UtilizationCoupledProcess",
+    "sample_poisson_arrivals",
+    "DefectiveEpisodeConfig",
+    "DuplicationConfig",
+    "EpisodeShape",
+    "FaultSuiteConfig",
+    "ImpactPolicy",
+    "KillScope",
+    "MemoryChainConfig",
+    "MemoryChainPeriodParams",
+    "NvlinkFaultConfig",
+    "SimpleFaultConfig",
+    "TargetPolicy",
+    "UtilizationCouplingConfig",
+    "FaultInjector",
+]

@@ -1,0 +1,377 @@
+"""Fault-model configuration: everything Table I calibrates.
+
+The fault layer is organized around *onset processes* and *episodes*:
+an underlying hardware fault (one onset) typically produces several
+logical errors before it is cleared — a GSP fault keeps timing out RPCs
+until the node is rebooted, an MMU fault storm repeats across a job's
+lifetime.  Table I counts **logical errors** (coalesced log events), so
+calibration works backwards:
+
+    onset_rate = target_count / mean_errors_per_episode / period_hours
+
+Four model families cover the study:
+
+* :class:`SimpleFaultConfig` — MMU, GSP, PMU SPI, fallen-off-the-bus.
+* :class:`MemoryChainConfig` — the uncorrectable-ECC chain whose
+  branches (RRE/RRF, contained/uncontained) are executed mechanically
+  by :class:`~repro.gpu.memory.MemoryRecoveryModel`.
+* :class:`NvlinkFaultConfig` — NVLink errors with multi-GPU
+  manifestation and CRC-retry masking.
+* :class:`DefectiveEpisodeConfig` — the 17-day persistent uncontained
+  episode from one faulty GPU (Section IV(vi)).
+
+:class:`UtilizationCouplingConfig` optionally replaces the piecewise
+per-period calibration of selected classes with a mechanistic
+rate-vs-utilization law (ablation A5): the pre-operational rate is then
+*derived* from the utilization difference instead of measured.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..core.exceptions import CalibrationError
+from ..core.periods import PeriodName, StudyWindow
+from ..core.xid import EventClass
+from ..gpu.memory import MemoryRecoveryConfig
+from ..gpu.nvlink import NvlinkConfig
+from ..ops.repair import RecoveryKind
+
+
+class TargetPolicy(enum.Enum):
+    """How a fault class picks its victim GPU."""
+
+    #: Any GPU, uniformly (true hardware wear-out).
+    UNIFORM_GPU = "uniform_gpu"
+    #: Prefer a busy GPU; fall back to any (workload-triggered faults
+    #: such as MMU errors).
+    BUSY_GPU = "busy_gpu"
+
+
+class KillScope(enum.Enum):
+    """Which jobs an error can take down."""
+
+    #: Jobs whose allocation includes the erroring GPU.
+    GPU = "gpu"
+    #: Every job with an allocation on the node (node-fatal errors).
+    NODE = "node"
+
+
+@dataclass(frozen=True)
+class EpisodeShape:
+    """How many logical errors one fault onset produces, and when.
+
+    Attributes:
+        mean_extra_errors: expected logical errors *beyond* the onset
+            error (Poisson-distributed per episode).
+        mean_duration_hours: repeats spread exponentially over roughly
+            this horizon after the onset.
+        min_gap_seconds: repeats are spaced at least this far apart so
+            they survive error coalescing as distinct logical errors
+            (they are distinct errors, not duplicates).
+    """
+
+    mean_extra_errors: float = 0.0
+    mean_duration_hours: float = 1.0
+    min_gap_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.mean_extra_errors < 0:
+            raise CalibrationError("mean_extra_errors must be non-negative")
+        if self.mean_duration_hours <= 0 or self.min_gap_seconds < 0:
+            raise CalibrationError("episode shape parameters out of range")
+
+    @property
+    def mean_errors(self) -> float:
+        """Expected logical errors per episode (onset included)."""
+        return 1.0 + self.mean_extra_errors
+
+
+@dataclass(frozen=True)
+class ImpactPolicy:
+    """What one fault onset does to jobs and to the node.
+
+    Attributes:
+        kill_probability: chance each exposed job is terminated
+            (Table II's per-class propagation probabilities).
+        kill_scope: GPU-granular or node-fatal.
+        node_failure_state: record kills as ``NODE_FAIL`` (reboots)
+            instead of ``FAILED``.
+        recovery_kind: intervention requested from the ops layer, or
+            ``None`` when the error clears without one.
+        recovery_probability: chance the onset triggers that request
+            (health checks do not page for every single error).
+        propagate_mmu_probability: chance this error spawns a follow-on
+            MMU error (the PMU → MMU chain of Section IV(iv)).
+        propagate_delay_mean_s: mean delay of that follow-on error.
+    """
+
+    kill_probability: float = 0.0
+    kill_scope: KillScope = KillScope.GPU
+    node_failure_state: bool = False
+    recovery_kind: Optional[RecoveryKind] = None
+    recovery_probability: float = 0.0
+    propagate_mmu_probability: float = 0.0
+    propagate_delay_mean_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "kill_probability",
+            "recovery_probability",
+            "propagate_mmu_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise CalibrationError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class SimpleFaultConfig:
+    """A calibrated fault class (MMU, GSP, PMU, fallen-off-the-bus).
+
+    ``pre_op_count`` / ``op_count`` are the Table I logical-error
+    targets at full scale over the full study window; onset rates are
+    derived from them and the episode shape.
+    """
+
+    event_class: EventClass
+    xid: int
+    pre_op_count: float
+    op_count: float
+    episode: EpisodeShape = EpisodeShape()
+    target: TargetPolicy = TargetPolicy.UNIFORM_GPU
+    impact: ImpactPolicy = ImpactPolicy()
+
+    def __post_init__(self) -> None:
+        if self.pre_op_count < 0 or self.op_count < 0:
+            raise CalibrationError(
+                f"{self.event_class}: counts must be non-negative"
+            )
+
+    def onset_rates_per_hour(self, window: StudyWindow) -> Tuple[float, float]:
+        """(pre-op, op) system-wide onset rates implied by the targets."""
+        per_episode = self.episode.mean_errors
+        pre = self.pre_op_count / per_episode / window.pre_operational.duration_hours
+        op = self.op_count / per_episode / window.operational.duration_hours
+        return (pre, op)
+
+
+@dataclass(frozen=True)
+class MemoryChainPeriodParams:
+    """Per-period calibration of the uncorrectable-ECC chain.
+
+    Attributes:
+        uncorrectable_count: target aggregate uncorrectable errors.
+        remap_failure_probability: chance a remap attempt fails (the
+            pre-operational defect population; 15/46 pre-op, 0 op).
+        recovery: the driver-mechanism configuration for the period
+            (touch probability, containment success, DBE logging).
+    """
+
+    uncorrectable_count: float
+    remap_failure_probability: float
+    recovery: MemoryRecoveryConfig
+
+    def __post_init__(self) -> None:
+        if self.uncorrectable_count < 0:
+            raise CalibrationError("uncorrectable_count must be non-negative")
+        if not 0.0 <= self.remap_failure_probability <= 1.0:
+            raise CalibrationError("remap_failure_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MemoryChainConfig:
+    """The full memory-error chain calibration (both periods)."""
+
+    pre_op: MemoryChainPeriodParams
+    op: MemoryChainPeriodParams
+    #: Recovery request issued when the chain says a reset is needed.
+    recovery_kind: RecoveryKind = RecoveryKind.RESET
+    #: Victim selection: busy GPUs surface uncorrectable errors more
+    #: (active traffic plus scrubbing of touched pages).
+    target: TargetPolicy = TargetPolicy.BUSY_GPU
+
+    def params_for(self, period: PeriodName) -> MemoryChainPeriodParams:
+        """Select the period's parameters."""
+        if period is PeriodName.PRE_OPERATIONAL:
+            return self.pre_op
+        return self.op
+
+    def onset_rates_per_hour(self, window: StudyWindow) -> Tuple[float, float]:
+        """(pre-op, op) uncorrectable-error onset rates."""
+        return (
+            self.pre_op.uncorrectable_count
+            / window.pre_operational.duration_hours,
+            self.op.uncorrectable_count / window.operational.duration_hours,
+        )
+
+
+@dataclass(frozen=True)
+class NvlinkFaultConfig:
+    """NVLink error calibration.
+
+    ``pre_op_count`` / ``op_count`` target *per-GPU logged errors*
+    (Table I counts one error per GPU that reported the XID 74), so the
+    onset rate divides out the expected manifestation size as well as
+    the episode mean.
+    """
+
+    pre_op_count: float = 2_092.0
+    op_count: float = 1_922.0
+    episode: EpisodeShape = EpisodeShape(mean_extra_errors=0.0)
+    link_model: NvlinkConfig = NvlinkConfig()
+    #: Chance a job actively driving the erroring link fails when CRC
+    #: retry does not mask the error.
+    link_fatal_probability: float = 0.95
+    #: Probability an onset strikes a node whose NVLink plane is under
+    #: active multi-GPU traffic (links fail disproportionately under
+    #: load); the remainder strike uniformly, often idle links — the
+    #: paper's explanation for the 46% of jobs that survive.
+    active_link_bias: float = 0.05
+    recovery_kind: RecoveryKind = RecoveryKind.RESET
+    recovery_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.link_fatal_probability <= 1.0:
+            raise CalibrationError("link_fatal_probability must be in [0, 1]")
+        if not 0.0 <= self.active_link_bias <= 1.0:
+            raise CalibrationError("active_link_bias must be in [0, 1]")
+        if not 0.0 <= self.recovery_probability <= 1.0:
+            raise CalibrationError("recovery_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DefectiveEpisodeConfig:
+    """The persistent uncontained-error episode of Section IV(vi).
+
+    One faulty GPU erred continuously from May 5 to May 21, 2022
+    (pre-operational), producing ~38,900 coalesced errors out of more
+    than a million raw log lines, and was replaced on discovery.
+
+    Attributes:
+        start_day / end_day: study days bounding the episode.
+        gap_floor_seconds / mean_extra_seconds: logical-error spacing
+            (see :class:`~repro.faults.arrivals.PersistentEpisodeProcess`).
+        duplicates_mean: raw duplicate lines per logical error (drives
+            the >1M raw-line volume).
+        node_ordinal: which 4-way node hosts the faulty unit.
+        gpu_index: which GPU on that node is faulty.
+    """
+
+    start_day: float = 124.0  # 2022-05-05
+    end_day: float = 140.0  # 2022-05-21
+    gap_floor_seconds: float = 30.0
+    mean_extra_seconds: float = 5.53
+    duplicates_mean: float = 26.0
+    node_ordinal: int = 17
+    gpu_index: int = 2
+
+    def __post_init__(self) -> None:
+        if self.end_day <= self.start_day:
+            raise CalibrationError("episode must span at least part of a day")
+        if self.duplicates_mean < 0:
+            raise CalibrationError("duplicates_mean must be non-negative")
+
+    @property
+    def expected_logical_errors(self) -> float:
+        """Expected coalesced error count for the episode."""
+        duration = (self.end_day - self.start_day) * 86400.0
+        return duration / (self.gap_floor_seconds + self.mean_extra_seconds)
+
+
+@dataclass(frozen=True)
+class DuplicationConfig:
+    """Raw-line duplication for ordinary (non-episode) errors.
+
+    The same error produces several identical log lines in close
+    succession (Section III-B); coalescing must undo this.
+    """
+
+    mean_extra_lines: float = 2.0
+    max_spread_seconds: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.mean_extra_lines < 0 or self.max_spread_seconds < 0:
+            raise CalibrationError("duplication parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class UtilizationCouplingConfig:
+    """Mechanistic utilization → error-rate coupling (ablation A5).
+
+    When enabled for a class, its operational-period rate still matches
+    the Table I calibration, but the pre-operational rate is *derived*
+    from the utilization law ``rate ∝ floor + slope·u`` instead of the
+    measured pre-op count.  The default levels reproduce the paper's
+    GSP degradation factor (~5.6x) from the utilization jump alone.
+
+    Attributes:
+        coupled_classes: event classes governed by the law.
+        floor / slope: the affine law's parameters.
+        pre_op_utilization / op_utilization: period GPU busy fractions.
+    """
+
+    coupled_classes: Tuple[EventClass, ...] = (
+        EventClass.GSP_ERROR,
+        EventClass.PMU_SPI_ERROR,
+    )
+    floor: float = 0.08
+    slope: float = 1.0
+    pre_op_utilization: float = 0.06
+    op_utilization: float = 0.72
+
+    def __post_init__(self) -> None:
+        if self.floor < 0 or self.slope < 0:
+            raise CalibrationError("floor/slope must be non-negative")
+        for name in ("pre_op_utilization", "op_utilization"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise CalibrationError(f"{name} must be in [0, 1]")
+
+    def rate_multiplier(self, period: PeriodName) -> float:
+        """The law's value for a period's utilization level."""
+        u = (
+            self.pre_op_utilization
+            if period is PeriodName.PRE_OPERATIONAL
+            else self.op_utilization
+        )
+        return self.floor + self.slope * u
+
+    def derive_pre_op_rate(self, op_rate_per_hour: float) -> float:
+        """Pre-op onset rate implied by the op-period rate and the law."""
+        op_mult = self.rate_multiplier(PeriodName.OPERATIONAL)
+        pre_mult = self.rate_multiplier(PeriodName.PRE_OPERATIONAL)
+        if op_mult <= 0:
+            raise CalibrationError("operational multiplier must be positive")
+        return op_rate_per_hour * pre_mult / op_mult
+
+
+@dataclass(frozen=True)
+class FaultSuiteConfig:
+    """Everything the fault injector needs for one run."""
+
+    simple_faults: Tuple[SimpleFaultConfig, ...]
+    memory_chain: MemoryChainConfig
+    nvlink: NvlinkFaultConfig
+    defective_episode: Optional[DefectiveEpisodeConfig] = None
+    duplication: DuplicationConfig = DuplicationConfig()
+    utilization_coupling: Optional[UtilizationCouplingConfig] = None
+
+    def fault_for(self, event_class: EventClass) -> SimpleFaultConfig:
+        """Look up a simple fault class; raises on unknown classes."""
+        for cfg in self.simple_faults:
+            if cfg.event_class is event_class:
+                return cfg
+        raise CalibrationError(f"no simple fault configured for {event_class}")
+
+    def without_episode(self) -> "FaultSuiteConfig":
+        """A copy with the defective-GPU episode removed."""
+        return replace(self, defective_episode=None)
+
+    def with_coupling(
+        self, coupling: Optional[UtilizationCouplingConfig]
+    ) -> "FaultSuiteConfig":
+        """A copy with utilization coupling replaced (ablation A5)."""
+        return replace(self, utilization_coupling=coupling)

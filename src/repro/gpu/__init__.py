@@ -1,0 +1,14 @@
+"""GPU-internal recovery mechanisms: ECC/row-remapping/containment and
+NVLink CRC retry."""
+
+from .memory import MemoryErrorOutcome, MemoryRecoveryConfig, MemoryRecoveryModel
+from .nvlink import NvlinkConfig, NvlinkErrorManifestation, NvlinkFaultModel
+
+__all__ = [
+    "MemoryErrorOutcome",
+    "MemoryRecoveryConfig",
+    "MemoryRecoveryModel",
+    "NvlinkConfig",
+    "NvlinkErrorManifestation",
+    "NvlinkFaultModel",
+]

@@ -1,0 +1,216 @@
+"""A100 memory error-recovery mechanisms (paper Section II-B).
+
+A100 HBM2e is SECDED-ECC protected.  Single-bit errors (SBEs) are
+corrected silently and never logged, so — like the paper — we do not
+model them individually.  An **uncorrectable** memory error (a DBE, or
+repeated SBEs at one address) triggers a chain of recovery mechanisms
+that this module implements:
+
+1. **Row remapping** — the driver marks a spare row to replace the
+   faulty row.  Success logs a row-remapping event (RRE, XID 63);
+   exhausted/failed remapping logs a row-remapping failure (RRF,
+   XID 64).  Remaps persist across resets (InfoROM) and an A100 has
+   512 spare rows.
+2. **Error containment** — if a running process touched the corrupted
+   region, the driver tries to contain the error by terminating just
+   the affected processes.  Success logs a *contained* memory error
+   (XID 94); failure logs an *uncontained* memory error (XID 95), after
+   which the GPU needs a reset and errors may recur (the bursty
+   17-day episode of Section IV(vi) was exactly such a containment
+   failure).
+3. **Dynamic page offlining** — the faulty page is marked unallocatable
+   at runtime, preserving node availability without a reset.
+
+The entry point is :class:`MemoryRecoveryModel.process_uncorrectable`,
+which consumes one uncorrectable error and returns the full
+:class:`MemoryErrorOutcome` (which XID events to log, whether processes
+die, whether the GPU now needs a reset).  The benchmark ablation A4
+disables remapping/containment to show what Kepler-era behaviour would
+look like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.gpu import GpuState
+from ..core.xid import EventClass
+
+
+@dataclass(frozen=True)
+class MemoryRecoveryConfig:
+    """Tunable behaviour of the memory-recovery chain.
+
+    Attributes:
+        remapping_enabled: ablation switch for row remapping (A4).
+        containment_enabled: ablation switch for error containment (A4).
+        page_offlining_enabled: ablation switch for dynamic offlining.
+        dbe_xid_probability: probability an uncorrectable error is
+            surfaced as an explicit XID 48 DBE line in addition to the
+            driver's ECC accounting (rare on Delta: 1 DBE line against
+            34 uncorrectable errors in the operational period).
+        containment_success_probability: probability containment
+            succeeds when a process touched the corrupted region
+            (healthy-GPU value; defective units override this).
+        active_touch_probability: probability a *busy* GPU's
+            uncorrectable error lands in memory a process is using
+            (errors in unallocated memory need no containment).
+    """
+
+    remapping_enabled: bool = True
+    containment_enabled: bool = True
+    page_offlining_enabled: bool = True
+    dbe_xid_probability: float = 0.03
+    containment_success_probability: float = 0.95
+    active_touch_probability: float = 0.55
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dbe_xid_probability",
+            "containment_success_probability",
+            "active_touch_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class MemoryErrorOutcome:
+    """Everything that happened while recovering one uncorrectable error.
+
+    Attributes:
+        logged_events: XID event classes to emit, in causal order (the
+            aggregate ``UNCORRECTABLE_ECC`` accounting event is always
+            first).
+        remapped: True when row remapping succeeded (an RRE).
+        remap_failed: True when remapping was attempted and failed (RRF).
+        processes_terminated: True when containment killed the processes
+            using the corrupted region (jobs on this GPU fail).
+        uncontained: True when containment was attempted and failed;
+            the GPU is now in an error state that can re-trigger.
+        page_offlined: True when the faulty page was dynamically
+            offlined (no reset needed for availability).
+        needs_reset: True when the GPU requires a reset (or node
+            reboot) before it is trustworthy again.
+    """
+
+    logged_events: Tuple[EventClass, ...]
+    remapped: bool = False
+    remap_failed: bool = False
+    processes_terminated: bool = False
+    uncontained: bool = False
+    page_offlined: bool = False
+    needs_reset: bool = False
+
+
+class MemoryRecoveryModel:
+    """Stateful executor of the A100 memory-recovery chain.
+
+    One instance serves the whole cluster; per-GPU state (spare rows,
+    offlined pages) lives on the :class:`~repro.cluster.gpu.GpuState`.
+    """
+
+    def __init__(
+        self, config: MemoryRecoveryConfig, rng: np.random.Generator
+    ) -> None:
+        self._config = config
+        self._rng = rng
+        self._next_page = 0
+
+    @property
+    def config(self) -> MemoryRecoveryConfig:
+        """The configuration this model runs with."""
+        return self._config
+
+    def process_uncorrectable(
+        self,
+        gpu: GpuState,
+        *,
+        force_remap_failure: bool = False,
+        force_containment_failure: bool = False,
+        touches_active_process: Optional[bool] = None,
+    ) -> MemoryErrorOutcome:
+        """Run the recovery chain for one uncorrectable memory error.
+
+        Args:
+            gpu: the GPU the error occurred on.
+            force_remap_failure: defective-unit override — the remap
+                fails regardless of the spare-row pool (pre-operational
+                Delta saw 15 RRFs from one faulty GPU).
+            force_containment_failure: defective-unit override — the
+                containment fails (the 38,900-error episode GPU).
+            touches_active_process: override the stochastic decision of
+                whether a running process used the corrupted region;
+                ``None`` draws from the configured probability (only
+                busy GPUs can touch active memory).
+
+        Returns:
+            the full :class:`MemoryErrorOutcome`.
+        """
+        cfg = self._config
+        events: List[EventClass] = [EventClass.UNCORRECTABLE_ECC]
+        if self._rng.random() < cfg.dbe_xid_probability:
+            events.append(EventClass.DBE)
+
+        remapped = False
+        remap_failed = False
+        if cfg.remapping_enabled:
+            if force_remap_failure or not gpu.can_remap():
+                remap_failed = True
+                events.append(EventClass.ROW_REMAP_FAILURE)
+            else:
+                gpu.consume_spare_row()
+                remapped = True
+                events.append(EventClass.ROW_REMAP_EVENT)
+
+        if touches_active_process is None:
+            touches_active_process = bool(
+                gpu.busy and self._rng.random() < cfg.active_touch_probability
+            )
+
+        processes_terminated = False
+        uncontained = False
+        if touches_active_process:
+            contain_ok = (
+                cfg.containment_enabled
+                and not force_containment_failure
+                and self._rng.random() < cfg.containment_success_probability
+            )
+            if contain_ok:
+                processes_terminated = True
+                events.append(EventClass.CONTAINED_MEMORY_ERROR)
+            else:
+                uncontained = True
+                events.append(EventClass.UNCONTAINED_MEMORY_ERROR)
+
+        page_offlined = False
+        if cfg.page_offlining_enabled and remapped:
+            page_offlined = gpu.offline_page(self._allocate_page())
+
+        # A reset is needed when remapping failed, when containment
+        # failed, or — with the mechanisms ablated away — whenever an
+        # uncorrectable error occurred at all.
+        needs_reset = (
+            remap_failed
+            or uncontained
+            or not cfg.remapping_enabled
+            or (touches_active_process and not cfg.containment_enabled)
+        )
+        return MemoryErrorOutcome(
+            logged_events=tuple(events),
+            remapped=remapped,
+            remap_failed=remap_failed,
+            processes_terminated=processes_terminated,
+            uncontained=uncontained,
+            page_offlined=page_offlined,
+            needs_reset=needs_reset,
+        )
+
+    def _allocate_page(self) -> int:
+        """Pick a fresh synthetic page number for offlining."""
+        self._next_page += 1
+        return self._next_page

@@ -1,0 +1,147 @@
+"""NVLink error behaviour: CRC detection, retransmission, propagation.
+
+NVLink guards control and data packets with cyclic redundancy checks;
+on a CRC mismatch the link-level protocol retransmits from the last
+known-good packet (paper Section II-B).  This is why only ~54% of
+NVLink errors kill the jobs that encounter them (Table II): when the
+link is idle, or when the retry succeeds before the application notices,
+the job runs to completion.
+
+Propagation: Section IV(v) reports that 42% of operational-period
+NVLink errors manifested on two or more GPUs — a link fault has two
+endpoints, and switch-plane faults can touch more.  The
+:class:`NvlinkFaultModel` draws the affected GPU set over the cluster's
+NVLink graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.topology import Cluster
+
+
+@dataclass(frozen=True)
+class NvlinkConfig:
+    """Behaviour knobs for the NVLink model.
+
+    Attributes:
+        crc_retry_enabled: ablation switch (A3) — with retries off every
+            error on an in-use link is fatal to the traffic.
+        retry_success_probability: probability the link-level
+            retransmission masks an error on an *active* link before the
+            application observes it.
+        multi_gpu_probability: probability an error manifests on two or
+            more GPUs (42% in the operational period).
+        extra_spread_probability: probability each additional NVLink
+            peer beyond the second is also affected (geometric spread
+            over the switch plane; only reachable on 8-way nodes).
+    """
+
+    crc_retry_enabled: bool = True
+    retry_success_probability: float = 0.30
+    multi_gpu_probability: float = 0.42
+    extra_spread_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        for name in (
+            "retry_success_probability",
+            "multi_gpu_probability",
+            "extra_spread_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class NvlinkErrorManifestation:
+    """How one NVLink fault shows up.
+
+    Attributes:
+        node: the node the faulty link belongs to.
+        affected_gpus: GPU indices that log the XID 74 (1, 2, or more).
+        masked_by_retry: True when CRC retransmission recovered the
+            transfer, so jobs using the link survive.
+    """
+
+    node: str
+    affected_gpus: Tuple[int, ...]
+    masked_by_retry: bool
+
+
+class NvlinkFaultModel:
+    """Draws NVLink error manifestations over the cluster topology."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: NvlinkConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self._cluster = cluster
+        self._config = config
+        self._rng = rng
+
+    @property
+    def config(self) -> NvlinkConfig:
+        """The configuration this model runs with."""
+        return self._config
+
+    def manifest(self, node: str) -> NvlinkErrorManifestation:
+        """Draw the manifestation of one NVLink fault on ``node``.
+
+        Picks a link (GPU pair) uniformly, decides how many endpoints
+        log the error, and whether CRC retransmission masked the error
+        from applications.
+        """
+        gpu_count = self._cluster.node(node).gpu_count
+        pair = self._pick_link(gpu_count)
+        affected: List[int]
+        if self._rng.random() < self._config.multi_gpu_probability:
+            affected = list(pair)
+            # Possible further spread across the switch plane.
+            others = [i for i in range(gpu_count) if i not in affected]
+            self._rng.shuffle(others)
+            for candidate in others:
+                if self._rng.random() < self._config.extra_spread_probability:
+                    affected.append(candidate)
+                else:
+                    break
+        else:
+            affected = [pair[0] if self._rng.random() < 0.5 else pair[1]]
+
+        masked = bool(
+            self._config.crc_retry_enabled
+            and self._rng.random() < self._config.retry_success_probability
+        )
+        return NvlinkErrorManifestation(
+            node=node,
+            affected_gpus=tuple(sorted(affected)),
+            masked_by_retry=masked,
+        )
+
+    def _pick_link(self, gpu_count: int) -> Tuple[int, int]:
+        """Pick a random NVLink (unordered GPU pair) within the node."""
+        a = int(self._rng.integers(0, gpu_count))
+        b = int(self._rng.integers(0, gpu_count - 1))
+        if b >= a:
+            b += 1
+        return (min(a, b), max(a, b))
+
+    @staticmethod
+    def multi_gpu_fraction(
+        manifestations: Sequence[NvlinkErrorManifestation],
+    ) -> float:
+        """Fraction of manifestations touching two or more GPUs.
+
+        Reproduces the Section IV(v) statistic ("42% propagates two or
+        more GPUs").  Returns NaN for an empty sequence.
+        """
+        if not manifestations:
+            return float("nan")
+        multi = sum(1 for m in manifestations if len(m.affected_gpus) >= 2)
+        return multi / len(manifestations)

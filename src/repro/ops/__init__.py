@@ -1,0 +1,13 @@
+"""SRE operations model: health checks, drain/reboot/replace, repair
+times."""
+
+from .manager import OpsManager, OpsPolicy
+from .repair import RecoveryKind, RepairTimeConfig, RepairTimeModel
+
+__all__ = [
+    "OpsManager",
+    "OpsPolicy",
+    "RecoveryKind",
+    "RepairTimeConfig",
+    "RepairTimeModel",
+]

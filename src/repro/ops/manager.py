@@ -1,0 +1,300 @@
+"""SRE operations model: health checks, drain, reboot, replacement.
+
+Delta's SREs run automatic node health checks that watch for the
+critical XID errors and alert on discovery; recovery follows the
+drain → reboot → health-check → (maybe replace) flow of Section V-C.
+:class:`OpsManager` implements that policy automaton on top of the
+simulation engine:
+
+1. A fault handler calls :meth:`request_recovery` with the node, the
+   causal error class, and the intervention kind.
+2. After a detection latency (health-check interval + alert handling),
+   the node is drained: the scheduler stops placing work on it.
+3. When the node has no running jobs (immediately, if the fault killed
+   them), the unavailable window begins; its duration comes from the
+   :class:`~repro.ops.repair.RepairTimeModel`.
+4. On completion the node's GPUs are reset (or one replaced), the node
+   returns to service, and a :class:`~repro.core.records.DowntimeRecord`
+   is appended — the data behind Figure 2.
+
+One faithful wrinkle: during the pre-operational period the health
+checks did **not** yet cover uncontained memory errors — that is how
+one faulty GPU erred for 17 days without intervention (Section IV(vi)).
+The ``monitor_uncontained_pre_op`` switch reproduces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from ..cluster.gpu import GpuHealth
+from ..cluster.node import NodeState
+from ..cluster.topology import Cluster
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import DowntimeRecord
+from ..core.xid import EventClass
+from ..sim.engine import Engine
+from .repair import RecoveryKind, RepairTimeModel
+
+
+class SchedulerControl(Protocol):
+    """The slice of the scheduler the ops layer drives."""
+
+    def drain_node(self, node: str) -> None:
+        """Stop placing new work on the node."""
+
+    def jobs_running_on(self, node: str) -> int:
+        """Number of jobs currently running on the node."""
+
+    def notify_when_empty(self, node: str, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once the node has no running jobs."""
+
+    def node_returned(self, node: str) -> None:
+        """The node passed health checks and may be scheduled again."""
+
+
+@dataclass(frozen=True)
+class OpsPolicy:
+    """Operational policy knobs.
+
+    Attributes:
+        detection_latency_mean_s: mean delay between an error and the
+            health-check alert that starts the drain (exponential).
+        monitor_uncontained_pre_op: whether pre-operational health
+            checks watch uncontained memory errors (False on Delta
+            until the 17-day episode was discovered).
+        replace_after_rrf: RRF count on one GPU that triggers a
+            physical replacement (SREs "replace GPUs that repeatedly
+            log RRFs").
+    """
+
+    detection_latency_mean_s: float = 600.0
+    monitor_uncontained_pre_op: bool = False
+    replace_after_rrf: int = 2
+
+    def __post_init__(self) -> None:
+        if self.detection_latency_mean_s < 0:
+            raise ValueError("detection latency must be non-negative")
+        if self.replace_after_rrf < 1:
+            raise ValueError("replace_after_rrf must be at least 1")
+
+
+@dataclass
+class _RecoveryEpisode:
+    """Book-keeping for one in-flight node recovery."""
+
+    node: str
+    cause: EventClass
+    kind: RecoveryKind
+    requested_at: float
+    gpu_index: Optional[int] = None
+    down_since: Optional[float] = None
+
+
+class OpsManager:
+    """The SRE policy automaton.
+
+    Args:
+        engine: simulation kernel.
+        cluster: the machine (node/GPU state is mutated in place).
+        scheduler: the scheduler-control surface.
+        repair_model: unavailable-duration sampler.
+        policy: operational policy.
+        window: study window (for the pre-op monitoring exception).
+        rng: random stream for detection latencies.
+        on_event: optional hook ``(time, node, message)`` used by the
+            syslog layer to record drain/return lines.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        scheduler: SchedulerControl,
+        repair_model: RepairTimeModel,
+        policy: OpsPolicy,
+        window: StudyWindow,
+        rng: np.random.Generator,
+        on_event: Optional[Callable[[float, str, str], None]] = None,
+    ) -> None:
+        self._engine = engine
+        self._cluster = cluster
+        self._scheduler = scheduler
+        self._repair = repair_model
+        self._policy = policy
+        self._window = window
+        self._rng = rng
+        self._on_event = on_event
+        self._active: Dict[str, _RecoveryEpisode] = {}
+        self._rrf_counts: Dict[str, int] = {}
+        self._replacement_serial = 0
+        self.downtime_records: List[DowntimeRecord] = []
+
+    # ------------------------------------------------------------------
+    # Fault-side interface
+    # ------------------------------------------------------------------
+
+    def request_recovery(
+        self,
+        node: str,
+        cause: EventClass,
+        kind: RecoveryKind,
+        gpu_index: Optional[int] = None,
+        force: bool = False,
+    ) -> bool:
+        """Ask for a node recovery; returns False when coalesced away.
+
+        Requests against a node already being recovered are merged into
+        the in-flight episode (upgrading RESET to REPLACE if needed).
+        Uncontained memory errors during the pre-operational period are
+        ignored when the policy says they were unmonitored — unless
+        ``force`` is set (a human filed the ticket, as happened when
+        the 17-day episode was finally discovered).
+        """
+        if not force and not self._is_monitored(cause):
+            return False
+        episode = self._active.get(node)
+        if episode is not None:
+            if kind is RecoveryKind.REPLACE and episode.kind is not kind:
+                episode.kind = kind
+                episode.gpu_index = gpu_index
+            return False
+        episode = _RecoveryEpisode(
+            node=node,
+            cause=cause,
+            kind=kind,
+            requested_at=self._engine.now,
+            gpu_index=gpu_index,
+        )
+        self._active[node] = episode
+        latency = float(
+            self._rng.exponential(self._policy.detection_latency_mean_s)
+        )
+        self._engine.schedule_after(
+            latency, lambda: self._begin_drain(episode), label=f"detect:{node}"
+        )
+        return True
+
+    def record_rrf(self, node: str, gpu_index: int) -> None:
+        """Track a row-remapping failure; escalates repeat offenders.
+
+        SREs replace GPUs that repeatedly log RRFs; once a unit crosses
+        the policy threshold the next recovery is a physical swap.
+        """
+        gpu = self._cluster.node(node).gpu(gpu_index)
+        key = gpu.serial
+        self._rrf_counts[key] = self._rrf_counts.get(key, 0) + 1
+        if self._rrf_counts[key] >= self._policy.replace_after_rrf:
+            self.request_recovery(
+                node, EventClass.ROW_REMAP_FAILURE, RecoveryKind.REPLACE, gpu_index
+            )
+
+    def is_recovering(self, node: str) -> bool:
+        """True while the node has an in-flight recovery episode."""
+        return node in self._active
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle
+    # ------------------------------------------------------------------
+
+    def _is_monitored(self, cause: EventClass) -> bool:
+        if (
+            cause is EventClass.UNCONTAINED_MEMORY_ERROR
+            and not self._policy.monitor_uncontained_pre_op
+            and self._window.period_of(self._engine.now)
+            is PeriodName.PRE_OPERATIONAL
+        ):
+            return False
+        return True
+
+    def _begin_drain(self, episode: _RecoveryEpisode) -> None:
+        node = self._cluster.node(episode.node)
+        node.state = NodeState.DRAINING
+        self._scheduler.drain_node(episode.node)
+        self._emit(
+            episode.node,
+            f"slurmctld: drain node {episode.node} "
+            f"reason={episode.cause.value}",
+        )
+        if self._scheduler.jobs_running_on(episode.node) == 0:
+            self._begin_downtime(episode)
+        else:
+            self._scheduler.notify_when_empty(
+                episode.node, lambda: self._begin_downtime(episode)
+            )
+
+    def _begin_downtime(self, episode: _RecoveryEpisode) -> None:
+        node = self._cluster.node(episode.node)
+        node.state = NodeState.DOWN
+        episode.down_since = self._engine.now
+        duration, replaced = self._repair.draw(episode.kind)
+        self._emit(
+            episode.node,
+            f"healthcheck: node {episode.node} out of service "
+            f"cause={episode.cause.value} kind={episode.kind.value}",
+        )
+        self._engine.schedule_after(
+            duration,
+            lambda: self._complete(episode, replaced),
+            label=f"repair:{episode.node}",
+        )
+
+    def _complete(self, episode: _RecoveryEpisode, replaced: bool) -> None:
+        node = self._cluster.node(episode.node)
+        if replaced:
+            target = self._pick_replacement_target(episode)
+            self._replacement_serial += 1
+            target.replace(
+                f"{target.node}-u{target.index}-r{self._replacement_serial}"
+            )
+        for gpu in node.gpus:
+            gpu.reset()
+        node.state = NodeState.IDLE
+        assert episode.down_since is not None
+        self.downtime_records.append(
+            DowntimeRecord(
+                node=episode.node,
+                start=episode.down_since,
+                end=self._engine.now,
+                cause=episode.cause,
+                gpu_replaced=replaced,
+            )
+        )
+        del self._active[episode.node]
+        self._scheduler.node_returned(episode.node)
+        suffix = " after gpu swap" if replaced else ""
+        self._emit(
+            episode.node,
+            f"healthcheck: node {episode.node} returned to service{suffix}",
+        )
+
+    def _pick_replacement_target(self, episode: _RecoveryEpisode):
+        """Choose which GPU gets physically swapped.
+
+        Prefers the episode's attributed GPU, then any unhealthy unit,
+        and falls back to index 0 (a whole-node fault with no single
+        culprit still results in one unit being swapped on Delta).
+        """
+        node = self._cluster.node(episode.node)
+        if episode.gpu_index is not None:
+            return node.gpu(episode.gpu_index)
+        for gpu in node.gpus:
+            if gpu.health is not GpuHealth.HEALTHY:
+                return gpu
+        return node.gpu(0)
+
+    def _emit(self, node: str, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(self._engine.now, node, message)
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def total_downtime_hours(self) -> float:
+        """Cumulative node-hours lost to recovery (paper: ~5,700)."""
+        return sum(r.duration_hours for r in self.downtime_records)

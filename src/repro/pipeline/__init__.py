@@ -1,0 +1,28 @@
+"""Stage-II processing: extraction, coalescing, downtime recovery."""
+
+from .coalesce import (
+    DEFAULT_WINDOW_SECONDS,
+    ErrorCoalescer,
+    WindowMode,
+    coalesce,
+    iter_coalesced,
+)
+from .downtime import DowntimeExtractor, extract_downtime
+from .extract import ErrorHit, ExtractionStats, XidExtractor, extract_all
+from .run import PipelineResult, run_pipeline
+
+__all__ = [
+    "DEFAULT_WINDOW_SECONDS",
+    "ErrorCoalescer",
+    "WindowMode",
+    "coalesce",
+    "iter_coalesced",
+    "DowntimeExtractor",
+    "extract_downtime",
+    "ErrorHit",
+    "ExtractionStats",
+    "XidExtractor",
+    "extract_all",
+    "PipelineResult",
+    "run_pipeline",
+]

@@ -1,0 +1,115 @@
+"""One-shot Stage-II pipeline over an artifact directory.
+
+Ties together extraction, coalescing, and downtime recovery exactly as
+Fig. 1 stage (ii) does, reading only the on-disk artifacts a real
+deployment would have: the syslog directory, the hardware inventory,
+and the Slurm accounting CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+from ..cluster.inventory import Inventory
+from ..core.exceptions import ConfigurationError, LogFormatError
+from ..core.records import DowntimeRecord, ExtractedError
+from ..slurm.accounting import load_records
+from ..slurm.types import JobRecord
+from ..syslog.reader import iter_raw_lines, parse_line
+from .coalesce import DEFAULT_WINDOW_SECONDS, WindowMode, coalesce
+from .downtime import DowntimeExtractor
+from .extract import ExtractionStats, XidExtractor
+
+
+@dataclass
+class PipelineResult:
+    """Everything Stage II produces from one artifact directory.
+
+    Attributes:
+        errors: coalesced GPU errors, in first-occurrence order.
+        downtime: node-unavailability episodes recovered from logs.
+        jobs: the Slurm accounting records (empty when no sacct file
+            was present).
+        extraction_stats: raw-line counters from the extraction pass.
+        coalesce_window_seconds: the Δt used.
+        raw_hits: matched raw lines before coalescing.
+    """
+
+    errors: List[ExtractedError]
+    downtime: List[DowntimeRecord]
+    jobs: List[JobRecord]
+    extraction_stats: ExtractionStats
+    coalesce_window_seconds: float
+    raw_hits: int
+
+    @property
+    def coalescing_reduction(self) -> float:
+        """Raw-hit-to-error reduction factor (>= 1)."""
+        if not self.errors:
+            return 1.0
+        return self.raw_hits / len(self.errors)
+
+
+def run_pipeline(
+    artifact_dir: Path,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    mode: WindowMode = WindowMode.TUMBLING,
+    load_jobs: bool = True,
+) -> PipelineResult:
+    """Run the full Stage-II pipeline over a run's artifact directory.
+
+    Args:
+        artifact_dir: directory produced by
+            :meth:`repro.study.runner.DeltaStudy.run` (contains
+            ``syslog/``, ``inventory.json``, ``sacct.csv``).
+        window_seconds: coalescing Δt.
+        mode: coalescing window semantics.
+        load_jobs: also load the accounting records.
+
+    Returns:
+        the :class:`PipelineResult`.
+    """
+    syslog_dir = artifact_dir / "syslog"
+    if not syslog_dir.is_dir():
+        raise ConfigurationError(f"{artifact_dir}: no syslog/ directory")
+    inventory = None
+    inventory_path = artifact_dir / "inventory.json"
+    if inventory_path.exists():
+        inventory = Inventory.load(inventory_path)
+
+    extractor = XidExtractor(inventory)
+    downtime_extractor = DowntimeExtractor()
+    hits = []
+
+    # Single pass over the logs feeds both extractors; malformed lines
+    # are tolerated per raw line.
+    for raw in iter_raw_lines(syslog_dir):
+        if not raw.strip():
+            continue
+        try:
+            line = parse_line(raw)
+        except LogFormatError:
+            extractor.stats.malformed_lines += 1
+            continue
+        downtime_extractor.feed(line)
+        hit = extractor.extract_line(line)
+        if hit is not None:
+            hits.append(hit)
+    errors = coalesce(hits, window_seconds, mode)
+    downtime = downtime_extractor.finish()
+
+    jobs: List[JobRecord] = []
+    sacct_path = artifact_dir / "sacct.csv"
+    if load_jobs and sacct_path.exists():
+        jobs = load_records(sacct_path)
+
+    return PipelineResult(
+        errors=errors,
+        downtime=downtime,
+        jobs=jobs,
+        extraction_stats=extractor.stats,
+        coalesce_window_seconds=window_seconds,
+        raw_hits=len(hits),
+    )

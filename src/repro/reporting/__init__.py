@@ -1,0 +1,31 @@
+"""Reporting: table/figure renderers and paper comparisons."""
+
+from .compare import Comparison, ComparisonReport
+from .experiments import (
+    build_all_reports,
+    report_figure2,
+    report_headline,
+    report_nvlink,
+    report_table1,
+    report_table2,
+    report_table3,
+)
+from .figures import figure2_csv, render_figure2
+from .tables import render_table1, render_table2, render_table3
+
+__all__ = [
+    "Comparison",
+    "ComparisonReport",
+    "build_all_reports",
+    "report_figure2",
+    "report_headline",
+    "report_nvlink",
+    "report_table1",
+    "report_table2",
+    "report_table3",
+    "figure2_csv",
+    "render_figure2",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

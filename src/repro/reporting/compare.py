@@ -1,0 +1,124 @@
+"""Paper-vs-measured comparison helpers.
+
+The reproduction targets *shape*, not absolute identity: the substrate
+is a calibrated simulator, so each comparison carries an explicit
+tolerance.  A :class:`Comparison` records one metric; a
+:class:`ComparisonReport` aggregates them and renders the
+paper-vs-measured summary that EXPERIMENTS.md captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured metric.
+
+    Attributes:
+        name: human-readable metric name.
+        paper_value: the published value.
+        measured_value: what this reproduction measured (``None`` when
+            the metric could not be computed, which fails the check).
+        rel_tolerance: allowed relative deviation (e.g. 0.25 = ±25%).
+        note: free-form context (units, caveats).
+    """
+
+    name: str
+    paper_value: float
+    measured_value: Optional[float]
+    rel_tolerance: float
+    note: str = ""
+
+    @property
+    def rel_error(self) -> Optional[float]:
+        """Signed relative deviation of measured from paper."""
+        if self.measured_value is None or self.paper_value == 0:
+            return None
+        return (self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def ok(self) -> bool:
+        """True when the measurement lies within tolerance."""
+        error = self.rel_error
+        return error is not None and abs(error) <= self.rel_tolerance
+
+    def render(self) -> str:
+        """One summary line for this metric."""
+        if self.measured_value is None:
+            return f"[FAIL] {self.name}: paper={self.paper_value:g} measured=NA"
+        status = "ok" if self.ok else "OFF"
+        error = self.rel_error
+        return (
+            f"[{status:>4s}] {self.name}: paper={self.paper_value:g} "
+            f"measured={self.measured_value:g} "
+            f"({error * 100:+.1f}%, tol ±{self.rel_tolerance * 100:.0f}%)"
+            + (f"  # {self.note}" if self.note else "")
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """A named collection of comparisons (one per experiment)."""
+
+    title: str
+    comparisons: List[Comparison] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        paper_value: float,
+        measured_value: Optional[float],
+        rel_tolerance: float,
+        note: str = "",
+    ) -> Comparison:
+        """Append one comparison and return it."""
+        comparison = Comparison(
+            name=name,
+            paper_value=paper_value,
+            measured_value=measured_value,
+            rel_tolerance=rel_tolerance,
+            note=note,
+        )
+        self.comparisons.append(comparison)
+        return comparison
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every comparison is within tolerance."""
+        return all(c.ok for c in self.comparisons)
+
+    @property
+    def failures(self) -> List[Comparison]:
+        """Comparisons outside tolerance."""
+        return [c for c in self.comparisons if not c.ok]
+
+    def render(self) -> str:
+        """Multi-line summary."""
+        lines = [f"== {self.title} =="]
+        lines.extend(c.render() for c in self.comparisons)
+        ok = sum(1 for c in self.comparisons if c.ok)
+        lines.append(f"-- {ok}/{len(self.comparisons)} within tolerance")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown table form, used to build EXPERIMENTS.md."""
+        lines = [
+            f"### {self.title}",
+            "",
+            "| metric | paper | measured | deviation | tolerance | ok |",
+            "|---|---|---|---|---|---|",
+        ]
+        for c in self.comparisons:
+            measured = "NA" if c.measured_value is None else f"{c.measured_value:g}"
+            error = (
+                "NA" if c.rel_error is None else f"{c.rel_error * 100:+.1f}%"
+            )
+            lines.append(
+                f"| {c.name} | {c.paper_value:g} | {measured} | {error} "
+                f"| ±{c.rel_tolerance * 100:.0f}% | {'yes' if c.ok else 'NO'} |"
+            )
+        lines.append("")
+        return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""EXPERIMENTS.md generation: the paper-vs-measured record.
+
+Builds the complete markdown document recording, for every table and
+figure in the paper, the published value next to what this
+reproduction measures — from one calibrated full run plus the
+fault-thinned workload run.  The repository's checked-in EXPERIMENTS.md
+is produced by ``examples/generate_experiments.py`` calling into here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis.jobstats import JobStatistics
+from ..analysis.mtbe import MtbeAnalysis
+from ..core.periods import PeriodName
+from ..core.records import DowntimeRecord, ExtractedError
+from ..core.xid import EventClass
+from ..slurm.types import JobRecord
+from .compare import ComparisonReport
+from .experiments import (
+    report_figure2,
+    report_headline,
+    report_nvlink,
+    report_table1,
+    report_table2,
+    report_table3,
+)
+from ..analysis.job_impact import JobImpactAnalysis
+
+_PREAMBLE = """# EXPERIMENTS — paper vs. measured
+
+Reproduction record for *"Characterizing Modern GPU Resilience and
+Impact in HPC Systems: A Case Study of A100 GPUs"* (DSN 2025).
+
+**How to read this file.** The paper measured a production system; this
+repository substitutes a discrete-event simulator calibrated from the
+paper's own published statistics (see DESIGN.md §5 for the substitution
+table), then runs the paper's analysis pipeline over the simulator's
+raw artifacts.  Counts and rates are therefore expected to match in
+*shape* — orderings, ratios, probabilities — within the stated
+tolerance bands, not digit-for-digit.  Each row below is one metric:
+the paper's value, the measured value, the deviation, and whether it
+fell inside the band.
+
+**Provenance.** `examples/generate_experiments.py` regenerates this
+file from scratch; the benchmark harness (`pytest benchmarks/
+--benchmark-only`) asserts the same bands on every run and writes the
+rendered tables under `benchmarks/results/`.
+
+"""
+
+
+def build_experiments_markdown(
+    errors: Sequence[ExtractedError],
+    jobs: Sequence[JobRecord],
+    downtime: Sequence[DowntimeRecord],
+    workload_jobs: Sequence[JobRecord],
+    window,
+    node_count: int,
+    run_description: str,
+    extra_sections: Optional[Sequence[str]] = None,
+) -> str:
+    """Build the full EXPERIMENTS.md text.
+
+    Args:
+        errors/jobs/downtime: pipeline outputs of the calibrated run.
+        workload_jobs: job records of the fault-thinned run (Table III).
+        window: study window.
+        node_count: A100 node count.
+        run_description: one-paragraph description of the runs
+            (seeds, scales, wall-clock) recorded for provenance.
+        extra_sections: optional additional markdown blocks (ablation
+            summaries etc.).
+    """
+    mtbe = MtbeAnalysis(errors, window, node_count)
+    impact = JobImpactAnalysis(errors, jobs, window).run()
+    workload_stats = JobStatistics(workload_jobs, window)
+    op_overall = mtbe.overall(PeriodName.OPERATIONAL)
+
+    reports: List[ComparisonReport] = [
+        report_table1(mtbe),
+        report_table2(impact),
+        report_table3(workload_stats),
+        report_figure2(downtime, window, node_count, op_overall.per_node_mtbe_hours),
+        report_headline(errors, jobs, window, node_count),
+        report_nvlink(errors, window),
+    ]
+
+    parts = [_PREAMBLE]
+    parts.append("## Run configuration\n")
+    parts.append(run_description.strip() + "\n")
+
+    total = sum(len(r.comparisons) for r in reports)
+    ok = sum(sum(1 for c in r.comparisons if c.ok) for r in reports)
+    parts.append(
+        f"\n## Summary\n\n**{ok} / {total} comparisons within tolerance.**\n"
+    )
+
+    titles = {
+        0: "## E1 — Table I: error counts and MTBE\n",
+        1: "## E2 — Table II: job-failure probability per XID\n",
+        2: "## E3 — Table III: job population (fault-thinned run)\n",
+        3: "## E4 + E6 — Figure 2: downtime distribution and availability\n",
+        4: "## E5 — headline findings\n",
+        5: "## E8 — NVLink propagation\n",
+    }
+    for index, report in enumerate(reports):
+        parts.append(titles[index])
+        parts.append(report.render_markdown())
+
+    # The episode case study (E9) reads directly off the error stream.
+    parts.append(_episode_section(errors, mtbe, window))
+
+    if extra_sections:
+        parts.extend(extra_sections)
+    return "\n".join(parts)
+
+
+def _episode_section(errors, mtbe: MtbeAnalysis, window) -> str:
+    pre = window.pre_operational
+    episode_errors = [
+        e
+        for e in errors
+        if e.event_class is EventClass.UNCONTAINED_MEMORY_ERROR
+        and pre.contains(e.time)
+    ]
+    raw_lines = sum(e.raw_line_count for e in episode_errors)
+    pre_total = sum(1 for e in errors if pre.contains(e.time))
+    share = len(episode_errors) / pre_total if pre_total else 0.0
+    outliers = mtbe.outliers
+    outlier_text = (
+        f"`{outliers[0].node}` gpu {outliers[0].gpu_key} "
+        f"({outliers[0].count} errors, {outliers[0].share * 100:.0f}% of class)"
+        if outliers
+        else "none flagged"
+    )
+    return "\n".join(
+        [
+            "## E9 — the 17-day uncontained-memory episode (Section IV(vi))\n",
+            "| metric | paper | measured |",
+            "|---|---|---|",
+            f"| coalesced uncontained errors (pre-op) | 38,900 | {len(episode_errors):,} |",
+            f"| raw duplicated log lines | >1,000,000 | {raw_lines:,} |",
+            f"| share of pre-op errors | 92% | {share * 100:.1f}% |",
+            f"| SRE outlier rule flags | one faulty GPU | {outlier_text} |",
+            "",
+        ]
+    )

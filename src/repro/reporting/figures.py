@@ -1,0 +1,54 @@
+"""Figure renderers: Figure 2 as a text histogram and CSV series.
+
+The benchmark harness prints these; the CSV form is what you would
+feed a plotting tool to regenerate the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.availability import UnavailabilityDistribution
+
+#: Width of the ASCII histogram bars.
+BAR_WIDTH = 40
+
+
+def render_figure2(dist: UnavailabilityDistribution) -> str:
+    """Render Figure 2 (unavailability time distribution) as text."""
+    lines: List[str] = ["Unavailability Time Distribution (Figure 2)"]
+    fractions = dist.fractions()
+    edges = dist.bin_edges_hours
+    labels = [
+        f"[{edges[i]:.2f}, {edges[i + 1]:.2f})h" for i in range(len(edges) - 1)
+    ]
+    labels.append(f">= {edges[-1]:.2f}h")
+    peak = max(fractions) if fractions else 0.0
+    for label, fraction, count in zip(labels, fractions, dist.counts):
+        width = int(round(BAR_WIDTH * (fraction / peak))) if peak > 0 else 0
+        lines.append(
+            f"{label:>18s} | {'#' * width:<{BAR_WIDTH}s} "
+            f"{fraction * 100:5.1f}%  (n={count})"
+        )
+    lines.append(
+        f"episodes={dist.episodes}  mean={_fmt(dist.mean_hours)}h  "
+        f"p50={_fmt(dist.p50_hours)}h  p95={_fmt(dist.p95_hours)}h  "
+        f"p99={_fmt(dist.p99_hours)}h"
+    )
+    return "\n".join(lines)
+
+
+def figure2_csv(dist: UnavailabilityDistribution) -> str:
+    """Figure 2 as CSV: ``bin_low_hours,bin_high_hours,count,fraction``."""
+    rows = ["bin_low_hours,bin_high_hours,count,fraction"]
+    edges = dist.bin_edges_hours
+    fractions = dist.fractions()
+    for i, (count, fraction) in enumerate(zip(dist.counts, fractions)):
+        low = edges[i] if i < len(edges) else edges[-1]
+        high = edges[i + 1] if i + 1 < len(edges) else float("inf")
+        rows.append(f"{low},{high},{count},{fraction:.6f}")
+    return "\n".join(rows)
+
+
+def _fmt(value) -> str:
+    return "-" if value is None else f"{value:.2f}"

@@ -1,0 +1,155 @@
+"""One-page study summary: the whole analysis on one screen.
+
+Combines the Stage-III analyses — error statistics, job impact,
+availability, plus the temporal/spatial extensions — into a single
+rendered report, the way an SRE status review would consume the study.
+Exposed on the CLI as ``python -m repro summary <artifact_dir>``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis.availability import AvailabilityAnalysis
+from ..analysis.job_impact import JobImpactAnalysis
+from ..analysis.jobstats import JobStatistics
+from ..analysis.mtbe import MtbeAnalysis
+from ..analysis.nvlink import nvlink_manifestations
+from ..analysis.spatial import spatial_stats
+from ..analysis.temporal import burstiness_by_class, trend_ratio
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import DowntimeRecord, ExtractedError
+from ..core.xid import EventClass, spec_for
+from ..slurm.types import JobRecord
+
+
+def _fmt(value: Optional[float], pattern: str = "{:.1f}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+def render_summary(
+    errors: Sequence[ExtractedError],
+    jobs: Sequence[JobRecord],
+    downtime: Sequence[DowntimeRecord],
+    window: StudyWindow,
+    node_count: int,
+) -> str:
+    """Render the one-page study summary."""
+    mtbe = MtbeAnalysis(errors, window, node_count)
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append("GPU RESILIENCE STUDY SUMMARY")
+    lines.append(
+        f"{window.total_days:.0f} days "
+        f"({window.pre_operational.duration_days:.0f} pre-op + "
+        f"{window.operational.duration_days:.0f} op), {node_count} GPU nodes, "
+        f"{len(errors)} coalesced errors, {len(jobs)} jobs"
+    )
+    lines.append("=" * 72)
+
+    # -- reliability ------------------------------------------------------
+    pre = mtbe.overall(PeriodName.PRE_OPERATIONAL)
+    op = mtbe.overall(PeriodName.OPERATIONAL)
+    lines.append("\n-- reliability --")
+    lines.append(
+        f"per-node MTBE: {_fmt(pre.per_node_mtbe_hours, '{:.0f}')} h (pre-op) -> "
+        f"{_fmt(op.per_node_mtbe_hours, '{:.0f}')} h (op)"
+    )
+    degradation = mtbe.degradation_fraction()
+    if degradation is not None:
+        lines.append(f"MTBE degradation into production: {degradation * 100:.0f}%")
+    ratio = mtbe.memory_vs_hardware_ratio()
+    if ratio is not None:
+        lines.append(f"memory vs non-memory per-node MTBE: {ratio:.0f}x safer")
+    for outlier in mtbe.outliers[:2]:
+        lines.append(
+            f"outlier unit: {outlier.node}/gpu{outlier.gpu_key} — "
+            f"{outlier.count} x {outlier.event_class.value} "
+            f"({outlier.share * 100:.0f}% of class)"
+        )
+
+    # -- worst components -------------------------------------------------
+    lines.append("\n-- weakest components (operational per-node MTBE) --")
+    ranked = []
+    for event_class in EventClass:
+        stat = mtbe.class_stat(PeriodName.OPERATIONAL, event_class)
+        if stat.count > 0 and stat.per_node_mtbe_hours is not None:
+            ranked.append((stat.per_node_mtbe_hours, event_class, stat))
+    for hours, event_class, stat in sorted(ranked, key=lambda r: r[0])[:4]:
+        trend = trend_ratio(errors, window, event_class)
+        trend_text = (
+            f", op/pre rate x{trend:.1f}" if trend is not None else ""
+        )
+        lines.append(
+            f"{spec_for(event_class).abbreviation:>26s}: "
+            f"{hours:>9.0f} h ({stat.count} errors{trend_text})"
+        )
+
+    # -- job impact --------------------------------------------------------
+    if jobs:
+        impact = JobImpactAnalysis(errors, jobs, window).run()
+        stats = JobStatistics(jobs, window)
+        population = stats.population()
+        lines.append("\n-- job impact (operational period) --")
+        lines.append(
+            f"jobs analyzed: {impact.total_jobs_analyzed}, "
+            f"GPU-error-failed: {impact.total_gpu_failed_jobs}"
+        )
+        if population.gpu_success_rate is not None:
+            lines.append(
+                f"success rates: GPU {population.gpu_success_rate * 100:.1f}%"
+                + (
+                    f", CPU {population.cpu_success_rate * 100:.1f}%"
+                    if population.cpu_success_rate is not None
+                    else ""
+                )
+            )
+        for event_class, row in sorted(
+            impact.per_class.items(), key=lambda kv: -kv[1].gpu_failed_jobs
+        )[:4]:
+            probability = row.failure_probability
+            lines.append(
+                f"{spec_for(event_class).abbreviation:>26s}: "
+                f"P(fail|encounter) = {_fmt(probability, '{:.2f}')} "
+                f"({row.jobs_encountering} encounters)"
+            )
+
+    # -- availability ------------------------------------------------------
+    availability = AvailabilityAnalysis(downtime, window, node_count).report(
+        op.per_node_mtbe_hours
+    )
+    lines.append("\n-- availability --")
+    lines.append(
+        f"episodes: {availability.episodes}, MTTR "
+        f"{_fmt(availability.mttr_hours, '{:.2f}')} h, lost "
+        f"{availability.downtime_node_hours:.0f} node-hours"
+    )
+    if availability.availability_formula is not None:
+        lines.append(
+            f"availability: {availability.availability_formula * 100:.2f}% "
+            f"({availability.downtime_minutes_per_day:.1f} min/node/day)"
+        )
+
+    # -- structure of the error process -------------------------------------
+    lines.append("\n-- error-process structure --")
+    nvlink = nvlink_manifestations(errors, window)
+    if nvlink.multi_gpu_fraction is not None:
+        lines.append(
+            f"NVLink manifestations on >=2 GPUs: "
+            f"{nvlink.multi_gpu_fraction * 100:.0f}%"
+        )
+    bursty = [
+        spec_for(event_class).abbreviation
+        for event_class, stats in burstiness_by_class(errors, window).items()
+        if stats.is_bursty
+    ]
+    if bursty:
+        lines.append(f"bursty (non-Poisson) classes: {', '.join(bursty)}")
+    concentration = spatial_stats(errors)
+    if concentration.gini is not None:
+        lines.append(
+            f"spatial concentration: Gini {concentration.gini:.2f}, "
+            f"top unit {concentration.top1_share * 100:.0f}% of errors"
+        )
+    lines.append("=" * 72)
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Text renderers for the paper's tables.
+
+Each renderer takes analysis outputs and produces an aligned text table
+shaped like the corresponding table in the paper, optionally with the
+paper's published values interleaved for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis.job_impact import JobImpactResult
+from ..analysis.jobstats import BucketStats, PopulationStats
+from ..analysis.mtbe import MtbeAnalysis
+from ..calibration import paper
+from ..core.periods import PeriodName
+from ..core.xid import primary_xid, spec_for, table1_order
+
+
+def _fmt(value: Optional[float], digits: int = 1) -> str:
+    """Format a possibly-missing number the way Table I prints '-'."""
+    if value is None:
+        return "-"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+def _render_rows(header: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table1(
+    mtbe: MtbeAnalysis, include_paper: bool = True
+) -> str:
+    """Render Table I: counts and MTBEs per event class and period."""
+    header = [
+        "Event",
+        "XID",
+        "Category",
+        "Pre-op N",
+        "Op N",
+        "Pre sysMTBE(h)",
+        "Pre nodeMTBE(h)",
+        "Op sysMTBE(h)",
+        "Op nodeMTBE(h)",
+    ]
+    if include_paper:
+        header += ["paper preN", "paper opN"]
+    rows: List[Sequence[str]] = []
+    for event_class in table1_order():
+        spec = spec_for(event_class)
+        pre = mtbe.class_stat(PeriodName.PRE_OPERATIONAL, event_class)
+        op = mtbe.class_stat(PeriodName.OPERATIONAL, event_class)
+        xid = primary_xid(event_class)
+        row = [
+            spec.abbreviation,
+            str(xid) if xid is not None else "-",
+            spec.category.value,
+            str(pre.count),
+            str(op.count),
+            _fmt(pre.system_mtbe_hours),
+            _fmt(pre.per_node_mtbe_hours, 0),
+            _fmt(op.system_mtbe_hours),
+            _fmt(op.per_node_mtbe_hours, 0),
+        ]
+        if include_paper:
+            ref = paper.TABLE1_BY_CLASS[event_class]
+            row += [str(ref.pre_op_count), str(ref.op_count)]
+        rows.append(row)
+    return _render_rows(header, rows)
+
+
+def render_table2(
+    impact: JobImpactResult, include_paper: bool = True
+) -> str:
+    """Render Table II: job-failure probability given each XID."""
+    header = ["XID", "GPU Error", "# GPU-failed", "# encountering", "P(fail|XID) %"]
+    if include_paper:
+        header += ["paper %"]
+    rows: List[Sequence[str]] = []
+    order = [r.event_class for r in paper.TABLE2]
+    extra = [ec for ec in impact.per_class if ec not in order]
+    for event_class in order + sorted(extra, key=lambda e: e.value):
+        row_impact = impact.per_class.get(event_class)
+        if row_impact is None and event_class in order:
+            row_impact = None
+        spec = spec_for(event_class)
+        xid = primary_xid(event_class)
+        if row_impact is None:
+            cells = [str(xid or "-"), spec.abbreviation, "0", "0", "-"]
+        else:
+            prob = row_impact.failure_probability
+            cells = [
+                str(xid or "-"),
+                spec.abbreviation,
+                str(row_impact.gpu_failed_jobs),
+                str(row_impact.jobs_encountering),
+                _fmt(prob * 100 if prob is not None else None, 2),
+            ]
+        if include_paper:
+            ref = paper.TABLE2_BY_CLASS.get(event_class)
+            cells.append(
+                f"{ref.failure_probability * 100:.2f}" if ref else "-"
+            )
+        rows.append(cells)
+    footer = (
+        f"\nTotal GPU-failed jobs: {impact.total_gpu_failed_jobs} "
+        f"(of {impact.total_jobs_analyzed} analyzed)"
+    )
+    return _render_rows(header, rows) + footer
+
+
+def render_table3(
+    buckets: Sequence[BucketStats],
+    population: PopulationStats,
+    scale: float = 1.0,
+) -> str:
+    """Render Table III: job distribution, elapsed stats, GPU-hours.
+
+    Args:
+        buckets: from :meth:`repro.analysis.jobstats.JobStatistics.bucket_stats`.
+        population: from the same analysis.
+        scale: job scale of the run; counts and GPU-hours are divided
+            by it to print full-scale-equivalent values.
+    """
+    header = [
+        "GPU Count",
+        "Count(full-scale)",
+        "%",
+        "Mean(min)",
+        "P50",
+        "P99",
+        "ML GPUh(k)",
+        "NonML GPUh(k)",
+        "paper %",
+    ]
+    rows: List[Sequence[str]] = []
+    for stats in buckets:
+        rows.append(
+            [
+                stats.bucket.label,
+                f"{stats.count / scale:,.0f}",
+                f"{stats.share * 100:.2f}",
+                _fmt(stats.mean_minutes, 1),
+                _fmt(stats.p50_minutes, 2),
+                _fmt(stats.p99_minutes, 1),
+                f"{stats.ml_gpu_hours / scale / 1000:.1f}",
+                f"{stats.non_ml_gpu_hours / scale / 1000:.1f}",
+                f"{stats.bucket.job_share * 100:.2f}",
+            ]
+        )
+    lines = [_render_rows(header, rows)]
+    if population.gpu_success_rate is not None:
+        lines.append(
+            f"\nGPU jobs: {population.gpu_jobs / scale:,.0f} full-scale-equivalent, "
+            f"success rate {population.gpu_success_rate * 100:.2f}% "
+            f"(paper: {paper.JOB_POPULATION.gpu_success_rate * 100:.2f}%)"
+        )
+    if population.cpu_success_rate is not None:
+        lines.append(
+            f"CPU jobs: {population.cpu_jobs / scale:,.0f} full-scale-equivalent, "
+            f"success rate {population.cpu_success_rate * 100:.2f}% "
+            f"(paper: {paper.JOB_POPULATION.cpu_success_rate * 100:.2f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel and deterministic random streams."""
+
+from .engine import Engine, EventHandle
+from .rng import RngRegistry
+
+__all__ = ["Engine", "EventHandle", "RngRegistry"]

@@ -1,0 +1,24 @@
+"""Slurm-like scheduler and sacct-style accounting database."""
+
+from .accounting import (
+    AccountingWriter,
+    load_records,
+    read_accounting,
+    read_ground_truth,
+)
+from .scheduler import CPU_SLOTS_PER_NODE, Scheduler
+from .types import Allocation, JobRecord, JobRequest, JobState, Partition
+
+__all__ = [
+    "AccountingWriter",
+    "load_records",
+    "read_accounting",
+    "read_ground_truth",
+    "CPU_SLOTS_PER_NODE",
+    "Scheduler",
+    "Allocation",
+    "JobRecord",
+    "JobRequest",
+    "JobState",
+    "Partition",
+]

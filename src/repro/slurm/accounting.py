@@ -1,0 +1,197 @@
+"""Slurm accounting database: the ``sacct``-style artifact.
+
+The simulator writes finished jobs into a pipe-separated file (the same
+shape as ``sacct -P`` output) and the analysis pipeline reads it back.
+Like the paper's setup, the accounting data carries job identity,
+timing, resources, placement, and exit status — and nothing about *why*
+a job failed; attributing failures to GPU errors is the analysis
+pipeline's task (Section V-B).
+
+Ground truth the simulator knows (which error killed a job, whether a
+job is really ML) is written to a *separate* sidecar file used only for
+validating the analysis, never as its input.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import LogFormatError
+from ..core.timebase import format_slurm_timestamp, parse_slurm_timestamp
+from ..core.xid import EventClass
+from .types import Allocation, JobRecord, JobState, Partition
+
+#: Column order of the sacct-style CSV.
+SACCT_FIELDS = (
+    "JobID",
+    "JobName",
+    "User",
+    "Partition",
+    "Submit",
+    "Start",
+    "End",
+    "State",
+    "ExitCode",
+    "NNodes",
+    "NodeList",
+    "AllocGPUS",
+    "GresIdx",
+)
+
+#: Column order of the ground-truth sidecar.
+TRUTH_FIELDS = ("JobID", "KilledBy", "IsML")
+
+
+def _format_gres(allocation: Allocation) -> str:
+    """Encode per-node GPU indices, e.g. ``gpua001:0,1;gpua002:0``."""
+    parts = [
+        f"{node}:{','.join(str(i) for i in indices)}"
+        for node, indices in sorted(allocation.gpus.items())
+    ]
+    return ";".join(parts)
+
+
+def _parse_gres(text: str) -> Dict[str, Tuple[int, ...]]:
+    """Decode the ``GresIdx`` field back into a node → indices map."""
+    if not text:
+        return {}
+    gpus: Dict[str, Tuple[int, ...]] = {}
+    for part in text.split(";"):
+        try:
+            node, idx_text = part.split(":")
+            gpus[node] = tuple(int(i) for i in idx_text.split(","))
+        except ValueError as exc:
+            raise LogFormatError(f"bad GresIdx fragment {part!r}") from exc
+    return gpus
+
+
+class AccountingWriter:
+    """Streams finished jobs into the sacct CSV and the truth sidecar.
+
+    Usable as the scheduler's ``on_job_end`` hook; call :meth:`close`
+    (or use as a context manager) when the simulation finishes.
+    """
+
+    def __init__(self, sacct_path: Path, truth_path: Optional[Path] = None) -> None:
+        self._sacct_file = open(sacct_path, "w", newline="", encoding="utf-8")
+        self._sacct = csv.writer(self._sacct_file, delimiter="|")
+        self._sacct.writerow(SACCT_FIELDS)
+        self._truth_file = None
+        self._truth = None
+        if truth_path is not None:
+            self._truth_file = open(truth_path, "w", newline="", encoding="utf-8")
+            self._truth = csv.writer(self._truth_file, delimiter="|")
+            self._truth.writerow(TRUTH_FIELDS)
+        self._count = 0
+
+    def write(self, record: JobRecord) -> None:
+        """Append one finished job."""
+        self._sacct.writerow(
+            (
+                record.job_id,
+                record.name,
+                record.user,
+                record.partition.value,
+                format_slurm_timestamp(record.submit_time),
+                format_slurm_timestamp(record.start_time),
+                format_slurm_timestamp(record.end_time),
+                record.state.value,
+                f"{record.exit_code}:0",
+                len(record.allocation.nodes),
+                ",".join(record.allocation.nodes),
+                record.gpu_count,
+                _format_gres(record.allocation),
+            )
+        )
+        if self._truth is not None:
+            self._truth.writerow(
+                (
+                    record.job_id,
+                    record.killed_by.value if record.killed_by else "",
+                    int(record.is_ml_truth),
+                )
+            )
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Jobs written so far."""
+        return self._count
+
+    def close(self) -> None:
+        """Flush and close the underlying files."""
+        self._sacct_file.close()
+        if self._truth_file is not None:
+            self._truth_file.close()
+
+    def __enter__(self) -> "AccountingWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_accounting(path: Path) -> Iterator[JobRecord]:
+    """Stream job records back out of a sacct CSV.
+
+    ``killed_by``/``is_ml_truth`` are not present in the accounting data
+    (by design); records come back with their defaults.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter="|")
+        header = next(reader, None)
+        if header is None or tuple(header) != SACCT_FIELDS:
+            raise LogFormatError(f"{path}: unrecognized sacct header {header}")
+        for row in reader:
+            if len(row) != len(SACCT_FIELDS):
+                raise LogFormatError(f"{path}: malformed row {row!r}")
+            (
+                job_id,
+                name,
+                user,
+                partition,
+                submit,
+                start,
+                end,
+                state,
+                exit_code,
+                _nnodes,
+                node_list,
+                alloc_gpus,
+                gres_idx,
+            ) = row
+            nodes = tuple(node_list.split(",")) if node_list else ()
+            yield JobRecord(
+                job_id=int(job_id),
+                name=name,
+                user=user,
+                partition=Partition(partition),
+                submit_time=parse_slurm_timestamp(submit),
+                start_time=parse_slurm_timestamp(start),
+                end_time=parse_slurm_timestamp(end),
+                state=JobState(state),
+                exit_code=int(exit_code.split(":")[0]),
+                allocation=Allocation(nodes=nodes, gpus=_parse_gres(gres_idx)),
+                gpu_count=int(alloc_gpus),
+            )
+
+
+def read_ground_truth(path: Path) -> Dict[int, Tuple[Optional[EventClass], bool]]:
+    """Load the validation sidecar: job id → (killer class, is_ml)."""
+    truth: Dict[int, Tuple[Optional[EventClass], bool]] = {}
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter="|")
+        header = next(reader, None)
+        if header is None or tuple(header) != TRUTH_FIELDS:
+            raise LogFormatError(f"{path}: unrecognized truth header {header}")
+        for job_id, killed_by, is_ml in reader:
+            killer = EventClass(killed_by) if killed_by else None
+            truth[int(job_id)] = (killer, bool(int(is_ml)))
+    return truth
+
+
+def load_records(path: Path) -> List[JobRecord]:
+    """Eagerly load a whole accounting file (convenience for analyses)."""
+    return list(read_accounting(path))

@@ -1,0 +1,334 @@
+"""The Slurm-like scheduler running Delta's synthetic workload.
+
+A deliberately faithful-but-compact scheduler: FIFO with a
+first-fit scan over the whole queue (a conservative stand-in for
+Slurm's backfill), GPU-granular placement on the A100 partitions,
+slot-based placement on the CPU partition, and the drain/return
+protocol the ops layer drives.
+
+The scheduler is also where GPU errors meet jobs: the fault injector
+asks :meth:`jobs_using_gpu` / :meth:`jobs_on_node` and then calls
+:meth:`kill_job` for the victims, which ends the job with ``FAILED`` or
+``NODE_FAIL`` within the sub-20-second window the paper's attribution
+method relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..cluster.node import NodeState
+from ..cluster.topology import Cluster
+from ..core.exceptions import SchedulingError
+from ..core.xid import EventClass
+from ..sim.engine import Engine, EventHandle
+from .types import Allocation, JobRecord, JobRequest, JobState, Partition
+
+#: Concurrent jobs a CPU node can host (two 64-core EPYCs, slot model).
+CPU_SLOTS_PER_NODE = 8
+
+
+@dataclass
+class _RunningJob:
+    """Scheduler-internal state of a started job."""
+
+    request: JobRequest
+    start_time: float
+    allocation: Allocation
+    end_handle: EventHandle
+    killed_by: Optional[EventClass] = None
+
+
+class Scheduler:
+    """FIFO + first-fit scheduler over the simulated cluster.
+
+    Args:
+        engine: simulation kernel (job starts/ends are its events).
+        cluster: the machine; GPU ``busy`` flags and node states are
+            kept in sync with allocations.
+        on_job_end: optional hook invoked with each finished
+            :class:`~repro.slurm.types.JobRecord` (the accounting DB
+            subscribes here).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        on_job_end: Optional[Callable[[JobRecord], None]] = None,
+    ) -> None:
+        self._engine = engine
+        self._cluster = cluster
+        self._on_job_end = on_job_end
+        self._queue: Deque[JobRequest] = deque()
+        self._running: Dict[int, _RunningJob] = {}
+        self._jobs_by_node: Dict[str, set] = {}
+        self._cpu_slots_used: Dict[str, int] = {}
+        self._empty_callbacks: Dict[str, List[Callable[[], None]]] = {}
+        self._drained: set = set()
+        self.records: List[JobRecord] = []
+
+    # ------------------------------------------------------------------
+    # Submission and placement
+    # ------------------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> None:
+        """Enqueue a job and immediately try to place queued work."""
+        self._queue.append(request)
+        self._try_schedule()
+
+    def _try_schedule(self) -> None:
+        """First-fit scan over the queue; starts everything that fits."""
+        if not self._queue:
+            return
+        still_waiting: Deque[JobRequest] = deque()
+        while self._queue:
+            request = self._queue.popleft()
+            allocation = self._find_allocation(request)
+            if allocation is None:
+                still_waiting.append(request)
+            else:
+                self._start_job(request, allocation)
+        self._queue = still_waiting
+
+    def _find_allocation(self, request: JobRequest) -> Optional[Allocation]:
+        if request.partition is Partition.CPU:
+            return self._find_cpu_allocation()
+        return self._find_gpu_allocation(request)
+
+    def _find_cpu_allocation(self) -> Optional[Allocation]:
+        for node in self._cluster.cpu_nodes():
+            if not node.schedulable or node.name in self._drained:
+                continue
+            used = self._cpu_slots_used.get(node.name, 0)
+            if used < CPU_SLOTS_PER_NODE:
+                return Allocation(nodes=(node.name,))
+        return None
+
+    def _find_gpu_allocation(self, request: JobRequest) -> Optional[Allocation]:
+        count = request.gpu_count
+        candidates = [
+            n
+            for n in self._cluster.gpu_nodes()
+            if n.schedulable and n.name not in self._drained
+        ]
+        # Single-node placement: smallest node that fits, fewest leftover.
+        if count <= 8:
+            best = None
+            for node in candidates:
+                free = node.free_gpu_indices()
+                if len(free) >= count and node.gpu_count >= count:
+                    if best is None or len(free) < len(best[1]):
+                        best = (node, free)
+            if best is not None:
+                node, free = best
+                chosen = tuple(free[:count])
+                return Allocation(nodes=(node.name,), gpus={node.name: chosen})
+            if count <= 4:
+                return None
+            # fall through: 5-8 GPU jobs may span two 4-way nodes
+        # Multi-node placement: grab fully idle nodes until covered.
+        chosen_nodes: List[Tuple[str, Tuple[int, ...]]] = []
+        remaining = count
+        for node in candidates:
+            free = node.free_gpu_indices()
+            if len(free) != node.gpu_count:
+                continue  # exclusive whole-node allocations only
+            take = min(remaining, len(free))
+            chosen_nodes.append((node.name, tuple(free[:take])))
+            remaining -= take
+            if remaining == 0:
+                break
+        if remaining > 0:
+            return None
+        return Allocation(
+            nodes=tuple(n for n, _ in chosen_nodes),
+            gpus={n: g for n, g in chosen_nodes},
+        )
+
+    def _start_job(self, request: JobRequest, allocation: Allocation) -> None:
+        now = self._engine.now
+        for node_name, indices in allocation.gpus.items():
+            node = self._cluster.node(node_name)
+            for index in indices:
+                gpu = node.gpu(index)
+                if gpu.busy:
+                    raise SchedulingError(f"{gpu.name} double-allocated")
+                gpu.busy = True
+            node.state = NodeState.ALLOCATED
+        if request.partition is Partition.CPU:
+            node_name = allocation.nodes[0]
+            self._cpu_slots_used[node_name] = (
+                self._cpu_slots_used.get(node_name, 0) + 1
+            )
+        handle = self._engine.schedule(
+            now + request.duration,
+            lambda: self._natural_end(request.job_id),
+            priority=10,
+            label=f"jobend:{request.job_id}",
+        )
+        running = _RunningJob(
+            request=request,
+            start_time=now,
+            allocation=allocation,
+            end_handle=handle,
+        )
+        self._running[request.job_id] = running
+        for node_name in allocation.nodes:
+            self._jobs_by_node.setdefault(node_name, set()).add(request.job_id)
+
+    # ------------------------------------------------------------------
+    # Job termination
+    # ------------------------------------------------------------------
+
+    def _natural_end(self, job_id: int) -> None:
+        running = self._running.get(job_id)
+        if running is None:
+            return
+        if running.request.intrinsic_failure:
+            self._finish(running, JobState.FAILED, exit_code=1)
+        else:
+            self._finish(running, JobState.COMPLETED, exit_code=0)
+
+    def kill_job(
+        self, job_id: int, cause: EventClass, node_failure: bool = False
+    ) -> bool:
+        """Terminate a running job because of a GPU error.
+
+        Returns False when the job already ended (races between an
+        error and a natural completion resolve in event order).
+        """
+        running = self._running.get(job_id)
+        if running is None:
+            return False
+        running.end_handle.cancel()
+        running.killed_by = cause
+        state = JobState.NODE_FAIL if node_failure else JobState.FAILED
+        self._finish(running, state, exit_code=137)
+        return True
+
+    def _finish(self, running: _RunningJob, state: JobState, exit_code: int) -> None:
+        request = running.request
+        record = JobRecord(
+            job_id=request.job_id,
+            name=request.name,
+            user=request.user,
+            partition=request.partition,
+            submit_time=request.submit_time,
+            start_time=running.start_time,
+            end_time=self._engine.now,
+            state=state,
+            exit_code=exit_code,
+            allocation=running.allocation,
+            gpu_count=request.gpu_count,
+            is_ml_truth=request.is_ml,
+            killed_by=running.killed_by,
+        )
+        # Release resources.
+        for node_name, indices in running.allocation.gpus.items():
+            node = self._cluster.node(node_name)
+            for index in indices:
+                node.gpu(index).busy = False
+            if not any(g.busy for g in node.gpus) and node.state is NodeState.ALLOCATED:
+                node.state = NodeState.IDLE
+        if request.partition is Partition.CPU:
+            node_name = running.allocation.nodes[0]
+            self._cpu_slots_used[node_name] = max(
+                0, self._cpu_slots_used.get(node_name, 1) - 1
+            )
+        del self._running[request.job_id]
+        for node_name in running.allocation.nodes:
+            members = self._jobs_by_node.get(node_name)
+            if members is not None:
+                members.discard(request.job_id)
+                if not members:
+                    self._fire_empty_callbacks(node_name)
+        self.records.append(record)
+        if self._on_job_end is not None:
+            self._on_job_end(record)
+        self._try_schedule()
+
+    # ------------------------------------------------------------------
+    # Fault-injection queries
+    # ------------------------------------------------------------------
+
+    def jobs_using_gpu(self, node: str, gpu_index: int) -> List[int]:
+        """Job ids whose allocation includes a specific GPU."""
+        return [
+            job_id
+            for job_id in self._jobs_by_node.get(node, ())
+            if self._running[job_id].allocation.uses_gpu(node, gpu_index)
+        ]
+
+    def jobs_on_node(self, node: str) -> List[int]:
+        """Job ids with any allocation on the node."""
+        return sorted(self._jobs_by_node.get(node, ()))
+
+    def job_gpu_count(self, job_id: int) -> int:
+        """Total GPUs a running job holds (0 if not running)."""
+        running = self._running.get(job_id)
+        return 0 if running is None else running.request.gpu_count
+
+    def nodes_with_multi_gpu_jobs(self) -> List[str]:
+        """Nodes currently hosting at least one multi-GPU job.
+
+        Used by the NVLink fault model: links carrying active traffic
+        fail disproportionately under load.
+        """
+        nodes: set = set()
+        for running in self._running.values():
+            if running.request.gpu_count >= 2:
+                nodes.update(running.allocation.nodes)
+        return sorted(nodes)
+
+    def gpu_busy_fraction(self) -> float:
+        """Fraction of the cluster's A100s currently allocated."""
+        gpus = self._cluster.gpus()
+        if not gpus:
+            return 0.0
+        return sum(1 for g in gpus if g.busy) / len(gpus)
+
+    # ------------------------------------------------------------------
+    # Ops control surface (SchedulerControl protocol)
+    # ------------------------------------------------------------------
+
+    def drain_node(self, node: str) -> None:
+        """Stop placing new work on the node."""
+        self._drained.add(node)
+
+    def jobs_running_on(self, node: str) -> int:
+        """Number of jobs currently running on the node."""
+        return len(self._jobs_by_node.get(node, ()))
+
+    def notify_when_empty(self, node: str, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once the node has no running jobs."""
+        if self.jobs_running_on(node) == 0:
+            callback()
+        else:
+            self._empty_callbacks.setdefault(node, []).append(callback)
+
+    def node_returned(self, node: str) -> None:
+        """Node passed health checks; resume placing work on it."""
+        self._drained.discard(node)
+        self._try_schedule()
+
+    def _fire_empty_callbacks(self, node: str) -> None:
+        callbacks = self._empty_callbacks.pop(node, [])
+        for callback in callbacks:
+            callback()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queued_count(self) -> int:
+        """Jobs waiting for resources."""
+        return len(self._queue)
+
+    @property
+    def running_count(self) -> int:
+        """Jobs currently executing."""
+        return len(self._running)

@@ -1,0 +1,145 @@
+"""Slurm-side data types: job requests, allocations, accounting records.
+
+The fields mirror what the paper pulled from Delta's Slurm database
+(Section III-A): per-job submission/start/end times, resources
+requested, scheduled nodes, exit status, and the job name used for the
+ML-workload heuristic of Section V-A.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.xid import EventClass
+
+
+class JobState(enum.Enum):
+    """Terminal job states (subset of Slurm's)."""
+
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    NODE_FAIL = "NODE_FAIL"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def is_success(self) -> bool:
+        """True only for a clean completion."""
+        return self is JobState.COMPLETED
+
+
+class Partition(enum.Enum):
+    """Delta partitions relevant to the study."""
+
+    GPU_A100_X4 = "gpuA100x4"
+    GPU_A100_X8 = "gpuA100x8"
+    CPU = "cpu"
+
+    @property
+    def is_gpu(self) -> bool:
+        """True for the A100 partitions."""
+        return self is not Partition.CPU
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job submission as the scheduler sees it.
+
+    Attributes:
+        job_id: unique integer id (monotone in submit order).
+        name: job name — carries the ML signal for Section V-A's
+            keyword heuristic.
+        user: synthetic username.
+        partition: target partition.
+        submit_time: submission instant (seconds).
+        gpu_count: GPUs requested (0 for CPU jobs).
+        duration: natural runtime if nothing kills the job (seconds).
+        intrinsic_failure: True when the job would fail on its own
+            (user bug, OOM, bad input — the ~25% non-GPU failure mass
+            of Section V-A).
+        is_ml: ground-truth ML flag used only to *validate* the
+            name-based classifier, never by the analysis itself.
+    """
+
+    job_id: int
+    name: str
+    user: str
+    partition: Partition
+    submit_time: float
+    gpu_count: int
+    duration: float
+    intrinsic_failure: bool = False
+    is_ml: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"job {self.job_id}: non-positive duration")
+        if self.gpu_count < 0:
+            raise ValueError(f"job {self.job_id}: negative gpu_count")
+        if self.partition.is_gpu and self.gpu_count == 0:
+            raise ValueError(f"job {self.job_id}: GPU partition but 0 GPUs")
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Concrete resources granted to a running job.
+
+    ``gpus`` maps node name → allocated GPU indices on that node
+    (empty tuple values never appear; CPU jobs have an empty dict).
+    """
+
+    nodes: Tuple[str, ...]
+    gpus: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def gpu_count(self) -> int:
+        """Total GPUs in the allocation."""
+        return sum(len(v) for v in self.gpus.values())
+
+    def uses_gpu(self, node: str, gpu_index: int) -> bool:
+        """True when the allocation includes a specific GPU."""
+        return gpu_index in self.gpus.get(node, ())
+
+    def gpus_on(self, node: str) -> Tuple[int, ...]:
+        """GPU indices held on one node (empty tuple if none)."""
+        return self.gpus.get(node, ())
+
+
+@dataclass
+class JobRecord:
+    """The finished-job record written to the accounting database.
+
+    This is the analysis-facing artifact; ``killed_by`` is simulator
+    ground truth kept for validation and is *not* serialized into the
+    sacct CSV the pipeline reads.
+    """
+
+    job_id: int
+    name: str
+    user: str
+    partition: Partition
+    submit_time: float
+    start_time: float
+    end_time: float
+    state: JobState
+    exit_code: int
+    allocation: Allocation
+    gpu_count: int
+    is_ml_truth: bool = False
+    killed_by: Optional[EventClass] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock runtime in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def elapsed_minutes(self) -> float:
+        """Wall-clock runtime in minutes (Table III's unit)."""
+        return self.elapsed / 60.0
+
+    @property
+    def gpu_hours(self) -> float:
+        """GPU-hours consumed (Table III's resource metric)."""
+        return self.gpu_count * self.elapsed / 3600.0

@@ -1,0 +1,7 @@
+"""Study orchestration: configuration, runner, artifacts."""
+
+from .artifacts import StudyArtifacts
+from .config import StudyConfig
+from .runner import DeltaStudy
+
+__all__ = ["StudyArtifacts", "StudyConfig", "DeltaStudy"]

@@ -1,0 +1,93 @@
+"""Artifacts of one study run.
+
+A run produces two kinds of output:
+
+* **On-disk artifacts** — exactly what the paper's pipeline consumed:
+  a day-partitioned syslog directory, the hardware inventory, and the
+  Slurm accounting CSV (plus the validation-only ground-truth sidecar).
+* **In-memory ground truth** — logical error events, downtime records,
+  finished job records, utilization samples.  Validation tests compare
+  pipeline output against these; the pipeline itself only reads the
+  on-disk artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import DowntimeRecord, GpuErrorEvent
+from ..core.xid import EventClass
+from ..slurm.types import JobRecord
+
+
+@dataclass
+class StudyArtifacts:
+    """Everything a finished run leaves behind.
+
+    Attributes:
+        output_dir: root of the on-disk artifacts (``None`` when the
+            run was memory-only).
+        syslog_dir: directory of per-day syslog files.
+        inventory_path: the hardware inventory JSON.
+        sacct_path: the Slurm accounting CSV.
+        truth_path: validation-only sidecar with kill causes/ML truth.
+        window: the study window the run covered.
+        node_count: number of A100 nodes simulated.
+        logical_events: ground-truth logical errors, in emission order.
+        downtime_records: node-unavailability episodes.
+        job_records: finished jobs, in completion order.
+        utilization_samples: (time, busy_fraction) samples.
+        raw_log_lines: total raw syslog lines written.
+    """
+
+    output_dir: Path | None
+    syslog_dir: Path | None
+    inventory_path: Path | None
+    sacct_path: Path | None
+    truth_path: Path | None
+    window: StudyWindow
+    node_count: int
+    logical_events: List[GpuErrorEvent] = field(default_factory=list)
+    downtime_records: List[DowntimeRecord] = field(default_factory=list)
+    job_records: List[JobRecord] = field(default_factory=list)
+    utilization_samples: List[Tuple[float, float]] = field(default_factory=list)
+    raw_log_lines: int = 0
+
+    def logical_counts(self) -> Dict[PeriodName, Dict[EventClass, int]]:
+        """Ground-truth logical-error counts by period and class."""
+        counts: Dict[PeriodName, Dict[EventClass, int]] = {
+            PeriodName.PRE_OPERATIONAL: {},
+            PeriodName.OPERATIONAL: {},
+        }
+        for event in self.logical_events:
+            period = self.window.period_of(event.time)
+            bucket = counts[period]
+            bucket[event.event_class] = bucket.get(event.event_class, 0) + 1
+        return counts
+
+    def mean_utilization(self, period: PeriodName) -> float:
+        """Mean sampled GPU busy fraction over one period."""
+        bounds = self.window.period(period)
+        values = [
+            u for t, u in self.utilization_samples if bounds.contains(t)
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def summary(self) -> str:
+        """A short human-readable run summary."""
+        lines = [
+            f"window: {self.window.total_days:.0f} days "
+            f"({self.window.pre_operational.duration_days:.0f} pre-op "
+            f"+ {self.window.operational.duration_days:.0f} op)",
+            f"nodes: {self.node_count}",
+            f"logical errors: {len(self.logical_events)}",
+            f"raw log lines: {self.raw_log_lines}",
+            f"jobs finished: {len(self.job_records)}",
+            f"downtime episodes: {len(self.downtime_records)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Top-level study configuration.
+
+:class:`StudyConfig` aggregates every subsystem's configuration into a
+single object with Delta defaults.  Presets:
+
+* :meth:`StudyConfig.delta` — the full 1170-day, 106-node study at a
+  chosen job scale (the benchmark configuration).
+* :meth:`StudyConfig.small` — a shrunk cluster and window for tests and
+  quick examples; rates are kept at Delta levels so behaviour is
+  representative even though absolute counts are small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..cluster.topology import ClusterShape
+from ..core.periods import StudyWindow
+from ..faults.config import FaultSuiteConfig
+from ..ops.manager import OpsPolicy
+from ..ops.repair import RepairTimeConfig
+from ..syslog.noise import NoiseConfig
+from ..workload.generator import WorkloadConfig
+from ..calibration.delta import delta_fault_suite
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything one simulation run needs.
+
+    Attributes:
+        seed: root seed for all random streams.
+        cluster_shape: node mix (defaults to Delta's 106 A100 nodes).
+        window: measurement window (defaults to the 1170-day study).
+        fault_suite: calibrated fault models.
+        workload: job-stream scaling and mix.
+        ops_policy: SRE behaviour.
+        repair: unavailable-duration model.
+        noise: benign log traffic intensity.
+        fault_scale: multiplier on all error onset rates (tests may
+            shrink windows and boost rates to keep counts meaningful).
+        utilization_sample_interval_hours: cadence of the GPU busy
+            fraction sampler.
+        compress_logs: gzip the per-day syslog files (the archival form
+            of Delta's consolidated logs; the pipeline reads both).
+    """
+
+    seed: int = 2022
+    cluster_shape: ClusterShape = field(default_factory=ClusterShape)
+    window: StudyWindow = field(default_factory=StudyWindow.delta_default)
+    fault_suite: FaultSuiteConfig = field(default_factory=delta_fault_suite)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    ops_policy: OpsPolicy = field(default_factory=OpsPolicy)
+    repair: RepairTimeConfig = field(default_factory=RepairTimeConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    fault_scale: float = 1.0
+    utilization_sample_interval_hours: float = 6.0
+    compress_logs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fault_scale <= 0:
+            raise ValueError("fault_scale must be positive")
+        if self.utilization_sample_interval_hours <= 0:
+            raise ValueError("utilization sample interval must be positive")
+
+    @classmethod
+    def delta(
+        cls,
+        seed: int = 2022,
+        job_scale: float = 0.05,
+        fault_scale: float = 1.0,
+    ) -> "StudyConfig":
+        """The full Delta study at a chosen job scale.
+
+        ``job_scale=0.05`` runs ~72k GPU jobs plus ~84k CPU jobs over
+        the 1170-day window — enough for job-impact statistics while a
+        full run stays around a minute.
+        """
+        return cls(
+            seed=seed,
+            workload=WorkloadConfig(job_scale=job_scale),
+            fault_scale=fault_scale,
+        )
+
+    @classmethod
+    def delta_workload_focused(
+        cls, seed: int = 2022, job_scale: float = 0.05
+    ) -> "StudyConfig":
+        """Delta with faults thinned to a trace level (for Table III).
+
+        At reduced job scale the full-scale error flux terminates far
+        more of the (scaled) job population than the 0.23% seen on the
+        real machine, distorting elapsed-time tails.  The job-population
+        experiment (E3/E7) therefore runs with ``fault_scale=0.02``,
+        restoring the paper's regime in which GPU errors are a
+        negligible perturbation of the workload statistics.
+        """
+        return cls(
+            seed=seed,
+            workload=WorkloadConfig(
+                job_scale=job_scale, error_kill_allowance=0.002
+            ),
+            fault_scale=0.02,
+        )
+
+    @classmethod
+    def small(
+        cls,
+        seed: int = 7,
+        pre_days: float = 20.0,
+        op_days: float = 60.0,
+        job_scale: float = 0.02,
+        fault_scale: float = 1.0,
+        include_episode: bool = False,
+    ) -> "StudyConfig":
+        """A fast configuration for tests and quickstart examples.
+
+        Shrinks the cluster (8 GPU nodes) and the window while keeping
+        Table I's *count targets*: the calibration spreads the same
+        expected number of logical errors over whatever window it is
+        given, so even an 80-day run produces paper-scale counts for
+        every event class and every code path fires.  Use
+        ``fault_scale`` to thin the error volume further.
+        """
+        suite = delta_fault_suite(include_episode=include_episode)
+        if include_episode:
+            episode = suite.defective_episode
+            assert episode is not None
+            episode = replace(
+                episode,
+                start_day=min(2.0, pre_days / 4),
+                end_day=min(5.0, pre_days / 2),
+            )
+            suite = replace(suite, defective_episode=episode)
+        return cls(
+            seed=seed,
+            cluster_shape=ClusterShape(
+                four_way_nodes=6, eight_way_nodes=2, cpu_nodes=2
+            ),
+            window=StudyWindow.scaled(pre_days=pre_days, op_days=op_days),
+            fault_suite=suite,
+            workload=WorkloadConfig(job_scale=job_scale, max_gpu_count=16),
+            fault_scale=fault_scale,
+            utilization_sample_interval_hours=2.0,
+        )

@@ -1,0 +1,185 @@
+"""The study runner: builds, runs, and flushes one simulated study.
+
+:class:`DeltaStudy` is the library's main entry point on the generation
+side.  It assembles the cluster, scheduler, ops layer, fault injector,
+noise generator, and utilization sampler from a
+:class:`~repro.study.config.StudyConfig`, runs the discrete-event
+simulation over the full measurement window, and writes the on-disk
+artifacts the analysis pipeline consumes.
+
+    >>> from pathlib import Path
+    >>> from repro import DeltaStudy, StudyConfig
+    >>> study = DeltaStudy(StudyConfig.small())
+    >>> artifacts = study.run(Path("/tmp/delta-run"))   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from ..cluster.inventory import Inventory
+from ..cluster.topology import Cluster
+from ..core.timebase import HOUR
+from ..faults.injector import FaultInjector
+from ..ops.manager import OpsManager
+from ..ops.repair import RepairTimeModel
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from ..slurm.accounting import AccountingWriter
+from ..slurm.scheduler import Scheduler
+from ..slurm.types import JobRequest
+from ..syslog.noise import generate_noise
+from ..syslog.records import LogBus
+from ..syslog.writer import write_day_partitioned
+from ..workload.generator import WorkloadGenerator
+from .artifacts import StudyArtifacts
+from .config import StudyConfig
+
+
+class _JobFeeder:
+    """Feeds job submissions into the engine one event at a time.
+
+    Keeps at most one pending submission event on the heap regardless
+    of stream length, so multi-million-job runs do not pre-materialize
+    millions of closures.
+    """
+
+    def __init__(
+        self, engine: Engine, scheduler: Scheduler, requests: List[JobRequest]
+    ) -> None:
+        self._engine = engine
+        self._scheduler = scheduler
+        self._iterator: Iterator[JobRequest] = iter(requests)
+        self._advance()
+
+    def _advance(self) -> None:
+        request = next(self._iterator, None)
+        if request is None:
+            return
+        self._engine.schedule(
+            max(request.submit_time, self._engine.now),
+            lambda r=request: self._submit(r),
+            priority=-5,
+            label="submit",
+        )
+
+    def _submit(self, request: JobRequest) -> None:
+        self._scheduler.submit(request)
+        self._advance()
+
+
+class DeltaStudy:
+    """One simulated Delta resilience study."""
+
+    def __init__(self, config: StudyConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> StudyConfig:
+        """The run's configuration."""
+        return self._config
+
+    def run(self, output_dir: Optional[Path] = None) -> StudyArtifacts:
+        """Run the full simulation; optionally write on-disk artifacts.
+
+        Args:
+            output_dir: where to write ``syslog/``, ``inventory.json``,
+                ``sacct.csv``, and ``truth.csv``.  ``None`` keeps the
+                run memory-only (useful for tests that only need the
+                ground truth).
+
+        Returns:
+            the :class:`~repro.study.artifacts.StudyArtifacts`.
+        """
+        cfg = self._config
+        cluster = Cluster(cfg.cluster_shape)
+        cluster.validate()
+        rngs = RngRegistry(cfg.seed)
+        engine = Engine(horizon=cfg.window.end)
+        log_bus = LogBus()
+        scheduler = Scheduler(engine, cluster)
+        repair = RepairTimeModel(cfg.repair, rngs.stream("ops.repair"))
+        ops = OpsManager(
+            engine=engine,
+            cluster=cluster,
+            scheduler=scheduler,
+            repair_model=repair,
+            policy=cfg.ops_policy,
+            window=cfg.window,
+            rng=rngs.stream("ops.detection"),
+            on_event=log_bus.emit,
+        )
+        injector = FaultInjector(
+            engine=engine,
+            cluster=cluster,
+            scheduler=scheduler,
+            ops=ops,
+            log_bus=log_bus,
+            suite=cfg.fault_suite,
+            window=cfg.window,
+            rngs=rngs,
+            fault_scale=cfg.fault_scale,
+        )
+        injector.arm()
+
+        generator = WorkloadGenerator(cfg.workload, rngs.stream("workload"))
+        requests = generator.generate(cfg.window)
+        _JobFeeder(engine, scheduler, requests)
+
+        utilization_samples: List[Tuple[float, float]] = []
+        interval = cfg.utilization_sample_interval_hours * HOUR
+
+        def sample_utilization() -> None:
+            utilization_samples.append(
+                (engine.now, scheduler.gpu_busy_fraction())
+            )
+            if engine.now + interval < engine.horizon:
+                engine.schedule_after(interval, sample_utilization)
+
+        engine.schedule(interval / 2.0, sample_utilization)
+
+        engine.run()
+
+        # Benign noise and excluded XIDs never interact with the DES
+        # state, so they are generated in one vectorized pass post-run.
+        noise = generate_noise(
+            cfg.noise,
+            node_names=[n.name for n in cluster.nodes()],
+            gpu_node_names=[n.name for n in cluster.gpu_nodes()],
+            window=cfg.window,
+            rng=rngs.stream("syslog.noise"),
+        )
+        log_bus.extend(noise)
+
+        syslog_dir = inventory_path = sacct_path = truth_path = None
+        if output_dir is not None:
+            output_dir.mkdir(parents=True, exist_ok=True)
+            syslog_dir = output_dir / "syslog"
+            write_day_partitioned(
+                syslog_dir, log_bus.sorted_records(), compress=cfg.compress_logs
+            )
+            inventory_path = output_dir / "inventory.json"
+            Inventory.from_cluster(cluster).save(inventory_path)
+            sacct_path = output_dir / "sacct.csv"
+            truth_path = output_dir / "truth.csv"
+            with AccountingWriter(sacct_path, truth_path) as writer:
+                for record in sorted(
+                    scheduler.records, key=lambda r: r.end_time
+                ):
+                    writer.write(record)
+
+        return StudyArtifacts(
+            output_dir=output_dir,
+            syslog_dir=syslog_dir,
+            inventory_path=inventory_path,
+            sacct_path=sacct_path,
+            truth_path=truth_path,
+            window=cfg.window,
+            node_count=cfg.cluster_shape.gpu_node_count,
+            logical_events=injector.logical_events,
+            downtime_records=ops.downtime_records,
+            job_records=scheduler.records,
+            utilization_samples=utilization_samples,
+            raw_log_lines=len(log_bus),
+        )

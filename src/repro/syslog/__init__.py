@@ -1,0 +1,25 @@
+"""Syslog substrate: NVRM line formats, log bus, day-partitioned
+writer/reader, and benign noise."""
+
+from .noise import NoiseConfig, generate_noise
+from .nvrm import ecc_accounting_line, render_event_line, xid_line
+from .reader import RawLine, iter_parsed_lines, iter_raw_lines, list_day_files, parse_line
+from .records import LogBus, LogRecord
+from .writer import day_file_name, write_day_partitioned
+
+__all__ = [
+    "NoiseConfig",
+    "generate_noise",
+    "ecc_accounting_line",
+    "render_event_line",
+    "xid_line",
+    "RawLine",
+    "iter_parsed_lines",
+    "iter_raw_lines",
+    "list_day_files",
+    "parse_line",
+    "LogBus",
+    "LogRecord",
+    "day_file_name",
+    "write_day_partitioned",
+]

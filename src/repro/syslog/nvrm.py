@@ -1,0 +1,87 @@
+"""NVRM kernel-log line formats for XID errors.
+
+The NVIDIA driver reports XID errors through the kernel ring buffer in a
+stable shape::
+
+    NVRM: Xid (PCI:0000:C7:00): 79, pid=1234, GPU has fallen off the bus.
+
+The Stage-II extraction regex keys on the ``Xid (PCI:...): <code>,``
+prefix — exactly the pattern-match the paper's pipeline applies to
+Delta's consolidated logs (Fig. 1-(1)).  Each event class gets a
+realistic message body; the aggregate uncorrectable-ECC accounting
+event, which has no XID of its own, is logged via a separate
+driver-accounting line that the extractor also understands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.xid import EventClass
+
+#: Message bodies per XID code.  ``{pid}`` is filled per line.
+_XID_BODIES: Dict[int, str] = {
+    13: "Graphics SM Warp Exception on (GPC 0, TPC 0, SM 0): Out Of Range Address",
+    31: (
+        "Ch 00000008, intr 10000000. MMU Fault: ENGINE GRAPHICS "
+        "GPCCLIENT_T1_0 faulted @ 0x7f2c_4a000000. Fault is of type "
+        "FAULT_PDE ACCESS_TYPE_READ"
+    ),
+    43: "Ch 00000010, engmask 00000101",
+    48: (
+        "An uncorrectable double bit error (DBE) has been detected on "
+        "GPU in the framebuffer at partition 1, subpartition 0."
+    ),
+    63: "Row Remapper: New row marked for remapping, reset gpu to activate.",
+    64: "Row Remapper: Attempt to map out a row failed.",
+    74: (
+        "NVLink: fatal error detected on link 2(0x10000, 0x0, 0x0, 0x0, "
+        "0x0, 0x0, 0x0)"
+    ),
+    79: "GPU has fallen off the bus.",
+    94: "Contained: CE User Channel (0x9). RST: No, D-RST: No",
+    95: "Uncontained: LTC TAG (0x2,0x0). RST: Yes, D-RST: No",
+    119: "Timeout waiting for RPC from GSP! Expected function 76 (GSP_RM_CONTROL).",
+    120: "GSP task timeout @ pc:0x49c14c4, task:1",
+    122: "SPI PMU RPC read failure. ",
+    123: "SPI PMU RPC write failure.",
+}
+
+
+def xid_line(xid: int, pci_address: str, pid: int) -> str:
+    """Render the kernel-facility message for one XID occurrence."""
+    body = _XID_BODIES.get(xid)
+    if body is None:
+        raise KeyError(f"no message body for XID {xid}")
+    return f"kernel: NVRM: Xid (PCI:{pci_address}): {xid}, pid={pid}, {body}"
+
+
+def ecc_accounting_line(pci_address: str) -> str:
+    """Render the driver's aggregate uncorrectable-ECC accounting line.
+
+    This models the non-XID path by which multiple-SBE/DBE uncorrectable
+    errors show up in Delta's logs (the Table I row with no XID code).
+    """
+    return (
+        f"kernel: NVRM: GPU at PCI:{pci_address}: uncorrectable ECC "
+        "error detected; volatile count incremented"
+    )
+
+
+def render_event_line(
+    event_class: EventClass,
+    xid: Optional[int],
+    pci_address: str,
+    rng: np.random.Generator,
+) -> str:
+    """Render the log line for one logical error occurrence.
+
+    Picks a synthetic pid; uncorrectable-ECC accounting events take the
+    dedicated non-XID format.
+    """
+    if event_class is EventClass.UNCORRECTABLE_ECC or xid is None:
+        return ecc_accounting_line(pci_address)
+    pid = int(rng.integers(1000, 4_000_000))
+    return xid_line(xid, pci_address, pid)

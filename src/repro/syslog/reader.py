@@ -1,0 +1,75 @@
+"""Streaming reader for day-partitioned syslog directories.
+
+The Stage-II extraction consumes raw lines in time order without
+loading whole multi-gigabyte directories into memory; this module
+provides that stream plus the line-level parse into (time, host,
+message) triples.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterator, List, NamedTuple
+
+from ..core.exceptions import LogFormatError
+from ..core.timebase import parse_syslog_timestamp
+
+
+class RawLine(NamedTuple):
+    """One parsed raw syslog line."""
+
+    time: float
+    host: str
+    message: str
+
+
+def list_day_files(log_dir: Path) -> List[Path]:
+    """All per-day syslog files (plain or gzipped), chronologically.
+
+    Sorting by date stem keeps ``syslog-2022-01-02.log.gz`` ordered
+    correctly against plain ``.log`` neighbours.
+    """
+    files = list(log_dir.glob("syslog-*.log")) + list(
+        log_dir.glob("syslog-*.log.gz")
+    )
+    return sorted(files, key=lambda p: p.name.split(".")[0])
+
+
+def parse_line(line: str) -> RawLine:
+    """Split a raw line into (time, host, message).
+
+    Raises :class:`~repro.core.exceptions.LogFormatError` on malformed
+    lines; the extractor counts and skips those rather than dying,
+    mirroring how real pipelines must tolerate corrupt log data.
+    """
+    parts = line.rstrip("\n").split(" ", 2)
+    if len(parts) != 3:
+        raise LogFormatError(f"malformed syslog line: {line!r}")
+    timestamp, host, message = parts
+    try:
+        time = parse_syslog_timestamp(timestamp)
+    except ValueError as exc:
+        raise LogFormatError(f"bad timestamp in line: {line!r}") from exc
+    return RawLine(time=time, host=host, message=message)
+
+
+def iter_raw_lines(log_dir: Path) -> Iterator[str]:
+    """Stream raw text lines from every day file, in order.
+
+    Transparently decompresses ``.log.gz`` day files.
+    """
+    for path in list_day_files(log_dir):
+        if path.name.endswith(".gz"):
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                yield from handle
+        else:
+            with open(path, encoding="utf-8") as handle:
+                yield from handle
+
+
+def iter_parsed_lines(log_dir: Path) -> Iterator[RawLine]:
+    """Stream parsed lines, silently skipping blank lines."""
+    for line in iter_raw_lines(log_dir):
+        if line.strip():
+            yield parse_line(line)

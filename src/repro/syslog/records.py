@@ -1,0 +1,57 @@
+"""In-memory log records and the log bus.
+
+Every subsystem that produces log text (the NVRM driver model, slurmctld,
+health checks, background noise) appends :class:`LogRecord` objects to a
+shared :class:`LogBus`.  Records are buffered unordered and sorted once
+at flush time — cheaper than keeping 10^6 lines sorted online, and
+faithful to how per-day consolidated logs end up ordered on Delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..core.timebase import format_syslog_timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One raw log line before rendering.
+
+    Attributes:
+        time: simulation time (seconds).
+        host: originating node name.
+        message: the body after the hostname (includes the facility
+            prefix, e.g. ``"kernel: NVRM: Xid ..."``).
+    """
+
+    time: float
+    host: str
+    message: str
+
+    def render(self) -> str:
+        """Render the full syslog line."""
+        return f"{format_syslog_timestamp(self.time)} {self.host} {self.message}"
+
+
+class LogBus:
+    """Unordered buffer of log records, sorted at flush time."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+
+    def emit(self, time: float, host: str, message: str) -> None:
+        """Append one record."""
+        self._records.append(LogRecord(time=time, host=host, message=message))
+
+    def extend(self, records: Iterable[LogRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def sorted_records(self) -> List[LogRecord]:
+        """All records in (time, host) order; does not mutate the bus."""
+        return sorted(self._records, key=lambda r: (r.time, r.host))

@@ -1,0 +1,69 @@
+"""Day-partitioned syslog writer.
+
+Delta consolidates system logs into one file per day across all nodes
+(Section III-A), typically gzip-compressing older days.  The writer
+reproduces that layout::
+
+    <out_dir>/syslog-2022-05-05.log        (plain)
+    <out_dir>/syslog-2022-05-06.log.gz     (with compress=True)
+    ...
+
+Lines inside a day file are time-ordered.  The reader half
+(:mod:`repro.syslog.reader`) streams both forms back transparently for
+Stage-II extraction.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, List
+
+from ..core.timebase import DAY, to_datetime
+from .records import LogRecord
+
+
+def day_file_name(day_start: float, compress: bool = False) -> str:
+    """File name for the day beginning at ``day_start`` seconds."""
+    suffix = ".log.gz" if compress else ".log"
+    return f"syslog-{to_datetime(day_start).strftime('%Y-%m-%d')}{suffix}"
+
+
+def _open_day_file(path: Path, compress: bool):
+    if compress:
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def write_day_partitioned(
+    out_dir: Path, records: Iterable[LogRecord], compress: bool = False
+) -> List[Path]:
+    """Write records into per-day files; returns the files created.
+
+    Records are sorted globally first, so each day file is internally
+    ordered and files are produced in chronological order.  With
+    ``compress=True`` each day file is gzip-compressed (the archival
+    form of Delta's consolidated logs).
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ordered = sorted(records, key=lambda r: (r.time, r.host))
+    paths: List[Path] = []
+    current_day = None
+    handle = None
+    try:
+        for record in ordered:
+            day = int(record.time // DAY)
+            if day != current_day:
+                if handle is not None:
+                    handle.close()
+                path = out_dir / day_file_name(day * DAY, compress)
+                handle = _open_day_file(path, compress)
+                paths.append(path)
+                current_day = day
+            assert handle is not None
+            handle.write(record.render())
+            handle.write("\n")
+    finally:
+        if handle is not None:
+            handle.close()
+    return paths

@@ -1,0 +1,25 @@
+"""Synthetic workload generation calibrated to paper Table III."""
+
+from .generator import WorkloadConfig, WorkloadGenerator
+from .names import draw_job_name, draw_user
+from .spec import (
+    TABLE3_BUCKETS,
+    GpuBucket,
+    WorkloadSpec,
+    bucket_for_gpu_count,
+    capped_lognormal_mean,
+    solve_sigma,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "draw_job_name",
+    "draw_user",
+    "TABLE3_BUCKETS",
+    "GpuBucket",
+    "WorkloadSpec",
+    "bucket_for_gpu_count",
+    "capped_lognormal_mean",
+    "solve_sigma",
+]

@@ -1,0 +1,208 @@
+"""Job-stream generator calibrated to Section V-A and Table III.
+
+Produces the full submit-ordered stream of
+:class:`~repro.slurm.types.JobRequest` objects for a study run.  The
+generator is scale-aware: ``job_scale`` thins the full 1.44M-job Delta
+population down to what a laptop-scale simulation can carry.  Every
+statistic the paper reports about the population (shares, elapsed-time
+percentiles, success probabilities) is scale-invariant; absolute totals
+(job counts, GPU-hours) are rescaled by the analysis when comparing
+against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from ..core.periods import StudyWindow
+from ..core.timebase import MINUTE
+from ..faults.arrivals import sample_poisson_arrivals
+from ..slurm.types import JobRequest, Partition
+from .names import draw_job_name, draw_user
+from .spec import GpuBucket, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Scaling and shaping knobs for the generated job stream.
+
+    Attributes:
+        spec: the Table III calibration.
+        job_scale: thinning factor applied to full-scale arrival rates
+            (1.0 replays Delta's full load; default runs at 1%).
+        include_cpu_jobs: also generate the CPU-partition stream used
+            for the Section V-A success-rate comparison.
+        max_gpu_count: clamp for huge allocations so scaled-down
+            clusters remain schedulable (``None`` keeps Table III's
+            full range).
+        error_kill_allowance: expected fraction of GPU jobs the fault
+            layer will terminate *at this scale*.  Error rates are
+            calibrated at full scale while the job population is
+            thinned by ``job_scale``, so the per-job chance of meeting
+            an error inflates by roughly ``1 / job_scale``; this
+            allowance is subtracted from the intrinsic-failure
+            probability so the *total* failure mass still matches the
+            paper's 25.3%.  ``None`` derives it automatically from the
+            spec's full-scale GPU-error-failure fraction.
+    """
+
+    spec: WorkloadSpec = WorkloadSpec()
+    job_scale: float = 0.01
+    include_cpu_jobs: bool = True
+    max_gpu_count: int | None = None
+    error_kill_allowance: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.job_scale <= 1.0:
+            raise ValueError(f"job_scale must be in (0, 1], got {self.job_scale}")
+        if self.error_kill_allowance is not None and not (
+            0.0 <= self.error_kill_allowance < 1.0
+        ):
+            raise ValueError("error_kill_allowance must be in [0, 1)")
+
+    @property
+    def effective_error_kill_allowance(self) -> float:
+        """The allowance in use (auto-derived when not set)."""
+        if self.error_kill_allowance is not None:
+            return self.error_kill_allowance
+        return min(0.12, self.spec.gpu_error_failure_fraction / self.job_scale)
+
+    @property
+    def gpu_intrinsic_failure_probability(self) -> float:
+        """Per-job non-GPU-error failure probability at this scale."""
+        return max(
+            0.0,
+            1.0 - self.spec.gpu_success_rate - self.effective_error_kill_allowance,
+        )
+
+
+class WorkloadGenerator:
+    """Draws the job stream for one study run."""
+
+    def __init__(self, config: WorkloadConfig, rng: np.random.Generator) -> None:
+        self._config = config
+        self._rng = rng
+        spec = config.spec
+        self._bucket_shares = np.array([b.job_share for b in spec.buckets])
+        self._bucket_shares = self._bucket_shares / self._bucket_shares.sum()
+
+    @property
+    def config(self) -> WorkloadConfig:
+        """The generator's configuration."""
+        return self._config
+
+    def generate(self, window: StudyWindow) -> List[JobRequest]:
+        """Generate the submit-ordered job stream for the whole window."""
+        requests = list(self._generate_partition(window, gpu=True))
+        if self._config.include_cpu_jobs:
+            requests.extend(self._generate_partition(window, gpu=False))
+        requests.sort(key=lambda r: r.submit_time)
+        # Re-number so ids are monotone in submit order, like Slurm's.
+        return [
+            JobRequest(
+                job_id=i + 1,
+                name=r.name,
+                user=r.user,
+                partition=r.partition,
+                submit_time=r.submit_time,
+                gpu_count=r.gpu_count,
+                duration=r.duration,
+                intrinsic_failure=r.intrinsic_failure,
+                is_ml=r.is_ml,
+            )
+            for i, r in enumerate(requests)
+        ]
+
+    def _generate_partition(
+        self, window: StudyWindow, gpu: bool
+    ) -> Iterator[JobRequest]:
+        spec = self._config.spec
+        full_rate = (
+            spec.gpu_arrival_rate_per_hour if gpu else spec.cpu_arrival_rate_per_hour
+        )
+        rate = full_rate * self._config.job_scale
+        arrivals = np.concatenate(
+            [
+                sample_poisson_arrivals(
+                    self._rng,
+                    rate * spec.pre_op_load_factor,
+                    window.pre_operational.start,
+                    window.pre_operational.end,
+                ),
+                sample_poisson_arrivals(
+                    self._rng,
+                    rate,
+                    window.operational.start,
+                    window.operational.end,
+                ),
+            ]
+        )
+        for submit_time in arrivals:
+            if gpu:
+                yield self._draw_gpu_job(float(submit_time))
+            else:
+                yield self._draw_cpu_job(float(submit_time))
+
+    def _draw_gpu_job(self, submit_time: float) -> JobRequest:
+        spec = self._config.spec
+        rng = self._rng
+        bucket_idx = int(rng.choice(len(spec.buckets), p=self._bucket_shares))
+        bucket = spec.buckets[bucket_idx]
+        gpu_count = self._draw_gpu_count(bucket)
+        duration = self._draw_duration(bucket)
+        is_ml = rng.random() < bucket.ml_probability
+        intrinsic_failure = (
+            rng.random() < self._config.gpu_intrinsic_failure_probability
+        )
+        partition = (
+            Partition.GPU_A100_X8 if gpu_count in (5, 6, 7, 8) else Partition.GPU_A100_X4
+        )
+        return JobRequest(
+            job_id=0,  # renumbered by generate()
+            name=draw_job_name(rng, is_ml),
+            user=draw_user(rng),
+            partition=partition,
+            submit_time=submit_time,
+            gpu_count=gpu_count,
+            duration=duration,
+            intrinsic_failure=intrinsic_failure,
+            is_ml=is_ml,
+        )
+
+    def _draw_cpu_job(self, submit_time: float) -> JobRequest:
+        spec = self._config.spec
+        rng = self._rng
+        # CPU jobs reuse the single-GPU bucket's time scale: Section V-A
+        # reports nearly identical success behaviour across partitions.
+        duration_minutes = min(
+            float(rng.lognormal(mean=np.log(8.0), sigma=2.4)), 2880.0
+        )
+        return JobRequest(
+            job_id=0,
+            name=draw_job_name(rng, is_ml=False),
+            user=draw_user(rng),
+            partition=Partition.CPU,
+            submit_time=submit_time,
+            gpu_count=0,
+            duration=max(duration_minutes, 0.05) * MINUTE,
+            intrinsic_failure=rng.random() < spec.cpu_intrinsic_failure_probability,
+            is_ml=False,
+        )
+
+    def _draw_gpu_count(self, bucket: GpuBucket) -> int:
+        counts, weights = bucket.gpu_count_weights()
+        value = int(self._rng.choice(counts, p=np.array(weights)))
+        cap = self._config.max_gpu_count
+        if cap is not None:
+            value = min(value, cap)
+        return value
+
+    def _draw_duration(self, bucket: GpuBucket) -> float:
+        raw_minutes = float(
+            self._rng.lognormal(mean=bucket.duration_mu, sigma=bucket.duration_sigma)
+        )
+        minutes = min(raw_minutes, bucket.p99_minutes)
+        return max(minutes, 0.05) * MINUTE

@@ -1,0 +1,174 @@
+"""Unit tests for the sacct-style accounting database."""
+
+import pytest
+
+from repro.core.exceptions import LogFormatError
+from repro.core.xid import EventClass
+from repro.slurm.accounting import (
+    AccountingWriter,
+    load_records,
+    read_accounting,
+    read_ground_truth,
+)
+from repro.slurm.types import Allocation, JobRecord, JobState, Partition
+
+
+def make_record(job_id=1, **overrides) -> JobRecord:
+    defaults = dict(
+        job_id=job_id,
+        name="train_resnet_001",
+        user="u0007",
+        partition=Partition.GPU_A100_X4,
+        submit_time=100.0,
+        start_time=160.0,
+        end_time=3760.0,
+        state=JobState.COMPLETED,
+        exit_code=0,
+        allocation=Allocation(
+            nodes=("gpua001", "gpua002"),
+            gpus={"gpua001": (0, 1), "gpua002": (2,)},
+        ),
+        gpu_count=3,
+        is_ml_truth=True,
+        killed_by=None,
+    )
+    defaults.update(overrides)
+    return JobRecord(**defaults)
+
+
+class TestRoundtrip:
+    def test_sacct_roundtrip(self, tmp_path):
+        path = tmp_path / "sacct.csv"
+        original = make_record()
+        with AccountingWriter(path) as writer:
+            writer.write(original)
+        [loaded] = list(read_accounting(path))
+        assert loaded.job_id == original.job_id
+        assert loaded.name == original.name
+        assert loaded.partition is original.partition
+        assert loaded.state is original.state
+        assert loaded.exit_code == original.exit_code
+        assert loaded.allocation.nodes == original.allocation.nodes
+        assert loaded.allocation.gpus == original.allocation.gpus
+        assert loaded.gpu_count == 3
+        # Timestamps roundtrip at second resolution.
+        assert loaded.submit_time == pytest.approx(original.submit_time, abs=1)
+        assert loaded.end_time == pytest.approx(original.end_time, abs=1)
+
+    def test_ground_truth_not_in_sacct(self, tmp_path):
+        path = tmp_path / "sacct.csv"
+        with AccountingWriter(path) as writer:
+            writer.write(make_record(killed_by=EventClass.GSP_ERROR))
+        [loaded] = list(read_accounting(path))
+        assert loaded.killed_by is None  # analysis never sees the cause
+        assert loaded.is_ml_truth is False
+
+    def test_truth_sidecar_roundtrip(self, tmp_path):
+        sacct = tmp_path / "sacct.csv"
+        truth_path = tmp_path / "truth.csv"
+        with AccountingWriter(sacct, truth_path) as writer:
+            writer.write(make_record(job_id=1, killed_by=EventClass.GSP_ERROR))
+            writer.write(make_record(job_id=2, is_ml_truth=False))
+        truth = read_ground_truth(truth_path)
+        assert truth[1] == (EventClass.GSP_ERROR, True)
+        assert truth[2] == (None, False)
+
+    def test_multiple_records_order_preserved(self, tmp_path):
+        path = tmp_path / "sacct.csv"
+        with AccountingWriter(path) as writer:
+            for i in range(5):
+                writer.write(make_record(job_id=i + 1))
+            assert writer.count == 5
+        loaded = load_records(path)
+        assert [r.job_id for r in loaded] == [1, 2, 3, 4, 5]
+
+    def test_cpu_job_roundtrip(self, tmp_path):
+        path = tmp_path / "sacct.csv"
+        record = make_record(
+            partition=Partition.CPU,
+            allocation=Allocation(nodes=("cn001",)),
+            gpu_count=0,
+        )
+        with AccountingWriter(path) as writer:
+            writer.write(record)
+        [loaded] = load_records(path)
+        assert loaded.gpu_count == 0
+        assert loaded.allocation.gpus == {}
+
+
+class TestMalformedInput:
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not|a|real|header\n")
+        with pytest.raises(LogFormatError, match="header"):
+            list(read_accounting(path))
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "sacct.csv"
+        with AccountingWriter(path) as writer:
+            writer.write(make_record())
+        with open(path, "a") as handle:
+            handle.write("1|too|short\n")
+        with pytest.raises(LogFormatError, match="malformed row"):
+            list(read_accounting(path))
+
+    def test_bad_gres_rejected(self, tmp_path):
+        path = tmp_path / "sacct.csv"
+        with AccountingWriter(path) as writer:
+            writer.write(make_record())
+        text = path.read_text().replace("gpua001:0,1;gpua002:2", "???")
+        path.write_text(text)
+        with pytest.raises(LogFormatError, match="GresIdx"):
+            list(read_accounting(path))
+
+
+class TestDerivedProperties:
+    def test_elapsed_and_gpu_hours(self):
+        record = make_record()  # 3600 s on 3 GPUs
+        assert record.elapsed == pytest.approx(3600.0)
+        assert record.elapsed_minutes == pytest.approx(60.0)
+        assert record.gpu_hours == pytest.approx(3.0)
+
+    def test_job_state_success(self):
+        assert JobState.COMPLETED.is_success
+        assert not JobState.FAILED.is_success
+        assert not JobState.NODE_FAIL.is_success
+
+    def test_allocation_helpers(self):
+        allocation = Allocation(
+            nodes=("gpua001",), gpus={"gpua001": (1, 3)}
+        )
+        assert allocation.gpu_count == 2
+        assert allocation.uses_gpu("gpua001", 3)
+        assert not allocation.uses_gpu("gpua001", 0)
+        assert allocation.gpus_on("gpua999") == ()
+
+
+class TestRequestValidation:
+    def test_zero_duration_rejected(self):
+        from repro.slurm.types import JobRequest
+
+        with pytest.raises(ValueError, match="duration"):
+            JobRequest(
+                job_id=1,
+                name="x",
+                user="u",
+                partition=Partition.CPU,
+                submit_time=0.0,
+                gpu_count=0,
+                duration=0.0,
+            )
+
+    def test_gpu_partition_needs_gpus(self):
+        from repro.slurm.types import JobRequest
+
+        with pytest.raises(ValueError, match="0 GPUs"):
+            JobRequest(
+                job_id=1,
+                name="x",
+                user="u",
+                partition=Partition.GPU_A100_X4,
+                submit_time=0.0,
+                gpu_count=0,
+                duration=10.0,
+            )

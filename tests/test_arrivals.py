@@ -1,0 +1,153 @@
+"""Unit + property tests for arrival processes (repro.faults.arrivals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import CalibrationError
+from repro.core.periods import StudyWindow
+from repro.core.timebase import DAY, HOUR
+from repro.faults.arrivals import (
+    PersistentEpisodeProcess,
+    PiecewisePoissonProcess,
+    UtilizationCoupledProcess,
+    merge_sorted,
+    sample_poisson_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_count_matches_rate(self, rng):
+        times = sample_poisson_arrivals(rng, 10.0, 0.0, 1000 * HOUR)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_sorted_within_bounds(self, rng):
+        times = sample_poisson_arrivals(rng, 5.0, 100.0, 100.0 + 10 * HOUR)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 100.0
+        assert times.max() < 100.0 + 10 * HOUR
+
+    def test_zero_rate_empty(self, rng):
+        assert sample_poisson_arrivals(rng, 0.0, 0.0, HOUR).size == 0
+
+    def test_empty_interval(self, rng):
+        assert sample_poisson_arrivals(rng, 5.0, 10.0, 10.0).size == 0
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(CalibrationError, match="negative"):
+            sample_poisson_arrivals(rng, -1.0, 0.0, HOUR)
+
+
+class TestPiecewisePoisson:
+    def test_per_period_rates(self, rng):
+        window = StudyWindow.scaled(pre_days=50, op_days=50)
+        process = PiecewisePoissonProcess(
+            pre_op_rate_per_hour=1.0, op_rate_per_hour=10.0
+        )
+        times = process.sample(rng, window)
+        boundary = window.operational.start
+        pre = (times < boundary).sum()
+        op = (times >= boundary).sum()
+        assert pre == pytest.approx(1200, rel=0.15)
+        assert op == pytest.approx(12_000, rel=0.05)
+
+    def test_expected_counts(self):
+        window = StudyWindow.scaled(pre_days=10, op_days=20)
+        process = PiecewisePoissonProcess(2.0, 3.0)
+        pre, op = process.expected_counts(window)
+        assert pre == pytest.approx(2.0 * 240)
+        assert op == pytest.approx(3.0 * 480)
+
+
+class TestUtilizationCoupled:
+    def test_rate_law(self):
+        process = UtilizationCoupledProcess(
+            base_rate_per_hour=10.0, floor=0.1, slope=1.0
+        )
+        assert process.rate_at(0.0) == pytest.approx(1.0)
+        assert process.rate_at(0.9) == pytest.approx(10.0)
+
+    def test_thinning_matches_profile(self, rng):
+        window = StudyWindow.scaled(pre_days=40, op_days=40)
+        process = UtilizationCoupledProcess(
+            base_rate_per_hour=5.0, floor=0.1, slope=1.0
+        )
+        boundary = window.operational.start
+
+        def utilization(t: float) -> float:
+            return 0.1 if t < boundary else 0.8
+
+        times = process.sample(rng, window, utilization)
+        pre_rate = (times < boundary).sum() / window.pre_operational.duration_hours
+        op_rate = (times >= boundary).sum() / window.operational.duration_hours
+        assert pre_rate == pytest.approx(process.rate_at(0.1), rel=0.15)
+        assert op_rate == pytest.approx(process.rate_at(0.8), rel=0.10)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            UtilizationCoupledProcess(base_rate_per_hour=-1.0)
+        with pytest.raises(CalibrationError):
+            UtilizationCoupledProcess(base_rate_per_hour=1.0, floor=-0.5)
+
+
+class TestPersistentEpisode:
+    def test_expected_count_formula(self):
+        process = PersistentEpisodeProcess(
+            start=0.0,
+            end=16 * DAY,
+            gap_floor_seconds=30.0,
+            mean_extra_seconds=5.53,
+        )
+        # Calibrated to the 38,900-error episode of Section IV(vi).
+        assert process.expected_count == pytest.approx(38_900, rel=0.01)
+
+    def test_sample_count_near_expectation(self, rng):
+        process = PersistentEpisodeProcess(
+            start=0.0, end=2 * DAY, gap_floor_seconds=30.0, mean_extra_seconds=5.53
+        )
+        times = process.sample(rng)
+        assert len(times) == pytest.approx(process.expected_count, rel=0.02)
+
+    def test_gaps_respect_floor(self, rng):
+        process = PersistentEpisodeProcess(
+            start=0.0, end=DAY, gap_floor_seconds=30.0, mean_extra_seconds=5.0
+        )
+        times = process.sample(rng)
+        assert np.diff(times).min() >= 30.0
+
+    def test_times_within_episode(self, rng):
+        process = PersistentEpisodeProcess(
+            start=100.0, end=100.0 + DAY, gap_floor_seconds=30.0
+        )
+        times = process.sample(rng)
+        assert times.min() > 100.0
+        assert times.max() < 100.0 + DAY
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            PersistentEpisodeProcess(start=10.0, end=10.0)
+        with pytest.raises(CalibrationError):
+            PersistentEpisodeProcess(start=0.0, end=1.0, gap_floor_seconds=-1.0)
+
+
+class TestMergeSorted:
+    def test_empty(self):
+        assert merge_sorted([]).size == 0
+        assert merge_sorted([np.empty(0)]).size == 0
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0, max_value=1e6),
+                max_size=30,
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50)
+    def test_merge_is_sorted_and_complete(self, arrays):
+        np_arrays = [np.sort(np.array(a, dtype=float)) for a in arrays]
+        merged = merge_sorted(np_arrays)
+        assert merged.size == sum(a.size for a in np_arrays)
+        assert np.all(np.diff(merged) >= 0)

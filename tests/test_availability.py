@@ -1,0 +1,104 @@
+"""Unit tests for availability analysis (repro.analysis.availability)."""
+
+import pytest
+
+from repro.analysis.availability import AvailabilityAnalysis
+from repro.core.periods import PeriodName, StudyWindow
+from repro.core.records import DowntimeRecord
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+
+
+@pytest.fixture()
+def window():
+    return StudyWindow.scaled(pre_days=10, op_days=40)
+
+
+OP0 = 10 * DAY
+
+
+def episode(start, hours, node="gpua001", replaced=False):
+    return DowntimeRecord(
+        node=node,
+        start=start,
+        end=start + hours * HOUR,
+        cause=EventClass.GSP_ERROR,
+        gpu_replaced=replaced,
+    )
+
+
+class TestDistribution:
+    def test_histogram_counts(self, window):
+        episodes = [
+            episode(OP0 + i * DAY, h)
+            for i, h in enumerate([0.1, 0.3, 0.6, 0.9, 2.5, 30.0])
+        ]
+        dist = AvailabilityAnalysis(episodes, window, node_count=10).distribution(
+            bin_edges_hours=(0.0, 0.5, 1.0, 3.0, 24.0)
+        )
+        # bins: [0,.5)=2, [.5,1)=2, [1,3)=1, [3,24)=0, overflow >=24: 1
+        assert dist.counts == (2, 2, 1, 0, 1)
+        assert dist.episodes == 6
+        assert sum(dist.fractions()) == pytest.approx(1.0)
+
+    def test_summary_statistics(self, window):
+        episodes = [episode(OP0 + i * DAY, h) for i, h in enumerate([1.0, 2.0, 3.0])]
+        dist = AvailabilityAnalysis(episodes, window, node_count=10).distribution()
+        assert dist.mean_hours == pytest.approx(2.0)
+        assert dist.p50_hours == pytest.approx(2.0)
+
+    def test_empty_distribution(self, window):
+        dist = AvailabilityAnalysis([], window, node_count=10).distribution()
+        assert dist.episodes == 0
+        assert dist.mean_hours is None
+        assert all(c == 0 for c in dist.counts)
+        assert all(f == 0.0 for f in dist.fractions())
+
+    def test_pre_op_episodes_filtered(self, window):
+        episodes = [episode(DAY, 1.0), episode(OP0 + DAY, 1.0)]
+        analysis = AvailabilityAnalysis(episodes, window, node_count=10)
+        assert len(analysis.episodes) == 1
+
+
+class TestReport:
+    def test_mttr_and_downtime(self, window):
+        episodes = [episode(OP0 + i * DAY, 1.0) for i in range(10)]
+        report = AvailabilityAnalysis(episodes, window, node_count=10).report(
+            per_node_mtbe_hours=199.0
+        )
+        assert report.mttr_hours == pytest.approx(1.0)
+        assert report.downtime_node_hours == pytest.approx(10.0)
+        assert report.episodes == 10
+
+    def test_availability_formula(self, window):
+        episodes = [episode(OP0 + DAY, 0.88)]
+        report = AvailabilityAnalysis(episodes, window, node_count=106).report(
+            per_node_mtbe_hours=162.0
+        )
+        assert report.availability_formula == pytest.approx(
+            162.0 / (162.0 + 0.88)
+        )
+        # Paper: 99.5% availability, ~7 minutes/day downtime.
+        assert report.availability_formula == pytest.approx(0.995, abs=0.001)
+        assert report.downtime_minutes_per_day == pytest.approx(7.0, abs=1.0)
+
+    def test_direct_availability(self, window):
+        # 96 node-hours of downtime over 10 nodes x 960 hours.
+        episodes = [episode(OP0 + i * DAY, 9.6, node=f"gpua{i:03d}") for i in range(10)]
+        report = AvailabilityAnalysis(episodes, window, node_count=10).report(None)
+        assert report.availability_direct == pytest.approx(1 - 96 / 9600)
+        assert report.availability_formula is None
+
+    def test_replacements_counted(self, window):
+        episodes = [
+            episode(OP0 + DAY, 1.0),
+            episode(OP0 + 2 * DAY, 12.0, replaced=True),
+        ]
+        report = AvailabilityAnalysis(episodes, window, node_count=10).report(None)
+        assert report.replacements == 1
+
+    def test_empty_report(self, window):
+        report = AvailabilityAnalysis([], window, node_count=10).report(100.0)
+        assert report.mttr_hours is None
+        assert report.downtime_node_hours == 0.0
+        assert report.availability_direct == 1.0

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def cli_artifacts(tmp_path_factory):
+    """One small simulation driven through the CLI itself."""
+    out = tmp_path_factory.mktemp("cli") / "run"
+    code = main(
+        [
+            "simulate",
+            str(out),
+            "--preset",
+            "small",
+            "--seed",
+            "9",
+            "--job-scale",
+            "0.01",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "out"])
+        assert args.preset == "small"
+        assert args.seed == 2022
+        assert args.job_scale is None
+
+    def test_report_flags(self):
+        args = build_parser().parse_args(
+            ["report", "dir", "--compare", "--nodes", "8"]
+        )
+        assert args.compare
+        assert args.nodes == 8
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "out", "--preset", "huge"])
+
+
+class TestSimulate:
+    def test_artifacts_written(self, cli_artifacts, capsys):
+        assert (cli_artifacts / "sacct.csv").exists()
+        assert (cli_artifacts / "inventory.json").exists()
+        assert (cli_artifacts / "syslog").is_dir()
+
+
+class TestPipeline:
+    def test_pipeline_summary(self, cli_artifacts, capsys):
+        code = main(["pipeline", str(cli_artifacts)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coalesced errors" in out
+        assert "excluded XID 13/43 lines" in out
+
+    def test_custom_window(self, cli_artifacts, capsys):
+        code = main(
+            ["pipeline", str(cli_artifacts), "--coalesce-window", "120"]
+        )
+        assert code == 0
+        assert "dt=120s" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_prints_all_tables(self, cli_artifacts, capsys):
+        code = main(["report", str(cli_artifacts), "--nodes", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "Figure 2" in out
+        assert "MMU Error" in out
+
+    def test_report_with_compare(self, cli_artifacts, capsys):
+        code = main(["report", str(cli_artifacts), "--nodes", "8", "--compare"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper comparisons" in out
+        assert "within tolerance" in out
+
+
+class TestSummary:
+    def test_summary_renders(self, cli_artifacts, capsys):
+        code = main(["summary", str(cli_artifacts), "--nodes", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPU RESILIENCE STUDY SUMMARY" in out
+        assert "-- reliability --" in out
+        assert "-- availability --" in out
+        assert "weakest components" in out

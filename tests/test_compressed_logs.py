@@ -1,0 +1,100 @@
+"""Tests for gzip-compressed syslog support and pipeline robustness."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import DeltaStudy, StudyConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.timebase import DAY
+from repro.pipeline import run_pipeline
+from repro.syslog.reader import iter_parsed_lines, list_day_files
+from repro.syslog.records import LogRecord
+from repro.syslog.writer import day_file_name, write_day_partitioned
+
+
+class TestCompressedWriterReader:
+    def _records(self):
+        return [
+            LogRecord(time=100.0, host="gpua001", message="kernel: one"),
+            LogRecord(time=DAY + 5.0, host="gpua002", message="kernel: two"),
+        ]
+
+    def test_gz_file_names(self):
+        assert day_file_name(0.0, compress=True) == "syslog-2022-01-01.log.gz"
+
+    def test_compressed_roundtrip(self, tmp_path):
+        paths = write_day_partitioned(tmp_path, self._records(), compress=True)
+        assert all(p.name.endswith(".log.gz") for p in paths)
+        parsed = list(iter_parsed_lines(tmp_path))
+        assert [p.message for p in parsed] == ["kernel: one", "kernel: two"]
+
+    def test_mixed_plain_and_compressed(self, tmp_path):
+        write_day_partitioned(tmp_path, [self._records()[0]], compress=False)
+        write_day_partitioned(tmp_path, [self._records()[1]], compress=True)
+        files = list_day_files(tmp_path)
+        assert len(files) == 2
+        # Chronological order across forms.
+        assert files[0].name.startswith("syslog-2022-01-01")
+        parsed = list(iter_parsed_lines(tmp_path))
+        assert [p.host for p in parsed] == ["gpua001", "gpua002"]
+
+    def test_compression_actually_shrinks(self, tmp_path):
+        records = [
+            LogRecord(time=float(i), host="gpua001", message="kernel: NVRM: x" * 5)
+            for i in range(2000)
+        ]
+        (tmp_path / "plain").mkdir()
+        (tmp_path / "gz").mkdir()
+        [plain] = write_day_partitioned(tmp_path / "plain", records)
+        [gz] = write_day_partitioned(tmp_path / "gz", records, compress=True)
+        assert gz.stat().st_size < plain.stat().st_size / 5
+
+
+class TestCompressedEndToEnd:
+    def test_pipeline_over_compressed_run(self, tmp_path):
+        config = replace(
+            StudyConfig.small(seed=41, job_scale=0.005, op_days=20),
+            compress_logs=True,
+        )
+        artifacts = DeltaStudy(config).run(tmp_path)
+        files = list((tmp_path / "syslog").iterdir())
+        assert files and all(f.name.endswith(".log.gz") for f in files)
+        result = run_pipeline(tmp_path)
+        assert len(result.errors) == pytest.approx(
+            len(artifacts.logical_events), rel=0.03
+        )
+
+
+class TestPipelineRobustness:
+    def test_missing_syslog_dir_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="syslog"):
+            run_pipeline(tmp_path)
+
+    def test_empty_syslog_dir_yields_empty_result(self, tmp_path):
+        (tmp_path / "syslog").mkdir()
+        result = run_pipeline(tmp_path)
+        assert result.errors == []
+        assert result.downtime == []
+        assert result.jobs == []
+        assert result.coalescing_reduction == 1.0
+
+    def test_missing_inventory_falls_back_to_pci_keys(self, tmp_path):
+        config = StudyConfig.small(seed=43, job_scale=0.005, op_days=15)
+        artifacts = DeltaStudy(config).run(tmp_path)
+        (tmp_path / "inventory.json").unlink()
+        result = run_pipeline(tmp_path)
+        # Errors still recovered; GPU indices unresolved but PCI-keyed
+        # coalescing keeps counts intact.
+        assert len(result.errors) == pytest.approx(
+            len(artifacts.logical_events), rel=0.03
+        )
+        assert all(e.gpu_index is None for e in result.errors)
+
+    def test_missing_sacct_tolerated(self, tmp_path):
+        config = StudyConfig.small(seed=43, job_scale=0.005, op_days=15)
+        DeltaStudy(config).run(tmp_path)
+        (tmp_path / "sacct.csv").unlink()
+        result = run_pipeline(tmp_path)
+        assert result.jobs == []
+        assert result.errors

@@ -1,0 +1,150 @@
+"""Tests for cross-class error correlation (repro.analysis.correlation)."""
+
+import pytest
+
+from repro.analysis.correlation import (
+    correlation_matrix,
+    follow_probability,
+    strongest_chains,
+)
+from repro.core.periods import StudyWindow
+from repro.core.records import ExtractedError
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+
+
+@pytest.fixture()
+def window():
+    return StudyWindow.scaled(pre_days=10, op_days=40)
+
+
+def error(time, event, node="gpua001", gpu=0):
+    return ExtractedError(
+        time=time, node=node, gpu_index=gpu, event_class=event, xid=31
+    )
+
+
+def chained_errors(n=50, delay=180.0, spacing=12 * HOUR):
+    """PMU errors each followed by an MMU error on the same unit."""
+    errors = []
+    for i in range(n):
+        base = 1000.0 + i * spacing
+        errors.append(error(base, EventClass.PMU_SPI_ERROR, gpu=i % 4))
+        errors.append(error(base + delay, EventClass.MMU_ERROR, gpu=i % 4))
+    return errors
+
+
+class TestFollowProbability:
+    def test_planted_chain_detected(self, window):
+        stats = follow_probability(
+            chained_errors(),
+            EventClass.PMU_SPI_ERROR,
+            EventClass.MMU_ERROR,
+            window,
+        )
+        assert stats.source_events == 50
+        assert stats.followed == 50
+        assert stats.probability == 1.0
+        assert stats.lift is not None and stats.lift > 50
+
+    def test_chain_direction_matters(self, window):
+        stats = follow_probability(
+            chained_errors(),
+            EventClass.MMU_ERROR,
+            EventClass.PMU_SPI_ERROR,
+            window,
+        )
+        # MMU errors are *followed by* the next pair's PMU error only
+        # 12 hours later — outside the window.
+        assert stats.followed == 0
+
+    def test_different_unit_does_not_count(self, window):
+        errors = [
+            error(1000.0, EventClass.PMU_SPI_ERROR, gpu=0),
+            error(1060.0, EventClass.MMU_ERROR, gpu=1),
+        ]
+        stats = follow_probability(
+            errors, EventClass.PMU_SPI_ERROR, EventClass.MMU_ERROR, window
+        )
+        assert stats.followed == 0
+
+    def test_outside_window_does_not_count(self, window):
+        errors = [
+            error(1000.0, EventClass.PMU_SPI_ERROR),
+            error(1000.0 + 2000.0, EventClass.MMU_ERROR),
+        ]
+        stats = follow_probability(
+            errors,
+            EventClass.PMU_SPI_ERROR,
+            EventClass.MMU_ERROR,
+            window,
+            within_seconds=900.0,
+        )
+        assert stats.followed == 0
+
+    def test_no_source_events(self, window):
+        stats = follow_probability(
+            [error(1.0, EventClass.MMU_ERROR)],
+            EventClass.PMU_SPI_ERROR,
+            EventClass.MMU_ERROR,
+            window,
+        )
+        assert stats.probability is None
+        assert stats.lift is None
+
+    def test_invalid_window_rejected(self, window):
+        with pytest.raises(ValueError):
+            follow_probability(
+                [], EventClass.PMU_SPI_ERROR, EventClass.MMU_ERROR, window,
+                within_seconds=0.0,
+            )
+
+    def test_independent_classes_lift_near_one(self, window):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        errors = []
+        duration = window.end - window.start
+        # Dense independent Poisson traffic of both classes on one unit.
+        for event_class, count in (
+            (EventClass.PMU_SPI_ERROR, 400),
+            (EventClass.MMU_ERROR, 2000),
+        ):
+            for t in rng.uniform(0, duration, size=count):
+                errors.append(error(float(t), event_class))
+        stats = follow_probability(
+            errors, EventClass.PMU_SPI_ERROR, EventClass.MMU_ERROR, window
+        )
+        assert stats.lift == pytest.approx(1.0, abs=0.45)
+
+
+class TestMatrix:
+    def test_matrix_filters_rare_sources(self, window):
+        errors = chained_errors(n=5)  # below min_source_events
+        matrix = correlation_matrix(errors, window, min_source_events=10)
+        assert (EventClass.PMU_SPI_ERROR, EventClass.MMU_ERROR) not in matrix
+
+    def test_strongest_chains_ranking(self, window):
+        matrix = correlation_matrix(chained_errors(), window)
+        chains = strongest_chains(matrix)
+        assert chains
+        top = chains[0]
+        assert top.source is EventClass.PMU_SPI_ERROR
+        assert top.target is EventClass.MMU_ERROR
+
+
+class TestOnSimulatedRun:
+    def test_pmu_mmu_chain_emerges_from_injector(self, small_run):
+        """The injector's PMU→MMU propagation shows up as lift >> 1."""
+        artifacts, result = small_run
+        stats = follow_probability(
+            result.errors,
+            EventClass.PMU_SPI_ERROR,
+            EventClass.MMU_ERROR,
+            artifacts.window,
+            within_seconds=900.0,
+        )
+        if stats.source_events < 5:
+            pytest.skip("too few PMU errors in this run")
+        assert stats.lift is not None
+        assert stats.lift > 3.0

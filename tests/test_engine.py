@@ -1,0 +1,146 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine(horizon=100.0)
+        order = []
+        engine.schedule(30.0, lambda: order.append("b"))
+        engine.schedule(10.0, lambda: order.append("a"))
+        engine.schedule(50.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority_then_fifo(self):
+        engine = Engine(horizon=100.0)
+        order = []
+        engine.schedule(10.0, lambda: order.append("late"), priority=5)
+        engine.schedule(10.0, lambda: order.append("early"), priority=-5)
+        engine.schedule(10.0, lambda: order.append("late2"), priority=5)
+        engine.run()
+        assert order == ["early", "late", "late2"]
+
+    def test_now_tracks_event_times(self):
+        engine = Engine(horizon=100.0)
+        seen = []
+        engine.schedule(42.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42.5]
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine(horizon=100.0)
+        engine.schedule(50.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            engine.schedule(10.0, lambda: None)
+
+    def test_schedule_after(self):
+        engine = Engine(horizon=100.0)
+        times = []
+        engine.schedule(
+            10.0, lambda: engine.schedule_after(5.0, lambda: times.append(engine.now))
+        )
+        engine.run()
+        assert times == [15.0]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine(horizon=100.0)
+        with pytest.raises(SimulationError, match="negative delay"):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_events_beyond_horizon_not_executed(self):
+        engine = Engine(horizon=100.0)
+        ran = []
+        engine.schedule(99.9, lambda: ran.append("in"))
+        engine.schedule(100.0, lambda: ran.append("out"))
+        engine.run()
+        assert ran == ["in"]
+
+    def test_nested_scheduling_from_callback(self):
+        engine = Engine(horizon=100.0)
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(engine.now + 1.0, lambda: order.append("second"))
+
+        engine.schedule(10.0, first)
+        engine.run()
+        assert order == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        engine = Engine(horizon=100.0)
+        ran = []
+        handle = engine.schedule(10.0, lambda: ran.append(1))
+        handle.cancel()
+        engine.run()
+        assert ran == []
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine(horizon=100.0)
+        ran = []
+        handle = engine.schedule(10.0, lambda: ran.append(1))
+        engine.run()
+        handle.cancel()
+        assert ran == [1]
+
+    def test_drain_cancelled_removes_tombstones(self):
+        engine = Engine(horizon=100.0)
+        handles = [engine.schedule(50.0, lambda: None) for _ in range(10)]
+        for handle in handles[:7]:
+            handle.cancel()
+        removed = engine.drain_cancelled()
+        assert removed == 7
+        assert engine.pending_events == 3
+
+
+class TestRunControl:
+    def test_run_until_partial(self):
+        engine = Engine(horizon=100.0)
+        ran = []
+        engine.schedule(10.0, lambda: ran.append("a"))
+        engine.schedule(60.0, lambda: ran.append("b"))
+        engine.run(until=50.0)
+        assert ran == ["a"]
+        assert engine.now == 50.0
+        engine.run()
+        assert ran == ["a", "b"]
+
+    def test_clock_advances_to_stop_when_heap_empty(self):
+        engine = Engine(horizon=100.0)
+        engine.run()
+        assert engine.now == 100.0
+
+    def test_executed_events_counter(self):
+        engine = Engine(horizon=100.0)
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        engine.run()
+        assert engine.executed_events == 5
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine(horizon=100.0)
+
+        def reenter():
+            engine.run()
+
+        engine.schedule(1.0, reenter)
+        with pytest.raises(SimulationError, match="already running"):
+            engine.run()
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(SimulationError, match="positive"):
+            Engine(horizon=0.0)
+
+    def test_handle_exposes_time(self):
+        engine = Engine(horizon=100.0)
+        handle = engine.schedule(33.0, lambda: None)
+        assert handle.time == 33.0

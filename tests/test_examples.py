@@ -1,0 +1,63 @@
+"""Smoke tests over the example scripts.
+
+Heavyweight examples are not executed here (the benchmark harness and
+integration tests already cover the same code paths); these tests
+verify every example imports cleanly, exposes a ``main`` entry point,
+and parses ``--help`` without running a simulation — the failure mode
+that silently rots example code.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples that accept an ``argv`` parameter on main() and define
+#: an argparse --help.
+ARGPARSE_EXAMPLES = {
+    "full_study",
+    "checkpoint_planner",
+    "what_if_gsp",
+    "hopper_projection",
+    "error_trends",
+    "generate_experiments",
+}
+
+
+def load_example(path: Path):
+    """Import an example script as a module without executing main()."""
+    name = f"example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    # Examples guard execution behind __main__, so import is safe.
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    def test_at_least_five_examples_ship(self):
+        assert len(EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_imports_and_has_main(self, path):
+        module = load_example(path)
+        assert hasattr(module, "main"), f"{path.name} lacks main()"
+        assert module.__doc__, f"{path.name} lacks a docstring"
+
+    @pytest.mark.parametrize(
+        "path",
+        [p for p in EXAMPLES if p.stem in ARGPARSE_EXAMPLES],
+        ids=lambda p: p.stem,
+    )
+    def test_help_exits_cleanly(self, path, capsys):
+        module = load_example(path)
+        with pytest.raises(SystemExit) as excinfo:
+            module.main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage" in out.lower()

@@ -1,0 +1,181 @@
+"""Tests for the experiment report builders (repro.reporting.experiments)
+and the EXPERIMENTS.md generator (repro.reporting.experiments_md)."""
+
+import pytest
+
+from repro.analysis.job_impact import ClassImpact, JobImpactResult
+from repro.analysis.mtbe import MtbeAnalysis
+from repro.calibration import paper
+from repro.core.periods import PeriodName, StudyWindow
+from repro.core.records import DowntimeRecord, ExtractedError
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+from repro.reporting.experiments import (
+    report_figure2,
+    report_nvlink,
+    report_table1,
+    report_table2,
+)
+from repro.reporting.experiments_md import build_experiments_markdown
+
+
+def synthetic_errors_matching_paper(window: StudyWindow):
+    """An error stream whose counts equal Table I exactly.
+
+    Events are laid out deterministically (spaced evenly within each
+    period, round-robining over a fleet of nodes/GPUs so no unit trips
+    the outlier rule except the dedicated episode unit)."""
+    errors = []
+
+    def lay_out(event_class, xid, count, period, episode_unit=False):
+        if count == 0:
+            return
+        span = period.duration
+        step = span / count
+        for i in range(count):
+            if episode_unit:
+                node, gpu = "gpua017", 2
+            else:
+                node, gpu = f"gpua{(i % 50) + 1:03d}", i % 4
+            errors.append(
+                ExtractedError(
+                    time=period.start + i * step + 1.0,
+                    node=node,
+                    gpu_index=gpu,
+                    event_class=event_class,
+                    xid=xid,
+                )
+            )
+
+    for row in paper.TABLE1:
+        xid = 31 if row.event_class is EventClass.MMU_ERROR else 0
+        episode = row.event_class is EventClass.UNCONTAINED_MEMORY_ERROR
+        lay_out(
+            row.event_class,
+            xid,
+            row.pre_op_count,
+            window.pre_operational,
+            episode_unit=episode and row.pre_op_count > 1000,
+        )
+        lay_out(row.event_class, xid, row.op_count, window.operational)
+    return errors
+
+
+@pytest.fixture(scope="module")
+def paper_exact_mtbe():
+    window = StudyWindow.delta_default()
+    errors = synthetic_errors_matching_paper(window)
+    return MtbeAnalysis(errors, window, node_count=106), window, errors
+
+
+class TestReportTable1:
+    def test_paper_exact_counts_all_ok(self, paper_exact_mtbe):
+        mtbe, _, _ = paper_exact_mtbe
+        report = report_table1(mtbe)
+        failures = [c.name for c in report.failures]
+        assert report.all_ok, failures
+
+    def test_mtbe_values_close_to_paper(self, paper_exact_mtbe):
+        mtbe, _, _ = paper_exact_mtbe
+        stat = mtbe.class_stat(PeriodName.OPERATIONAL, EventClass.MMU_ERROR)
+        assert stat.per_node_mtbe_hours == pytest.approx(257, rel=0.06)
+
+    def test_headline_composites_from_exact_counts(self, paper_exact_mtbe):
+        mtbe, _, _ = paper_exact_mtbe
+        # Footnote-5 exclusion reproduces the 199 h figure.
+        pre = mtbe.overall(PeriodName.PRE_OPERATIONAL)
+        assert pre.per_node_mtbe_hours == pytest.approx(199, rel=0.05)
+        op = mtbe.overall(PeriodName.OPERATIONAL)
+        assert op.per_node_mtbe_hours == pytest.approx(154, rel=0.05)
+        assert mtbe.memory_vs_hardware_ratio() == pytest.approx(160, rel=0.10)
+        assert mtbe.degradation_fraction() == pytest.approx(0.23, abs=0.04)
+
+
+class TestReportTable2:
+    def _impact(self, prob: float, encounters: int = 100):
+        failed = int(round(prob * encounters))
+        return JobImpactResult(
+            per_class={
+                row.event_class: ClassImpact(
+                    event_class=row.event_class,
+                    jobs_encountering=encounters,
+                    gpu_failed_jobs=int(round(row.failure_probability * encounters)),
+                )
+                for row in paper.TABLE2
+            },
+            total_gpu_failed_jobs=failed,
+            total_jobs_analyzed=1000,
+        )
+
+    def test_exact_probabilities_all_ok(self):
+        report = report_table2(self._impact(0.9))
+        assert report.all_ok, [c.render() for c in report.failures]
+
+    def test_missing_class_fails(self):
+        impact = JobImpactResult(
+            per_class={}, total_gpu_failed_jobs=0, total_jobs_analyzed=0
+        )
+        report = report_table2(impact)
+        assert not report.all_ok
+        assert len(report.failures) == len(paper.TABLE2)
+
+
+class TestReportFigure2:
+    def test_exact_availability_numbers(self):
+        window = StudyWindow.delta_default()
+        op0 = window.operational.start
+        episodes = [
+            DowntimeRecord(
+                node="gpua001",
+                start=op0 + i * 3 * HOUR,
+                end=op0 + i * 3 * HOUR + 0.88 * HOUR,
+                cause=EventClass.GSP_ERROR,
+            )
+            for i in range(200)
+        ]
+        report = report_figure2(episodes, window, 106, per_node_mtbe_hours=162.0)
+        assert all(
+            c.ok for c in report.comparisons if "MTTR" in c.name or "avail" in c.name
+        )
+
+
+class TestExperimentsMarkdown:
+    def test_structure(self, small_run):
+        artifacts, result = small_run
+        markdown = build_experiments_markdown(
+            errors=result.errors,
+            jobs=result.jobs,
+            downtime=result.downtime,
+            workload_jobs=artifacts.job_records,
+            window=artifacts.window,
+            node_count=artifacts.node_count,
+            run_description="test run",
+            extra_sections=["## Extra\n\ncustom section\n"],
+        )
+        assert markdown.startswith("# EXPERIMENTS")
+        for heading in (
+            "## Run configuration",
+            "## Summary",
+            "## E1 —",
+            "## E2 —",
+            "## E5 —",
+            "## E9 —",
+            "## Extra",
+        ):
+            assert heading in markdown
+        assert "comparisons within tolerance" in markdown
+        assert "| metric | paper | measured |" in markdown
+
+    def test_episode_section_numbers(self, small_run):
+        artifacts, result = small_run
+        markdown = build_experiments_markdown(
+            errors=result.errors,
+            jobs=result.jobs,
+            downtime=result.downtime,
+            workload_jobs=artifacts.job_records,
+            window=artifacts.window,
+            node_count=artifacts.node_count,
+            run_description="test run",
+        )
+        # The small run's episode produces ~7,300 coalesced errors.
+        assert "| coalesced uncontained errors (pre-op) | 38,900 | 7," in markdown

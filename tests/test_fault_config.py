@@ -1,0 +1,165 @@
+"""Unit tests for fault-model configuration (repro.faults.config)."""
+
+import pytest
+
+from repro.core.exceptions import CalibrationError
+from repro.core.periods import PeriodName, StudyWindow
+from repro.core.xid import EventClass
+from repro.faults.config import (
+    DefectiveEpisodeConfig,
+    DuplicationConfig,
+    EpisodeShape,
+    ImpactPolicy,
+    SimpleFaultConfig,
+    UtilizationCouplingConfig,
+)
+from repro.calibration.delta import delta_fault_suite, delta_memory_chain
+
+
+class TestEpisodeShape:
+    def test_mean_errors_includes_onset(self):
+        assert EpisodeShape(mean_extra_errors=14.0).mean_errors == 15.0
+        assert EpisodeShape().mean_errors == 1.0
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            EpisodeShape(mean_extra_errors=-1.0)
+        with pytest.raises(CalibrationError):
+            EpisodeShape(mean_duration_hours=0.0)
+
+
+class TestImpactPolicy:
+    @pytest.mark.parametrize(
+        "field",
+        ["kill_probability", "recovery_probability", "propagate_mmu_probability"],
+    )
+    def test_probability_validation(self, field):
+        with pytest.raises(CalibrationError, match=field):
+            ImpactPolicy(**{field: 2.0})
+
+
+class TestOnsetRates:
+    def test_rates_invert_counts(self):
+        window = StudyWindow.delta_default()
+        config = SimpleFaultConfig(
+            event_class=EventClass.MMU_ERROR,
+            xid=31,
+            pre_op_count=1078,
+            op_count=8863,
+            episode=EpisodeShape(mean_extra_errors=1.5),
+        )
+        pre_rate, op_rate = config.onset_rates_per_hour(window)
+        pre_hours = window.pre_operational.duration_hours
+        op_hours = window.operational.duration_hours
+        # rate * episode-mean * hours recovers the count targets.
+        assert pre_rate * 2.5 * pre_hours == pytest.approx(1078)
+        assert op_rate * 2.5 * op_hours == pytest.approx(8863)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CalibrationError):
+            SimpleFaultConfig(
+                event_class=EventClass.MMU_ERROR,
+                xid=31,
+                pre_op_count=-1,
+                op_count=0,
+            )
+
+
+class TestMemoryChain:
+    def test_params_for_period(self):
+        chain = delta_memory_chain()
+        assert chain.params_for(PeriodName.PRE_OPERATIONAL) is chain.pre_op
+        assert chain.params_for(PeriodName.OPERATIONAL) is chain.op
+
+    def test_delta_branch_probabilities_from_table1(self):
+        chain = delta_memory_chain()
+        # 15 RRF of 46 attempts pre-op; 0 of 34 op.
+        assert chain.pre_op.remap_failure_probability == pytest.approx(15 / 46)
+        assert chain.op.remap_failure_probability == 0.0
+        # 13 contained + 11 uncontained of 24 touches op.
+        assert chain.op.recovery.containment_success_probability == pytest.approx(
+            13 / 24
+        )
+
+    def test_onset_rates(self):
+        window = StudyWindow.delta_default()
+        pre, op = delta_memory_chain().onset_rates_per_hour(window)
+        assert pre * window.pre_operational.duration_hours == pytest.approx(46)
+        assert op * window.operational.duration_hours == pytest.approx(34)
+
+
+class TestDefectiveEpisode:
+    def test_expected_count_near_38900(self):
+        episode = DefectiveEpisodeConfig()
+        assert episode.expected_logical_errors == pytest.approx(38_900, rel=0.01)
+
+    def test_expected_raw_volume_over_a_million(self):
+        episode = DefectiveEpisodeConfig()
+        raw = episode.expected_logical_errors * (1 + episode.duplicates_mean)
+        assert raw > 1_000_000  # "over a million duplicated log entries"
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            DefectiveEpisodeConfig(start_day=10, end_day=10)
+
+
+class TestUtilizationCoupling:
+    def test_default_reproduces_gsp_factor(self):
+        coupling = UtilizationCouplingConfig()
+        op = coupling.rate_multiplier(PeriodName.OPERATIONAL)
+        pre = coupling.rate_multiplier(PeriodName.PRE_OPERATIONAL)
+        # The utilization jump alone yields the paper's ~5.6x GSP factor.
+        assert op / pre == pytest.approx(5.6, rel=0.05)
+
+    def test_derive_pre_op_rate(self):
+        coupling = UtilizationCouplingConfig()
+        derived = coupling.derive_pre_op_rate(10.0)
+        assert derived == pytest.approx(
+            10.0
+            * coupling.rate_multiplier(PeriodName.PRE_OPERATIONAL)
+            / coupling.rate_multiplier(PeriodName.OPERATIONAL)
+        )
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            UtilizationCouplingConfig(pre_op_utilization=1.5)
+
+
+class TestSuite:
+    def test_delta_suite_has_all_simple_classes(self):
+        suite = delta_fault_suite()
+        classes = {cfg.event_class for cfg in suite.simple_faults}
+        assert classes == {
+            EventClass.MMU_ERROR,
+            EventClass.GSP_ERROR,
+            EventClass.PMU_SPI_ERROR,
+            EventClass.FALLEN_OFF_BUS,
+        }
+
+    def test_fault_for_lookup(self):
+        suite = delta_fault_suite()
+        assert suite.fault_for(EventClass.GSP_ERROR).xid == 119
+        with pytest.raises(CalibrationError):
+            suite.fault_for(EventClass.NVLINK_ERROR)
+
+    def test_without_episode(self):
+        suite = delta_fault_suite().without_episode()
+        assert suite.defective_episode is None
+
+    def test_with_coupling(self):
+        coupling = UtilizationCouplingConfig()
+        suite = delta_fault_suite().with_coupling(coupling)
+        assert suite.utilization_coupling is coupling
+
+    def test_duplication_validation(self):
+        with pytest.raises(CalibrationError):
+            DuplicationConfig(mean_extra_lines=-1.0)
+
+    def test_gsp_kills_whole_node(self):
+        from repro.faults.config import KillScope
+
+        suite = delta_fault_suite()
+        gsp = suite.fault_for(EventClass.GSP_ERROR)
+        assert gsp.impact.kill_scope is KillScope.NODE
+        assert gsp.impact.kill_probability == 1.0
+        assert gsp.impact.node_failure_state

@@ -1,0 +1,95 @@
+"""Tests for the composite headline computation and the one-page
+summary renderer."""
+
+import pytest
+
+from repro.analysis import compute_headline
+from repro.reporting.summary import render_summary
+
+
+class TestComputeHeadline:
+    @pytest.fixture(scope="class")
+    def headline(self, small_run):
+        artifacts, result = small_run
+        return compute_headline(
+            result.errors,
+            result.jobs,
+            result.downtime,
+            artifacts.window,
+            artifacts.node_count,
+        )
+
+    def test_mtbe_fields_populated(self, headline):
+        assert headline.pre_op_per_node_mtbe_hours is not None
+        assert headline.op_per_node_mtbe_hours is not None
+        assert headline.op_per_node_mtbe_hours > 0
+
+    def test_degradation_direction(self, headline):
+        # Table-I-scale counts over a compressed window still degrade
+        # into the operational period.
+        assert headline.op_per_node_mtbe_hours < headline.pre_op_per_node_mtbe_hours
+        assert headline.mtbe_degradation_fraction is not None
+        assert 0.0 < headline.mtbe_degradation_fraction < 1.0
+
+    def test_memory_much_safer_than_hardware(self, headline):
+        assert headline.memory_vs_hardware_ratio is not None
+        assert headline.memory_vs_hardware_ratio > 20
+
+    def test_gsp_degradation_factor(self, headline):
+        assert headline.gsp_degradation_factor is not None
+        assert headline.gsp_degradation_factor > 1.5
+
+    def test_nvlink_fractions(self, headline):
+        assert headline.nvlink_multi_gpu_fraction == pytest.approx(0.42, abs=0.08)
+        if headline.nvlink_job_failure_fraction is not None:
+            assert 0.0 <= headline.nvlink_job_failure_fraction <= 1.0
+
+    def test_availability_embedded(self, headline):
+        report = headline.availability
+        assert report.mttr_hours is not None
+        assert report.availability_formula is not None
+        assert 0.0 < report.availability_formula < 1.0
+
+
+class TestRenderSummary:
+    @pytest.fixture(scope="class")
+    def text(self, small_run):
+        artifacts, result = small_run
+        return render_summary(
+            result.errors,
+            result.jobs,
+            result.downtime,
+            artifacts.window,
+            artifacts.node_count,
+        )
+
+    def test_sections_present(self, text):
+        for section in (
+            "GPU RESILIENCE STUDY SUMMARY",
+            "-- reliability --",
+            "-- weakest components",
+            "-- job impact",
+            "-- availability --",
+            "-- error-process structure --",
+        ):
+            assert section in text
+
+    def test_outlier_unit_reported(self, text):
+        assert "outlier unit" in text
+        assert "uncontained_memory_error" in text
+
+    def test_no_jobs_still_renders(self, small_run):
+        artifacts, result = small_run
+        text = render_summary(
+            result.errors, [], result.downtime, artifacts.window,
+            artifacts.node_count,
+        )
+        assert "GPU RESILIENCE STUDY SUMMARY" in text
+        assert "-- job impact" not in text
+
+    def test_empty_everything_renders(self, small_run):
+        artifacts, _ = small_run
+        text = render_summary(
+            [], [], [], artifacts.window, artifacts.node_count
+        )
+        assert "0 coalesced errors" in text

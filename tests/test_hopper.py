@@ -1,0 +1,110 @@
+"""Tests for the Grace Hopper projection preset (repro.calibration.hopper)."""
+
+import pytest
+
+from repro.calibration.delta import delta_fault_suite
+from repro.calibration.hopper import (
+    HOPPER_SHAPE,
+    HopperProjection,
+    hopper_fault_suite,
+    hopper_study_config,
+)
+from repro.core.xid import EventClass
+
+
+class TestProjectionValidation:
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            HopperProjection(gsp_rate_multiplier=-0.1)
+
+    def test_retry_probability_bounds(self):
+        with pytest.raises(ValueError):
+            HopperProjection(nvlink_retry_success=1.5)
+
+
+class TestSuiteScaling:
+    def test_gsp_rates_scaled(self):
+        baseline = delta_fault_suite(include_episode=False)
+        projected = hopper_fault_suite(HopperProjection(gsp_rate_multiplier=0.5))
+        base_gsp = baseline.fault_for(EventClass.GSP_ERROR)
+        proj_gsp = projected.fault_for(EventClass.GSP_ERROR)
+        assert proj_gsp.op_count == pytest.approx(base_gsp.op_count * 0.5)
+        assert proj_gsp.pre_op_count == pytest.approx(base_gsp.pre_op_count * 0.5)
+
+    def test_memory_rates_scaled(self):
+        baseline = delta_fault_suite(include_episode=False)
+        projected = hopper_fault_suite(HopperProjection(memory_rate_multiplier=2.0))
+        assert projected.memory_chain.op.uncorrectable_count == pytest.approx(
+            baseline.memory_chain.op.uncorrectable_count * 2.0
+        )
+
+    def test_nvlink_scaled_and_retry_updated(self):
+        projected = hopper_fault_suite(
+            HopperProjection(nvlink_rate_multiplier=0.5, nvlink_retry_success=0.4)
+        )
+        baseline = delta_fault_suite(include_episode=False)
+        assert projected.nvlink.op_count == pytest.approx(
+            baseline.nvlink.op_count * 0.5
+        )
+        assert projected.nvlink.link_model.retry_success_probability == 0.4
+
+    def test_unit_defect_episode_not_carried_over(self):
+        assert hopper_fault_suite().defective_episode is None
+
+    def test_identity_projection_preserves_rates(self):
+        identity = HopperProjection(
+            gsp_rate_multiplier=1.0,
+            memory_rate_multiplier=1.0,
+            nvlink_rate_multiplier=1.0,
+        )
+        baseline = delta_fault_suite(include_episode=False)
+        projected = hopper_fault_suite(identity)
+        for event_class in (EventClass.MMU_ERROR, EventClass.GSP_ERROR):
+            assert projected.fault_for(event_class).op_count == pytest.approx(
+                baseline.fault_for(event_class).op_count
+            )
+
+
+class TestStudyConfig:
+    def test_hopper_shape(self):
+        assert HOPPER_SHAPE.gpu_node_count == 114
+        assert HOPPER_SHAPE.gpu_count == 456
+
+    def test_study_config_wires_everything(self):
+        config = hopper_study_config(seed=1, job_scale=0.01)
+        assert config.cluster_shape is HOPPER_SHAPE
+        assert config.workload.job_scale == 0.01
+        gsp = config.fault_suite.fault_for(EventClass.GSP_ERROR)
+        base = delta_fault_suite().fault_for(EventClass.GSP_ERROR)
+        assert gsp.op_count < base.op_count  # default projection improves GSP
+
+    def test_projection_run_reduces_gsp_errors(self):
+        """An actual (tiny) run: projected GSP errors drop ~3x."""
+        from dataclasses import replace
+
+        from repro import DeltaStudy
+        from repro.core.periods import StudyWindow
+
+        window = StudyWindow.scaled(pre_days=5, op_days=15)
+        base_config = replace(
+            hopper_study_config(seed=3, job_scale=0.01,
+                                projection=HopperProjection(
+                                    gsp_rate_multiplier=1.0)),
+            window=window,
+            cluster_shape=HOPPER_SHAPE,
+        )
+        projected_config = replace(
+            hopper_study_config(seed=3, job_scale=0.01),
+            window=window,
+        )
+        base = DeltaStudy(base_config).run(None)
+        projected = DeltaStudy(projected_config).run(None)
+
+        def gsp_count(artifacts):
+            return sum(
+                1
+                for e in artifacts.logical_events
+                if e.event_class is EventClass.GSP_ERROR
+            )
+
+        assert gsp_count(projected) < 0.6 * gsp_count(base)

@@ -1,0 +1,387 @@
+"""Unit/integration tests for the fault injector (repro.faults.injector).
+
+These drive the injector against a real engine/scheduler/ops stack on a
+small cluster, with tightly scoped fault suites so each mechanism can
+be observed in isolation.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.calibration.delta import delta_fault_suite, delta_memory_chain
+from repro.cluster.topology import Cluster
+from repro.core.periods import StudyWindow
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+from repro.faults.config import (
+    DefectiveEpisodeConfig,
+    DuplicationConfig,
+    EpisodeShape,
+    FaultSuiteConfig,
+    ImpactPolicy,
+    KillScope,
+    MemoryChainConfig,
+    MemoryChainPeriodParams,
+    NvlinkFaultConfig,
+    SimpleFaultConfig,
+    TargetPolicy,
+    UtilizationCouplingConfig,
+)
+from repro.faults.injector import FaultInjector
+from repro.gpu.memory import MemoryRecoveryConfig
+from repro.gpu.nvlink import NvlinkConfig
+from repro.ops.manager import OpsManager, OpsPolicy
+from repro.ops.repair import RecoveryKind, RepairTimeConfig, RepairTimeModel
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.slurm.scheduler import Scheduler
+from repro.syslog.records import LogBus
+
+
+def empty_memory_chain() -> MemoryChainConfig:
+    params = MemoryChainPeriodParams(
+        uncorrectable_count=0.0,
+        remap_failure_probability=0.0,
+        recovery=MemoryRecoveryConfig(),
+    )
+    return MemoryChainConfig(pre_op=params, op=params)
+
+
+def empty_nvlink() -> NvlinkFaultConfig:
+    return NvlinkFaultConfig(pre_op_count=0.0, op_count=0.0)
+
+
+def build_stack(suite: FaultSuiteConfig, window=None, seed=9):
+    window = window or StudyWindow.scaled(pre_days=10, op_days=40)
+    engine = Engine(horizon=window.end)
+    cluster = Cluster.small(four_way=4, eight_way=0, cpu=0)
+    rngs = RngRegistry(seed)
+    log_bus = LogBus()
+    scheduler = Scheduler(engine, cluster)
+    ops = OpsManager(
+        engine=engine,
+        cluster=cluster,
+        scheduler=scheduler,
+        repair_model=RepairTimeModel(RepairTimeConfig(), rngs.stream("repair")),
+        policy=OpsPolicy(),
+        window=window,
+        rng=rngs.stream("detect"),
+        on_event=log_bus.emit,
+    )
+    injector = FaultInjector(
+        engine=engine,
+        cluster=cluster,
+        scheduler=scheduler,
+        ops=ops,
+        log_bus=log_bus,
+        suite=suite,
+        window=window,
+        rngs=rngs,
+    )
+    return engine, cluster, scheduler, ops, log_bus, injector
+
+
+def single_fault_suite(cfg: SimpleFaultConfig, **kwargs) -> FaultSuiteConfig:
+    return FaultSuiteConfig(
+        simple_faults=(cfg,),
+        memory_chain=empty_memory_chain(),
+        nvlink=empty_nvlink(),
+        duplication=DuplicationConfig(mean_extra_lines=1.0, max_spread_seconds=5.0),
+        **kwargs,
+    )
+
+
+class TestSimpleFaultCounts:
+    def test_logical_count_matches_calibration(self):
+        cfg = SimpleFaultConfig(
+            event_class=EventClass.MMU_ERROR,
+            xid=31,
+            pre_op_count=200,
+            op_count=800,
+            episode=EpisodeShape(mean_extra_errors=1.0, min_gap_seconds=60.0),
+        )
+        engine, *_, injector = build_stack(single_fault_suite(cfg))
+        injector.arm()
+        engine.run()
+        window = StudyWindow.scaled(pre_days=10, op_days=40)
+        pre = sum(
+            1
+            for e in injector.logical_events
+            if e.time < window.operational.start
+        )
+        op = len(injector.logical_events) - pre
+        assert pre == pytest.approx(200, rel=0.35)
+        assert op == pytest.approx(800, rel=0.20)
+
+    def test_fault_scale_thins_counts(self):
+        cfg = SimpleFaultConfig(
+            event_class=EventClass.MMU_ERROR,
+            xid=31,
+            pre_op_count=500,
+            op_count=2000,
+        )
+        window = StudyWindow.scaled(pre_days=10, op_days=40)
+        engine, cluster, scheduler, ops, bus, _ = build_stack(
+            single_fault_suite(cfg), window
+        )
+        injector = FaultInjector(
+            engine=engine,
+            cluster=cluster,
+            scheduler=scheduler,
+            ops=ops,
+            log_bus=bus,
+            suite=single_fault_suite(cfg),
+            window=window,
+            rngs=RngRegistry(3),
+            fault_scale=0.1,
+        )
+        injector.arm()
+        engine.run()
+        assert len(injector.logical_events) == pytest.approx(250, rel=0.3)
+
+    def test_invalid_fault_scale(self):
+        engine, cluster, scheduler, ops, bus, _ = build_stack(
+            single_fault_suite(
+                SimpleFaultConfig(
+                    event_class=EventClass.MMU_ERROR, xid=31,
+                    pre_op_count=1, op_count=1,
+                )
+            )
+        )
+        with pytest.raises(ValueError):
+            FaultInjector(
+                engine=engine,
+                cluster=cluster,
+                scheduler=scheduler,
+                ops=ops,
+                log_bus=bus,
+                suite=single_fault_suite(
+                    SimpleFaultConfig(
+                        event_class=EventClass.MMU_ERROR, xid=31,
+                        pre_op_count=1, op_count=1,
+                    )
+                ),
+                window=StudyWindow.scaled(pre_days=1, op_days=1),
+                rngs=RngRegistry(1),
+                fault_scale=0.0,
+            )
+
+
+class TestEpisodes:
+    def test_episode_repeats_share_episode_id(self):
+        cfg = SimpleFaultConfig(
+            event_class=EventClass.GSP_ERROR,
+            xid=119,
+            pre_op_count=0,
+            op_count=300,
+            episode=EpisodeShape(
+                mean_extra_errors=9.0, mean_duration_hours=0.5, min_gap_seconds=60.0
+            ),
+        )
+        engine, *_, injector = build_stack(single_fault_suite(cfg))
+        injector.arm()
+        engine.run()
+        by_episode = {}
+        for event in injector.logical_events:
+            by_episode.setdefault(event.episode_id, []).append(event)
+        sizes = [len(v) for v in by_episode.values()]
+        assert np.mean(sizes) == pytest.approx(10.0, rel=0.35)
+        # All events of an episode hit the same GPU.
+        for events in by_episode.values():
+            assert len({(e.node, e.gpu_index) for e in events}) == 1
+
+    def test_repeats_respect_min_gap(self):
+        cfg = SimpleFaultConfig(
+            event_class=EventClass.GSP_ERROR,
+            xid=119,
+            pre_op_count=0,
+            op_count=100,
+            episode=EpisodeShape(
+                mean_extra_errors=5.0, mean_duration_hours=0.2, min_gap_seconds=90.0
+            ),
+        )
+        engine, *_, injector = build_stack(single_fault_suite(cfg))
+        injector.arm()
+        engine.run()
+        by_episode = {}
+        for event in injector.logical_events:
+            by_episode.setdefault(event.episode_id, []).append(event.time)
+        for times in by_episode.values():
+            gaps = np.diff(sorted(times))
+            if gaps.size:
+                assert gaps.min() >= 89.9
+
+    def test_paired_xid_split(self):
+        cfg = SimpleFaultConfig(
+            event_class=EventClass.GSP_ERROR,
+            xid=119,
+            pre_op_count=500,
+            op_count=2000,
+        )
+        engine, *_, injector = build_stack(single_fault_suite(cfg))
+        injector.arm()
+        engine.run()
+        codes = [e.xid for e in injector.logical_events]
+        share_119 = codes.count(119) / len(codes)
+        assert share_119 == pytest.approx(0.8, abs=0.05)
+        assert set(codes) == {119, 120}
+
+
+class TestPropagation:
+    def test_pmu_triggers_correlated_mmu(self):
+        pmu = SimpleFaultConfig(
+            event_class=EventClass.PMU_SPI_ERROR,
+            xid=122,
+            pre_op_count=0,
+            op_count=200,
+            impact=ImpactPolicy(
+                propagate_mmu_probability=1.0, propagate_delay_mean_s=60.0
+            ),
+        )
+        mmu = SimpleFaultConfig(
+            event_class=EventClass.MMU_ERROR,
+            xid=31,
+            pre_op_count=0,
+            op_count=0,  # only propagated MMU errors occur
+        )
+        suite = FaultSuiteConfig(
+            simple_faults=(pmu, mmu),
+            memory_chain=empty_memory_chain(),
+            nvlink=empty_nvlink(),
+        )
+        engine, *_, injector = build_stack(suite)
+        injector.arm()
+        engine.run()
+        pmu_events = [
+            e for e in injector.logical_events
+            if e.event_class is EventClass.PMU_SPI_ERROR
+        ]
+        mmu_events = [
+            e for e in injector.logical_events
+            if e.event_class is EventClass.MMU_ERROR
+        ]
+        assert len(mmu_events) == pytest.approx(len(pmu_events), rel=0.15)
+        # Propagated MMU errors land on the same GPU as some PMU error.
+        pmu_gpus = {(e.node, e.gpu_index) for e in pmu_events}
+        on_pmu_gpu = sum(
+            1 for e in mmu_events if (e.node, e.gpu_index) in pmu_gpus
+        )
+        assert on_pmu_gpu / max(len(mmu_events), 1) > 0.95
+
+
+class TestMemoryChain:
+    def test_chain_event_composition(self):
+        params_op = MemoryChainPeriodParams(
+            uncorrectable_count=400.0,
+            remap_failure_probability=0.25,
+            recovery=MemoryRecoveryConfig(
+                dbe_xid_probability=0.0,
+                containment_success_probability=1.0,
+                active_touch_probability=0.0,
+            ),
+        )
+        params_pre = replace(params_op, uncorrectable_count=0.0)
+        suite = FaultSuiteConfig(
+            simple_faults=(),
+            memory_chain=MemoryChainConfig(pre_op=params_pre, op=params_op),
+            nvlink=empty_nvlink(),
+        )
+        engine, *_, injector = build_stack(suite)
+        injector.arm()
+        engine.run()
+        counts = {}
+        for event in injector.logical_events:
+            counts[event.event_class] = counts.get(event.event_class, 0) + 1
+        uncorrectable = counts.get(EventClass.UNCORRECTABLE_ECC, 0)
+        rre = counts.get(EventClass.ROW_REMAP_EVENT, 0)
+        rrf = counts.get(EventClass.ROW_REMAP_FAILURE, 0)
+        assert uncorrectable == pytest.approx(400, rel=0.2)
+        assert rre + rrf == uncorrectable
+        assert rrf / uncorrectable == pytest.approx(0.25, abs=0.07)
+
+    def test_rrf_repeat_offender_replaced(self):
+        # With high remap-failure probability one unit will eventually
+        # log two RRFs and be swapped by the SRE policy.
+        params = MemoryChainPeriodParams(
+            uncorrectable_count=600.0,
+            remap_failure_probability=0.9,
+            recovery=MemoryRecoveryConfig(active_touch_probability=0.0),
+        )
+        suite = FaultSuiteConfig(
+            simple_faults=(),
+            memory_chain=MemoryChainConfig(
+                pre_op=replace(params, uncorrectable_count=0.0), op=params
+            ),
+            nvlink=empty_nvlink(),
+        )
+        engine, cluster, scheduler, ops, *_ , injector = build_stack(suite)
+        injector.arm()
+        engine.run()
+        assert any(r.gpu_replaced for r in ops.downtime_records)
+
+
+class TestDefectiveEpisode:
+    def test_episode_volume_and_location(self):
+        episode = DefectiveEpisodeConfig(
+            start_day=2.0, end_day=4.0, node_ordinal=1, gpu_index=2
+        )
+        suite = FaultSuiteConfig(
+            simple_faults=(),
+            memory_chain=empty_memory_chain(),
+            nvlink=empty_nvlink(),
+            defective_episode=episode,
+        )
+        engine, *_, injector = build_stack(suite)
+        injector.arm()
+        engine.run()
+        events = injector.logical_events
+        assert len(events) == pytest.approx(episode.expected_logical_errors, rel=0.05)
+        assert all(e.event_class is EventClass.UNCONTAINED_MEMORY_ERROR for e in events)
+        assert len({(e.node, e.gpu_index) for e in events}) == 1
+        assert events[0].gpu_index == 2
+
+    def test_episode_gpu_swapped_at_discovery(self):
+        episode = DefectiveEpisodeConfig(
+            start_day=2.0, end_day=3.0, node_ordinal=0, gpu_index=1
+        )
+        suite = FaultSuiteConfig(
+            simple_faults=(),
+            memory_chain=empty_memory_chain(),
+            nvlink=empty_nvlink(),
+            defective_episode=episode,
+        )
+        engine, cluster, _, ops, *_unused, injector = build_stack(suite)
+        injector.arm()
+        engine.run()
+        assert any(r.gpu_replaced for r in ops.downtime_records)
+        node = cluster.gpu_nodes()[0]
+        assert node.gpu(1).serial != f"{node.name}-u1-r0"
+
+
+class TestUtilizationCoupling:
+    def test_coupling_derives_pre_op_rate(self):
+        coupling = UtilizationCouplingConfig(
+            coupled_classes=(EventClass.GSP_ERROR,)
+        )
+        cfg = SimpleFaultConfig(
+            event_class=EventClass.GSP_ERROR,
+            xid=119,
+            pre_op_count=0,  # ignored under coupling
+            op_count=4000,
+        )
+        suite = single_fault_suite(cfg, utilization_coupling=coupling)
+        engine, *_, injector = build_stack(suite)
+        injector.arm()
+        engine.run()
+        window = StudyWindow.scaled(pre_days=10, op_days=40)
+        pre = sum(
+            1 for e in injector.logical_events
+            if e.time < window.operational.start
+        )
+        op = len(injector.logical_events) - pre
+        pre_rate = pre / window.pre_operational.duration_hours
+        op_rate = op / window.operational.duration_hours
+        # The utilization law implies a ~5.6x rate ratio.
+        assert op_rate / pre_rate == pytest.approx(5.6, rel=0.30)

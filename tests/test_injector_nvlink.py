@@ -1,0 +1,86 @@
+"""Focused tests: NVLink behaviour inside the fault injector."""
+
+import pytest
+
+from repro.core.periods import StudyWindow
+from repro.core.xid import EventClass
+from repro.faults.config import (
+    DuplicationConfig,
+    EpisodeShape,
+    FaultSuiteConfig,
+    NvlinkFaultConfig,
+)
+from repro.gpu.nvlink import NvlinkConfig
+
+from tests.test_injector import build_stack, empty_memory_chain
+
+
+def nvlink_suite(**link_overrides) -> FaultSuiteConfig:
+    link = NvlinkConfig(**link_overrides)
+    return FaultSuiteConfig(
+        simple_faults=(),
+        memory_chain=empty_memory_chain(),
+        nvlink=NvlinkFaultConfig(
+            pre_op_count=300.0,
+            op_count=1200.0,
+            episode=EpisodeShape(mean_extra_errors=0.0),
+            link_model=link,
+        ),
+        duplication=DuplicationConfig(mean_extra_lines=0.5, max_spread_seconds=4.0),
+    )
+
+
+class TestNvlinkGroundTruth:
+    def test_affected_gpus_recorded_per_event(self):
+        engine, *_, injector = build_stack(nvlink_suite())
+        injector.arm()
+        engine.run()
+        events = injector.logical_events
+        assert events
+        for event in events:
+            assert event.event_class is EventClass.NVLINK_ERROR
+            assert event.xid == 74
+            assert event.gpu_index in event.affected_gpus
+
+    def test_multi_gpu_fraction_tracks_config(self):
+        engine, *_, injector = build_stack(nvlink_suite(multi_gpu_probability=0.42))
+        injector.arm()
+        engine.run()
+        by_episode = {}
+        for event in injector.logical_events:
+            by_episode.setdefault(event.episode_id, set()).add(event.gpu_index)
+        sizes = [len(gpus) for gpus in by_episode.values()]
+        multi = sum(1 for s in sizes if s >= 2)
+        assert multi / len(sizes) == pytest.approx(0.42, abs=0.06)
+
+    def test_single_gpu_only_when_multi_prob_zero(self):
+        engine, *_, injector = build_stack(nvlink_suite(multi_gpu_probability=0.0))
+        injector.arm()
+        engine.run()
+        by_episode = {}
+        for event in injector.logical_events:
+            by_episode.setdefault(event.episode_id, set()).add(event.gpu_index)
+        assert all(len(gpus) == 1 for gpus in by_episode.values())
+
+    def test_logical_count_accounts_for_manifest_size(self):
+        """Calibration divides by the expected manifestation size, so the
+        total per-GPU error count should land on the target regardless of
+        the multi-GPU probability."""
+        for multi_prob in (0.0, 0.42, 0.9):
+            engine, *_, injector = build_stack(
+                nvlink_suite(multi_gpu_probability=multi_prob), seed=17
+            )
+            injector.arm()
+            engine.run()
+            total = len(injector.logical_events)
+            assert total == pytest.approx(1500, rel=0.12), multi_prob
+
+    def test_simultaneous_endpoint_events_share_timestamp(self):
+        engine, *_, injector = build_stack(nvlink_suite(multi_gpu_probability=1.0))
+        injector.arm()
+        engine.run()
+        by_episode = {}
+        for event in injector.logical_events:
+            by_episode.setdefault(event.episode_id, []).append(event.time)
+        for times in by_episode.values():
+            assert max(times) - min(times) < 1e-9

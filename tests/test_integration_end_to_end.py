@@ -1,0 +1,199 @@
+"""Integration tests: full simulation → artifacts → pipeline → analysis.
+
+These tests exercise the exact information flow of the paper: the
+analysis side reads only what is on disk, and we verify it recovers the
+simulator's ground truth.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import (
+    JobImpactAnalysis,
+    JobStatistics,
+    MtbeAnalysis,
+    validate_classifier,
+)
+from repro.core.periods import PeriodName
+from repro.core.xid import EventClass
+from repro.slurm.accounting import read_ground_truth
+from repro.slurm.types import JobState
+
+
+class TestArtifactsOnDisk:
+    def test_expected_files_exist(self, small_run):
+        artifacts, _ = small_run
+        assert artifacts.syslog_dir.is_dir()
+        assert artifacts.inventory_path.exists()
+        assert artifacts.sacct_path.exists()
+        assert artifacts.truth_path.exists()
+        day_files = list(artifacts.syslog_dir.glob("syslog-*.log"))
+        assert len(day_files) == pytest.approx(80, abs=3)
+
+    def test_raw_lines_exceed_logical_errors(self, small_run):
+        artifacts, result = small_run
+        # Duplicate bursts mean raw lines >> logical errors.
+        assert artifacts.raw_log_lines > len(artifacts.logical_events) * 2
+        assert result.raw_hits > len(result.errors)
+
+    def test_extraction_saw_noise_and_excluded_xids(self, small_run):
+        _, result = small_run
+        stats = result.extraction_stats
+        assert stats.excluded_xid_lines > 0
+        assert stats.total_lines > stats.matched_lines
+        assert stats.malformed_lines == 0
+        assert stats.unresolved_pci_lines == 0
+
+
+class TestPipelineRecoversGroundTruth:
+    def test_per_class_counts_match(self, small_run):
+        artifacts, result = small_run
+        truth = artifacts.logical_counts()
+        recovered: Counter = Counter()
+        for error in result.errors:
+            period = artifacts.window.period_of(error.time)
+            recovered[(period, error.event_class)] += 1
+        for period in (PeriodName.PRE_OPERATIONAL, PeriodName.OPERATIONAL):
+            for event_class in EventClass:
+                expected = truth[period].get(event_class, 0)
+                got = recovered.get((period, event_class), 0)
+                # Coalescing recovers logical errors nearly exactly;
+                # allow a small slack for window-boundary merges.
+                assert got == pytest.approx(expected, abs=max(3, 0.03 * expected)), (
+                    period,
+                    event_class,
+                )
+
+    def test_total_recovery_rate(self, small_run):
+        artifacts, result = small_run
+        assert len(result.errors) == pytest.approx(
+            len(artifacts.logical_events), rel=0.02
+        )
+
+    def test_downtime_episodes_match_ops_records(self, small_run):
+        artifacts, result = small_run
+        # Log-recovered downtime should match the ops layer's records
+        # except episodes still open at window end.
+        assert len(result.downtime) >= len(artifacts.downtime_records) - 25
+        assert len(result.downtime) <= len(artifacts.downtime_records)
+        ground = sorted(r.start for r in artifacts.downtime_records)
+        recovered = sorted(r.start for r in result.downtime)
+        for got, expected in zip(recovered[:50], ground[:50]):
+            assert got == pytest.approx(expected, abs=1.0)
+
+    def test_job_records_roundtrip(self, small_run):
+        artifacts, result = small_run
+        assert len(result.jobs) == len(artifacts.job_records)
+        truth_states = {r.job_id: r.state for r in artifacts.job_records}
+        for job in result.jobs[:200]:
+            assert truth_states[job.job_id] is job.state
+
+
+class TestImpactAgainstGroundTruth:
+    def test_attributed_jobs_really_were_killed(self, small_run):
+        artifacts, result = small_run
+        impact = JobImpactAnalysis(
+            result.errors, result.jobs, artifacts.window
+        ).run()
+        truth = read_ground_truth(artifacts.truth_path)
+        killed_ids = {jid for jid, (cause, _) in truth.items() if cause}
+        attributed = impact.gpu_failed_job_ids
+        if not attributed:
+            pytest.skip("no attributed jobs at this scale")
+        # Precision: attributed jobs must overwhelmingly be true kills.
+        truly_killed = len(attributed & killed_ids)
+        assert truly_killed / len(attributed) > 0.93
+
+    def test_recall_of_true_kills(self, small_run):
+        artifacts, result = small_run
+        impact = JobImpactAnalysis(
+            result.errors, result.jobs, artifacts.window
+        ).run()
+        truth = read_ground_truth(artifacts.truth_path)
+        operational = artifacts.window.operational
+        killed_ids = {
+            r.job_id
+            for r in artifacts.job_records
+            if r.killed_by is not None and operational.contains(r.end_time)
+        }
+        if not killed_ids:
+            pytest.skip("no ground-truth kills at this scale")
+        recovered = len(impact.gpu_failed_job_ids & killed_ids)
+        assert recovered / len(killed_ids) > 0.9
+
+    def test_gsp_errors_always_fatal(self, small_run):
+        artifacts, result = small_run
+        impact = JobImpactAnalysis(
+            result.errors, result.jobs, artifacts.window
+        ).run()
+        gsp = impact.per_class.get(EventClass.GSP_ERROR)
+        if gsp is None or gsp.jobs_encountering < 3:
+            pytest.skip("too few GSP encounters at this scale")
+        assert gsp.failure_probability >= 0.9
+
+    def test_mmu_failure_probability_band(self, small_run):
+        artifacts, result = small_run
+        impact = JobImpactAnalysis(
+            result.errors, result.jobs, artifacts.window
+        ).run()
+        mmu = impact.per_class[EventClass.MMU_ERROR]
+        assert mmu.jobs_encountering > 100
+        assert 0.75 <= mmu.failure_probability <= 1.0
+
+
+class TestOutlierEpisode:
+    def test_episode_gpu_detected_as_outlier(self, small_run):
+        artifacts, result = small_run
+        analysis = MtbeAnalysis(result.errors, artifacts.window, artifacts.node_count)
+        outliers = analysis.outliers
+        assert len(outliers) >= 1
+        top = outliers[0]
+        assert top.event_class is EventClass.UNCONTAINED_MEMORY_ERROR
+        assert top.period is PeriodName.PRE_OPERATIONAL
+        assert top.share > 0.9
+
+    def test_overall_mtbe_excludes_episode(self, small_run):
+        artifacts, result = small_run
+        analysis = MtbeAnalysis(result.errors, artifacts.window, artifacts.node_count)
+        with_episode = analysis.overall(
+            PeriodName.PRE_OPERATIONAL, exclude_outliers=False
+        )
+        without = analysis.overall(PeriodName.PRE_OPERATIONAL)
+        assert without.count < with_episode.count * 0.6
+        assert without.per_node_mtbe_hours > with_episode.per_node_mtbe_hours
+
+    def test_episode_gpu_replaced_after_discovery(self, small_run):
+        artifacts, _ = small_run
+        swaps = [r for r in artifacts.downtime_records if r.gpu_replaced]
+        assert any(
+            r.cause is EventClass.UNCONTAINED_MEMORY_ERROR for r in swaps
+        )
+
+
+class TestWorkloadStatistics:
+    def test_success_rate_band(self, small_run):
+        artifacts, result = small_run
+        stats = JobStatistics(result.jobs, artifacts.window)
+        population = stats.population()
+        assert population.cpu_success_rate == pytest.approx(0.749, abs=0.04)
+
+    def test_ml_classifier_quality_on_run(self, small_run):
+        artifacts, _ = small_run
+        pairs = [
+            (r.name, r.is_ml_truth)
+            for r in artifacts.job_records
+            if r.gpu_count > 0
+        ]
+        quality = validate_classifier(pairs)
+        assert quality.precision is None or quality.precision > 0.9
+        if quality.recall is not None:
+            assert 0.7 < quality.recall < 0.98  # opaque names are missed
+
+    def test_job_states_consistent_with_exit_codes(self, small_run):
+        _, result = small_run
+        for job in result.jobs:
+            if job.state is JobState.COMPLETED:
+                assert job.exit_code == 0
+            else:
+                assert job.exit_code != 0

@@ -1,0 +1,202 @@
+"""Unit tests for job-impact attribution (repro.analysis.job_impact)."""
+
+import pytest
+
+from repro.analysis.job_impact import (
+    AttributionGranularity,
+    JobImpactAnalysis,
+)
+from repro.core.periods import StudyWindow
+from repro.core.records import ExtractedError
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+from repro.slurm.types import Allocation, JobRecord, JobState, Partition
+
+
+@pytest.fixture()
+def window():
+    return StudyWindow.scaled(pre_days=10, op_days=40)
+
+
+OP0 = 10 * DAY  # start of the operational period
+
+
+def job(
+    job_id,
+    start,
+    end,
+    state=JobState.COMPLETED,
+    node="gpua001",
+    gpus=(0,),
+    gpu_count=None,
+):
+    return JobRecord(
+        job_id=job_id,
+        name=f"j{job_id}",
+        user="u",
+        partition=Partition.GPU_A100_X4,
+        submit_time=start - 60,
+        start_time=start,
+        end_time=end,
+        state=state,
+        exit_code=0 if state is JobState.COMPLETED else 1,
+        allocation=Allocation(nodes=(node,), gpus={node: tuple(gpus)}),
+        gpu_count=gpu_count if gpu_count is not None else len(gpus),
+    )
+
+
+def error(time, node="gpua001", gpu=0, event=EventClass.MMU_ERROR, xid=31):
+    return ExtractedError(
+        time=time, node=node, gpu_index=gpu, event_class=event, xid=xid
+    )
+
+
+class TestEncounters:
+    def test_job_encounters_error_on_its_gpu(self, window):
+        jobs = [job(1, OP0 + HOUR, OP0 + 3 * HOUR)]
+        errors = [error(OP0 + 2 * HOUR)]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        assert result.per_class[EventClass.MMU_ERROR].jobs_encountering == 1
+
+    def test_error_on_other_gpu_not_encountered(self, window):
+        jobs = [job(1, OP0 + HOUR, OP0 + 3 * HOUR, gpus=(0,))]
+        errors = [error(OP0 + 2 * HOUR, gpu=3)]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        assert EventClass.MMU_ERROR not in result.per_class
+
+    def test_node_granularity_widens_encounters(self, window):
+        jobs = [job(1, OP0 + HOUR, OP0 + 3 * HOUR, gpus=(0,))]
+        errors = [error(OP0 + 2 * HOUR, gpu=3)]
+        result = JobImpactAnalysis(
+            errors, jobs, window, granularity=AttributionGranularity.NODE
+        ).run()
+        assert result.per_class[EventClass.MMU_ERROR].jobs_encountering == 1
+
+    def test_error_outside_job_window_not_encountered(self, window):
+        jobs = [job(1, OP0 + HOUR, OP0 + 2 * HOUR)]
+        errors = [error(OP0 + 3 * HOUR)]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        assert EventClass.MMU_ERROR not in result.per_class
+
+    def test_pre_op_jobs_excluded(self, window):
+        jobs = [job(1, HOUR, 2 * HOUR)]  # ends pre-op
+        errors = [error(1.5 * HOUR)]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        assert result.total_jobs_analyzed == 0
+
+    def test_cpu_jobs_ignored(self, window):
+        cpu = JobRecord(
+            job_id=1,
+            name="c",
+            user="u",
+            partition=Partition.CPU,
+            submit_time=OP0,
+            start_time=OP0,
+            end_time=OP0 + HOUR,
+            state=JobState.COMPLETED,
+            exit_code=0,
+            allocation=Allocation(nodes=("cn001",)),
+            gpu_count=0,
+        )
+        result = JobImpactAnalysis([], [cpu], window).run()
+        assert result.total_jobs_analyzed == 0
+
+
+class TestAttribution:
+    def test_failure_within_window_attributed(self, window):
+        end = OP0 + 3 * HOUR
+        jobs = [job(1, OP0 + HOUR, end, state=JobState.FAILED)]
+        errors = [error(end - 10.0)]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        impact = result.per_class[EventClass.MMU_ERROR]
+        assert impact.gpu_failed_jobs == 1
+        assert impact.failure_probability == 1.0
+        assert result.total_gpu_failed_jobs == 1
+        assert result.gpu_failed_job_ids == {1}
+
+    def test_failure_outside_window_not_attributed(self, window):
+        end = OP0 + 3 * HOUR
+        jobs = [job(1, OP0 + HOUR, end, state=JobState.FAILED)]
+        errors = [error(end - 120.0)]  # 2 minutes before end
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        impact = result.per_class[EventClass.MMU_ERROR]
+        assert impact.gpu_failed_jobs == 0
+        assert impact.jobs_encountering == 1
+        assert impact.failure_probability == 0.0
+
+    def test_completed_job_never_attributed(self, window):
+        end = OP0 + 3 * HOUR
+        jobs = [job(1, OP0 + HOUR, end, state=JobState.COMPLETED)]
+        errors = [error(end - 5.0)]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        assert result.per_class[EventClass.MMU_ERROR].gpu_failed_jobs == 0
+
+    def test_node_fail_state_attributed(self, window):
+        end = OP0 + 3 * HOUR
+        jobs = [job(1, OP0 + HOUR, end, state=JobState.NODE_FAIL)]
+        errors = [error(end - 5.0, event=EventClass.GSP_ERROR, xid=119)]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        assert result.per_class[EventClass.GSP_ERROR].failure_probability == 1.0
+
+    def test_multiple_causes_all_credited(self, window):
+        end = OP0 + 3 * HOUR
+        jobs = [job(1, OP0 + HOUR, end, state=JobState.FAILED, gpus=(0, 1))]
+        errors = [
+            error(end - 5.0, gpu=0),
+            error(end - 8.0, gpu=1, event=EventClass.NVLINK_ERROR, xid=74),
+        ]
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        assert result.per_class[EventClass.MMU_ERROR].gpu_failed_jobs == 1
+        assert result.per_class[EventClass.NVLINK_ERROR].gpu_failed_jobs == 1
+        assert result.total_gpu_failed_jobs == 1  # still one job
+
+    def test_custom_attribution_window(self, window):
+        end = OP0 + 3 * HOUR
+        jobs = [job(1, OP0 + HOUR, end, state=JobState.FAILED)]
+        errors = [error(end - 60.0)]
+        narrow = JobImpactAnalysis(
+            errors, jobs, window, attribution_window_seconds=20.0
+        ).run()
+        wide = JobImpactAnalysis(
+            errors, jobs, window, attribution_window_seconds=120.0
+        ).run()
+        assert narrow.per_class[EventClass.MMU_ERROR].gpu_failed_jobs == 0
+        assert wide.per_class[EventClass.MMU_ERROR].gpu_failed_jobs == 1
+
+
+class TestAggregation:
+    def test_probability_over_population(self, window):
+        jobs = []
+        errors = []
+        for i in range(10):
+            start = OP0 + i * DAY
+            end = start + HOUR
+            state = JobState.FAILED if i < 9 else JobState.COMPLETED
+            jobs.append(job(i + 1, start, end, state=state))
+            errors.append(error(end - 5.0))
+        result = JobImpactAnalysis(errors, jobs, window).run()
+        impact = result.per_class[EventClass.MMU_ERROR]
+        assert impact.jobs_encountering == 10
+        assert impact.gpu_failed_jobs == 9
+        assert impact.failure_probability == pytest.approx(0.9)
+
+    def test_multi_node_job_encounters_on_any_node(self, window):
+        record = JobRecord(
+            job_id=1,
+            name="big",
+            user="u",
+            partition=Partition.GPU_A100_X4,
+            submit_time=OP0,
+            start_time=OP0,
+            end_time=OP0 + HOUR,
+            state=JobState.COMPLETED,
+            exit_code=0,
+            allocation=Allocation(
+                nodes=("gpua001", "gpua002"),
+                gpus={"gpua001": (0, 1, 2, 3), "gpua002": (0, 1, 2, 3)},
+            ),
+            gpu_count=8,
+        )
+        errors = [error(OP0 + HOUR / 2, node="gpua002", gpu=2)]
+        result = JobImpactAnalysis(errors, [record], window).run()
+        assert result.per_class[EventClass.MMU_ERROR].jobs_encountering == 1

@@ -1,0 +1,203 @@
+"""Unit tests for job population statistics (repro.analysis.jobstats)."""
+
+import pytest
+
+from repro.analysis.jobstats import JobStatistics
+from repro.analysis.ml import ClassifierQuality, is_ml_job_name, validate_classifier
+from repro.core.periods import StudyWindow
+from repro.core.timebase import DAY, HOUR, MINUTE
+from repro.slurm.types import Allocation, JobRecord, JobState, Partition
+
+
+@pytest.fixture()
+def window():
+    return StudyWindow.scaled(pre_days=10, op_days=40)
+
+
+OP0 = 10 * DAY
+
+
+def job(
+    job_id,
+    gpu_count=1,
+    minutes=60.0,
+    name="namd_prod_001",
+    state=JobState.COMPLETED,
+    end=None,
+    partition=Partition.GPU_A100_X4,
+):
+    end = OP0 + DAY if end is None else end
+    start = end - minutes * MINUTE
+    gpus = (
+        {"gpua001": tuple(range(min(gpu_count, 4)))} if gpu_count else {}
+    )
+    return JobRecord(
+        job_id=job_id,
+        name=name,
+        user="u",
+        partition=partition,
+        submit_time=start,
+        start_time=start,
+        end_time=end,
+        state=state,
+        exit_code=0 if state is JobState.COMPLETED else 1,
+        allocation=Allocation(
+            nodes=("gpua001",) if gpu_count else ("cn001",), gpus=gpus
+        ),
+        gpu_count=gpu_count,
+    )
+
+
+class TestBucketStats:
+    def test_counts_and_shares(self, window):
+        jobs = [job(i, gpu_count=1) for i in range(7)] + [
+            job(10 + i, gpu_count=2) for i in range(3)
+        ]
+        rows = JobStatistics(jobs, window).bucket_stats()
+        by_label = {r.bucket.label: r for r in rows}
+        assert by_label["1"].count == 7
+        assert by_label["1"].share == pytest.approx(0.7)
+        assert by_label["2-4"].count == 3
+
+    def test_elapsed_statistics(self, window):
+        jobs = [job(i, minutes=m) for i, m in enumerate([10, 20, 30, 40, 100])]
+        rows = JobStatistics(jobs, window).bucket_stats()
+        row = next(r for r in rows if r.bucket.label == "1")
+        assert row.mean_minutes == pytest.approx(40.0)
+        assert row.p50_minutes == pytest.approx(30.0)
+
+    def test_empty_bucket_has_none_stats(self, window):
+        rows = JobStatistics([job(1)], window).bucket_stats()
+        row = next(r for r in rows if r.bucket.label == "256+")
+        assert row.count == 0
+        assert row.mean_minutes is None
+
+    def test_ml_gpu_hours_split(self, window):
+        jobs = [
+            job(1, minutes=60.0, name="train_resnet_001"),
+            job(2, minutes=60.0, name="namd_prod_001"),
+        ]
+        rows = JobStatistics(jobs, window).bucket_stats()
+        row = next(r for r in rows if r.bucket.label == "1")
+        assert row.ml_gpu_hours == pytest.approx(1.0)
+        assert row.non_ml_gpu_hours == pytest.approx(1.0)
+
+    def test_operational_filter(self, window):
+        pre_job = job(1, end=5 * DAY)
+        op_job = job(2)
+        stats = JobStatistics([pre_job, op_job], window)
+        assert stats.population().gpu_jobs == 1
+        everything = JobStatistics(
+            [pre_job, op_job], window, operational_only=False
+        )
+        assert everything.population().gpu_jobs == 2
+
+
+class TestPopulation:
+    def test_success_rates(self, window):
+        jobs = [
+            job(1),
+            job(2, state=JobState.FAILED),
+            job(3, gpu_count=0, partition=Partition.CPU),
+            job(4, gpu_count=0, partition=Partition.CPU, state=JobState.FAILED),
+        ]
+        population = JobStatistics(jobs, window).population()
+        assert population.gpu_jobs == 2
+        assert population.cpu_jobs == 2
+        assert population.gpu_success_rate == pytest.approx(0.5)
+        assert population.cpu_success_rate == pytest.approx(0.5)
+
+    def test_gpu_count_fractions(self, window):
+        jobs = (
+            [job(i, gpu_count=1) for i in range(6)]
+            + [job(10 + i, gpu_count=3) for i in range(3)]
+            + [job(20, gpu_count=8)]
+        )
+        population = JobStatistics(jobs, window).population()
+        assert population.single_gpu_fraction == pytest.approx(0.6)
+        assert population.two_to_four_fraction == pytest.approx(0.3)
+        assert population.over_four_fraction == pytest.approx(0.1)
+
+    def test_empty_population(self, window):
+        population = JobStatistics([], window).population()
+        assert population.gpu_jobs == 0
+        assert population.gpu_success_rate is None
+        assert population.single_gpu_fraction is None
+
+    def test_gpu_hours_totals(self, window):
+        jobs = [job(1, gpu_count=2, minutes=90.0)]
+        stats = JobStatistics(jobs, window)
+        assert stats.total_gpu_hours() == pytest.approx(3.0)
+
+    def test_ml_fraction_of_gpu_hours(self, window):
+        jobs = [
+            job(1, minutes=60.0, name="llm_pretrain_007"),
+            job(2, minutes=180.0, name="wrf_forecast_002"),
+        ]
+        stats = JobStatistics(jobs, window)
+        assert stats.ml_fraction_of_gpu_hours() == pytest.approx(0.25)
+
+
+class TestMlClassifier:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("train_resnet_001", True),
+            ("bert_finetune_910", True),
+            ("MODEL_selection_3", True),
+            ("llm_pretrain_x", True),
+            ("namd_prod_001", False),
+            ("wrf_forecast_17", False),
+            ("exp42_003", False),
+        ],
+    )
+    def test_keyword_matching(self, name, expected):
+        assert is_ml_job_name(name) is expected
+
+    def test_validate_classifier_confusion_matrix(self):
+        pairs = [
+            ("train_resnet_001", True),  # TP
+            ("exp42_001", True),  # FN (opaque ML name)
+            ("namd_prod_001", False),  # TN
+            ("train_system_x", False),  # FP (HPC job named 'train')
+        ]
+        quality = validate_classifier(pairs)
+        assert quality.true_positive == 1
+        assert quality.false_negative == 1
+        assert quality.true_negative == 1
+        assert quality.false_positive == 1
+        assert quality.precision == pytest.approx(0.5)
+        assert quality.recall == pytest.approx(0.5)
+
+    def test_empty_quality(self):
+        quality = ClassifierQuality(0, 0, 0, 0)
+        assert quality.precision is None
+        assert quality.recall is None
+
+
+class TestQueueWait:
+    def test_queue_wait_statistics(self, window):
+        j1 = job(1)
+        # Give job 2 a 30-minute queue wait by moving its submit back.
+        base = job(2)
+        delayed = JobRecord(
+            job_id=base.job_id,
+            name=base.name,
+            user=base.user,
+            partition=base.partition,
+            submit_time=base.start_time - 1800.0,
+            start_time=base.start_time,
+            end_time=base.end_time,
+            state=base.state,
+            exit_code=base.exit_code,
+            allocation=base.allocation,
+            gpu_count=base.gpu_count,
+        )
+        stats = JobStatistics([j1, delayed], window)
+        mean, p50, p99 = stats.queue_wait_stats()
+        assert mean == pytest.approx(15.0)
+        assert p50 == pytest.approx(15.0)
+        assert p99 == pytest.approx(29.7, abs=0.5)
+
+    def test_queue_wait_none_without_jobs(self, window):
+        assert JobStatistics([], window).queue_wait_stats() is None

@@ -1,0 +1,175 @@
+"""Unit tests for the A100 memory-recovery chain (repro.gpu.memory)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.gpu import GpuState
+from repro.core.xid import EventClass
+from repro.gpu.memory import (
+    MemoryRecoveryConfig,
+    MemoryRecoveryModel,
+    MemoryErrorOutcome,
+)
+
+
+def make_gpu(busy: bool = False) -> GpuState:
+    gpu = GpuState(node="gpua001", index=0, serial="s0")
+    gpu.busy = busy
+    return gpu
+
+
+def make_model(**overrides) -> MemoryRecoveryModel:
+    config = MemoryRecoveryConfig(**overrides)
+    return MemoryRecoveryModel(config, np.random.default_rng(3))
+
+
+class TestHappyPath:
+    def test_uncorrectable_always_logged_first(self):
+        outcome = make_model().process_uncorrectable(
+            make_gpu(), touches_active_process=False
+        )
+        assert outcome.logged_events[0] is EventClass.UNCORRECTABLE_ECC
+
+    def test_successful_remap_logs_rre(self):
+        gpu = make_gpu()
+        outcome = make_model(dbe_xid_probability=0.0).process_uncorrectable(
+            gpu, touches_active_process=False
+        )
+        assert outcome.remapped
+        assert EventClass.ROW_REMAP_EVENT in outcome.logged_events
+        assert EventClass.ROW_REMAP_FAILURE not in outcome.logged_events
+        assert gpu.remapped_rows == 1
+        assert not outcome.needs_reset
+
+    def test_page_offlined_on_successful_remap(self):
+        outcome = make_model().process_uncorrectable(
+            make_gpu(), touches_active_process=False
+        )
+        assert outcome.page_offlined
+
+
+class TestRemapFailure:
+    def test_forced_failure_logs_rrf(self):
+        outcome = make_model().process_uncorrectable(
+            make_gpu(), force_remap_failure=True, touches_active_process=False
+        )
+        assert outcome.remap_failed
+        assert EventClass.ROW_REMAP_FAILURE in outcome.logged_events
+        assert outcome.needs_reset
+
+    def test_exhausted_pool_fails_remap(self):
+        gpu = make_gpu()
+        gpu.spare_rows_left = 0
+        outcome = make_model().process_uncorrectable(
+            gpu, touches_active_process=False
+        )
+        assert outcome.remap_failed
+
+    def test_remap_failure_consumes_no_row(self):
+        gpu = make_gpu()
+        before = gpu.spare_rows_left
+        make_model().process_uncorrectable(
+            gpu, force_remap_failure=True, touches_active_process=False
+        )
+        assert gpu.spare_rows_left == before
+
+
+class TestContainment:
+    def test_contained_error_terminates_processes(self):
+        outcome = make_model(
+            containment_success_probability=1.0
+        ).process_uncorrectable(make_gpu(busy=True), touches_active_process=True)
+        assert outcome.processes_terminated
+        assert EventClass.CONTAINED_MEMORY_ERROR in outcome.logged_events
+        assert not outcome.uncontained
+
+    def test_failed_containment_is_uncontained(self):
+        outcome = make_model(
+            containment_success_probability=0.0
+        ).process_uncorrectable(make_gpu(busy=True), touches_active_process=True)
+        assert outcome.uncontained
+        assert EventClass.UNCONTAINED_MEMORY_ERROR in outcome.logged_events
+        assert outcome.needs_reset
+
+    def test_forced_containment_failure(self):
+        outcome = make_model(
+            containment_success_probability=1.0
+        ).process_uncorrectable(
+            make_gpu(busy=True),
+            touches_active_process=True,
+            force_containment_failure=True,
+        )
+        assert outcome.uncontained
+
+    def test_untouched_error_needs_no_containment(self):
+        outcome = make_model().process_uncorrectable(
+            make_gpu(busy=True), touches_active_process=False
+        )
+        assert not outcome.processes_terminated
+        assert not outcome.uncontained
+        assert EventClass.CONTAINED_MEMORY_ERROR not in outcome.logged_events
+
+    def test_idle_gpu_never_touches_active_process_by_default(self):
+        model = make_model(active_touch_probability=1.0)
+        outcome = model.process_uncorrectable(make_gpu(busy=False))
+        assert not outcome.processes_terminated
+        assert not outcome.uncontained
+
+
+class TestDbeLogging:
+    def test_dbe_logged_with_probability_one(self):
+        outcome = make_model(dbe_xid_probability=1.0).process_uncorrectable(
+            make_gpu(), touches_active_process=False
+        )
+        assert EventClass.DBE in outcome.logged_events
+
+    def test_dbe_never_logged_with_probability_zero(self):
+        model = make_model(dbe_xid_probability=0.0)
+        for _ in range(20):
+            outcome = model.process_uncorrectable(
+                make_gpu(), touches_active_process=False
+            )
+            assert EventClass.DBE not in outcome.logged_events
+
+
+class TestAblations:
+    def test_remapping_disabled_always_needs_reset(self):
+        outcome = make_model(remapping_enabled=False).process_uncorrectable(
+            make_gpu(), touches_active_process=False
+        )
+        assert not outcome.remapped
+        assert not outcome.remap_failed
+        assert outcome.needs_reset
+        assert EventClass.ROW_REMAP_EVENT not in outcome.logged_events
+
+    def test_containment_disabled_touch_needs_reset(self):
+        outcome = make_model(containment_enabled=False).process_uncorrectable(
+            make_gpu(busy=True), touches_active_process=True
+        )
+        assert outcome.uncontained
+        assert outcome.needs_reset
+
+    def test_page_offlining_disabled(self):
+        outcome = make_model(page_offlining_enabled=False).process_uncorrectable(
+            make_gpu(), touches_active_process=False
+        )
+        assert not outcome.page_offlined
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "dbe_xid_probability",
+            "containment_success_probability",
+            "active_touch_probability",
+        ],
+    )
+    def test_probabilities_validated(self, field):
+        with pytest.raises(ValueError, match=field):
+            MemoryRecoveryConfig(**{field: 1.5})
+
+    def test_outcome_is_frozen(self):
+        outcome = MemoryErrorOutcome(logged_events=())
+        with pytest.raises(AttributeError):
+            outcome.remapped = True  # type: ignore[misc]

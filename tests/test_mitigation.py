@@ -1,0 +1,145 @@
+"""Unit tests for the checkpointing what-if (repro.analysis.mitigation)."""
+
+import pytest
+
+from repro.analysis.mitigation import (
+    CheckpointPolicy,
+    MitigationAnalysis,
+)
+from repro.core.exceptions import AnalysisError
+from repro.core.periods import StudyWindow
+from repro.core.timebase import DAY, HOUR
+from repro.slurm.types import Allocation, JobRecord, JobState, Partition
+
+
+@pytest.fixture()
+def window():
+    return StudyWindow.scaled(pre_days=10, op_days=40)
+
+
+OP0 = 10 * DAY
+
+
+def job(job_id, hours=10.0, gpus=2, state=JobState.COMPLETED, end=None):
+    end = OP0 + 5 * DAY if end is None else end
+    return JobRecord(
+        job_id=job_id,
+        name=f"j{job_id}",
+        user="u",
+        partition=Partition.GPU_A100_X4,
+        submit_time=end - hours * HOUR,
+        start_time=end - hours * HOUR,
+        end_time=end,
+        state=state,
+        exit_code=0 if state is JobState.COMPLETED else 137,
+        allocation=Allocation(nodes=("gpua001",), gpus={"gpua001": tuple(range(gpus))}),
+        gpu_count=gpus,
+    )
+
+
+class TestPolicyValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            CheckpointPolicy(interval_hours=0.0)
+
+    def test_overhead_bounds(self):
+        with pytest.raises(AnalysisError):
+            CheckpointPolicy(interval_hours=1.0, overhead_fraction=1.0)
+
+    def test_restart_non_negative(self):
+        with pytest.raises(AnalysisError):
+            CheckpointPolicy(interval_hours=1.0, restart_minutes=-1.0)
+
+
+class TestLostCompute:
+    def test_lost_gpu_hours_counts_failed_jobs_only(self, window):
+        jobs = [
+            job(1, hours=10.0, gpus=2, state=JobState.FAILED),  # killed
+            job(2, hours=5.0, gpus=1),  # completed
+        ]
+        analysis = MitigationAnalysis(jobs, {1}, window)
+        assert analysis.lost_gpu_hours() == pytest.approx(20.0)
+        assert analysis.failed_jobs == 1
+        assert analysis.analyzed_jobs == 2
+
+    def test_pre_op_jobs_excluded(self, window):
+        jobs = [job(1, state=JobState.FAILED, end=5 * DAY)]
+        analysis = MitigationAnalysis(jobs, {1}, window)
+        assert analysis.lost_gpu_hours() == 0.0
+
+
+class TestEvaluation:
+    def test_checkpointing_bounds_loss(self, window):
+        jobs = [job(1, hours=10.0, gpus=2, state=JobState.FAILED)]
+        analysis = MitigationAnalysis(jobs, {1}, window)
+        report = analysis.evaluate(
+            CheckpointPolicy(
+                interval_hours=1.0, overhead_fraction=0.0, restart_minutes=0.0
+            )
+        )
+        # Expected loss: half an interval * 2 GPUs = 1 GPU-hour.
+        assert report.lost_with_checkpointing == pytest.approx(1.0)
+        assert report.lost_without_checkpointing == pytest.approx(20.0)
+        assert report.net_benefit == pytest.approx(19.0)
+
+    def test_loss_capped_at_job_elapsed(self, window):
+        jobs = [job(1, hours=0.5, gpus=1, state=JobState.FAILED)]
+        analysis = MitigationAnalysis(jobs, {1}, window)
+        report = analysis.evaluate(
+            CheckpointPolicy(
+                interval_hours=100.0, overhead_fraction=0.0, restart_minutes=0.0
+            )
+        )
+        # A 30-minute job cannot lose more than 30 minutes.
+        assert report.lost_with_checkpointing == pytest.approx(0.5)
+        assert report.net_benefit == pytest.approx(0.0)
+
+    def test_overhead_charged_to_all_jobs(self, window):
+        jobs = [
+            job(1, hours=10.0, gpus=1, state=JobState.FAILED),
+            job(2, hours=90.0, gpus=1),
+        ]
+        analysis = MitigationAnalysis(jobs, {1}, window)
+        report = analysis.evaluate(
+            CheckpointPolicy(
+                interval_hours=1.0, overhead_fraction=0.1, restart_minutes=0.0
+            )
+        )
+        assert report.checkpoint_overhead == pytest.approx(10.0)
+
+    def test_restart_cost_included(self, window):
+        jobs = [job(1, hours=10.0, gpus=1, state=JobState.FAILED)]
+        analysis = MitigationAnalysis(jobs, {1}, window)
+        report = analysis.evaluate(
+            CheckpointPolicy(
+                interval_hours=2.0, overhead_fraction=0.0, restart_minutes=30.0
+            )
+        )
+        assert report.lost_with_checkpointing == pytest.approx(1.5)
+
+
+class TestSweep:
+    def _analysis(self, window):
+        jobs = [
+            job(i, hours=20.0, gpus=1, state=JobState.FAILED) for i in range(5)
+        ] + [job(100 + i, hours=20.0, gpus=1) for i in range(20)]
+        return MitigationAnalysis(jobs, set(range(5)), window)
+
+    def test_sweep_returns_one_report_per_interval(self, window):
+        reports = self._analysis(window).sweep([0.5, 1.0, 4.0])
+        assert [r.policy.interval_hours for r in reports] == [0.5, 1.0, 4.0]
+
+    def test_loss_monotone_in_interval(self, window):
+        reports = self._analysis(window).sweep([0.25, 1.0, 4.0, 16.0])
+        losses = [r.lost_with_checkpointing for r in reports]
+        assert losses == sorted(losses)
+
+    def test_best_policy_maximizes_net_benefit(self, window):
+        analysis = self._analysis(window)
+        reports = analysis.sweep([0.25, 1.0, 4.0])
+        best = analysis.best_policy([0.25, 1.0, 4.0])
+        assert best.net_benefit == max(r.net_benefit for r in reports)
+
+    def test_best_policy_requires_intervals(self, window):
+        with pytest.raises(AnalysisError):
+            self._analysis(window).best_policy([])

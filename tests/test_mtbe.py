@@ -1,0 +1,187 @@
+"""Unit tests for MTBE statistics (repro.analysis.mtbe)."""
+
+import pytest
+
+from repro.analysis.mtbe import MtbeAnalysis
+from repro.core.exceptions import AnalysisError
+from repro.core.periods import PeriodName, StudyWindow
+from repro.core.records import ExtractedError
+from repro.core.xid import ErrorCategory, EventClass
+
+
+def error(time, event=EventClass.MMU_ERROR, node="gpua001", gpu=0, xid=31):
+    return ExtractedError(
+        time=time, node=node, gpu_index=gpu, event_class=event, xid=xid
+    )
+
+
+@pytest.fixture()
+def window():
+    # 10 pre-op days (240 h), 40 op days (960 h).
+    return StudyWindow.scaled(pre_days=10, op_days=40)
+
+
+class TestCounts:
+    def test_counts_split_by_period(self, window):
+        errors = [error(100.0), error(11 * 86400.0), error(12 * 86400.0)]
+        analysis = MtbeAnalysis(errors, window, node_count=10)
+        assert analysis.count(PeriodName.PRE_OPERATIONAL, EventClass.MMU_ERROR) == 1
+        assert analysis.count(PeriodName.OPERATIONAL, EventClass.MMU_ERROR) == 2
+
+    def test_counts_split_by_class(self, window):
+        errors = [
+            error(100.0),
+            error(200.0, event=EventClass.NVLINK_ERROR, xid=74),
+        ]
+        analysis = MtbeAnalysis(errors, window, node_count=10)
+        assert analysis.count(PeriodName.PRE_OPERATIONAL, EventClass.NVLINK_ERROR) == 1
+
+    def test_zero_count_stat_has_none_mtbe(self, window):
+        analysis = MtbeAnalysis([], window, node_count=10)
+        stat = analysis.class_stat(PeriodName.OPERATIONAL, EventClass.DBE)
+        assert stat.count == 0
+        assert stat.system_mtbe_hours is None
+        assert stat.per_node_mtbe_hours is None
+
+
+class TestMtbeMath:
+    def test_system_mtbe_is_period_hours_over_count(self, window):
+        errors = [error(11 * 86400.0 + i) for i in range(10)]
+        analysis = MtbeAnalysis(errors, window, node_count=106)
+        stat = analysis.class_stat(PeriodName.OPERATIONAL, EventClass.MMU_ERROR)
+        assert stat.system_mtbe_hours == pytest.approx(960 / 10)
+        assert stat.per_node_mtbe_hours == pytest.approx(96 * 106)
+
+    def test_aggregate_over_classes(self, window):
+        errors = [
+            error(11 * 86400.0),
+            error(12 * 86400.0, event=EventClass.GSP_ERROR, xid=119),
+        ]
+        analysis = MtbeAnalysis(errors, window, node_count=10)
+        stat = analysis.aggregate(
+            PeriodName.OPERATIONAL,
+            [EventClass.MMU_ERROR, EventClass.GSP_ERROR],
+        )
+        assert stat.count == 2
+        assert stat.system_mtbe_hours == pytest.approx(480)
+
+    def test_invalid_node_count(self, window):
+        with pytest.raises(AnalysisError):
+            MtbeAnalysis([], window, node_count=0)
+
+
+class TestCategories:
+    def test_category_aggregation(self, window):
+        errors = [
+            error(11 * 86400.0, event=EventClass.ROW_REMAP_EVENT, xid=63),
+            error(12 * 86400.0, event=EventClass.CONTAINED_MEMORY_ERROR, xid=94),
+            error(13 * 86400.0),
+        ]
+        analysis = MtbeAnalysis(errors, window, node_count=10)
+        memory = analysis.category(PeriodName.OPERATIONAL, ErrorCategory.MEMORY)
+        hardware = analysis.category(PeriodName.OPERATIONAL, ErrorCategory.HARDWARE)
+        assert memory.count == 2
+        assert hardware.count == 1
+
+    def test_non_memory_includes_interconnect(self, window):
+        errors = [
+            error(11 * 86400.0, event=EventClass.NVLINK_ERROR, xid=74),
+            error(12 * 86400.0),
+        ]
+        analysis = MtbeAnalysis(errors, window, node_count=10)
+        assert analysis.non_memory(PeriodName.OPERATIONAL).count == 2
+
+    def test_memory_vs_hardware_ratio(self, window):
+        errors = [error(11 * 86400.0, event=EventClass.ROW_REMAP_EVENT, xid=63)] + [
+            error(11 * 86400.0 + i * 3600, gpu=i % 4) for i in range(10)
+        ]
+        analysis = MtbeAnalysis(errors, window, node_count=10)
+        assert analysis.memory_vs_hardware_ratio() == pytest.approx(10.0)
+
+    def test_ratio_none_without_memory_errors(self, window):
+        analysis = MtbeAnalysis([error(11 * 86400.0)], window, node_count=10)
+        assert analysis.memory_vs_hardware_ratio() is None
+
+
+class TestOutlierRule:
+    def _episode_errors(self, n=500):
+        # One GPU produces a flood of uncontained errors pre-op.
+        return [
+            error(
+                1000.0 + i * 40.0,
+                event=EventClass.UNCONTAINED_MEMORY_ERROR,
+                node="gpua002",
+                gpu=1,
+                xid=95,
+            )
+            for i in range(n)
+        ]
+
+    def test_outlier_detected(self, window):
+        background = [
+            error(
+                2000.0 + i * 3600.0,
+                event=EventClass.UNCONTAINED_MEMORY_ERROR,
+                node=f"gpua00{3 + i % 3}",
+                gpu=0,
+                xid=95,
+            )
+            for i in range(5)
+        ]
+        analysis = MtbeAnalysis(
+            self._episode_errors() + background, window, node_count=10
+        )
+        assert len(analysis.outliers) == 1
+        outlier = analysis.outliers[0]
+        assert outlier.node == "gpua002"
+        assert outlier.count == 500
+        assert outlier.share > 0.9
+
+    def test_exclusion_changes_count(self, window):
+        analysis = MtbeAnalysis(self._episode_errors(), window, node_count=10)
+        with_outlier = analysis.count(
+            PeriodName.PRE_OPERATIONAL, EventClass.UNCONTAINED_MEMORY_ERROR
+        )
+        without = analysis.count(
+            PeriodName.PRE_OPERATIONAL,
+            EventClass.UNCONTAINED_MEMORY_ERROR,
+            exclude_outliers=True,
+        )
+        assert with_outlier == 500
+        assert without == 0
+
+    def test_small_floods_not_flagged(self, window):
+        analysis = MtbeAnalysis(self._episode_errors(n=50), window, node_count=10)
+        assert not analysis.outliers  # below the min-count threshold
+
+    def test_overall_excludes_outliers_by_default(self, window):
+        analysis = MtbeAnalysis(self._episode_errors(), window, node_count=10)
+        overall = analysis.overall(PeriodName.PRE_OPERATIONAL)
+        assert overall.count == 0
+        included = analysis.overall(
+            PeriodName.PRE_OPERATIONAL, exclude_outliers=False
+        )
+        assert included.count == 500
+
+
+class TestDegradation:
+    def test_degradation_fraction(self, window):
+        pre = [error(i * 3600.0, gpu=i % 4) for i in range(24)]  # 240h/24 = 10h
+        op = [
+            error(11 * 86400.0 + i * 1800.0, gpu=i % 4) for i in range(192)
+        ]  # 960h/192 = 5h
+        analysis = MtbeAnalysis(pre + op, window, node_count=10)
+        assert analysis.degradation_fraction() == pytest.approx(0.5, abs=0.01)
+
+    def test_degradation_none_without_errors(self, window):
+        analysis = MtbeAnalysis([], window, node_count=10)
+        assert analysis.degradation_fraction() is None
+
+    def test_table1_has_all_classes(self, window):
+        analysis = MtbeAnalysis([error(100.0)], window, node_count=10)
+        table = analysis.table1()
+        assert len(table) == 11
+        assert all(
+            set(row) == {PeriodName.PRE_OPERATIONAL, PeriodName.OPERATIONAL}
+            for row in table.values()
+        )

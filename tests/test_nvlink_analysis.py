@@ -1,0 +1,111 @@
+"""Unit tests for NVLink manifestation analysis (repro.analysis.nvlink)."""
+
+import pytest
+
+from repro.analysis.nvlink import nvlink_manifestations
+from repro.core.periods import PeriodName, StudyWindow
+from repro.core.records import ExtractedError
+from repro.core.timebase import DAY
+from repro.core.xid import EventClass
+
+
+@pytest.fixture()
+def window():
+    return StudyWindow.scaled(pre_days=10, op_days=40)
+
+
+OP0 = 10 * DAY
+
+
+def nvlink_error(time, node="gpua001", gpu=0):
+    return ExtractedError(
+        time=time,
+        node=node,
+        gpu_index=gpu,
+        event_class=EventClass.NVLINK_ERROR,
+        xid=74,
+    )
+
+
+class TestGrouping:
+    def test_simultaneous_errors_group_into_one_manifestation(self, window):
+        errors = [
+            nvlink_error(OP0 + 100.0, gpu=0),
+            nvlink_error(OP0 + 100.5, gpu=1),
+        ]
+        stats = nvlink_manifestations(errors, window)
+        assert stats.manifestations == 1
+        assert stats.multi_gpu_manifestations == 1
+        assert stats.errors == 2
+        assert stats.size_histogram == {2: 1}
+
+    def test_separated_errors_are_distinct(self, window):
+        errors = [
+            nvlink_error(OP0 + 100.0, gpu=0),
+            nvlink_error(OP0 + 500.0, gpu=1),
+        ]
+        stats = nvlink_manifestations(errors, window)
+        assert stats.manifestations == 2
+        assert stats.multi_gpu_manifestations == 0
+
+    def test_same_gpu_repeats_are_single_gpu_manifestations(self, window):
+        errors = [
+            nvlink_error(OP0 + 100.0, gpu=0),
+            nvlink_error(OP0 + 101.0, gpu=0),
+        ]
+        stats = nvlink_manifestations(errors, window)
+        assert stats.manifestations == 1
+        assert stats.multi_gpu_manifestations == 0
+        assert stats.size_histogram == {1: 1}
+
+    def test_different_nodes_never_group(self, window):
+        errors = [
+            nvlink_error(OP0 + 100.0, node="gpua001"),
+            nvlink_error(OP0 + 100.1, node="gpua002"),
+        ]
+        stats = nvlink_manifestations(errors, window)
+        assert stats.manifestations == 2
+
+    def test_multi_fraction(self, window):
+        errors = [
+            nvlink_error(OP0 + 0.0, gpu=0),
+            nvlink_error(OP0 + 1.0, gpu=1),  # multi
+            nvlink_error(OP0 + 1000.0, gpu=2),  # single
+        ]
+        stats = nvlink_manifestations(errors, window)
+        assert stats.multi_gpu_fraction == pytest.approx(0.5)
+
+
+class TestFiltering:
+    def test_non_nvlink_errors_ignored(self, window):
+        errors = [
+            ExtractedError(
+                time=OP0 + 10.0,
+                node="gpua001",
+                gpu_index=0,
+                event_class=EventClass.MMU_ERROR,
+                xid=31,
+            )
+        ]
+        stats = nvlink_manifestations(errors, window)
+        assert stats.manifestations == 0
+        assert stats.multi_gpu_fraction is None
+
+    def test_period_filter(self, window):
+        errors = [nvlink_error(100.0)]  # pre-op
+        op_stats = nvlink_manifestations(errors, window)
+        pre_stats = nvlink_manifestations(
+            errors, window, period=PeriodName.PRE_OPERATIONAL
+        )
+        assert op_stats.manifestations == 0
+        assert pre_stats.manifestations == 1
+
+    def test_custom_grouping_window(self, window):
+        errors = [
+            nvlink_error(OP0 + 0.0, gpu=0),
+            nvlink_error(OP0 + 8.0, gpu=1),
+        ]
+        tight = nvlink_manifestations(errors, window, grouping_window_seconds=5.0)
+        loose = nvlink_manifestations(errors, window, grouping_window_seconds=10.0)
+        assert tight.manifestations == 2
+        assert loose.manifestations == 1

@@ -1,0 +1,89 @@
+"""Unit tests for the NVLink fault model (repro.gpu.nvlink)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.gpu.nvlink import NvlinkConfig, NvlinkFaultModel
+
+
+def make_model(cluster, seed=5, **overrides) -> NvlinkFaultModel:
+    config = NvlinkConfig(**overrides)
+    return NvlinkFaultModel(cluster, config, np.random.default_rng(seed))
+
+
+class TestManifestation:
+    def test_affected_gpus_valid_indices(self, small_cluster):
+        model = make_model(small_cluster)
+        for _ in range(200):
+            m = model.manifest("gpua001")
+            assert all(0 <= i < 4 for i in m.affected_gpus)
+            assert len(set(m.affected_gpus)) == len(m.affected_gpus)
+            assert m.affected_gpus == tuple(sorted(m.affected_gpus))
+
+    def test_single_gpu_when_multi_prob_zero(self, small_cluster):
+        model = make_model(small_cluster, multi_gpu_probability=0.0)
+        for _ in range(100):
+            assert len(model.manifest("gpua001").affected_gpus) == 1
+
+    def test_at_least_two_when_multi_prob_one(self, small_cluster):
+        model = make_model(small_cluster, multi_gpu_probability=1.0)
+        for _ in range(100):
+            assert len(model.manifest("gpua001").affected_gpus) >= 2
+
+    def test_multi_fraction_statistical(self, small_cluster):
+        model = make_model(small_cluster, multi_gpu_probability=0.42)
+        manifestations = [model.manifest("gpua001") for _ in range(4000)]
+        fraction = NvlinkFaultModel.multi_gpu_fraction(manifestations)
+        assert fraction == pytest.approx(0.42, abs=0.03)
+
+    def test_eight_way_node_allows_wider_spread(self, small_cluster):
+        model = make_model(
+            small_cluster,
+            multi_gpu_probability=1.0,
+            extra_spread_probability=1.0,
+        )
+        sizes = {len(model.manifest("gpuc001").affected_gpus) for _ in range(50)}
+        assert max(sizes) == 8  # full switch-plane spread
+
+    def test_four_way_spread_capped_at_node_size(self, small_cluster):
+        model = make_model(
+            small_cluster,
+            multi_gpu_probability=1.0,
+            extra_spread_probability=1.0,
+        )
+        for _ in range(50):
+            assert len(model.manifest("gpua001").affected_gpus) <= 4
+
+
+class TestCrcMasking:
+    def test_masking_disabled_with_crc_off(self, small_cluster):
+        model = make_model(
+            small_cluster, crc_retry_enabled=False, retry_success_probability=1.0
+        )
+        for _ in range(100):
+            assert not model.manifest("gpua001").masked_by_retry
+
+    def test_masking_rate_matches_config(self, small_cluster):
+        model = make_model(small_cluster, retry_success_probability=0.5)
+        masked = sum(
+            model.manifest("gpua001").masked_by_retry for _ in range(4000)
+        )
+        assert masked / 4000 == pytest.approx(0.5, abs=0.04)
+
+
+class TestHelpers:
+    def test_multi_gpu_fraction_empty_is_nan(self):
+        assert np.isnan(NvlinkFaultModel.multi_gpu_fraction([]))
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "retry_success_probability",
+            "multi_gpu_probability",
+            "extra_spread_probability",
+        ],
+    )
+    def test_config_validation(self, field):
+        with pytest.raises(ValueError, match=field):
+            NvlinkConfig(**{field: -0.1})

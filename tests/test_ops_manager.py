@@ -1,0 +1,225 @@
+"""Unit tests for the SRE ops automaton (repro.ops.manager)."""
+
+from typing import Callable, Dict, List
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.cluster.topology import Cluster
+from repro.core.periods import StudyWindow
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+from repro.ops.manager import OpsManager, OpsPolicy
+from repro.ops.repair import RecoveryKind, RepairTimeConfig, RepairTimeModel
+from repro.sim.engine import Engine
+
+
+class FakeScheduler:
+    """Minimal SchedulerControl double with scriptable occupancy."""
+
+    def __init__(self) -> None:
+        self.drained: List[str] = []
+        self.returned: List[str] = []
+        self.jobs: Dict[str, int] = {}
+        self._callbacks: Dict[str, List[Callable[[], None]]] = {}
+
+    def drain_node(self, node: str) -> None:
+        self.drained.append(node)
+
+    def jobs_running_on(self, node: str) -> int:
+        return self.jobs.get(node, 0)
+
+    def notify_when_empty(self, node: str, callback) -> None:
+        if self.jobs_running_on(node) == 0:
+            callback()
+        else:
+            self._callbacks.setdefault(node, []).append(callback)
+
+    def node_returned(self, node: str) -> None:
+        self.returned.append(node)
+
+    def finish_jobs(self, node: str) -> None:
+        self.jobs[node] = 0
+        for callback in self._callbacks.pop(node, []):
+            callback()
+
+
+def build_ops(
+    window=None,
+    policy=None,
+    repair_config=None,
+    horizon=30 * DAY,
+):
+    window = window or StudyWindow.scaled(pre_days=10, op_days=20)
+    engine = Engine(horizon=horizon)
+    cluster = Cluster.small(four_way=2, eight_way=0, cpu=0)
+    scheduler = FakeScheduler()
+    events: List[str] = []
+    ops = OpsManager(
+        engine=engine,
+        cluster=cluster,
+        scheduler=scheduler,
+        repair_model=RepairTimeModel(
+            repair_config or RepairTimeConfig(replacement_probability=0.0),
+            np.random.default_rng(1),
+        ),
+        policy=policy or OpsPolicy(detection_latency_mean_s=60.0),
+        window=window,
+        rng=np.random.default_rng(2),
+        on_event=lambda t, n, m: events.append(m),
+    )
+    return engine, cluster, scheduler, ops, events
+
+
+class TestRecoveryLifecycle:
+    def test_full_cycle_produces_downtime_record(self):
+        engine, cluster, scheduler, ops, events = build_ops()
+        accepted = ops.request_recovery(
+            "gpua001", EventClass.GSP_ERROR, RecoveryKind.REBOOT, gpu_index=0
+        )
+        assert accepted
+        engine.run()
+        assert len(ops.downtime_records) == 1
+        record = ops.downtime_records[0]
+        assert record.node == "gpua001"
+        assert record.cause is EventClass.GSP_ERROR
+        assert record.duration > 0
+        assert cluster.node("gpua001").state is NodeState.IDLE
+        assert scheduler.drained == ["gpua001"]
+        assert scheduler.returned == ["gpua001"]
+
+    def test_log_lines_emitted(self):
+        engine, _, _, ops, events = build_ops()
+        ops.request_recovery("gpua001", EventClass.GSP_ERROR, RecoveryKind.REBOOT)
+        engine.run()
+        assert any("drain node gpua001" in m for m in events)
+        assert any("out of service" in m for m in events)
+        assert any("returned to service" in m for m in events)
+
+    def test_duplicate_requests_coalesced(self):
+        engine, _, _, ops, _ = build_ops()
+        assert ops.request_recovery(
+            "gpua001", EventClass.GSP_ERROR, RecoveryKind.REBOOT
+        )
+        assert not ops.request_recovery(
+            "gpua001", EventClass.MMU_ERROR, RecoveryKind.RESET
+        )
+        engine.run()
+        assert len(ops.downtime_records) == 1
+
+    def test_waits_for_running_jobs_before_downtime(self):
+        engine, cluster, scheduler, ops, _ = build_ops()
+        scheduler.jobs["gpua001"] = 2
+        ops.request_recovery("gpua001", EventClass.MMU_ERROR, RecoveryKind.RESET)
+        engine.run(until=4 * HOUR)
+        # Drained but not yet down: jobs still running.
+        assert cluster.node("gpua001").state is NodeState.DRAINING
+        assert not ops.downtime_records
+        scheduler.finish_jobs("gpua001")
+        engine.run()
+        assert len(ops.downtime_records) == 1
+
+    def test_is_recovering(self):
+        engine, _, _, ops, _ = build_ops()
+        ops.request_recovery("gpua001", EventClass.GSP_ERROR, RecoveryKind.REBOOT)
+        assert ops.is_recovering("gpua001")
+        engine.run()
+        assert not ops.is_recovering("gpua001")
+
+    def test_replacement_swaps_serial(self):
+        engine, cluster, _, ops, events = build_ops()
+        before = cluster.node("gpua001").gpu(1).serial
+        ops.request_recovery(
+            "gpua001",
+            EventClass.ROW_REMAP_FAILURE,
+            RecoveryKind.REPLACE,
+            gpu_index=1,
+        )
+        engine.run()
+        after = cluster.node("gpua001").gpu(1).serial
+        assert after != before
+        assert ops.downtime_records[0].gpu_replaced
+        assert any("after gpu swap" in m for m in events)
+
+
+class TestMonitoringPolicy:
+    def test_pre_op_uncontained_unmonitored(self):
+        engine, _, _, ops, _ = build_ops()
+        # Default policy: uncontained errors not monitored pre-op.
+        accepted = ops.request_recovery(
+            "gpua001", EventClass.UNCONTAINED_MEMORY_ERROR, RecoveryKind.RESET
+        )
+        assert not accepted
+        engine.run()
+        assert not ops.downtime_records
+
+    def test_pre_op_uncontained_forced(self):
+        engine, _, _, ops, _ = build_ops()
+        accepted = ops.request_recovery(
+            "gpua001",
+            EventClass.UNCONTAINED_MEMORY_ERROR,
+            RecoveryKind.REPLACE,
+            force=True,
+        )
+        assert accepted
+        engine.run()
+        assert len(ops.downtime_records) == 1
+
+    def test_operational_uncontained_monitored(self):
+        window = StudyWindow.scaled(pre_days=1, op_days=29)
+        engine, _, _, ops, _ = build_ops(window=window)
+        engine.run(until=2 * DAY)  # into the operational period
+        accepted = ops.request_recovery(
+            "gpua001", EventClass.UNCONTAINED_MEMORY_ERROR, RecoveryKind.RESET
+        )
+        assert accepted
+
+    def test_monitor_flag_enables_pre_op_coverage(self):
+        engine, _, _, ops, _ = build_ops(
+            policy=OpsPolicy(monitor_uncontained_pre_op=True)
+        )
+        accepted = ops.request_recovery(
+            "gpua001", EventClass.UNCONTAINED_MEMORY_ERROR, RecoveryKind.RESET
+        )
+        assert accepted
+
+
+class TestRrfEscalation:
+    def test_repeat_rrf_triggers_replacement(self):
+        engine, cluster, _, ops, _ = build_ops(
+            policy=OpsPolicy(replace_after_rrf=2, detection_latency_mean_s=10.0)
+        )
+        before = cluster.node("gpua001").gpu(0).serial
+        ops.record_rrf("gpua001", 0)
+        assert not ops.is_recovering("gpua001")
+        ops.record_rrf("gpua001", 0)
+        assert ops.is_recovering("gpua001")
+        engine.run()
+        assert cluster.node("gpua001").gpu(0).serial != before
+
+    def test_rrf_counts_are_per_serial(self):
+        engine, cluster, _, ops, _ = build_ops(
+            policy=OpsPolicy(replace_after_rrf=2, detection_latency_mean_s=10.0)
+        )
+        ops.record_rrf("gpua001", 0)
+        ops.record_rrf("gpua001", 1)
+        assert not ops.is_recovering("gpua001")
+
+
+class TestPolicyValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            OpsPolicy(detection_latency_mean_s=-1.0)
+
+    def test_zero_rrf_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            OpsPolicy(replace_after_rrf=0)
+
+    def test_total_downtime_hours(self):
+        engine, _, _, ops, _ = build_ops()
+        ops.request_recovery("gpua001", EventClass.GSP_ERROR, RecoveryKind.REBOOT)
+        ops.request_recovery("gpua002", EventClass.GSP_ERROR, RecoveryKind.REBOOT)
+        engine.run()
+        total = sum(r.duration_hours for r in ops.downtime_records)
+        assert ops.total_downtime_hours == pytest.approx(total)

@@ -1,0 +1,103 @@
+"""Unit tests for study periods (repro.core.periods)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.periods import Period, PeriodName, StudyWindow
+from repro.core.timebase import DAY, HOUR
+
+
+class TestPeriod:
+    def test_duration_properties(self):
+        period = Period(PeriodName.OPERATIONAL, 0.0, 48 * HOUR)
+        assert period.duration == 48 * HOUR
+        assert period.duration_hours == 48.0
+        assert period.duration_days == 2.0
+
+    def test_empty_period_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Period(PeriodName.OPERATIONAL, 10.0, 10.0)
+
+    def test_contains_half_open(self):
+        period = Period(PeriodName.OPERATIONAL, 100.0, 200.0)
+        assert period.contains(100.0)
+        assert period.contains(199.999)
+        assert not period.contains(200.0)
+        assert not period.contains(99.999)
+
+    def test_clip_full_overlap(self):
+        period = Period(PeriodName.OPERATIONAL, 100.0, 200.0)
+        assert period.clip(0.0, 300.0) == 100.0
+
+    def test_clip_partial_overlap(self):
+        period = Period(PeriodName.OPERATIONAL, 100.0, 200.0)
+        assert period.clip(150.0, 250.0) == 50.0
+
+    def test_clip_no_overlap(self):
+        period = Period(PeriodName.OPERATIONAL, 100.0, 200.0)
+        assert period.clip(300.0, 400.0) == 0.0
+
+    @given(
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=1000),
+    )
+    def test_clip_never_negative(self, a, b):
+        period = Period(PeriodName.OPERATIONAL, 100.0, 200.0)
+        assert period.clip(min(a, b), max(a, b)) >= 0.0
+
+
+class TestDeltaWindow:
+    def test_total_days_matches_paper(self):
+        window = StudyWindow.delta_default()
+        # Paper: 1170-day measurement period.
+        assert window.total_days == pytest.approx(1169, abs=2)
+
+    def test_pre_op_is_january_to_october_2022(self):
+        window = StudyWindow.delta_default()
+        assert window.pre_operational.start == 0.0
+        assert window.pre_operational.duration_days == pytest.approx(273, abs=1)
+
+    def test_operational_is_895_days(self):
+        window = StudyWindow.delta_default()
+        # Paper Section IV: "895 days operational period".
+        assert window.operational.duration_days == pytest.approx(895, abs=2)
+
+    def test_period_of_boundaries(self):
+        window = StudyWindow.delta_default()
+        boundary = window.operational.start
+        assert window.period_of(boundary - 1) is PeriodName.PRE_OPERATIONAL
+        assert window.period_of(boundary) is PeriodName.OPERATIONAL
+        assert window.period_of(window.end + 100) is PeriodName.OPERATIONAL
+
+    def test_iteration_order(self):
+        window = StudyWindow.delta_default()
+        names = [p.name for p in window]
+        assert names == [PeriodName.PRE_OPERATIONAL, PeriodName.OPERATIONAL]
+
+    def test_as_tuple(self):
+        window = StudyWindow.delta_default()
+        pre, op = window.as_tuple()
+        assert pre.name is PeriodName.PRE_OPERATIONAL
+        assert op.name is PeriodName.OPERATIONAL
+
+
+class TestScaledWindow:
+    def test_scaled_durations(self):
+        window = StudyWindow.scaled(pre_days=10, op_days=30)
+        assert window.pre_operational.duration_days == pytest.approx(10)
+        assert window.operational.duration_days == pytest.approx(30)
+        assert window.total_days == pytest.approx(40)
+
+    def test_contiguity_enforced(self):
+        pre = Period(PeriodName.PRE_OPERATIONAL, 0.0, 10 * DAY)
+        op = Period(PeriodName.OPERATIONAL, 11 * DAY, 20 * DAY)
+        with pytest.raises(ValueError, match="contiguous"):
+            StudyWindow(pre_operational=pre, operational=op)
+
+    def test_period_lookup(self):
+        window = StudyWindow.scaled(pre_days=5, op_days=5)
+        assert (
+            window.period(PeriodName.PRE_OPERATIONAL) is window.pre_operational
+        )
+        assert window.period(PeriodName.OPERATIONAL) is window.operational

@@ -1,0 +1,187 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* input, not just the calibrated
+scenarios: scheduler resource safety, engine ordering, accounting
+roundtrips, coalescing conservation under composition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import Cluster
+from repro.core.timebase import HOUR
+from repro.core.xid import EventClass
+from repro.sim.engine import Engine
+from repro.slurm.accounting import AccountingWriter, load_records
+from repro.slurm.scheduler import Scheduler
+from repro.slurm.types import Allocation, JobRecord, JobRequest, JobState, Partition
+
+
+@st.composite
+def job_streams(draw):
+    """Random GPU job streams: (submit offset, gpus, duration, fail)."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=2 * HOUR))
+        gpus = draw(st.integers(min_value=1, max_value=8))
+        duration = draw(st.floats(min_value=60.0, max_value=20 * HOUR))
+        fail = draw(st.booleans())
+        jobs.append((t, gpus, duration, fail))
+    return jobs
+
+
+class TestSchedulerInvariants:
+    @given(job_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_no_double_allocation_and_all_jobs_finish(self, stream):
+        engine = Engine(horizon=10_000 * HOUR)
+        cluster = Cluster.small(four_way=3, eight_way=1, cpu=0)
+        scheduler = Scheduler(engine, cluster)
+
+        violations = []
+
+        def check_busy_consistency():
+            # Every busy GPU belongs to exactly one running job.
+            claimed = {}
+            for node in cluster.gpu_nodes():
+                for job_id in scheduler.jobs_on_node(node.name):
+                    pass
+            for node in cluster.gpu_nodes():
+                for gpu in node.gpus:
+                    holders = scheduler.jobs_using_gpu(node.name, gpu.index)
+                    if gpu.busy and len(holders) != 1:
+                        violations.append((node.name, gpu.index, holders))
+                    if not gpu.busy and holders:
+                        violations.append((node.name, gpu.index, holders))
+
+        for i, (submit, gpus, duration, fail) in enumerate(stream):
+            request = JobRequest(
+                job_id=i + 1,
+                name=f"j{i}",
+                user="u",
+                partition=Partition.GPU_A100_X4,
+                submit_time=submit,
+                gpu_count=gpus,
+                duration=duration,
+                intrinsic_failure=fail,
+            )
+            engine.schedule(submit, lambda r=request: scheduler.submit(r))
+        engine.schedule(5_000 * HOUR, check_busy_consistency)
+        engine.run()
+
+        assert not violations
+        # Everything eventually completes (capacity 20 GPUs >= max job).
+        assert len(scheduler.records) == len(stream)
+        assert scheduler.running_count == 0
+        assert scheduler.queued_count == 0
+        assert not any(g.busy for g in cluster.gpus())
+
+    @given(job_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_job_timing_invariants(self, stream):
+        engine = Engine(horizon=10_000 * HOUR)
+        cluster = Cluster.small(four_way=3, eight_way=1, cpu=0)
+        scheduler = Scheduler(engine, cluster)
+        for i, (submit, gpus, duration, fail) in enumerate(stream):
+            request = JobRequest(
+                job_id=i + 1,
+                name=f"j{i}",
+                user="u",
+                partition=Partition.GPU_A100_X4,
+                submit_time=submit,
+                gpu_count=gpus,
+                duration=duration,
+                intrinsic_failure=fail,
+            )
+            engine.schedule(submit, lambda r=request: scheduler.submit(r))
+        engine.run()
+        for record in scheduler.records:
+            assert record.start_time >= record.submit_time
+            assert record.end_time == pytest.approx(
+                record.start_time
+                + next(
+                    d for (s, g, d, f) in [stream[record.job_id - 1]]
+                )
+            )
+            assert record.allocation.gpu_count == record.gpu_count
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=999.0),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_execution_order_is_sorted(self, times):
+        engine = Engine(horizon=1000.0)
+        executed = []
+        for t in times:
+            engine.schedule(t, lambda t=t: executed.append(t))
+        engine.run()
+        assert executed == sorted(times)
+        assert len(executed) == len(times)
+
+
+class TestAccountingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10_000),
+                st.sampled_from(list(JobState)),
+                st.integers(min_value=0, max_value=8),
+                st.floats(min_value=60.0, max_value=100_000.0),
+            ),
+            min_size=1,
+            max_size=25,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_fields(self, tmp_path_factory, rows):
+        tmp = tmp_path_factory.mktemp("acct")
+        path = tmp / "sacct.csv"
+        records = []
+        for job_id, state, gpus, duration in rows:
+            allocation = (
+                Allocation(
+                    nodes=("gpua001",),
+                    gpus={"gpua001": tuple(range(max(gpus, 1)))} if gpus else {},
+                )
+                if gpus
+                else Allocation(nodes=("cn001",))
+            )
+            records.append(
+                JobRecord(
+                    job_id=job_id,
+                    name=f"j{job_id}",
+                    user="u",
+                    partition=Partition.GPU_A100_X4 if gpus else Partition.CPU,
+                    submit_time=1000.0,
+                    start_time=2000.0,
+                    end_time=2000.0 + duration,
+                    state=state,
+                    exit_code=0 if state is JobState.COMPLETED else 1,
+                    allocation=allocation,
+                    gpu_count=gpus,
+                )
+            )
+        with AccountingWriter(path) as writer:
+            for record in records:
+                writer.write(record)
+        loaded = load_records(path)
+        assert len(loaded) == len(records)
+        for original, roundtripped in zip(records, loaded):
+            assert roundtripped.job_id == original.job_id
+            assert roundtripped.state is original.state
+            assert roundtripped.gpu_count == original.gpu_count
+            assert roundtripped.allocation.gpus == original.allocation.gpus
+            assert roundtripped.end_time == pytest.approx(
+                original.end_time, abs=1.0
+            )

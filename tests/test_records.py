@@ -1,0 +1,103 @@
+"""Unit tests for shared record types (repro.core.records)."""
+
+import pytest
+
+from repro.core.records import DowntimeRecord, ExtractedError, GpuErrorEvent
+from repro.core.xid import EventClass
+
+
+class TestGpuErrorEvent:
+    def test_basic_construction(self):
+        event = GpuErrorEvent(
+            time=10.0,
+            node="gpua001",
+            gpu_index=2,
+            event_class=EventClass.MMU_ERROR,
+            xid=31,
+        )
+        assert event.affected_gpus == ()
+        assert event.episode_id == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            GpuErrorEvent(
+                time=-1.0,
+                node="gpua001",
+                gpu_index=0,
+                event_class=EventClass.MMU_ERROR,
+                xid=31,
+            )
+
+    def test_node_scoped_event_without_gpu(self):
+        event = GpuErrorEvent(
+            time=0.0,
+            node="gpua001",
+            gpu_index=None,
+            event_class=EventClass.FALLEN_OFF_BUS,
+            xid=79,
+        )
+        assert event.gpu_index is None
+
+
+class TestExtractedError:
+    def test_span_zero_without_last_time(self):
+        error = ExtractedError(
+            time=5.0,
+            node="gpua001",
+            gpu_index=0,
+            event_class=EventClass.NVLINK_ERROR,
+            xid=74,
+        )
+        assert error.span == 0.0
+        assert error.raw_line_count == 1
+
+    def test_span_with_last_time(self):
+        error = ExtractedError(
+            time=5.0,
+            node="gpua001",
+            gpu_index=0,
+            event_class=EventClass.NVLINK_ERROR,
+            xid=74,
+            raw_line_count=4,
+            last_time=12.5,
+        )
+        assert error.span == 7.5
+
+    def test_span_never_negative(self):
+        error = ExtractedError(
+            time=5.0,
+            node="gpua001",
+            gpu_index=0,
+            event_class=EventClass.NVLINK_ERROR,
+            xid=74,
+            last_time=3.0,
+        )
+        assert error.span == 0.0
+
+
+class TestDowntimeRecord:
+    def test_durations(self):
+        record = DowntimeRecord(
+            node="gpua001",
+            start=3600.0,
+            end=3600.0 * 3,
+            cause=EventClass.GSP_ERROR,
+        )
+        assert record.duration == 7200.0
+        assert record.duration_hours == 2.0
+        assert not record.gpu_replaced
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            DowntimeRecord(
+                node="gpua001",
+                start=100.0,
+                end=50.0,
+                cause=EventClass.GSP_ERROR,
+            )
+
+    def test_zero_duration_allowed(self):
+        record = DowntimeRecord(
+            node="gpua001", start=5.0, end=5.0, cause=EventClass.GSP_ERROR
+        )
+        assert record.duration == 0.0

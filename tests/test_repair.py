@@ -1,0 +1,56 @@
+"""Unit tests for the repair-time model (repro.ops.repair)."""
+
+import numpy as np
+import pytest
+
+from repro.ops.repair import RecoveryKind, RepairTimeConfig, RepairTimeModel
+
+
+class TestConfig:
+    def test_default_mean_is_paper_mttr(self):
+        # Section V-C: mean unavailable duration 0.88 hours.
+        assert RepairTimeConfig().mean_hours == pytest.approx(0.88, abs=0.03)
+
+    def test_component_means(self):
+        config = RepairTimeConfig(
+            reboot_median_hours=1.0,
+            reboot_sigma=0.5,
+            replacement_probability=0.0,
+        )
+        assert config.reboot_mean_hours == pytest.approx(np.exp(0.125))
+        assert config.mean_hours == config.reboot_mean_hours
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RepairTimeConfig(reboot_median_hours=0.0)
+        with pytest.raises(ValueError):
+            RepairTimeConfig(replacement_probability=1.5)
+        with pytest.raises(ValueError):
+            RepairTimeConfig(replacement_min_hours=10, replacement_max_hours=5)
+
+
+class TestDraws:
+    def test_empirical_mean_matches_config(self):
+        config = RepairTimeConfig()
+        model = RepairTimeModel(config, np.random.default_rng(0))
+        draws = [model.draw(RecoveryKind.REBOOT)[0] for _ in range(20_000)]
+        mean_hours = np.mean(draws) / 3600.0
+        assert mean_hours == pytest.approx(config.mean_hours, rel=0.08)
+
+    def test_replace_kind_always_swaps(self):
+        model = RepairTimeModel(RepairTimeConfig(), np.random.default_rng(1))
+        for _ in range(50):
+            duration, replaced = model.draw(RecoveryKind.REPLACE)
+            assert replaced
+            assert duration >= 6.0 * 3600.0
+
+    def test_reset_rarely_escalates(self):
+        model = RepairTimeModel(RepairTimeConfig(), np.random.default_rng(2))
+        swaps = sum(model.draw(RecoveryKind.RESET)[1] for _ in range(5000))
+        assert swaps / 5000 == pytest.approx(0.01, abs=0.005)
+
+    def test_durations_positive(self):
+        model = RepairTimeModel(RepairTimeConfig(), np.random.default_rng(3))
+        for kind in RecoveryKind:
+            duration, _ = model.draw(kind)
+            assert duration > 0

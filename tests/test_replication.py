@@ -1,0 +1,86 @@
+"""Tests for replicated studies (repro.analysis.replication)."""
+
+import pytest
+
+from repro import StudyConfig
+from repro.analysis.replication import MetricSummary, ReplicatedStudy
+
+
+class TestMetricSummary:
+    def test_basic_statistics(self):
+        summary = MetricSummary(name="x", values=(1.0, 2.0, 3.0))
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.ci_half_width == pytest.approx(1.96 / 3**0.5, rel=1e-6)
+        assert summary.contains(2.5) is True
+        assert summary.contains(10.0) is False
+
+    def test_single_value_has_no_ci(self):
+        summary = MetricSummary(name="x", values=(5.0,))
+        assert summary.mean == 5.0
+        assert summary.std is None
+        assert summary.ci_low is None
+        assert summary.contains(5.0) is None
+        assert "n=1" in summary.render()
+
+    def test_empty(self):
+        summary = MetricSummary(name="x", values=())
+        assert summary.mean is None
+        assert "no data" in summary.render()
+
+    def test_render_contains_ci(self):
+        summary = MetricSummary(name="metric", values=(1.0, 2.0, 3.0, 4.0))
+        text = summary.render()
+        assert "metric:" in text
+        assert "95% CI" in text
+
+
+class TestReplicatedStudy:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        config = StudyConfig.small(seed=5, job_scale=0.002, op_days=40)
+        return ReplicatedStudy(config, replicates=3).run()
+
+    def test_headline_metrics_present(self, summaries):
+        for name in (
+            "pre_op_per_node_mtbe_hours",
+            "op_per_node_mtbe_hours",
+            "memory_vs_hardware_ratio",
+            "gsp_degradation_factor",
+        ):
+            assert name in summaries
+            assert summaries[name].n >= 2
+
+    def test_replicates_differ(self, summaries):
+        # Independent seeds must not produce identical MTBE values.
+        values = summaries["op_per_node_mtbe_hours"].values
+        assert len(set(values)) > 1
+
+    def test_degradation_direction_stable(self, summaries):
+        # Every replicate shows op MTBE below pre-op MTBE (23% story).
+        pre = summaries["pre_op_per_node_mtbe_hours"].values
+        op = summaries["op_per_node_mtbe_hours"].values
+        assert all(o < p for o, p in zip(op, pre))
+
+    def test_render(self, summaries):
+        config = StudyConfig.small(seed=5, job_scale=0.002, op_days=40)
+        text = ReplicatedStudy(config, replicates=3).render(summaries)
+        assert "replication report" in text
+        assert "op_per_node_mtbe_hours" in text
+
+    def test_invalid_replicate_count(self):
+        with pytest.raises(ValueError):
+            ReplicatedStudy(StudyConfig.small(), replicates=0)
+
+    def test_custom_metrics_fn(self):
+        config = StudyConfig.small(seed=5, job_scale=0.002, op_days=20)
+
+        def count_metric(errors, window, node_count):
+            return {"total_errors": float(len(errors))}
+
+        summaries = ReplicatedStudy(
+            config, replicates=2, metrics_fn=count_metric
+        ).run()
+        assert set(summaries) == {"total_errors"}
+        assert all(v > 0 for v in summaries["total_errors"].values)

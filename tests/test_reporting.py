@@ -1,0 +1,132 @@
+"""Unit tests for reporting (compare, tables, figures)."""
+
+import pytest
+
+from repro.analysis.availability import AvailabilityAnalysis
+from repro.analysis.job_impact import JobImpactResult, ClassImpact
+from repro.analysis.mtbe import MtbeAnalysis
+from repro.core.periods import StudyWindow
+from repro.core.records import DowntimeRecord, ExtractedError
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+from repro.reporting.compare import Comparison, ComparisonReport
+from repro.reporting.figures import figure2_csv, render_figure2
+from repro.reporting.tables import render_table1, render_table2
+
+
+class TestComparison:
+    def test_within_tolerance(self):
+        comparison = Comparison("x", paper_value=100.0, measured_value=110.0, rel_tolerance=0.15)
+        assert comparison.ok
+        assert comparison.rel_error == pytest.approx(0.10)
+
+    def test_outside_tolerance(self):
+        comparison = Comparison("x", 100.0, 130.0, 0.15)
+        assert not comparison.ok
+
+    def test_missing_measurement_fails(self):
+        comparison = Comparison("x", 100.0, None, 0.5)
+        assert not comparison.ok
+        assert comparison.rel_error is None
+        assert "NA" in comparison.render()
+
+    def test_render_contains_values(self):
+        text = Comparison("metric-name", 100.0, 90.0, 0.2).render()
+        assert "metric-name" in text
+        assert "-10.0%" in text
+
+    def test_report_aggregation(self):
+        report = ComparisonReport("test")
+        report.add("a", 1.0, 1.05, 0.10)
+        report.add("b", 1.0, 2.0, 0.10)
+        assert not report.all_ok
+        assert len(report.failures) == 1
+        assert report.failures[0].name == "b"
+        rendered = report.render()
+        assert "1/2 within tolerance" in rendered
+
+    def test_markdown_rendering(self):
+        report = ComparisonReport("Exp")
+        report.add("a", 1.0, 1.05, 0.10)
+        md = report.render_markdown()
+        assert "| a | 1 | 1.05 |" in md
+        assert md.startswith("### Exp")
+
+
+class TestTableRenderers:
+    def _mtbe(self):
+        window = StudyWindow.scaled(pre_days=10, op_days=40)
+        errors = [
+            ExtractedError(
+                time=11 * DAY + i * HOUR,
+                node="gpua001",
+                gpu_index=0,
+                event_class=EventClass.MMU_ERROR,
+                xid=31,
+            )
+            for i in range(5)
+        ]
+        return MtbeAnalysis(errors, window, node_count=10)
+
+    def test_table1_contains_all_rows(self):
+        text = render_table1(self._mtbe())
+        for label in ("MMU Error", "RRE", "RRF", "NVLink", "GSP Error", "PMU SPI"):
+            assert label in text
+        assert "paper preN" in text
+
+    def test_table1_without_paper_columns(self):
+        text = render_table1(self._mtbe(), include_paper=False)
+        assert "paper preN" not in text
+
+    def test_table2_renders_probabilities(self):
+        impact = JobImpactResult(
+            per_class={
+                EventClass.MMU_ERROR: ClassImpact(
+                    event_class=EventClass.MMU_ERROR,
+                    jobs_encountering=100,
+                    gpu_failed_jobs=90,
+                )
+            },
+            total_gpu_failed_jobs=90,
+            total_jobs_analyzed=1000,
+        )
+        text = render_table2(impact)
+        assert "90.00" in text
+        assert "Total GPU-failed jobs: 90" in text
+        # Classes without encounters still render as '-' rows.
+        assert "GSP Error" in text
+
+
+class TestFigureRenderers:
+    def _dist(self):
+        window = StudyWindow.scaled(pre_days=10, op_days=40)
+        episodes = [
+            DowntimeRecord(
+                node="gpua001",
+                start=11 * DAY + i * HOUR * 10,
+                end=11 * DAY + i * HOUR * 10 + 1800,
+                cause=EventClass.GSP_ERROR,
+            )
+            for i in range(10)
+        ]
+        return AvailabilityAnalysis(episodes, window, node_count=10).distribution()
+
+    def test_render_figure2(self):
+        text = render_figure2(self._dist())
+        assert "Unavailability Time Distribution" in text
+        assert "episodes=10" in text
+        assert "#" in text
+
+    def test_render_figure2_empty(self):
+        window = StudyWindow.scaled(pre_days=10, op_days=40)
+        dist = AvailabilityAnalysis([], window, node_count=10).distribution()
+        text = render_figure2(dist)
+        assert "episodes=0" in text
+
+    def test_figure2_csv(self):
+        csv_text = figure2_csv(self._dist())
+        lines = csv_text.splitlines()
+        assert lines[0] == "bin_low_hours,bin_high_hours,count,fraction"
+        assert len(lines) > 5
+        total = sum(int(line.split(",")[2]) for line in lines[1:])
+        assert total == 10

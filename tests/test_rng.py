@@ -1,0 +1,65 @@
+"""Unit tests for deterministic random streams (repro.sim.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(7).stream("x").random(10)
+        b = RngRegistry(7).stream("x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        registry = RngRegistry(7)
+        a = registry.stream("x").random(10)
+        b = registry.stream("y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(7).stream("x").random(10)
+        b = RngRegistry(8).stream("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        registry = RngRegistry(7)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_stream_isolation(self):
+        """Creating/consuming one stream must not disturb another."""
+        reference = RngRegistry(7).stream("b").random(5)
+        registry = RngRegistry(7)
+        registry.stream("a").random(1000)  # consume a lot from "a"
+        assert np.array_equal(registry.stream("b").random(5), reference)
+
+
+class TestValidation:
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError, match="int"):
+            RngRegistry("seed")  # type: ignore[arg-type]
+
+    def test_seed_property(self):
+        assert RngRegistry(99).seed == 99
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(7).fork("rep1").stream("x").random(5)
+        b = RngRegistry(7).fork("rep1").stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_fork_differs_from_parent(self):
+        parent = RngRegistry(7)
+        child = parent.fork("rep1")
+        assert child.seed != parent.seed
+        assert not np.array_equal(
+            parent.stream("x").random(5), child.stream("x").random(5)
+        )
+
+    def test_forks_with_different_names_differ(self):
+        parent = RngRegistry(7)
+        a = parent.fork("rep1").stream("x").random(5)
+        b = parent.fork("rep2").stream("x").random(5)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,232 @@
+"""Unit tests for the Slurm-like scheduler (repro.slurm.scheduler)."""
+
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.core.timebase import HOUR
+from repro.core.xid import EventClass
+from repro.sim.engine import Engine
+from repro.slurm.scheduler import CPU_SLOTS_PER_NODE, Scheduler
+from repro.slurm.types import JobRequest, JobState, Partition
+
+
+def make_env(four_way=2, eight_way=1, cpu=1, horizon=100 * HOUR):
+    engine = Engine(horizon=horizon)
+    cluster = Cluster.small(four_way=four_way, eight_way=eight_way, cpu=cpu)
+    scheduler = Scheduler(engine, cluster)
+    return engine, cluster, scheduler
+
+
+def gpu_job(job_id, gpus=1, duration=HOUR, submit=0.0, fail=False):
+    return JobRequest(
+        job_id=job_id,
+        name=f"job{job_id}",
+        user="u0001",
+        partition=Partition.GPU_A100_X4,
+        submit_time=submit,
+        gpu_count=gpus,
+        duration=duration,
+        intrinsic_failure=fail,
+    )
+
+
+def cpu_job(job_id, duration=HOUR, submit=0.0, fail=False):
+    return JobRequest(
+        job_id=job_id,
+        name=f"cpu{job_id}",
+        user="u0002",
+        partition=Partition.CPU,
+        submit_time=submit,
+        gpu_count=0,
+        duration=duration,
+        intrinsic_failure=fail,
+    )
+
+
+class TestPlacement:
+    def test_single_gpu_job_runs_and_completes(self):
+        engine, cluster, scheduler = make_env()
+        scheduler.submit(gpu_job(1))
+        assert scheduler.running_count == 1
+        engine.run()
+        assert len(scheduler.records) == 1
+        record = scheduler.records[0]
+        assert record.state is JobState.COMPLETED
+        assert record.exit_code == 0
+        assert record.gpu_count == 1
+        assert record.elapsed == pytest.approx(HOUR)
+
+    def test_gpu_marked_busy_then_released(self):
+        engine, cluster, scheduler = make_env()
+        scheduler.submit(gpu_job(1, gpus=4))
+        busy = [g for g in cluster.gpus() if g.busy]
+        assert len(busy) == 4
+        engine.run()
+        assert not any(g.busy for g in cluster.gpus())
+
+    def test_intrinsic_failure_recorded(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, fail=True))
+        engine.run()
+        record = scheduler.records[0]
+        assert record.state is JobState.FAILED
+        assert record.exit_code == 1
+
+    def test_five_to_eight_gpu_jobs_prefer_eight_way(self):
+        engine, cluster, scheduler = make_env()
+        scheduler.submit(gpu_job(1, gpus=6))
+        jobs = scheduler.jobs_on_node("gpuc001")
+        assert jobs  # landed on the 8-way node
+
+    def test_multi_node_job_takes_whole_nodes(self):
+        engine, cluster, scheduler = make_env(four_way=4, eight_way=0)
+        scheduler.submit(gpu_job(1, gpus=12))
+        record_nodes = set()
+        for node in cluster.gpu_nodes():
+            if scheduler.jobs_on_node(node.name):
+                record_nodes.add(node.name)
+        assert len(record_nodes) == 3  # 12 GPUs over 4-way nodes
+
+    def test_queueing_when_full(self):
+        engine, _, scheduler = make_env(four_way=1, eight_way=0)
+        scheduler.submit(gpu_job(1, gpus=4, duration=2 * HOUR))
+        scheduler.submit(gpu_job(2, gpus=4, duration=HOUR))
+        assert scheduler.running_count == 1
+        assert scheduler.queued_count == 1
+        engine.run()
+        assert len(scheduler.records) == 2
+        second = next(r for r in scheduler.records if r.job_id == 2)
+        assert second.start_time == pytest.approx(2 * HOUR)
+
+    def test_small_job_backfills_past_blocked_big_job(self):
+        engine, _, scheduler = make_env(four_way=1, eight_way=0)
+        scheduler.submit(gpu_job(1, gpus=3, duration=5 * HOUR))
+        scheduler.submit(gpu_job(2, gpus=4, duration=HOUR))  # cannot fit
+        scheduler.submit(gpu_job(3, gpus=1, duration=HOUR))  # fits now
+        assert scheduler.running_count == 2
+        assert scheduler.queued_count == 1
+
+    def test_allocation_records_gpu_indices(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, gpus=2))
+        engine.run()
+        allocation = scheduler.records[0].allocation
+        node = allocation.nodes[0]
+        assert len(allocation.gpus_on(node)) == 2
+
+
+class TestCpuJobs:
+    def test_cpu_job_completes(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(cpu_job(1))
+        engine.run()
+        assert scheduler.records[0].state is JobState.COMPLETED
+        assert scheduler.records[0].gpu_count == 0
+
+    def test_cpu_slots_limit(self):
+        engine, _, scheduler = make_env(cpu=1)
+        for i in range(CPU_SLOTS_PER_NODE + 3):
+            scheduler.submit(cpu_job(i + 1, duration=10 * HOUR))
+        assert scheduler.running_count == CPU_SLOTS_PER_NODE
+        assert scheduler.queued_count == 3
+
+
+class TestKills:
+    def test_kill_running_job(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, duration=10 * HOUR))
+        engine.schedule(
+            HOUR, lambda: scheduler.kill_job(1, EventClass.GSP_ERROR, True)
+        )
+        engine.run()
+        record = scheduler.records[0]
+        assert record.state is JobState.NODE_FAIL
+        assert record.exit_code == 137
+        assert record.killed_by is EventClass.GSP_ERROR
+        assert record.elapsed == pytest.approx(HOUR)
+
+    def test_kill_finished_job_is_noop(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, duration=HOUR))
+        engine.run()
+        assert not scheduler.kill_job(1, EventClass.GSP_ERROR)
+        assert scheduler.records[0].state is JobState.COMPLETED
+
+    def test_kill_releases_resources_for_queue(self):
+        engine, _, scheduler = make_env(four_way=1, eight_way=0)
+        scheduler.submit(gpu_job(1, gpus=4, duration=10 * HOUR))
+        scheduler.submit(gpu_job(2, gpus=4, duration=HOUR))
+        engine.schedule(
+            HOUR, lambda: scheduler.kill_job(1, EventClass.FALLEN_OFF_BUS, True)
+        )
+        engine.run()
+        second = next(r for r in scheduler.records if r.job_id == 2)
+        assert second.state is JobState.COMPLETED
+        assert second.start_time == pytest.approx(HOUR)
+
+
+class TestFaultQueries:
+    def test_jobs_using_gpu(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, gpus=2))
+        node = [n for n in ("gpua001", "gpua002", "gpuc001") if scheduler.jobs_on_node(n)][0]
+        assert scheduler.jobs_using_gpu(node, 0) == [1]
+        assert scheduler.jobs_using_gpu(node, 3) == []
+
+    def test_job_gpu_count(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, gpus=3))
+        assert scheduler.job_gpu_count(1) == 3
+        assert scheduler.job_gpu_count(999) == 0
+
+    def test_gpu_busy_fraction(self):
+        engine, cluster, scheduler = make_env(four_way=2, eight_way=0, cpu=0)
+        assert scheduler.gpu_busy_fraction() == 0.0
+        scheduler.submit(gpu_job(1, gpus=4))
+        assert scheduler.gpu_busy_fraction() == pytest.approx(0.5)
+
+    def test_nodes_with_multi_gpu_jobs(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, gpus=1))
+        scheduler.submit(gpu_job(2, gpus=2))
+        nodes = scheduler.nodes_with_multi_gpu_jobs()
+        assert len(nodes) == 1
+
+
+class TestDrainProtocol:
+    def test_drained_node_receives_no_work(self):
+        engine, _, scheduler = make_env(four_way=1, eight_way=0, cpu=0)
+        scheduler.drain_node("gpua001")
+        scheduler.submit(gpu_job(1))
+        assert scheduler.running_count == 0
+        assert scheduler.queued_count == 1
+        scheduler.node_returned("gpua001")
+        assert scheduler.running_count == 1
+
+    def test_notify_when_empty_immediate(self):
+        engine, _, scheduler = make_env()
+        fired = []
+        scheduler.notify_when_empty("gpua001", lambda: fired.append(1))
+        assert fired == [1]
+
+    def test_notify_when_empty_deferred(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1, duration=HOUR))
+        node = next(
+            name
+            for name in ("gpua001", "gpua002", "gpuc001")
+            if scheduler.jobs_on_node(name)
+        )
+        fired = []
+        scheduler.notify_when_empty(node, lambda: fired.append(1))
+        assert fired == []
+        engine.run()
+        assert fired == [1]
+
+    def test_jobs_running_on(self):
+        engine, _, scheduler = make_env()
+        scheduler.submit(gpu_job(1))
+        total = sum(
+            scheduler.jobs_running_on(n) for n in ("gpua001", "gpua002", "gpuc001")
+        )
+        assert total == 1

@@ -1,0 +1,99 @@
+"""Unit tests for spatial error characterization (repro.analysis.spatial)."""
+
+import pytest
+
+from repro.analysis.spatial import (
+    gini_coefficient,
+    node_error_counts,
+    repeat_offenders,
+    spatial_stats,
+)
+from repro.core.periods import PeriodName, StudyWindow
+from repro.core.records import ExtractedError
+from repro.core.timebase import DAY
+from repro.core.xid import EventClass
+
+
+def error(time=0.0, node="gpua001", gpu=0, event=EventClass.MMU_ERROR):
+    return ExtractedError(
+        time=time, node=node, gpu_index=gpu, event_class=event, xid=31
+    )
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_approaches_one(self):
+        value = gini_coefficient([0] * 99 + [1000])
+        assert value > 0.95
+
+    def test_empty_is_none(self):
+        assert gini_coefficient([]) is None
+        assert gini_coefficient([0, 0]) is None
+
+    def test_two_point_example(self):
+        # counts (1, 3): Gini = 0.25 by direct computation.
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+
+class TestSpatialStats:
+    def test_counts_and_shares(self):
+        errors = (
+            [error(gpu=0)] * 6 + [error(gpu=1)] * 3 + [error(node="gpua002")] * 1
+        )
+        stats = spatial_stats(errors)
+        assert stats.total_errors == 10
+        assert stats.units_with_errors == 3
+        assert stats.top_offenders[0].count == 6
+        assert stats.top1_share == pytest.approx(0.6)
+        assert stats.top5_share == pytest.approx(1.0)
+
+    def test_empty_population(self):
+        stats = spatial_stats([])
+        assert stats.total_errors == 0
+        assert stats.gini is None
+        assert stats.top_offenders == ()
+
+    def test_class_filter(self):
+        errors = [error(), error(event=EventClass.GSP_ERROR)]
+        stats = spatial_stats(errors, event_class=EventClass.GSP_ERROR)
+        assert stats.total_errors == 1
+
+    def test_period_filter(self):
+        window = StudyWindow.scaled(pre_days=10, op_days=10)
+        errors = [error(time=DAY), error(time=15 * DAY)]
+        stats = spatial_stats(
+            errors, window=window, period=PeriodName.OPERATIONAL
+        )
+        assert stats.total_errors == 1
+
+    def test_top_k_limits_output(self):
+        errors = [error(gpu=i % 4, node=f"gpua{i:03d}") for i in range(20)]
+        stats = spatial_stats(errors, top_k=3)
+        assert len(stats.top_offenders) == 3
+        assert stats.units_with_errors == 20
+
+
+class TestHelpers:
+    def test_node_error_counts_descending(self):
+        errors = [error(node="gpua002")] * 3 + [error(node="gpua001")]
+        counts = node_error_counts(errors)
+        assert counts[0] == ("gpua002", 3)
+        assert counts[1] == ("gpua001", 1)
+
+    def test_repeat_offenders_threshold(self):
+        errors = [error(gpu=0)] * 5 + [error(gpu=1)] * 2
+        offenders = repeat_offenders(errors, min_count=3)
+        assert len(offenders) == 1
+        assert offenders[0].count == 5
+
+    def test_repeat_offenders_finds_episode_gpu(self, small_run):
+        artifacts, result = small_run
+        offenders = repeat_offenders(
+            result.errors,
+            min_count=1000,
+            event_class=EventClass.UNCONTAINED_MEMORY_ERROR,
+        )
+        assert len(offenders) == 1
+        assert offenders[0].share > 0.9

@@ -1,0 +1,44 @@
+"""Unit tests for study configuration (repro.study.config)."""
+
+import pytest
+
+from repro import StudyConfig
+from repro.core.periods import StudyWindow
+
+
+class TestDefaults:
+    def test_delta_defaults(self):
+        config = StudyConfig.delta()
+        assert config.cluster_shape.gpu_node_count == 106
+        assert config.window.total_days == pytest.approx(1169, abs=2)
+        assert config.fault_scale == 1.0
+        assert config.workload.job_scale == 0.05
+        assert config.fault_suite.defective_episode is not None
+
+    def test_delta_workload_focused_thins_faults(self):
+        config = StudyConfig.delta_workload_focused()
+        assert config.fault_scale == pytest.approx(0.02)
+        assert config.workload.error_kill_allowance == pytest.approx(0.002)
+
+    def test_small_is_small(self):
+        config = StudyConfig.small()
+        assert config.cluster_shape.gpu_node_count == 8
+        assert config.window.total_days == pytest.approx(80)
+        assert config.fault_suite.defective_episode is None
+
+    def test_small_with_episode_fits_window(self):
+        config = StudyConfig.small(include_episode=True, pre_days=20)
+        episode = config.fault_suite.defective_episode
+        assert episode is not None
+        assert episode.end_day <= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StudyConfig(fault_scale=0.0)
+        with pytest.raises(ValueError):
+            StudyConfig(utilization_sample_interval_hours=0.0)
+
+    def test_custom_window(self):
+        window = StudyWindow.scaled(pre_days=1, op_days=2)
+        config = StudyConfig(window=window)
+        assert config.window.total_days == pytest.approx(3)

@@ -1,0 +1,127 @@
+"""Unit tests for the XID catalog (repro.core.xid)."""
+
+import pytest
+
+from repro.core import xid
+from repro.core.xid import ErrorCategory, EventClass, RecoveryAction
+
+
+class TestCatalogStructure:
+    def test_eleven_event_classes(self):
+        assert len(xid.CATALOG) == 11
+        assert len(set(s.event_class for s in xid.CATALOG)) == 11
+
+    def test_validate_catalog_passes(self):
+        xid.validate_catalog()
+
+    def test_all_analyzed_xids_are_table1_codes(self):
+        assert xid.ANALYZED_XIDS == (31, 48, 63, 64, 74, 79, 94, 95, 119, 120, 122, 123)
+
+    def test_table1_order_matches_catalog(self):
+        assert list(xid.table1_order()) == [s.event_class for s in xid.CATALOG]
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "code,expected",
+        [
+            (31, EventClass.MMU_ERROR),
+            (48, EventClass.DBE),
+            (63, EventClass.ROW_REMAP_EVENT),
+            (64, EventClass.ROW_REMAP_FAILURE),
+            (74, EventClass.NVLINK_ERROR),
+            (79, EventClass.FALLEN_OFF_BUS),
+            (94, EventClass.CONTAINED_MEMORY_ERROR),
+            (95, EventClass.UNCONTAINED_MEMORY_ERROR),
+            (119, EventClass.GSP_ERROR),
+            (120, EventClass.GSP_ERROR),
+            (122, EventClass.PMU_SPI_ERROR),
+            (123, EventClass.PMU_SPI_ERROR),
+        ],
+    )
+    def test_classify_known_codes(self, code, expected):
+        assert xid.classify_xid(code) is expected
+
+    @pytest.mark.parametrize("code", [13, 43])
+    def test_excluded_codes_not_classified(self, code):
+        assert xid.is_excluded(code)
+        assert xid.classify_xid(code) is None
+
+    @pytest.mark.parametrize("code", [0, 1, 32, 999])
+    def test_unknown_codes(self, code):
+        assert not xid.is_excluded(code)
+        assert xid.classify_xid(code) is None
+        assert xid.spec_for_xid(code) is None
+
+
+class TestCategories:
+    def test_hardware_classes(self):
+        assert set(xid.hardware_classes()) == {
+            EventClass.MMU_ERROR,
+            EventClass.FALLEN_OFF_BUS,
+            EventClass.GSP_ERROR,
+            EventClass.PMU_SPI_ERROR,
+        }
+
+    def test_memory_classes(self):
+        assert set(xid.memory_classes()) == {
+            EventClass.DBE,
+            EventClass.UNCORRECTABLE_ECC,
+            EventClass.ROW_REMAP_EVENT,
+            EventClass.ROW_REMAP_FAILURE,
+            EventClass.CONTAINED_MEMORY_ERROR,
+            EventClass.UNCONTAINED_MEMORY_ERROR,
+        }
+
+    def test_interconnect_classes(self):
+        assert xid.interconnect_classes() == (EventClass.NVLINK_ERROR,)
+
+    def test_every_class_has_exactly_one_category(self):
+        all_classes = (
+            set(xid.hardware_classes())
+            | set(xid.memory_classes())
+            | set(xid.interconnect_classes())
+        )
+        assert all_classes == set(EventClass)
+
+
+class TestSpecs:
+    def test_gsp_is_node_scoped(self):
+        assert xid.spec_for(EventClass.GSP_ERROR).node_scoped
+
+    def test_mmu_is_gpu_scoped(self):
+        assert not xid.spec_for(EventClass.MMU_ERROR).node_scoped
+
+    def test_primary_xid_for_paired_classes(self):
+        assert xid.primary_xid(EventClass.GSP_ERROR) == 119
+        assert xid.primary_xid(EventClass.PMU_SPI_ERROR) == 122
+
+    def test_primary_xid_for_aggregate_ecc_is_none(self):
+        assert xid.primary_xid(EventClass.UNCORRECTABLE_ECC) is None
+
+    def test_dbe_triggers_row_remap(self):
+        assert (
+            xid.spec_for(EventClass.DBE).recovery_action
+            is RecoveryAction.ROW_REMAP
+        )
+
+
+class TestValidation:
+    def test_duplicate_codes_rejected(self):
+        spec = xid.spec_for(EventClass.MMU_ERROR)
+        with pytest.raises(ValueError, match="multiple specs"):
+            xid.validate_catalog([spec, spec])
+
+    def test_excluded_code_rejected(self):
+        from dataclasses import replace
+
+        bad = replace(xid.spec_for(EventClass.MMU_ERROR), xid_codes=(13,))
+        with pytest.raises(ValueError, match="excluded"):
+            xid.validate_catalog([bad])
+
+    def test_classes_in_category_preserves_order(self):
+        memory = xid.classes_in_category(ErrorCategory.MEMORY)
+        table_order = [
+            ec for ec in xid.table1_order() if ec in set(memory)
+        ]
+        assert list(memory) == table_order
