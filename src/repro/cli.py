@@ -1,10 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the full workflow:
+The subcommands cover the full workflow:
 
-* ``simulate`` — run a study and write the raw artifacts.
+* ``simulate`` — run a study and write the raw artifacts (optionally
+  corrupting the emitted logs with the chaos layer via ``--corrupt``).
+* ``chaos`` — corrupt an existing artifact directory's syslog with the
+  seeded chaos injector and print what was injected.
 * ``pipeline`` — run Stage-II extraction/coalescing over an artifact
-  directory and print a summary.
+  directory and print a summary plus the pipeline health report;
+  ``--checkpoint`` persists per-day progress and ``--resume`` continues
+  an interrupted checkpointed run.
 * ``report`` — run Stage-III analyses over an artifact directory and
   print the paper's tables/figures (optionally with paper comparisons).
 * ``experiments`` — regenerate the EXPERIMENTS.md record from fresh
@@ -12,8 +17,9 @@ Four subcommands cover the full workflow:
 
 Examples::
 
-    python -m repro simulate out/ --preset small --seed 7
-    python -m repro pipeline out/
+    python -m repro simulate out/ --preset small --seed 7 --corrupt
+    python -m repro chaos out/ --chaos-seed 3
+    python -m repro pipeline out/ --resume
     python -m repro report out/ --compare
     python -m repro experiments EXPERIMENTS.md --job-scale 0.05
 """
@@ -62,12 +68,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     artifacts = DeltaStudy(config).run(Path(args.output_dir))
     print(artifacts.summary())
     print(f"artifacts written to {args.output_dir}")
+    if args.corrupt:
+        from .syslog.chaos import ChaosConfig, corrupt_artifacts
+
+        report = corrupt_artifacts(
+            Path(args.output_dir), ChaosConfig.calibrated(seed=args.chaos_seed)
+        )
+        print(report.summary())
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .syslog.chaos import ChaosConfig, corrupt_artifacts
+
+    artifact_dir = Path(args.artifact_dir)
+    if not artifact_dir.is_dir():
+        print(f"error: no such artifact directory: {artifact_dir}", file=sys.stderr)
+        return 2
+    config = ChaosConfig.calibrated(seed=args.chaos_seed)
+    if args.rate_scale != 1.0:
+        try:
+            config = config.scaled(args.rate_scale)
+        except ValueError as exc:
+            print(f"error: invalid --rate-scale: {exc}", file=sys.stderr)
+            return 2
+    report = corrupt_artifacts(artifact_dir, config)
+    print(report.summary())
     return 0
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     result = run_pipeline(
-        Path(args.artifact_dir), window_seconds=args.coalesce_window
+        Path(args.artifact_dir),
+        window_seconds=args.coalesce_window,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     stats = result.extraction_stats
     print(f"raw lines scanned:        {stats.total_lines}")
@@ -81,6 +116,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     print(f"downtime episodes:        {len(result.downtime)}")
     print(f"job records:              {len(result.jobs)}")
+    if result.health is not None:
+        print(result.health.render())
     return 0
 
 
@@ -191,11 +228,28 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--preset", choices=_PRESETS, default="small")
     simulate.add_argument("--seed", type=int, default=2022)
     simulate.add_argument("--job-scale", type=float, default=None)
+    simulate.add_argument("--corrupt", action="store_true",
+                          help="corrupt the emitted logs with the chaos layer")
+    simulate.add_argument("--chaos-seed", type=int, default=0,
+                          help="chaos injector seed (with --corrupt)")
     simulate.set_defaults(func=_cmd_simulate)
+
+    chaos = sub.add_parser(
+        "chaos", help="corrupt an artifact dir's syslog (chaos layer)"
+    )
+    chaos.add_argument("artifact_dir")
+    chaos.add_argument("--chaos-seed", type=int, default=0)
+    chaos.add_argument("--rate-scale", type=float, default=1.0,
+                       help="multiplier on the calibrated per-line rates")
+    chaos.set_defaults(func=_cmd_chaos)
 
     pipeline = sub.add_parser("pipeline", help="Stage-II over an artifact dir")
     pipeline.add_argument("artifact_dir")
     pipeline.add_argument("--coalesce-window", type=float, default=30.0)
+    pipeline.add_argument("--checkpoint", action="store_true",
+                          help="persist per-day progress for crash recovery")
+    pipeline.add_argument("--resume", action="store_true",
+                          help="resume from an existing checkpoint manifest")
     pipeline.set_defaults(func=_cmd_pipeline)
 
     report = sub.add_parser("report", help="Stage-III tables and figures")

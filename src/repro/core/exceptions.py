@@ -32,7 +32,27 @@ class TopologyError(ReproError):
 
 
 class LogFormatError(ReproError):
-    """A raw log line or accounting record could not be parsed."""
+    """A raw log line or accounting record could not be parsed.
+
+    Attributes:
+        reason: machine-readable reason code (one of the quarantine
+            reason constants in :mod:`repro.syslog.quarantine`), used
+            by the tolerant reader to bucket rejected lines.
+    """
+
+    def __init__(self, message: str, reason: str = "malformed") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class PipelineInterrupted(ReproError):
+    """A checkpointed pipeline run was interrupted before completion.
+
+    Raised by :func:`repro.pipeline.run.run_pipeline` when an
+    ``interrupt_after_files`` limit fires (used by crash-recovery
+    drills and tests); the per-day checkpoints written so far remain
+    valid, so a subsequent ``resume=True`` run completes the pass.
+    """
 
 
 class AnalysisError(ReproError):

@@ -1,4 +1,5 @@
-"""Stage-II processing: extraction, coalescing, downtime recovery."""
+"""Stage-II processing: extraction, coalescing, downtime recovery,
+health accounting, and checkpointed (resumable) runs."""
 
 from .coalesce import (
     DEFAULT_WINDOW_SECONDS,
@@ -9,7 +10,8 @@ from .coalesce import (
 )
 from .downtime import DowntimeExtractor, extract_downtime
 from .extract import ErrorHit, ExtractionStats, XidExtractor, extract_all
-from .run import PipelineResult, run_pipeline
+from .health import PipelineHealthReport, day_coverage
+from .run import CHECKPOINT_DIRNAME, PipelineResult, run_pipeline
 
 __all__ = [
     "DEFAULT_WINDOW_SECONDS",
@@ -23,6 +25,9 @@ __all__ = [
     "ExtractionStats",
     "XidExtractor",
     "extract_all",
+    "PipelineHealthReport",
+    "day_coverage",
+    "CHECKPOINT_DIRNAME",
     "PipelineResult",
     "run_pipeline",
 ]

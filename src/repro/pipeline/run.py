@@ -4,23 +4,70 @@ Ties together extraction, coalescing, and downtime recovery exactly as
 Fig. 1 stage (ii) does, reading only the on-disk artifacts a real
 deployment would have: the syslog directory, the hardware inventory,
 and the Slurm accounting CSV.
+
+Two robustness layers distinguish this from a naive pass:
+
+* **Tolerant streaming + quarantine** — every malformed, torn, or
+  undecodable line is dropped (or repaired) with a reason code and
+  accounted for in a :class:`~repro.pipeline.health.PipelineHealthReport`;
+  no input can crash the pipeline.  Out-of-order timestamps from NTP
+  clock steps are clamped to monotonic order ahead of coalescing.
+* **Per-day checkpointing** — with ``checkpoint=True`` each day file's
+  derived state (error hits, downtime-relevant lines, stats and
+  quarantine deltas, the monotonic watermark) is persisted under
+  ``<artifact_dir>/.pipeline_checkpoint/`` after the file is processed.
+  A crashed or interrupted run restarted with ``resume=True`` replays
+  finished days from the manifest (validated by content hash) and
+  produces results identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.inventory import Inventory
-from ..core.exceptions import ConfigurationError, LogFormatError
+from ..core.exceptions import (
+    ConfigurationError,
+    LogFormatError,
+    PipelineInterrupted,
+)
 from ..core.records import DowntimeRecord, ExtractedError
+from ..core.xid import EventClass
 from ..slurm.accounting import load_records
 from ..slurm.types import JobRecord
-from ..syslog.reader import iter_raw_lines, parse_line
+from ..syslog.quarantine import (
+    FILE_DUPLICATE_DAY,
+    REASON_CLOCK_STEP,
+    REASON_ENCODING,
+    Quarantine,
+)
+from ..syslog.reader import (
+    RawLine,
+    day_stem,
+    dedupe_day_files,
+    iter_file_lines,
+    list_day_files,
+    parse_line,
+)
 from .coalesce import DEFAULT_WINDOW_SECONDS, WindowMode, coalesce
 from .downtime import DowntimeExtractor
-from .extract import ExtractionStats, XidExtractor
+from .extract import ErrorHit, ExtractionStats, XidExtractor
+from .health import PipelineHealthReport
+
+#: Directory (under the artifact dir) holding checkpoint state.
+CHECKPOINT_DIRNAME = ".pipeline_checkpoint"
+
+#: Manifest schema version; bump on incompatible payload changes.
+CHECKPOINT_VERSION = 1
+
+#: Cheap prefilter for lines the downtime extractor can react to
+#: (both of its patterns contain this literal).
+_DOWNTIME_MARKER = "healthcheck: node "
 
 
 @dataclass
@@ -35,6 +82,8 @@ class PipelineResult:
         extraction_stats: raw-line counters from the extraction pass.
         coalesce_window_seconds: the Δt used.
         raw_hits: matched raw lines before coalescing.
+        health: data-quality accounting for the pass (quarantined and
+            repaired lines, file incidents, day coverage, resume info).
     """
 
     errors: List[ExtractedError]
@@ -43,6 +92,7 @@ class PipelineResult:
     extraction_stats: ExtractionStats
     coalesce_window_seconds: float
     raw_hits: int
+    health: Optional[PipelineHealthReport] = None
 
     @property
     def coalescing_reduction(self) -> float:
@@ -52,11 +102,111 @@ class PipelineResult:
         return self.raw_hits / len(self.errors)
 
 
+def _fingerprint(path: Path) -> str:
+    """Content hash of one file (checkpoint validity check)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _encode_hits(hits: List[ErrorHit]) -> List[list]:
+    return [
+        [h.time, h.node, h.gpu_index, h.pci_address, h.event_class.value, h.xid]
+        for h in hits
+    ]
+
+
+def _decode_hits(rows: List[list]) -> List[ErrorHit]:
+    return [
+        ErrorHit(
+            time=row[0],
+            node=row[1],
+            gpu_index=row[2],
+            pci_address=row[3],
+            event_class=EventClass(row[4]),
+            xid=row[5],
+        )
+        for row in rows
+    ]
+
+
+def _stats_delta(after: ExtractionStats, before: Dict[str, int]) -> Dict[str, int]:
+    return {
+        name: value - before[name]
+        for name, value in asdict(after).items()
+        if value != before[name]
+    }
+
+
+class _Checkpoint:
+    """Per-day checkpoint store under one artifact directory."""
+
+    def __init__(self, artifact_dir: Path, inventory_key: str) -> None:
+        self.root = artifact_dir / CHECKPOINT_DIRNAME
+        self.days = self.root / "days"
+        self._manifest_path = self.root / "manifest.json"
+        self._inventory_key = inventory_key
+        self.files: Dict[str, Dict[str, str]] = {}
+
+    def load(self) -> None:
+        """Read an existing manifest; silently start fresh on damage."""
+        try:
+            manifest = json.loads(self._manifest_path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            manifest.get("version") != CHECKPOINT_VERSION
+            or manifest.get("inventory") != self._inventory_key
+        ):
+            return
+        files = manifest.get("files")
+        if isinstance(files, dict):
+            self.files = files
+
+    def payload_for(self, path: Path, fingerprint: str) -> Optional[dict]:
+        """The stored payload for a file, if still valid."""
+        entry = self.files.get(path.name)
+        if not entry or entry.get("fingerprint") != fingerprint:
+            return None
+        try:
+            payload = json.loads(
+                (self.days / entry["payload"]).read_text("utf-8")
+            )
+        except (OSError, ValueError, KeyError):
+            return None
+        return payload
+
+    def store(self, path: Path, fingerprint: str, payload: dict) -> None:
+        """Persist one day's payload and atomically update the manifest."""
+        self.days.mkdir(parents=True, exist_ok=True)
+        payload_name = f"{day_stem(path)}.json"
+        (self.days / payload_name).write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        self.files[path.name] = {
+            "fingerprint": fingerprint,
+            "payload": payload_name,
+        }
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "inventory": self._inventory_key,
+            "files": self.files,
+        }
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest), encoding="utf-8")
+        os.replace(tmp, self._manifest_path)
+
+
 def run_pipeline(
     artifact_dir: Path,
     window_seconds: float = DEFAULT_WINDOW_SECONDS,
     mode: WindowMode = WindowMode.TUMBLING,
     load_jobs: bool = True,
+    checkpoint: bool = False,
+    resume: bool = False,
+    interrupt_after_files: Optional[int] = None,
 ) -> PipelineResult:
     """Run the full Stage-II pipeline over a run's artifact directory.
 
@@ -67,36 +217,139 @@ def run_pipeline(
         window_seconds: coalescing Δt.
         mode: coalescing window semantics.
         load_jobs: also load the accounting records.
+        checkpoint: persist per-day state so an interrupted run can be
+            resumed.
+        resume: replay any valid checkpoint before processing the
+            remaining day files (implies ``checkpoint``).
+        interrupt_after_files: raise
+            :class:`~repro.core.exceptions.PipelineInterrupted` after
+            this many day files if work remains (crash-recovery drills
+            and tests).
 
     Returns:
-        the :class:`PipelineResult`.
+        the :class:`PipelineResult`, with a populated ``health`` report.
     """
+    artifact_dir = Path(artifact_dir)
     syslog_dir = artifact_dir / "syslog"
     if not syslog_dir.is_dir():
         raise ConfigurationError(f"{artifact_dir}: no syslog/ directory")
+    checkpoint = checkpoint or resume
+
     inventory = None
+    inventory_key = "absent"
     inventory_path = artifact_dir / "inventory.json"
     if inventory_path.exists():
         inventory = Inventory.load(inventory_path)
+        if checkpoint:
+            inventory_key = _fingerprint(inventory_path)
+
+    store: Optional[_Checkpoint] = None
+    if checkpoint:
+        store = _Checkpoint(artifact_dir, inventory_key)
+        if resume:
+            store.load()
+
+    quarantine = Quarantine()
+    unique_files, duplicate_files = dedupe_day_files(
+        list_day_files(syslog_dir)
+    )
+    for dup in duplicate_files:
+        quarantine.file_incident(FILE_DUPLICATE_DAY, dup.name)
 
     extractor = XidExtractor(inventory)
     downtime_extractor = DowntimeExtractor()
-    hits = []
+    hits: List[ErrorHit] = []
+    last_time = float("-inf")
+    lines_read = 0
+    parsed_lines = 0
+    resumed_files = 0
 
-    # Single pass over the logs feeds both extractors; malformed lines
-    # are tolerated per raw line.
-    for raw in iter_raw_lines(syslog_dir):
-        if not raw.strip():
-            continue
-        try:
-            line = parse_line(raw)
-        except LogFormatError:
-            extractor.stats.malformed_lines += 1
-            continue
-        downtime_extractor.feed(line)
-        hit = extractor.extract_line(line)
-        if hit is not None:
-            hits.append(hit)
+    for index, path in enumerate(unique_files):
+        fingerprint = _fingerprint(path) if checkpoint else ""
+        payload = (
+            store.payload_for(path, fingerprint) if store is not None else None
+        )
+        if payload is not None:
+            hits.extend(_decode_hits(payload["hits"]))
+            for time, host, message in payload["downtime_lines"]:
+                downtime_extractor.feed(
+                    RawLine(time=time, host=host, message=message)
+                )
+            for name, delta in payload["stats"].items():
+                setattr(
+                    extractor.stats, name, getattr(extractor.stats, name) + delta
+                )
+            quarantine.restore(payload["quarantine"])
+            lines_read += payload["lines_read"]
+            parsed_lines += payload["parsed_lines"]
+            if payload["last_time"] is not None:
+                last_time = max(last_time, payload["last_time"])
+            resumed_files += 1
+        else:
+            stats_before = asdict(extractor.stats)
+            quarantine_before = quarantine.snapshot()
+            day_hits: List[ErrorHit] = []
+            day_downtime: List[Tuple[float, str, str]] = []
+            day_lines = 0
+            day_parsed = 0
+            for raw in iter_file_lines(path, quarantine):
+                day_lines += 1
+                if not raw.strip():
+                    continue
+                try:
+                    line = parse_line(raw)
+                except LogFormatError as exc:
+                    quarantine.reject(exc.reason, raw)
+                    extractor.stats.malformed_lines += 1
+                    continue
+                if "�" in line.message:
+                    quarantine.repair(REASON_ENCODING, line.message)
+                if line.time < last_time:
+                    quarantine.repair(
+                        REASON_CLOCK_STEP,
+                        f"{line.host}: {line.time:.6f} clamped to "
+                        f"{last_time:.6f}",
+                    )
+                    line = line._replace(time=last_time)
+                else:
+                    last_time = line.time
+                day_parsed += 1
+                if _DOWNTIME_MARKER in line.message:
+                    day_downtime.append((line.time, line.host, line.message))
+                    downtime_extractor.feed(line)
+                hit = extractor.extract_line(line)
+                if hit is not None:
+                    day_hits.append(hit)
+            hits.extend(day_hits)
+            lines_read += day_lines
+            parsed_lines += day_parsed
+            if store is not None:
+                store.store(
+                    path,
+                    fingerprint,
+                    {
+                        "hits": _encode_hits(day_hits),
+                        "downtime_lines": [list(d) for d in day_downtime],
+                        "stats": _stats_delta(extractor.stats, stats_before),
+                        "quarantine": Quarantine.delta(
+                            quarantine.snapshot(), quarantine_before
+                        ),
+                        "lines_read": day_lines,
+                        "parsed_lines": day_parsed,
+                        "last_time": (
+                            last_time if last_time != float("-inf") else None
+                        ),
+                    },
+                )
+        if (
+            interrupt_after_files is not None
+            and index + 1 >= interrupt_after_files
+            and index + 1 < len(unique_files)
+        ):
+            raise PipelineInterrupted(
+                f"interrupted after {index + 1}/{len(unique_files)} day files"
+            )
+
     errors = coalesce(hits, window_seconds, mode)
     downtime = downtime_extractor.finish()
 
@@ -105,6 +358,13 @@ def run_pipeline(
     if load_jobs and sacct_path.exists():
         jobs = load_records(sacct_path)
 
+    health = PipelineHealthReport.build(
+        quarantine,
+        lines_read=lines_read,
+        parsed_lines=parsed_lines,
+        day_stems=[day_stem(p) for p in unique_files],
+        resumed_files=resumed_files,
+    )
     return PipelineResult(
         errors=errors,
         downtime=downtime,
@@ -112,4 +372,5 @@ def run_pipeline(
         extraction_stats=extractor.stats,
         coalesce_window_seconds=window_seconds,
         raw_hits=len(hits),
+        health=health,
     )

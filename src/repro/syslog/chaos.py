@@ -1,0 +1,355 @@
+"""Seeded log-corruption injector (chaos layer).
+
+The simulator writes pristine day-partitioned syslog; production
+consolidated logs are anything but.  This module mangles an emitted
+syslog directory with the failure modes three years of real operation
+produce, so the hardened Stage-II pipeline can be exercised — and
+regression-tested — against dirty telemetry:
+
+* **truncated lines** — a mid-write crash cuts a line at an arbitrary
+  byte offset;
+* **torn writes** — a partially written line is immediately followed
+  by the next line with no newline between them, interleaving two
+  records into one;
+* **byte garbage** — non-UTF-8 bytes (serial-console noise) spliced
+  into a line;
+* **clock steps** — an NTP step rewrites a run of consecutive lines'
+  timestamps backwards, producing out-of-order time;
+* **truncated gzip** — a day archive loses its tail (and end-of-stream
+  marker) to a crash during rotation;
+* **missing days** — a rotation gap deletes an interior day file;
+* **duplicate day replays** — a day is present both plain and gzipped
+  (the §IV(vi) episode's consolidation replayed whole files).
+
+Everything is driven by one :class:`numpy.random.Generator` seeded
+from :class:`ChaosConfig.seed`, so the same seed over the same input
+directory produces byte-identical corruption — corrupted runs are as
+reproducible as clean ones.
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass, replace
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from .reader import list_day_files
+
+#: Byte length of the syslog timestamp prefix (``%Y-%m-%dT%H:%M:%S.%f``).
+_TS_LEN = 26
+
+#: Bytes 0xF8–0xFF never occur in valid UTF-8, so spliced garbage is
+#: guaranteed to decode to replacement characters.
+_GARBAGE_LOW, _GARBAGE_HIGH = 0xF8, 0x100
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Corruption intensities for one chaos pass.
+
+    Line-level rates are per raw line; file-level counts are absolute
+    numbers of day files to affect.  The defaults are the *calibrated*
+    rates: dirty enough that every hardened code path fires on a
+    full-scale run, gentle enough that Table I statistics survive
+    within ±5% (asserted by ``benchmarks/test_bench_robustness.py``).
+
+    Attributes:
+        seed: RNG seed; same seed + same input → identical corruption.
+        line_truncation_rate: probability a line is cut mid-write.
+        torn_write_rate: probability a line tears into its successor.
+        garbage_byte_rate: probability a line gets non-UTF-8 bytes.
+        clock_step_files: day files receiving one clock-step episode.
+        clock_step_seconds: how far the clock steps backwards.
+        clock_step_span_lines: lines stamped inside each episode.
+        gzip_truncate_files: day archives truncated mid-byte.
+        gzip_truncate_fraction: fraction of archive bytes kept.
+        drop_day_files: interior day files deleted (rotation gaps).
+        duplicate_day_files: day files replayed in the other form.
+    """
+
+    seed: int = 0
+    line_truncation_rate: float = 5e-4
+    torn_write_rate: float = 2e-4
+    garbage_byte_rate: float = 5e-4
+    clock_step_files: int = 2
+    clock_step_seconds: float = 900.0
+    clock_step_span_lines: int = 40
+    gzip_truncate_files: int = 1
+    gzip_truncate_fraction: float = 0.4
+    drop_day_files: int = 1
+    duplicate_day_files: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("line_truncation_rate", "torn_write_rate", "garbage_byte_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if not 0.0 < self.gzip_truncate_fraction < 1.0:
+            raise ValueError("gzip_truncate_fraction must be in (0, 1)")
+
+    @classmethod
+    def calibrated(cls, seed: int = 0) -> "ChaosConfig":
+        """The default production-realistic corruption mix."""
+        return cls(seed=seed)
+
+    def scaled(self, factor: float) -> "ChaosConfig":
+        """Scale the per-line rates (small runs need denser corruption)."""
+        return replace(
+            self,
+            line_truncation_rate=min(1.0, self.line_truncation_rate * factor),
+            torn_write_rate=min(1.0, self.torn_write_rate * factor),
+            garbage_byte_rate=min(1.0, self.garbage_byte_rate * factor),
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Exactly what one chaos pass injected, by corruption type.
+
+    The robustness benchmark reconciles these counts against the
+    pipeline's :class:`~repro.pipeline.health.PipelineHealthReport`:
+    every nonzero injection type must leave a visible quarantine,
+    repair, or file-incident signal.
+    """
+
+    truncated_lines: int = 0
+    torn_writes: int = 0
+    garbage_lines: int = 0
+    clock_step_episodes: int = 0
+    clock_stepped_lines: int = 0
+    gzip_truncated_files: int = 0
+    dropped_day_files: int = 0
+    duplicated_day_files: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        """All injected incidents (lines + files)."""
+        return (
+            self.truncated_lines
+            + self.torn_writes
+            + self.garbage_lines
+            + self.clock_stepped_lines
+            + self.gzip_truncated_files
+            + self.dropped_day_files
+            + self.duplicated_day_files
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form (CLI/JSON output)."""
+        return {
+            "truncated_lines": self.truncated_lines,
+            "torn_writes": self.torn_writes,
+            "garbage_lines": self.garbage_lines,
+            "clock_step_episodes": self.clock_step_episodes,
+            "clock_stepped_lines": self.clock_stepped_lines,
+            "gzip_truncated_files": self.gzip_truncated_files,
+            "dropped_day_files": self.dropped_day_files,
+            "duplicated_day_files": self.duplicated_day_files,
+        }
+
+    def summary(self) -> str:
+        """Human-readable injection summary."""
+        lines = ["chaos injection report:"]
+        for key, value in self.as_dict().items():
+            lines.append(f"  {key.replace('_', ' '):<24} {value}")
+        lines.append(f"  {'total injected':<24} {self.total_injected}")
+        return "\n".join(lines)
+
+
+class ChaosInjector:
+    """Applies one seeded corruption pass to a syslog directory."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self._config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def corrupt(self, log_dir: Path) -> ChaosReport:
+        """Corrupt every day file under ``log_dir`` in place."""
+        config = self._config
+        report = ChaosReport()
+        files = list_day_files(log_dir)
+        if not files:
+            return report
+
+        step_files = self._pick(files, config.clock_step_files)
+        for path in files:
+            self._corrupt_file(path, path in step_files, report)
+
+        survivors = [p for p in files if p.exists()]
+        dup_targets = self._pick(survivors, config.duplicate_day_files)
+        for path in dup_targets:
+            if self._duplicate_day(path):
+                report.duplicated_day_files += 1
+
+        remaining = [p for p in survivors if p not in dup_targets]
+        gz_targets = self._pick(remaining, config.gzip_truncate_files)
+        for path in gz_targets:
+            if self._truncate_gzip(path):
+                report.gzip_truncated_files += 1
+
+        # Drop only interior days so the gap is visible as a hole in
+        # the date range rather than a silently shorter study.
+        droppable = [
+            p
+            for p in remaining[1:-1]
+            if p not in gz_targets and p.exists()
+        ]
+        for path in self._pick(droppable, config.drop_day_files):
+            path.unlink()
+            report.dropped_day_files += 1
+        return report
+
+    def _pick(self, files: List[Path], count: int) -> List[Path]:
+        """Deterministically choose ``count`` distinct files."""
+        if count <= 0 or not files:
+            return []
+        count = min(count, len(files))
+        indices = self._rng.choice(len(files), size=count, replace=False)
+        return [files[i] for i in sorted(int(i) for i in indices)]
+
+    # -- per-file line-level corruption ---------------------------------
+
+    @staticmethod
+    def _read_day(path: Path):
+        """Day-file bytes, or ``None`` when the file is already broken
+        (e.g. a previous chaos pass truncated its gzip stream)."""
+        try:
+            data = path.read_bytes()
+            if path.name.endswith(".gz"):
+                data = gzip.decompress(data)
+        except (OSError, EOFError, gzip.BadGzipFile):
+            return None
+        return data
+
+    def _corrupt_file(
+        self, path: Path, clock_step: bool, report: ChaosReport
+    ) -> None:
+        compressed = path.name.endswith(".gz")
+        raw = self._read_day(path)
+        if raw is None:
+            return
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        if not lines:
+            return
+        config = self._config
+        rng = self._rng
+        n = len(lines)
+        torn = rng.random(n) < config.torn_write_rate
+        truncated = rng.random(n) < config.line_truncation_rate
+        garbage = rng.random(n) < config.garbage_byte_rate
+
+        out: List[bytes] = []
+        i = 0
+        while i < n:
+            idx = i
+            line = lines[i]
+            if torn[idx] and i + 1 < n and line:
+                # Torn write: this line's tail was never flushed and the
+                # next record follows with no newline between them.
+                cut = int(rng.integers(1, len(line) + 1))
+                line = line[:cut] + lines[i + 1]
+                report.torn_writes += 1
+                i += 2
+            else:
+                i += 1
+            if truncated[idx] and len(line) > 1:
+                line = line[: int(rng.integers(1, len(line)))]
+                report.truncated_lines += 1
+            if garbage[idx] and line:
+                pos = int(rng.integers(0, len(line) + 1))
+                junk = bytes(
+                    int(b)
+                    for b in rng.integers(
+                        _GARBAGE_LOW, _GARBAGE_HIGH, size=int(rng.integers(1, 5))
+                    )
+                )
+                line = line[:pos] + junk + line[pos:]
+                report.garbage_lines += 1
+            out.append(line)
+
+        if clock_step and len(out) > 1:
+            stepped = self._apply_clock_step(out)
+            if stepped:
+                report.clock_step_episodes += 1
+                report.clock_stepped_lines += stepped
+
+        data = b"\n".join(out) + b"\n"
+        if compressed:
+            # mtime=0 keeps the gzip container itself deterministic.
+            path.write_bytes(gzip.compress(data, mtime=0))
+        else:
+            path.write_bytes(data)
+
+    def _apply_clock_step(self, lines: List[bytes]) -> int:
+        """Stamp a run of lines ``clock_step_seconds`` in the past."""
+        config = self._config
+        span = min(config.clock_step_span_lines, len(lines) - 1)
+        if span < 1:
+            return 0
+        # Start at >= 1 so a preceding in-file line anchors the
+        # pre-step clock, making the step observable downstream.
+        start = int(self._rng.integers(1, max(2, len(lines) - span + 1)))
+        step = timedelta(seconds=config.clock_step_seconds)
+        stepped = 0
+        for j in range(start, min(start + span, len(lines))):
+            prefix = lines[j][:_TS_LEN]
+            try:
+                moment = datetime.strptime(
+                    prefix.decode("ascii"), "%Y-%m-%dT%H:%M:%S.%f"
+                )
+            except (UnicodeDecodeError, ValueError):
+                continue  # already mangled by a line-level corruption
+            restamped = (moment - step).strftime("%Y-%m-%dT%H:%M:%S.%f")
+            lines[j] = restamped.encode("ascii") + lines[j][_TS_LEN:]
+            stepped += 1
+        return stepped
+
+    # -- file-level corruption ------------------------------------------
+
+    @classmethod
+    def _duplicate_day(cls, path: Path) -> bool:
+        """Replay a day in the opposite compression form."""
+        data = cls._read_day(path)
+        if data is None:
+            return False
+        if path.name.endswith(".gz"):
+            twin = path.with_name(path.name[: -len(".gz")])
+            twin.write_bytes(data)
+        else:
+            twin = path.with_name(path.name + ".gz")
+            twin.write_bytes(gzip.compress(data, mtime=0))
+        return True
+
+    def _truncate_gzip(self, path: Path) -> bool:
+        """Leave a day archive without its tail or end-of-stream marker."""
+        if not path.name.endswith(".gz"):
+            data = self._read_day(path)
+            if data is None:
+                return False
+            gz = path.with_name(path.name + ".gz")
+            gz.write_bytes(gzip.compress(data, mtime=0))
+            path.unlink()
+            path = gz
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return False
+        keep = max(32, int(len(data) * self._config.gzip_truncate_fraction))
+        path.write_bytes(data[:keep])
+        return True
+
+
+def corrupt_artifacts(
+    artifact_dir: Path, config: ChaosConfig
+) -> ChaosReport:
+    """Corrupt the ``syslog/`` directory of one artifact tree."""
+    log_dir = Path(artifact_dir) / "syslog"
+    if not log_dir.is_dir():
+        log_dir = Path(artifact_dir)
+    return ChaosInjector(config).corrupt(log_dir)
