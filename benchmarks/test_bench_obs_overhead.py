@@ -1,0 +1,150 @@
+"""E11 — telemetry overhead and the first throughput baseline.
+
+The observability layer promises a near-free disabled path: pipeline
+instrumentation is flushed at stage boundaries (the per-line hot loop
+is identical with telemetry on or off) and the engine guards its
+timing with a single ``metrics is None`` check.  This benchmark holds
+that promise to <3% and records the repo's first ``BENCH_obs.json``
+throughput baseline (pipeline lines/sec, sim events/sec) so later
+hot-path optimisation PRs have a trajectory to beat.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import DeltaStudy, StudyConfig
+from repro.obs import Telemetry
+from repro.pipeline import run_pipeline
+
+from conftest import write_result
+
+#: Repo-root throughput trajectory file (ROADMAP: BENCH_* series).
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_obs.json"
+
+#: Acceptance bound on the disabled-telemetry pipeline overhead.
+MAX_DISABLED_OVERHEAD = 0.03
+
+_ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def obs_bench_artifacts(tmp_path_factory):
+    """A mid-size artifact set: big enough that per-line work dominates,
+    small enough to time several full pipeline passes."""
+    out = tmp_path_factory.mktemp("obs_bench")
+    config = StudyConfig.small(seed=7, job_scale=0.01, include_episode=True)
+    DeltaStudy(config).run(out)
+    return out
+
+
+def _interleaved_best(modes, rounds=_ROUNDS):
+    """Best wall time per mode over round-robin interleaved passes.
+
+    Interleaving spreads slow drift (cache state, host load, GC debt)
+    evenly across the modes instead of charging it to whichever mode
+    happened to run last; the per-mode minimum then discards the noise.
+    """
+    best = {name: float("inf") for name in modes}
+    result = None
+    for _ in range(rounds):
+        for name, fn in modes.items():
+            gc.collect()
+            t0 = time.perf_counter()
+            result = fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_disabled_telemetry_overhead(obs_bench_artifacts, results_dir):
+    # "off" is the default telemetry=None path every pre-existing
+    # caller takes.
+    best, result = _interleaved_best(
+        {
+            "off": lambda: run_pipeline(obs_bench_artifacts),
+            "disabled": lambda: run_pipeline(
+                obs_bench_artifacts, telemetry=Telemetry.disabled()
+            ),
+            "on": lambda: run_pipeline(
+                obs_bench_artifacts, telemetry=Telemetry.create(seed=7)
+            ),
+        }
+    )
+    t_off, t_disabled, t_on = best["off"], best["disabled"], best["on"]
+
+    disabled_overhead = t_disabled / t_off - 1.0
+    enabled_overhead = t_on / t_off - 1.0
+    lines = result.health.lines_read
+
+    text = "\n".join(
+        [
+            "E11 — telemetry overhead on the Stage-II pipeline",
+            f"lines per pass: {lines}",
+            f"baseline (no telemetry): {t_off:.3f} s "
+            f"({lines / t_off:,.0f} lines/s)",
+            f"disabled bundle: {t_disabled:.3f} s "
+            f"({disabled_overhead:+.1%})",
+            f"enabled bundle:  {t_on:.3f} s ({enabled_overhead:+.1%})",
+        ]
+    )
+    write_result(results_dir, "obs_overhead.txt", text)
+    print()
+    print(text)
+
+    assert lines > 200_000
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD
+    # Stage-boundary flushing keeps even the enabled path cheap (loose
+    # bound: shared-host timing noise runs several percent either way).
+    assert enabled_overhead < 0.15
+
+
+def test_bench_write_throughput_baseline(obs_bench_artifacts, results_dir):
+    # Pipeline throughput.
+    telemetry = Telemetry.create(seed=7)
+    t0 = time.perf_counter()
+    result = run_pipeline(obs_bench_artifacts, telemetry=telemetry)
+    pipeline_seconds = time.perf_counter() - t0
+    lines = result.health.lines_read
+    bytes_read = telemetry.metrics.value("pipeline_bytes_read_total")
+
+    # Simulation throughput (events through the DES kernel).
+    sim_tel = Telemetry.create(seed=7)
+    config = StudyConfig.small(seed=7, job_scale=0.01)
+    t0 = time.perf_counter()
+    DeltaStudy(config).run(telemetry=sim_tel)
+    walls = sim_tel.tracer.wall_seconds_by_name()
+    engine_seconds = walls["engine-run"]
+    sim_events = sum(
+        s.value
+        for s in sim_tel.metrics.samples()
+        if s.name == "sim_events_executed_total"
+    )
+
+    baseline = {
+        "schema": "repro-bench-v1",
+        "benchmark": "obs",
+        "workload": {
+            "preset": "small",
+            "seed": 7,
+            "job_scale": 0.01,
+            "pipeline_lines": int(lines),
+            "sim_events": int(sim_events),
+        },
+        "pipeline_lines_per_second": round(lines / pipeline_seconds, 1),
+        "pipeline_bytes_per_second": round(bytes_read / pipeline_seconds, 1),
+        "sim_events_per_second": round(sim_events / engine_seconds, 1),
+    }
+    BENCH_PATH.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print()
+    print(f"wrote {BENCH_PATH.name}: "
+          f"{baseline['pipeline_lines_per_second']:,.0f} lines/s, "
+          f"{baseline['sim_events_per_second']:,.0f} events/s")
+
+    assert baseline["pipeline_lines_per_second"] > 0
+    assert baseline["sim_events_per_second"] > 0

@@ -14,12 +14,22 @@ The subcommands cover the full workflow:
   print the paper's tables/figures (optionally with paper comparisons).
 * ``experiments`` — regenerate the EXPERIMENTS.md record from fresh
   runs.
+* ``obs`` — inspect telemetry artifacts: render a metrics snapshot as
+  a table, or convert a span trace to Chrome ``trace_event`` JSON.
+
+Telemetry flags (``simulate``, ``pipeline``, ``report``): any of
+``--metrics-out``, ``--trace-out``, ``--log-json``, or ``--obs``
+enables the telemetry layer and prints a one-screen run report at the
+end of the command.
 
 Examples::
 
     python -m repro simulate out/ --preset small --seed 7 --corrupt
+    python -m repro simulate out/ --metrics-out m.prom --trace-out t.jsonl
     python -m repro chaos out/ --chaos-seed 3
-    python -m repro pipeline out/ --resume
+    python -m repro pipeline out/ --resume --obs
+    python -m repro obs m.prom
+    python -m repro obs t.jsonl --chrome trace.json
     python -m repro report out/ --compare
     python -m repro experiments EXPERIMENTS.md --job-scale 0.05
 """
@@ -28,10 +38,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from . import DeltaStudy, StudyConfig
+from .obs import Telemetry, chrome_trace_from_jsonl, render_run_report
 from .analysis import (
     AvailabilityAnalysis,
     JobImpactAnalysis,
@@ -63,9 +75,74 @@ def _build_config(preset: str, seed: int, job_scale: Optional[float]) -> StudyCo
     raise SystemExit(f"unknown preset {preset!r} (choose from {_PRESETS})")
 
 
+def _ensure_parent(path_str: str) -> Path:
+    """Create the parent directory of a telemetry output path."""
+    path = Path(path_str)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _telemetry_from_args(
+    args: argparse.Namespace,
+    seed: int = 0,
+    wall_clock: bool = False,
+) -> Optional[Telemetry]:
+    """Build a telemetry bundle when any obs flag was given.
+
+    ``wall_clock`` installs ``time.perf_counter`` as the trace clock
+    (pipeline/report commands, whose work is host-bound); ``simulate``
+    leaves the default so the runner can install the simulation clock
+    and keep its artifacts deterministic.
+    """
+    wanted = bool(
+        getattr(args, "obs", False)
+        or args.metrics_out
+        or args.trace_out
+        or args.log_json
+    )
+    if not wanted:
+        return None
+    log_stream = None
+    if args.log_json:
+        log_stream = open(
+            _ensure_parent(args.log_json), "w", encoding="utf-8"
+        )
+    clock = None
+    if wall_clock:
+        origin = time.perf_counter()
+        clock = lambda: time.perf_counter() - origin  # noqa: E731
+    return Telemetry.create(seed=seed, log_stream=log_stream, clock=clock)
+
+
+def _finish_telemetry(
+    telemetry: Optional[Telemetry], args: argparse.Namespace
+) -> None:
+    """Write the requested artifacts and print the run report."""
+    if telemetry is None:
+        return
+    if args.metrics_out:
+        path = _ensure_parent(args.metrics_out)
+        if path.suffix == ".json":
+            path.write_text(telemetry.metrics.to_json(), encoding="utf-8")
+        else:
+            path.write_text(
+                telemetry.metrics.render_prometheus(), encoding="utf-8"
+            )
+        print(f"metrics snapshot written to {path}")
+    if args.trace_out:
+        telemetry.tracer.write_jsonl(_ensure_parent(args.trace_out))
+        print(f"trace written to {args.trace_out}")
+    telemetry.close()
+    print()
+    print(render_run_report(telemetry))
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args.preset, args.seed, args.job_scale)
-    artifacts = DeltaStudy(config).run(Path(args.output_dir))
+    telemetry = _telemetry_from_args(args, seed=args.seed)
+    artifacts = DeltaStudy(config).run(
+        Path(args.output_dir), telemetry=telemetry
+    )
     print(artifacts.summary())
     print(f"artifacts written to {args.output_dir}")
     if args.corrupt:
@@ -75,6 +152,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             Path(args.output_dir), ChaosConfig.calibrated(seed=args.chaos_seed)
         )
         print(report.summary())
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -98,11 +176,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
+    telemetry = _telemetry_from_args(args, wall_clock=True)
     result = run_pipeline(
         Path(args.artifact_dir),
         window_seconds=args.coalesce_window,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        telemetry=telemetry,
     )
     stats = result.extraction_stats
     print(f"raw lines scanned:        {stats.total_lines}")
@@ -118,6 +198,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     print(f"job records:              {len(result.jobs)}")
     if result.health is not None:
         print(result.health.render())
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -125,7 +206,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .core.periods import StudyWindow
 
     artifact_dir = Path(args.artifact_dir)
-    result = run_pipeline(artifact_dir, window_seconds=args.coalesce_window)
+    telemetry = _telemetry_from_args(args, wall_clock=True)
+    result = run_pipeline(
+        artifact_dir,
+        window_seconds=args.coalesce_window,
+        telemetry=telemetry,
+    )
     window = (
         StudyWindow.delta_default() if args.delta_window else _infer_window(result)
     )
@@ -150,6 +236,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         ):
             print()
             print(report.render())
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -215,6 +302,30 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.report import load_metric_rows, render_metrics_table
+
+    path = Path(args.path)
+    if not path.is_file():
+        print(f"error: no such telemetry artifact: {path}", file=sys.stderr)
+        return 2
+    if args.chrome:
+        document = chrome_trace_from_jsonl(path.read_text(encoding="utf-8"))
+        _ensure_parent(args.chrome).write_text(
+            json.dumps(document, sort_keys=True), encoding="utf-8"
+        )
+        print(
+            f"wrote {args.chrome} "
+            f"({len(document['traceEvents'])} trace events; open in "
+            f"chrome://tracing or https://ui.perfetto.dev)"
+        )
+        return 0
+    print(render_metrics_table(load_metric_rows(path)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -223,7 +334,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    simulate = sub.add_parser("simulate", help="run a study, write artifacts")
+    # Telemetry flags shared by the commands that do real work.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_group = obs_flags.add_argument_group("telemetry")
+    obs_group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a metrics snapshot (Prometheus text, or JSON for .json)",
+    )
+    obs_group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the span trace as JSONL (convert with 'repro obs')",
+    )
+    obs_group.add_argument(
+        "--log-json", metavar="PATH", default=None,
+        help="write structured JSON log records",
+    )
+    obs_group.add_argument(
+        "--obs", action="store_true",
+        help="enable telemetry and the run report without writing files",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run a study, write artifacts", parents=[obs_flags]
+    )
     simulate.add_argument("output_dir")
     simulate.add_argument("--preset", choices=_PRESETS, default="small")
     simulate.add_argument("--seed", type=int, default=2022)
@@ -243,7 +376,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multiplier on the calibrated per-line rates")
     chaos.set_defaults(func=_cmd_chaos)
 
-    pipeline = sub.add_parser("pipeline", help="Stage-II over an artifact dir")
+    pipeline = sub.add_parser(
+        "pipeline", help="Stage-II over an artifact dir", parents=[obs_flags]
+    )
     pipeline.add_argument("artifact_dir")
     pipeline.add_argument("--coalesce-window", type=float, default=30.0)
     pipeline.add_argument("--checkpoint", action="store_true",
@@ -252,7 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume from an existing checkpoint manifest")
     pipeline.set_defaults(func=_cmd_pipeline)
 
-    report = sub.add_parser("report", help="Stage-III tables and figures")
+    report = sub.add_parser(
+        "report", help="Stage-III tables and figures", parents=[obs_flags]
+    )
     report.add_argument("artifact_dir")
     report.add_argument("--coalesce-window", type=float, default=30.0)
     report.add_argument("--nodes", type=int, default=106,
@@ -276,6 +413,18 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--seed", type=int, default=2022)
     experiments.add_argument("--job-scale", type=float, default=0.05)
     experiments.set_defaults(func=_cmd_experiments)
+
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry artifacts (metrics table, trace export)"
+    )
+    obs.add_argument(
+        "path", help="a --metrics-out snapshot (table) or --trace-out JSONL"
+    )
+    obs.add_argument(
+        "--chrome", metavar="OUT", default=None,
+        help="convert the span JSONL at PATH to Chrome trace_event JSON",
+    )
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

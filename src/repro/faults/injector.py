@@ -33,6 +33,7 @@ from ..core.records import GpuErrorEvent
 from ..core.xid import EventClass, primary_xid
 from ..gpu.memory import MemoryRecoveryModel
 from ..gpu.nvlink import NvlinkFaultModel
+from ..obs.metrics import NOOP
 from ..ops.manager import OpsManager
 from ..ops.repair import RecoveryKind
 from ..sim.engine import Engine
@@ -75,6 +76,9 @@ class FaultInjector:
         rngs: per-subsystem random streams.
         fault_scale: multiplier on all onset rates (tests shrink it
             together with the window).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            per-class/per-XID injection counters are maintained when
+            present.
     """
 
     def __init__(
@@ -88,6 +92,7 @@ class FaultInjector:
         window: StudyWindow,
         rngs: RngRegistry,
         fault_scale: float = 1.0,
+        metrics=None,
     ) -> None:
         if fault_scale <= 0:
             raise ValueError(f"fault_scale must be positive, got {fault_scale}")
@@ -118,6 +123,23 @@ class FaultInjector:
         #: Ground truth: every logical error that occurred, in order of
         #: creation (validation only — the pipeline never sees this).
         self.logical_events: List[GpuErrorEvent] = []
+        if metrics is None:
+            self._m_injected = self._m_log_lines = self._m_kills = NOOP
+        else:
+            self._m_injected = metrics.counter(
+                "faults_injected_total",
+                "logical GPU errors injected, by event class and XID",
+                labels=("event_class", "xid"),
+            )
+            self._m_log_lines = metrics.counter(
+                "faults_log_lines_total",
+                "NVRM log lines emitted (duplicate bursts included)",
+            )
+            self._m_kills = metrics.counter(
+                "faults_kills_scheduled_total",
+                "job kills scheduled, by causal event class",
+                labels=("cause",),
+            )
 
     # ------------------------------------------------------------------
     # Arming: pre-draw arrivals and schedule onsets
@@ -302,6 +324,11 @@ class FaultInjector:
             offsets = np.sort(rng.uniform(0.2, spread, size=extra))
             for offset in offsets:
                 self._log_bus.emit(now + float(offset), node.name, line)
+        self._m_injected.labels(
+            event_class=event_class.value,
+            xid=str(xid) if xid is not None else "none",
+        ).inc()
+        self._m_log_lines.inc(1 + (extra if spread > 0 else 0))
         self.logical_events.append(
             GpuErrorEvent(
                 time=now,
@@ -410,6 +437,7 @@ class FaultInjector:
     ) -> None:
         rng = self._rngs.stream("faults.impact")
         delay = float(rng.uniform(_KILL_DELAY_LO, _KILL_DELAY_HI))
+        self._m_kills.labels(cause=cause.value).inc()
         self._engine.schedule_after(
             delay,
             lambda: self._scheduler.kill_job(job_id, cause, node_failure),

@@ -1,0 +1,108 @@
+"""repro.obs — the zero-dependency telemetry layer.
+
+One :class:`Telemetry` object bundles the three instruments every
+layer shares:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters,
+  gauges, and histograms with Prometheus-text and JSON exporters;
+* :class:`~repro.obs.tracing.Tracer` — hierarchical spans with
+  deterministic ids and JSONL / Chrome ``trace_event`` export;
+* :class:`~repro.obs.logging.StructuredLogger` — JSONL log records
+  correlated to the run and the innermost open span.
+
+The determinism rule (DESIGN §9): sim-domain telemetry never reads the
+wall clock.  Span/log timestamps come from an injectable trace clock
+(the simulation clock during ``repro simulate``), metric values derive
+only from simulation state, and host-domain measurements (callback
+seconds, lines/sec) are segregated into ``domain="host"`` metrics that
+the default exporters omit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, IO, Optional
+
+from .logging import StructuredLogger
+from .metrics import DEFAULT_BUCKETS, NOOP, MetricsRegistry
+from .report import render_metrics_table, render_run_report
+from .tracing import Span, Tracer, chrome_trace_from_jsonl
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "StructuredLogger",
+    "NOOP",
+    "DEFAULT_BUCKETS",
+    "chrome_trace_from_jsonl",
+    "render_run_report",
+    "render_metrics_table",
+]
+
+
+class Telemetry:
+    """The bundle of instruments one run threads through every layer.
+
+    Args:
+        enabled: master switch; a disabled bundle hands out no-op
+            instruments everywhere.
+        seed: entropy for deterministic ids (use the sim root seed).
+        run_id: correlation id; derived from the seed when omitted so
+            artifacts stay reproducible.
+        log_stream: destination for structured log records (``None``
+            keeps logging off).
+        clock: initial trace clock; the study runner replaces it with
+            the simulation clock, the pipeline with a wall clock.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        seed: int = 0,
+        run_id: Optional[str] = None,
+        log_stream: Optional[IO[str]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.seed = int(seed)
+        self.run_id = run_id if run_id is not None else f"run-{seed:08x}"
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled, seed=seed, clock=clock)
+        self.logger = StructuredLogger(
+            stream=log_stream if enabled else None,
+            run_id=self.run_id,
+            clock=clock,
+            tracer=self.tracer,
+        )
+
+    @classmethod
+    def create(
+        cls,
+        seed: int = 0,
+        run_id: Optional[str] = None,
+        log_stream: Optional[IO[str]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> "Telemetry":
+        """An enabled bundle (the CLI's factory)."""
+        return cls(
+            enabled=True,
+            seed=seed,
+            run_id=run_id,
+            log_stream=log_stream,
+            clock=clock,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A fresh all-no-op bundle (the default for library callers)."""
+        return cls(enabled=False)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install one trace clock on both the tracer and the logger."""
+        self.tracer.set_clock(clock)
+        self.logger.set_clock(clock)
+
+    def close(self) -> None:
+        """Release held resources (the log stream)."""
+        self.logger.close()

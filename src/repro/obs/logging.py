@@ -1,0 +1,77 @@
+"""Structured JSON log records with run/span correlation ids.
+
+A deliberately small logger: each call to :meth:`StructuredLogger.event`
+emits one JSON object per line containing the event name, the run id,
+the innermost open span id (when a tracer is attached), the trace-clock
+timestamp, and any caller-supplied fields.  In the sim domain the
+timestamp is simulation time, keeping ``--log-json`` artifacts
+deterministic for a fixed seed — the same rule the tracer follows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, IO, Optional
+
+__all__ = ["StructuredLogger"]
+
+
+class StructuredLogger:
+    """Writes structured JSONL log records to a stream.
+
+    Args:
+        stream: destination text stream (``None`` disables output while
+            keeping the call sites branch-free).
+        run_id: correlation id stamped on every record.
+        clock: trace-clock callable for the ``t`` field.
+        tracer: optional :class:`~repro.obs.tracing.Tracer` supplying
+            the current span id for correlation.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        run_id: str = "",
+        clock: Optional[Callable[[], float]] = None,
+        tracer=None,
+    ) -> None:
+        self._stream = stream
+        self._run_id = run_id
+        self._clock = clock or (lambda: 0.0)
+        self._tracer = tracer
+        self.records_written = 0
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install the trace clock (shared with the tracer)."""
+        self._clock = clock
+
+    @property
+    def enabled(self) -> bool:
+        """True when records are being written somewhere."""
+        return self._stream is not None
+
+    def event(self, name: str, level: str = "info", **fields) -> None:
+        """Emit one structured record; a no-op without a stream."""
+        if self._stream is None:
+            return
+        record = {
+            "t": self._clock(),
+            "run_id": self._run_id,
+            "span_id": (
+                self._tracer.current_span_id
+                if self._tracer is not None
+                else None
+            ),
+            "level": level,
+            "event": name,
+        }
+        record.update(fields)
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close the destination stream."""
+        if self._stream is not None:
+            self._stream.flush()
+            self._stream.close()
+            self._stream = None

@@ -1,0 +1,432 @@
+"""Zero-dependency labeled metrics registry.
+
+The measurement substrate for the whole reproduction: counters, gauges,
+and histograms with Prometheus-style label semantics, an explicit
+no-op fast path for disabled telemetry, and deterministic exporters
+(Prometheus text exposition format and JSON).
+
+Two design rules keep the registry honest:
+
+* **Domains** — every metric declares a domain: ``"sim"`` metrics are
+  derived purely from simulation state (event counts, injected faults,
+  quarantine reasons) and must be bit-identical across runs with the
+  same seed; ``"host"`` metrics carry wall-clock measurements
+  (callback seconds, lines/sec) and are excluded from the default
+  exports so that ``--metrics-out`` artifacts stay reproducible.
+* **No-op fast path** — a disabled registry hands out a shared
+  :data:`NOOP` instrument whose methods do nothing, so instrumented
+  code never branches on "is telemetry on?" and the disabled cost is
+  one attribute call per update site.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "NOOP",
+    "MetricsRegistry",
+    "MetricSample",
+    "DEFAULT_BUCKETS",
+]
+
+#: Generic histogram bucket bounds (powers of ten with mid-steps).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    10_000.0,
+    50_000.0,
+    100_000.0,
+    500_000.0,
+    1_000_000.0,
+)
+
+_VALID_KINDS = ("counter", "gauge", "histogram")
+_VALID_DOMAINS = ("sim", "host")
+
+
+class _NoopInstrument:
+    """Shared do-nothing instrument returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def labels(self, **_labels: str) -> "_NoopInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: The singleton no-op instrument (also useful as a default for
+#: subsystems constructed without a registry).
+NOOP = _NoopInstrument()
+
+
+class _Counter:
+    """Monotonically increasing value for one label combination."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class _Gauge:
+    """Point-in-time value for one label combination."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _Histogram:
+    """Cumulative-bucket histogram for one label combination."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+
+class Family:
+    """One named metric with zero or more labeled children.
+
+    A family with no declared labels behaves as its own single child:
+    ``family.inc()`` updates the unlabeled series directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        domain: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.domain = domain
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return _Counter()
+        if self.kind == "gauge":
+            return _Gauge()
+        return _Histogram(self._buckets or DEFAULT_BUCKETS)
+
+    def labels(self, **labels: str):
+        """The child instrument for one label combination."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _unlabeled(self):
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} declares labels {self.label_names}; "
+                f"use .labels(...) to select a child"
+            )
+        return self.labels()
+
+    # Unlabeled-family conveniences ------------------------------------
+    def inc(self, amount: float = 1.0) -> None:
+        self._unlabeled().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._unlabeled().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._unlabeled().set(value)
+
+    def observe(self, value: float) -> None:
+        self._unlabeled().observe(value)
+
+    def items(self) -> Iterator[Tuple[Dict[str, str], object]]:
+        """``(labels_dict, child)`` pairs in deterministic order."""
+        for key in sorted(self._children):
+            yield dict(zip(self.label_names, key)), self._children[key]
+
+
+class MetricSample:
+    """One exported series: name, labels, and its scalar/histogram value."""
+
+    __slots__ = ("name", "kind", "domain", "labels", "value", "histogram")
+
+    def __init__(self, name, kind, domain, labels, value, histogram=None):
+        self.name = name
+        self.kind = kind
+        self.domain = domain
+        self.labels = labels
+        self.value = value
+        self.histogram = histogram
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Factory and store for the run's metric families.
+
+    Args:
+        enabled: when False every factory method returns the shared
+            :data:`NOOP` instrument and the registry stays empty.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, Family] = {}
+
+    # ------------------------------------------------------------------
+    # Factories (idempotent per name)
+    # ------------------------------------------------------------------
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        domain: str,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        if not self.enabled:
+            return NOOP
+        if kind not in _VALID_KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if domain not in _VALID_DOMAINS:
+            raise ValueError(f"unknown metric domain {domain!r}")
+        label_names = tuple(labels)
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != label_names:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        family = Family(name, kind, help, label_names, domain, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name, help="", labels=(), domain="sim"):
+        """A monotonically increasing counter family."""
+        return self._register(name, "counter", help, labels, domain)
+
+    def gauge(self, name, help="", labels=(), domain="sim"):
+        """A point-in-time gauge family."""
+        return self._register(name, "gauge", help, labels, domain)
+
+    def histogram(self, name, help="", labels=(), domain="sim", buckets=None):
+        """A cumulative-bucket histogram family."""
+        return self._register(name, "histogram", help, labels, domain, buckets)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def families(self) -> List[Family]:
+        """All registered families, name-sorted."""
+        return [self._families[n] for n in sorted(self._families)]
+
+    def samples(self, include_host: bool = True) -> Iterator[MetricSample]:
+        """Flat deterministic stream of every series in the registry."""
+        for family in self.families():
+            if not include_host and family.domain == "host":
+                continue
+            for labels, child in family.items():
+                if family.kind == "histogram":
+                    yield MetricSample(
+                        family.name,
+                        family.kind,
+                        family.domain,
+                        labels,
+                        child.count,
+                        histogram=child,
+                    )
+                else:
+                    yield MetricSample(
+                        family.name, family.kind, family.domain, labels,
+                        child.value,
+                    )
+
+    def value(self, name: str, **labels: str) -> float:
+        """The current value of one series (0.0 when never touched)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(labels.get(n, "")) for n in family.label_names)
+        child = family._children.get(key)
+        if child is None:
+            return 0.0
+        if family.kind == "histogram":
+            return float(child.count)
+        return float(child.value)
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+
+    def render_prometheus(self, include_host: bool = False) -> str:
+        """Prometheus text exposition format.
+
+        Host-domain metrics are excluded by default so the artifact is
+        deterministic for a fixed seed.
+        """
+        lines: List[str] = []
+        for family in self.families():
+            if not include_host and family.domain == "host":
+                continue
+            if not family._children:
+                continue
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.items():
+                if family.kind == "histogram":
+                    for le, cum in child.cumulative():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_value(le)
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_label_str(bucket_labels)} {cum}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_label_str(labels)} "
+                        f"{_format_value(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_label_str(labels)} "
+                        f"{child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_label_str(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self, include_host: bool = True) -> dict:
+        """JSON-serializable snapshot of every series."""
+        metrics: List[dict] = []
+        for family in self.families():
+            if not include_host and family.domain == "host":
+                continue
+            series: List[dict] = []
+            for labels, child in family.items():
+                if family.kind == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": [
+                                [_format_value(le), cum]
+                                for le, cum in child.cumulative()
+                            ],
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            metrics.append(
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "domain": family.domain,
+                    "help": family.help,
+                    "series": series,
+                }
+            )
+        return {"schema": "repro-metrics-v1", "metrics": metrics}
+
+    def to_json(self, include_host: bool = False) -> str:
+        """Deterministic JSON export (host domain excluded by default)."""
+        return json.dumps(
+            self.snapshot(include_host=include_host),
+            indent=2,
+            sort_keys=True,
+        )

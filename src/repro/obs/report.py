@@ -1,0 +1,195 @@
+"""Rendering for telemetry: run reports and metric tables.
+
+Two consumers share this module:
+
+* the CLI's end-of-run **run report** — a one-screen summary of wall
+  time per stage, throughput, and the hottest subsystems, rendered
+  from a live :class:`~repro.obs.Telemetry` after a command finishes;
+* the ``repro obs`` subcommand, which loads a previously written
+  metrics artifact (JSON or Prometheus text) and renders it as a
+  table.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import List, Tuple
+
+__all__ = ["render_run_report", "render_metrics_table", "load_metric_rows"]
+
+#: Spans whose wall time counts as a "stage" in the run report
+#: (depth <= 2 keeps the report one screen even with per-file spans).
+_STAGE_MAX_DEPTH = 2
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:9.1f} s"
+    if seconds >= 0.1:
+        return f"{seconds:9.3f} s"
+    return f"{seconds * 1000:7.2f} ms"
+
+
+def _fmt_rate(rate: float) -> str:
+    return f"{rate:,.0f}"
+
+
+def render_run_report(telemetry) -> str:
+    """One-screen end-of-run summary from a live telemetry object."""
+    tracer = telemetry.tracer
+    metrics = telemetry.metrics
+    lines: List[str] = [f"==== run report (run {telemetry.run_id}) ===="]
+
+    # Wall time per stage: top-level spans in completion order.
+    stages = [
+        s for s in tracer.finished if s.depth <= _STAGE_MAX_DEPTH
+    ]
+    total_wall = sum(s.wall_seconds for s in stages if s.depth == 1)
+    if stages:
+        lines.append("wall time per stage:")
+        for span in stages:
+            indent = "  " * span.depth
+            lines.append(
+                f"{indent}{span.name:<20} {_fmt_seconds(span.wall_seconds)}"
+            )
+    if total_wall:
+        lines.append(f"total wall time:       {_fmt_seconds(total_wall)}")
+
+    # Throughput: derived from well-known counters + span wall time.
+    walls = tracer.wall_seconds_by_name()
+    throughput: List[str] = []
+    sim_events = sum(
+        s.value
+        for s in metrics.samples()
+        if s.name == "sim_events_executed_total"
+    )
+    run_wall = walls.get("engine-run", 0.0)
+    if sim_events and run_wall > 0:
+        throughput.append(
+            f"  sim events/sec:      {_fmt_rate(sim_events / run_wall)}"
+            f"  ({_fmt_rate(sim_events)} events)"
+        )
+    pipeline_lines = metrics.value("pipeline_lines_read_total")
+    extract_wall = walls.get("extract", 0.0)
+    if pipeline_lines and extract_wall > 0:
+        throughput.append(
+            f"  pipeline lines/sec:  "
+            f"{_fmt_rate(pipeline_lines / extract_wall)}"
+            f"  ({_fmt_rate(pipeline_lines)} lines)"
+        )
+    pipeline_bytes = metrics.value("pipeline_bytes_read_total")
+    if pipeline_bytes and extract_wall > 0:
+        throughput.append(
+            f"  pipeline bytes/sec:  "
+            f"{_fmt_rate(pipeline_bytes / extract_wall)}"
+        )
+    if throughput:
+        lines.append("throughput:")
+        lines.extend(throughput)
+
+    # Hottest subsystems: host-domain callback seconds from the engine,
+    # falling back to per-name span wall aggregates.
+    hot: List[Tuple[str, float]] = []
+    for sample in metrics.samples(include_host=True):
+        if sample.name == "sim_callback_seconds_total":
+            hot.append((sample.labels.get("subsystem", "?"), sample.value))
+    if not hot:
+        hot = [
+            (name, seconds)
+            for name, seconds in walls.items()
+            if seconds > 0
+        ]
+    hot.sort(key=lambda item: item[1], reverse=True)
+    if hot:
+        lines.append("hottest subsystems (host wall):")
+        for name, seconds in hot[:5]:
+            lines.append(f"  {name:<20} {_fmt_seconds(seconds)}")
+
+    if telemetry.logger.records_written:
+        lines.append(
+            f"structured log records: {telemetry.logger.records_written}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Metrics artifact loading (repro obs)
+# ----------------------------------------------------------------------
+
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_PROM_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_prometheus(text: str) -> List[Tuple[str, str, float]]:
+    rows: List[Tuple[str, str, float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            continue
+        labels = match.group("labels") or ""
+        pairs = [
+            f"{k}={v}" for k, v in _PROM_LABEL.findall(labels)
+        ]
+        raw = match.group("value")
+        value = float("inf") if raw == "+Inf" else float(raw)
+        rows.append((match.group("name"), ",".join(pairs), value))
+    return rows
+
+
+def _parse_snapshot(doc: dict) -> List[Tuple[str, str, float]]:
+    rows: List[Tuple[str, str, float]] = []
+    for metric in doc.get("metrics", []):
+        for series in metric.get("series", []):
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(series["labels"].items())
+            )
+            if metric["type"] == "histogram":
+                rows.append(
+                    (f"{metric['name']}_count", labels, series["count"])
+                )
+                rows.append((f"{metric['name']}_sum", labels, series["sum"]))
+            else:
+                rows.append((metric["name"], labels, series["value"]))
+    return rows
+
+
+def load_metric_rows(path: Path) -> List[Tuple[str, str, float]]:
+    """Load ``(name, labels, value)`` rows from a metrics artifact.
+
+    Accepts both export formats: the JSON snapshot and the Prometheus
+    text exposition (autodetected by content).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return _parse_snapshot(json.loads(text))
+    return _parse_prometheus(text)
+
+
+def render_metrics_table(rows: List[Tuple[str, str, float]]) -> str:
+    """Fixed-width table of metric samples (the ``repro obs`` view)."""
+    if not rows:
+        return "(no metric samples)"
+    name_width = max(len(r[0]) for r in rows)
+    label_width = max((len(r[1]) for r in rows), default=0)
+    header = (
+        f"{'metric':<{name_width}}  {'labels':<{label_width}}  value"
+    )
+    lines = [header, "-" * len(header)]
+    for name, labels, value in rows:
+        if value == float("inf"):
+            rendered = "+Inf"
+        elif float(value).is_integer():
+            rendered = f"{int(value):,}"
+        else:
+            rendered = f"{value:,.4f}"
+        lines.append(f"{name:<{name_width}}  {labels:<{label_width}}  {rendered}")
+    return "\n".join(lines)

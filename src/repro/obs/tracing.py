@@ -1,0 +1,212 @@
+"""Hierarchical span tracing with deterministic identifiers.
+
+Spans form a tree via an implicit context stack and are recorded with
+**two clocks**:
+
+* the *trace clock* — an injectable callable supplying the timestamps
+  that appear in exported artifacts.  The study runner installs the
+  simulation clock (``engine.now``), so a ``repro simulate`` trace is
+  bit-identical across runs with the same seed; the Stage-II pipeline
+  installs a wall clock because its work is host-bound.
+* the *wall clock* — ``time.perf_counter`` durations kept only on the
+  in-memory span objects (never exported) and used by the end-of-run
+  report for "wall time per stage".
+
+Span identifiers are derived from the run seed and a span counter, not
+from wall time or process state, which keeps exports deterministic.
+
+Exports: one-span-per-line JSONL (the ``--trace-out`` artifact) and
+Chrome ``trace_event`` JSON that opens directly in ``chrome://tracing``
+or Perfetto.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = ["Span", "Tracer", "chrome_trace_from_jsonl"]
+
+
+def _span_id(seed: int, index: int) -> str:
+    """Deterministic 16-hex-digit id from the run seed and span ordinal."""
+    digest = hashlib.sha256(f"{seed}:{index}".encode("ascii")).digest()
+    return digest[:8].hex()
+
+
+class Span:
+    """One traced operation; created via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start",
+        "end",
+        "attrs",
+        "wall_start",
+        "wall_end",
+    )
+
+    def __init__(self, name, span_id, parent_id, depth, start, attrs):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = start
+        self.end = start
+        self.attrs = attrs
+        self.wall_start = 0.0
+        self.wall_end = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Trace-clock duration (sim seconds in the sim domain)."""
+        return self.end - self.start
+
+    @property
+    def wall_seconds(self) -> float:
+        """Host wall-clock duration (report-only; never exported)."""
+        return self.wall_end - self.wall_start
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute after the span has been opened."""
+        self.attrs[key] = value
+
+    def to_record(self) -> dict:
+        """The exported JSONL record (deterministic fields only)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Context-manager span tracer with an injectable trace clock.
+
+    Args:
+        enabled: a disabled tracer records nothing and yields ``None``
+            spans, keeping instrumented code branch-free.
+        seed: entropy for deterministic span ids (the sim root seed).
+        clock: trace-clock callable; defaults to a constant 0.0 until a
+            real clock is installed with :meth:`set_clock`.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        seed: int = 0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._seed = int(seed)
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._stack: List[Span] = []
+        self._counter = 0
+        self.finished: List[Span] = []
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install the trace clock (e.g. the simulation clock)."""
+        self._clock = clock
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        """The id of the innermost open span (log correlation)."""
+        return self._stack[-1].span_id if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span around a block; nests via the context stack."""
+        if not self.enabled:
+            yield None
+            return
+        self._counter += 1
+        span = Span(
+            name=name,
+            span_id=_span_id(self._seed, self._counter),
+            parent_id=self.current_span_id,
+            depth=len(self._stack) + 1,
+            start=self._clock(),
+            attrs=dict(attrs),
+        )
+        span.wall_start = time.perf_counter()
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self._clock()
+            span.wall_end = time.perf_counter()
+            self.finished.append(span)
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON record per finished span, in completion order."""
+        return "".join(
+            json.dumps(span.to_record(), sort_keys=True) + "\n"
+            for span in self.finished
+        )
+
+    def write_jsonl(self, path: Path) -> None:
+        """Write the JSONL trace artifact."""
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` document for chrome://tracing/Perfetto."""
+        return _chrome_document(span.to_record() for span in self.finished)
+
+    def write_chrome_trace(self, path: Path) -> None:
+        """Write the Chrome trace_event JSON artifact."""
+        Path(path).write_text(
+            json.dumps(self.to_chrome_trace(), sort_keys=True),
+            encoding="utf-8",
+        )
+
+    def wall_seconds_by_name(self) -> Dict[str, float]:
+        """Aggregate host wall seconds per span name (run report)."""
+        totals: Dict[str, float] = {}
+        for span in self.finished:
+            totals[span.name] = totals.get(span.name, 0.0) + span.wall_seconds
+        return totals
+
+
+def _chrome_document(records: Iterable[dict]) -> dict:
+    events = []
+    for rec in records:
+        events.append(
+            {
+                "name": rec["name"],
+                "ph": "X",
+                "ts": rec["start"] * 1e6,
+                "dur": max(rec["end"] - rec["start"], 0.0) * 1e6,
+                "pid": 1,
+                "tid": rec.get("depth", 1),
+                "args": dict(
+                    rec.get("attrs", {}),
+                    span_id=rec["span_id"],
+                    parent_id=rec.get("parent_id"),
+                ),
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def chrome_trace_from_jsonl(text: str) -> dict:
+    """Convert a span-JSONL trace artifact to Chrome trace_event JSON."""
+    records = [
+        json.loads(line) for line in text.splitlines() if line.strip()
+    ]
+    return _chrome_document(records)

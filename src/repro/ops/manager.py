@@ -36,6 +36,7 @@ from ..cluster.topology import Cluster
 from ..core.periods import PeriodName, StudyWindow
 from ..core.records import DowntimeRecord
 from ..core.xid import EventClass
+from ..obs.metrics import NOOP
 from ..sim.engine import Engine
 from .repair import RecoveryKind, RepairTimeModel
 
@@ -107,6 +108,9 @@ class OpsManager:
         rng: random stream for detection latencies.
         on_event: optional hook ``(time, node, message)`` used by the
             syslog layer to record drain/return lines.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            recovery/drain/replacement counters and the cumulative
+            downtime counter are maintained when present.
     """
 
     def __init__(
@@ -119,6 +123,7 @@ class OpsManager:
         window: StudyWindow,
         rng: np.random.Generator,
         on_event: Optional[Callable[[float, str, str], None]] = None,
+        metrics=None,
     ) -> None:
         self._engine = engine
         self._cluster = cluster
@@ -132,6 +137,38 @@ class OpsManager:
         self._rrf_counts: Dict[str, int] = {}
         self._replacement_serial = 0
         self.downtime_records: List[DowntimeRecord] = []
+        if metrics is None:
+            self._m_requests = self._m_coalesced = NOOP
+            self._m_drains = self._m_returns = NOOP
+            self._m_rrf = self._m_downtime = self._m_recovering = NOOP
+        else:
+            self._m_requests = metrics.counter(
+                "ops_recovery_requests_total",
+                "recovery requests accepted, by cause and intervention",
+                labels=("cause", "kind"),
+            )
+            self._m_coalesced = metrics.counter(
+                "ops_recovery_requests_coalesced_total",
+                "requests merged into an in-flight episode or unmonitored",
+            )
+            self._m_drains = metrics.counter(
+                "ops_node_drains_total", "drain orders issued to the scheduler"
+            )
+            self._m_returns = metrics.counter(
+                "ops_node_returns_total",
+                "nodes returned to service, by whether a GPU was swapped",
+                labels=("gpu_replaced",),
+            )
+            self._m_rrf = metrics.counter(
+                "ops_row_remap_failures_total", "RRFs recorded against GPUs"
+            )
+            self._m_downtime = metrics.counter(
+                "ops_downtime_seconds_total",
+                "cumulative node-unavailable seconds",
+            )
+            self._m_recovering = metrics.gauge(
+                "ops_recovering_nodes", "nodes with an in-flight recovery"
+            )
 
     # ------------------------------------------------------------------
     # Fault-side interface
@@ -155,12 +192,14 @@ class OpsManager:
         the 17-day episode was finally discovered).
         """
         if not force and not self._is_monitored(cause):
+            self._m_coalesced.inc()
             return False
         episode = self._active.get(node)
         if episode is not None:
             if kind is RecoveryKind.REPLACE and episode.kind is not kind:
                 episode.kind = kind
                 episode.gpu_index = gpu_index
+            self._m_coalesced.inc()
             return False
         episode = _RecoveryEpisode(
             node=node,
@@ -170,6 +209,8 @@ class OpsManager:
             gpu_index=gpu_index,
         )
         self._active[node] = episode
+        self._m_requests.labels(cause=cause.value, kind=kind.value).inc()
+        self._m_recovering.set(len(self._active))
         latency = float(
             self._rng.exponential(self._policy.detection_latency_mean_s)
         )
@@ -186,6 +227,7 @@ class OpsManager:
         """
         gpu = self._cluster.node(node).gpu(gpu_index)
         key = gpu.serial
+        self._m_rrf.inc()
         self._rrf_counts[key] = self._rrf_counts.get(key, 0) + 1
         if self._rrf_counts[key] >= self._policy.replace_after_rrf:
             self.request_recovery(
@@ -213,6 +255,7 @@ class OpsManager:
     def _begin_drain(self, episode: _RecoveryEpisode) -> None:
         node = self._cluster.node(episode.node)
         node.state = NodeState.DRAINING
+        self._m_drains.inc()
         self._scheduler.drain_node(episode.node)
         self._emit(
             episode.node,
@@ -264,6 +307,9 @@ class OpsManager:
             )
         )
         del self._active[episode.node]
+        self._m_returns.labels(gpu_replaced=str(replaced).lower()).inc()
+        self._m_downtime.inc(self._engine.now - episode.down_since)
+        self._m_recovering.set(len(self._active))
         self._scheduler.node_returned(episode.node)
         suffix = " after gpu swap" if replaced else ""
         self._emit(

@@ -36,6 +36,7 @@ from ..core.exceptions import (
     LogFormatError,
     PipelineInterrupted,
 )
+from ..obs import Telemetry
 from ..core.records import DowntimeRecord, ExtractedError
 from ..core.xid import EventClass
 from ..slurm.accounting import load_records
@@ -199,6 +200,99 @@ class _Checkpoint:
         os.replace(tmp, self._manifest_path)
 
 
+def _flush_pipeline_metrics(
+    telemetry: Telemetry,
+    result: PipelineResult,
+    bytes_read: int,
+    extract_wall_seconds: float,
+) -> None:
+    """Mirror the finished pass's accounting into the metrics registry.
+
+    Counters are written once, from the same :class:`PipelineResult`
+    (and its health report) the caller receives, so health data and
+    telemetry cannot drift apart — a regression test asserts the two
+    agree after a chaos-corrupted run.
+    """
+    m = telemetry.metrics
+    stats = result.extraction_stats
+    health = result.health
+    m.counter(
+        "pipeline_lines_read_total", "raw lines streamed from disk"
+    ).inc(health.lines_read)
+    m.counter(
+        "pipeline_lines_parsed_total", "lines surviving parse + quarantine"
+    ).inc(health.parsed_lines)
+    m.counter(
+        "pipeline_bytes_read_total", "bytes of day files consumed"
+    ).inc(bytes_read)
+    m.counter(
+        "pipeline_matched_lines_total", "lines matching an analyzed pattern"
+    ).inc(stats.matched_lines)
+    m.counter(
+        "pipeline_excluded_xid_lines_total", "XID 13/43 lines skipped"
+    ).inc(stats.excluded_xid_lines)
+    m.counter(
+        "pipeline_malformed_lines_total", "lines that failed to parse"
+    ).inc(stats.malformed_lines)
+    m.counter(
+        "pipeline_raw_hits_total", "matched raw hits before coalescing"
+    ).inc(result.raw_hits)
+    m.counter(
+        "pipeline_coalesced_errors_total", "logical errors after coalescing"
+    ).inc(len(result.errors))
+    m.counter(
+        "pipeline_downtime_episodes_total", "downtime episodes recovered"
+    ).inc(len(result.downtime))
+    m.counter(
+        "pipeline_job_records_total", "accounting records loaded"
+    ).inc(len(result.jobs))
+    m.counter(
+        "pipeline_resumed_files_total", "day files replayed from checkpoint"
+    ).inc(health.resumed_files)
+    quarantined = m.counter(
+        "pipeline_quarantined_lines_total",
+        "lines dropped by the quarantine, by reason",
+        labels=("reason",),
+    )
+    for reason, count in health.quarantined.items():
+        quarantined.labels(reason=reason).inc(count)
+    repaired = m.counter(
+        "pipeline_repaired_lines_total",
+        "lines kept after a lossy repair, by reason",
+        labels=("reason",),
+    )
+    for reason, count in health.repaired.items():
+        repaired.labels(reason=reason).inc(count)
+    incidents = m.counter(
+        "pipeline_file_incidents_total",
+        "whole-file incidents, by reason",
+        labels=("reason",),
+    )
+    for reason, count in health.file_incidents.items():
+        incidents.labels(reason=reason).inc(count)
+    days = m.gauge(
+        "pipeline_day_coverage", "day files by coverage state", labels=("state",)
+    )
+    days.labels(state="present").set(health.days_present)
+    days.labels(state="missing").set(health.days_missing)
+    m.gauge(
+        "pipeline_completeness",
+        "estimated fraction of emitted telemetry analyzed",
+    ).set(health.completeness)
+    # Host-domain throughput (excluded from deterministic exports).
+    if extract_wall_seconds > 0:
+        m.gauge(
+            "pipeline_lines_per_second",
+            "extraction throughput",
+            domain="host",
+        ).set(health.lines_read / extract_wall_seconds)
+        m.gauge(
+            "pipeline_bytes_per_second",
+            "extraction byte throughput",
+            domain="host",
+        ).set(bytes_read / extract_wall_seconds)
+
+
 def run_pipeline(
     artifact_dir: Path,
     window_seconds: float = DEFAULT_WINDOW_SECONDS,
@@ -207,6 +301,7 @@ def run_pipeline(
     checkpoint: bool = False,
     resume: bool = False,
     interrupt_after_files: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> PipelineResult:
     """Run the full Stage-II pipeline over a run's artifact directory.
 
@@ -225,6 +320,11 @@ def run_pipeline(
             :class:`~repro.core.exceptions.PipelineInterrupted` after
             this many day files if work remains (crash-recovery drills
             and tests).
+        telemetry: optional :class:`~repro.obs.Telemetry`; when enabled
+            the pass is traced per stage (and per day file) and the
+            health accounting is mirrored into the metrics registry.
+            Instrumentation is flushed at stage boundaries, so the
+            per-line hot loop is identical with telemetry on or off.
 
     Returns:
         the :class:`PipelineResult`, with a populated ``health`` report.
@@ -234,143 +334,194 @@ def run_pipeline(
     if not syslog_dir.is_dir():
         raise ConfigurationError(f"{artifact_dir}: no syslog/ directory")
     checkpoint = checkpoint or resume
+    tel = telemetry if telemetry is not None else Telemetry.disabled()
+    tracer = tel.tracer
 
-    inventory = None
-    inventory_key = "absent"
-    inventory_path = artifact_dir / "inventory.json"
-    if inventory_path.exists():
-        inventory = Inventory.load(inventory_path)
-        if checkpoint:
-            inventory_key = _fingerprint(inventory_path)
+    with tracer.span("pipeline", checkpoint=checkpoint, resume=resume):
+        with tracer.span("discover"):
+            inventory = None
+            inventory_key = "absent"
+            inventory_path = artifact_dir / "inventory.json"
+            if inventory_path.exists():
+                inventory = Inventory.load(inventory_path)
+                if checkpoint:
+                    inventory_key = _fingerprint(inventory_path)
 
-    store: Optional[_Checkpoint] = None
-    if checkpoint:
-        store = _Checkpoint(artifact_dir, inventory_key)
-        if resume:
-            store.load()
+            store: Optional[_Checkpoint] = None
+            if checkpoint:
+                store = _Checkpoint(artifact_dir, inventory_key)
+                if resume:
+                    store.load()
 
-    quarantine = Quarantine()
-    unique_files, duplicate_files = dedupe_day_files(
-        list_day_files(syslog_dir)
-    )
-    for dup in duplicate_files:
-        quarantine.file_incident(FILE_DUPLICATE_DAY, dup.name)
-
-    extractor = XidExtractor(inventory)
-    downtime_extractor = DowntimeExtractor()
-    hits: List[ErrorHit] = []
-    last_time = float("-inf")
-    lines_read = 0
-    parsed_lines = 0
-    resumed_files = 0
-
-    for index, path in enumerate(unique_files):
-        fingerprint = _fingerprint(path) if checkpoint else ""
-        payload = (
-            store.payload_for(path, fingerprint) if store is not None else None
-        )
-        if payload is not None:
-            hits.extend(_decode_hits(payload["hits"]))
-            for time, host, message in payload["downtime_lines"]:
-                downtime_extractor.feed(
-                    RawLine(time=time, host=host, message=message)
-                )
-            for name, delta in payload["stats"].items():
-                setattr(
-                    extractor.stats, name, getattr(extractor.stats, name) + delta
-                )
-            quarantine.restore(payload["quarantine"])
-            lines_read += payload["lines_read"]
-            parsed_lines += payload["parsed_lines"]
-            if payload["last_time"] is not None:
-                last_time = max(last_time, payload["last_time"])
-            resumed_files += 1
-        else:
-            stats_before = asdict(extractor.stats)
-            quarantine_before = quarantine.snapshot()
-            day_hits: List[ErrorHit] = []
-            day_downtime: List[Tuple[float, str, str]] = []
-            day_lines = 0
-            day_parsed = 0
-            for raw in iter_file_lines(path, quarantine):
-                day_lines += 1
-                if not raw.strip():
-                    continue
-                try:
-                    line = parse_line(raw)
-                except LogFormatError as exc:
-                    quarantine.reject(exc.reason, raw)
-                    extractor.stats.malformed_lines += 1
-                    continue
-                if "�" in line.message:
-                    quarantine.repair(REASON_ENCODING, line.message)
-                if line.time < last_time:
-                    quarantine.repair(
-                        REASON_CLOCK_STEP,
-                        f"{line.host}: {line.time:.6f} clamped to "
-                        f"{last_time:.6f}",
-                    )
-                    line = line._replace(time=last_time)
-                else:
-                    last_time = line.time
-                day_parsed += 1
-                if _DOWNTIME_MARKER in line.message:
-                    day_downtime.append((line.time, line.host, line.message))
-                    downtime_extractor.feed(line)
-                hit = extractor.extract_line(line)
-                if hit is not None:
-                    day_hits.append(hit)
-            hits.extend(day_hits)
-            lines_read += day_lines
-            parsed_lines += day_parsed
-            if store is not None:
-                store.store(
-                    path,
-                    fingerprint,
-                    {
-                        "hits": _encode_hits(day_hits),
-                        "downtime_lines": [list(d) for d in day_downtime],
-                        "stats": _stats_delta(extractor.stats, stats_before),
-                        "quarantine": Quarantine.delta(
-                            quarantine.snapshot(), quarantine_before
-                        ),
-                        "lines_read": day_lines,
-                        "parsed_lines": day_parsed,
-                        "last_time": (
-                            last_time if last_time != float("-inf") else None
-                        ),
-                    },
-                )
-        if (
-            interrupt_after_files is not None
-            and index + 1 >= interrupt_after_files
-            and index + 1 < len(unique_files)
-        ):
-            raise PipelineInterrupted(
-                f"interrupted after {index + 1}/{len(unique_files)} day files"
+            quarantine = Quarantine()
+            unique_files, duplicate_files = dedupe_day_files(
+                list_day_files(syslog_dir)
             )
+            for dup in duplicate_files:
+                quarantine.file_incident(FILE_DUPLICATE_DAY, dup.name)
+        tel.logger.event(
+            "pipeline.start",
+            day_files=len(unique_files),
+            duplicates=len(duplicate_files),
+        )
 
-    errors = coalesce(hits, window_seconds, mode)
-    downtime = downtime_extractor.finish()
+        extractor = XidExtractor(inventory)
+        downtime_extractor = DowntimeExtractor()
+        hits: List[ErrorHit] = []
+        last_time = float("-inf")
+        lines_read = 0
+        parsed_lines = 0
+        resumed_files = 0
+        bytes_read = 0
+        extract_wall = 0.0
 
-    jobs: List[JobRecord] = []
-    sacct_path = artifact_dir / "sacct.csv"
-    if load_jobs and sacct_path.exists():
-        jobs = load_records(sacct_path)
+        with tracer.span("extract") as extract_span:
+            for index, path in enumerate(unique_files):
+                try:
+                    bytes_read += path.stat().st_size
+                except OSError:
+                    pass
+                fingerprint = _fingerprint(path) if checkpoint else ""
+                payload = (
+                    store.payload_for(path, fingerprint)
+                    if store is not None
+                    else None
+                )
+                if payload is not None:
+                    hits.extend(_decode_hits(payload["hits"]))
+                    for time, host, message in payload["downtime_lines"]:
+                        downtime_extractor.feed(
+                            RawLine(time=time, host=host, message=message)
+                        )
+                    for name, delta in payload["stats"].items():
+                        setattr(
+                            extractor.stats,
+                            name,
+                            getattr(extractor.stats, name) + delta,
+                        )
+                    quarantine.restore(payload["quarantine"])
+                    lines_read += payload["lines_read"]
+                    parsed_lines += payload["parsed_lines"]
+                    if payload["last_time"] is not None:
+                        last_time = max(last_time, payload["last_time"])
+                    resumed_files += 1
+                else:
+                    with tracer.span("day", file=day_stem(path)) as day_span:
+                        stats_before = asdict(extractor.stats)
+                        quarantine_before = quarantine.snapshot()
+                        day_hits: List[ErrorHit] = []
+                        day_downtime: List[Tuple[float, str, str]] = []
+                        day_lines = 0
+                        day_parsed = 0
+                        for raw in iter_file_lines(path, quarantine):
+                            day_lines += 1
+                            if not raw.strip():
+                                continue
+                            try:
+                                line = parse_line(raw)
+                            except LogFormatError as exc:
+                                quarantine.reject(exc.reason, raw)
+                                extractor.stats.malformed_lines += 1
+                                continue
+                            if "�" in line.message:
+                                quarantine.repair(
+                                    REASON_ENCODING, line.message
+                                )
+                            if line.time < last_time:
+                                quarantine.repair(
+                                    REASON_CLOCK_STEP,
+                                    f"{line.host}: {line.time:.6f} clamped to "
+                                    f"{last_time:.6f}",
+                                )
+                                line = line._replace(time=last_time)
+                            else:
+                                last_time = line.time
+                            day_parsed += 1
+                            if _DOWNTIME_MARKER in line.message:
+                                day_downtime.append(
+                                    (line.time, line.host, line.message)
+                                )
+                                downtime_extractor.feed(line)
+                            hit = extractor.extract_line(line)
+                            if hit is not None:
+                                day_hits.append(hit)
+                        if day_span is not None:
+                            day_span.set_attr("lines", day_lines)
+                            day_span.set_attr("hits", len(day_hits))
+                    hits.extend(day_hits)
+                    lines_read += day_lines
+                    parsed_lines += day_parsed
+                    if store is not None:
+                        store.store(
+                            path,
+                            fingerprint,
+                            {
+                                "hits": _encode_hits(day_hits),
+                                "downtime_lines": [
+                                    list(d) for d in day_downtime
+                                ],
+                                "stats": _stats_delta(
+                                    extractor.stats, stats_before
+                                ),
+                                "quarantine": Quarantine.delta(
+                                    quarantine.snapshot(), quarantine_before
+                                ),
+                                "lines_read": day_lines,
+                                "parsed_lines": day_parsed,
+                                "last_time": (
+                                    last_time
+                                    if last_time != float("-inf")
+                                    else None
+                                ),
+                            },
+                        )
+                if (
+                    interrupt_after_files is not None
+                    and index + 1 >= interrupt_after_files
+                    and index + 1 < len(unique_files)
+                ):
+                    raise PipelineInterrupted(
+                        f"interrupted after {index + 1}/{len(unique_files)} "
+                        f"day files"
+                    )
+        if extract_span is not None:
+            extract_wall = extract_span.wall_seconds
+            extract_span.set_attr("lines", lines_read)
 
-    health = PipelineHealthReport.build(
-        quarantine,
-        lines_read=lines_read,
-        parsed_lines=parsed_lines,
-        day_stems=[day_stem(p) for p in unique_files],
-        resumed_files=resumed_files,
-    )
-    return PipelineResult(
-        errors=errors,
-        downtime=downtime,
-        jobs=jobs,
-        extraction_stats=extractor.stats,
-        coalesce_window_seconds=window_seconds,
-        raw_hits=len(hits),
-        health=health,
-    )
+        with tracer.span("coalesce"):
+            errors = coalesce(hits, window_seconds, mode)
+        with tracer.span("downtime"):
+            downtime = downtime_extractor.finish()
+
+        jobs: List[JobRecord] = []
+        sacct_path = artifact_dir / "sacct.csv"
+        if load_jobs and sacct_path.exists():
+            with tracer.span("load-jobs"):
+                jobs = load_records(sacct_path)
+
+        health = PipelineHealthReport.build(
+            quarantine,
+            lines_read=lines_read,
+            parsed_lines=parsed_lines,
+            day_stems=[day_stem(p) for p in unique_files],
+            resumed_files=resumed_files,
+        )
+        result = PipelineResult(
+            errors=errors,
+            downtime=downtime,
+            jobs=jobs,
+            extraction_stats=extractor.stats,
+            coalesce_window_seconds=window_seconds,
+            raw_hits=len(hits),
+            health=health,
+        )
+        if tel.enabled:
+            _flush_pipeline_metrics(tel, result, bytes_read, extract_wall)
+        tel.logger.event(
+            "pipeline.done",
+            lines_read=lines_read,
+            errors=len(errors),
+            quarantined=health.total_quarantined,
+            repaired=health.total_repaired,
+        )
+    return result

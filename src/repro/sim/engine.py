@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.exceptions import SimulationError
 
@@ -32,20 +33,25 @@ class _ScheduledEvent:
     seq: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.schedule` for cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, engine: "Engine") -> None:
         self._event = event
+        self._engine = engine
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
+        if self._event.cancelled or self._event.fired:
+            return
         self._event.cancelled = True
+        self._engine._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -58,23 +64,66 @@ class EventHandle:
         return self._event.time
 
 
+def _subsystem_of(label: str) -> str:
+    """The metrics subsystem of an event label (prefix before ``:``)."""
+    if not label:
+        return "unlabeled"
+    return label.split(":", 1)[0]
+
+
 class Engine:
     """The discrete-event simulation kernel.
 
     Args:
         horizon: simulation end time in seconds.  Events scheduled at or
             beyond the horizon are accepted but never executed.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when present the engine tallies per-subsystem event counts
+            and callback wall time (flushed via :meth:`flush_metrics`).
+        auto_compact_ratio: tombstone fraction of the heap above which
+            compaction runs automatically (``0`` disables).
+        auto_compact_min: heap size below which auto-compaction never
+            triggers (tiny heaps are not worth the heapify).
     """
 
-    def __init__(self, horizon: float) -> None:
+    #: Default tombstone fraction that triggers automatic compaction.
+    AUTO_COMPACT_RATIO = 0.5
+    #: Default minimum heap size for automatic compaction.
+    AUTO_COMPACT_MIN = 4096
+
+    def __init__(
+        self,
+        horizon: float,
+        metrics=None,
+        auto_compact_ratio: float = AUTO_COMPACT_RATIO,
+        auto_compact_min: int = AUTO_COMPACT_MIN,
+    ) -> None:
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
+        if not 0.0 <= auto_compact_ratio <= 1.0:
+            raise SimulationError(
+                f"auto_compact_ratio must be in [0, 1], got {auto_compact_ratio}"
+            )
         self._horizon = float(horizon)
         self._now = 0.0
         self._heap: List[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._executed = 0
+        self._scheduled = 0
         self._running = False
+        self._metrics = metrics
+        self._auto_compact_ratio = auto_compact_ratio
+        self._auto_compact_min = auto_compact_min
+        # Tombstone accounting (all O(1) per operation).
+        self._cancelled_pending = 0
+        self._cancellations = 0
+        self._tombstones_fired = 0
+        self._compactions = 0
+        self._tombstones_removed = 0
+        # Per-subsystem tallies, flushed to the registry post-run so the
+        # hot loop touches only plain dicts.
+        self._calls_by_subsystem: Dict[str, int] = {}
+        self._seconds_by_subsystem: Dict[str, float] = {}
 
     @property
     def now(self) -> float:
@@ -128,7 +177,8 @@ class Engine:
             label=label,
         )
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._scheduled += 1
+        return EventHandle(event, self)
 
     def schedule_after(
         self,
@@ -152,28 +202,148 @@ class Engine:
             raise SimulationError("engine is already running (reentrant run())")
         stop = self._horizon if until is None else min(until, self._horizon)
         self._running = True
+        timed = self._metrics is not None
         try:
             while self._heap and self._heap[0].time < stop:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
+                    self._cancelled_pending -= 1
+                    self._tombstones_fired += 1
                     continue
                 self._now = event.time
-                event.callback()
+                event.fired = True
+                if timed:
+                    subsystem = _subsystem_of(event.label)
+                    t0 = _time.perf_counter()
+                    event.callback()
+                    elapsed = _time.perf_counter() - t0
+                    self._calls_by_subsystem[subsystem] = (
+                        self._calls_by_subsystem.get(subsystem, 0) + 1
+                    )
+                    self._seconds_by_subsystem[subsystem] = (
+                        self._seconds_by_subsystem.get(subsystem, 0.0) + elapsed
+                    )
+                else:
+                    event.callback()
                 self._executed += 1
             # Advance the clock even if the heap drained early.
             self._now = max(self._now, stop)
         finally:
             self._running = False
 
-    def drain_cancelled(self) -> int:
+    # ------------------------------------------------------------------
+    # Tombstone accounting and compaction
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for one fresh cancellation; may auto-compact."""
+        self._cancellations += 1
+        self._cancelled_pending += 1
+        if (
+            self._auto_compact_ratio > 0
+            and len(self._heap) >= self._auto_compact_min
+            and self._cancelled_pending
+            >= self._auto_compact_ratio * len(self._heap)
+        ):
+            self.compact()
+
+    @property
+    def live_pending_events(self) -> int:
+        """Heap entries that will actually fire (tombstones excluded)."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Fraction of the heap occupied by cancelled entries."""
+        if not self._heap:
+            return 0.0
+        return self._cancelled_pending / len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """Number of compaction passes run so far."""
+        return self._compactions
+
+    def compact(self) -> int:
         """Remove tombstoned entries from the heap; returns count removed.
 
-        Only needed by very long runs where many cancellations accumulate
-        (e.g. job-timeout guards that almost never fire).
+        Called automatically when the tombstone ratio crosses the
+        configured threshold; safe to call at any time (including from
+        within a running callback — the loop re-reads the heap each
+        iteration).
         """
         live = [e for e in self._heap if not e.cancelled]
         removed = len(self._heap) - len(live)
         if removed:
             heapq.heapify(live)
             self._heap = live
+            self._compactions += 1
+            self._tombstones_removed += removed
+        self._cancelled_pending = 0
         return removed
+
+    def drain_cancelled(self) -> int:
+        """Backwards-compatible alias for :meth:`compact`."""
+        return self.compact()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def flush_metrics(self) -> None:
+        """Publish the engine's tallies into the metrics registry.
+
+        Cheap enough to call repeatedly; the hot loop only touches
+        plain dicts and this converts them to labeled series in one
+        pass (counters are set-once from monotone internal tallies).
+        """
+        if self._metrics is None:
+            return
+        m = self._metrics
+        executed = m.counter(
+            "sim_events_executed_total",
+            "event callbacks executed, by subsystem (event-label prefix)",
+            labels=("subsystem",),
+        )
+        for subsystem, count in self._calls_by_subsystem.items():
+            child = executed.labels(subsystem=subsystem)
+            child.inc(count - child.value)
+        seconds = m.counter(
+            "sim_callback_seconds_total",
+            "host wall seconds spent in event callbacks, by subsystem",
+            labels=("subsystem",),
+            domain="host",
+        )
+        for subsystem, total in self._seconds_by_subsystem.items():
+            child = seconds.labels(subsystem=subsystem)
+            child.inc(max(total - child.value, 0.0))
+        m.counter(
+            "sim_events_scheduled_total", "events pushed onto the heap"
+        ).inc(self._scheduled - m.value("sim_events_scheduled_total"))
+        m.counter(
+            "sim_events_cancelled_total", "event handles cancelled"
+        ).inc(self._cancellations - m.value("sim_events_cancelled_total"))
+        m.counter(
+            "sim_tombstones_fired_total",
+            "cancelled entries popped (and skipped) by the run loop",
+        ).inc(self._tombstones_fired - m.value("sim_tombstones_fired_total"))
+        m.counter(
+            "sim_compactions_total", "tombstone compaction passes"
+        ).inc(self._compactions - m.value("sim_compactions_total"))
+        m.counter(
+            "sim_tombstones_removed_total",
+            "tombstoned entries removed by compaction",
+        ).inc(
+            self._tombstones_removed - m.value("sim_tombstones_removed_total")
+        )
+        depth = m.gauge(
+            "sim_heap_depth",
+            "pending heap entries by state",
+            labels=("state",),
+        )
+        depth.labels(state="live").set(self.live_pending_events)
+        depth.labels(state="tombstone").set(self._cancelled_pending)
+        m.gauge(
+            "sim_tombstone_ratio", "cancelled fraction of the pending heap"
+        ).set(self.tombstone_ratio)
+        m.gauge("sim_now_seconds", "current simulation time").set(self._now)

@@ -23,6 +23,7 @@ from ..cluster.node import NodeState
 from ..cluster.topology import Cluster
 from ..core.exceptions import SchedulingError
 from ..core.xid import EventClass
+from ..obs.metrics import NOOP
 from ..sim.engine import Engine, EventHandle
 from .types import Allocation, JobRecord, JobRequest, JobState, Partition
 
@@ -51,6 +52,9 @@ class Scheduler:
         on_job_end: optional hook invoked with each finished
             :class:`~repro.slurm.types.JobRecord` (the accounting DB
             subscribes here).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            submit/start/finish counters, queue-depth gauges, and a
+            job-duration histogram are maintained when present.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class Scheduler:
         engine: Engine,
         cluster: Cluster,
         on_job_end: Optional[Callable[[JobRecord], None]] = None,
+        metrics=None,
     ) -> None:
         self._engine = engine
         self._cluster = cluster
@@ -69,6 +74,39 @@ class Scheduler:
         self._empty_callbacks: Dict[str, List[Callable[[], None]]] = {}
         self._drained: set = set()
         self.records: List[JobRecord] = []
+        if metrics is None:
+            self._m_submitted = self._m_started = NOOP
+            self._m_finished = self._m_killed = NOOP
+            self._m_queue_depth = self._m_running_jobs = NOOP
+            self._m_duration = NOOP
+        else:
+            self._m_submitted = metrics.counter(
+                "slurm_jobs_submitted_total", "job requests enqueued"
+            )
+            self._m_started = metrics.counter(
+                "slurm_jobs_started_total", "jobs placed and started"
+            )
+            self._m_finished = metrics.counter(
+                "slurm_jobs_finished_total",
+                "jobs finished, by terminal Slurm state",
+                labels=("state",),
+            )
+            self._m_killed = metrics.counter(
+                "slurm_jobs_killed_total",
+                "jobs killed by a GPU error, by causal event class",
+                labels=("cause",),
+            )
+            self._m_queue_depth = metrics.gauge(
+                "slurm_queue_depth", "jobs waiting for resources"
+            )
+            self._m_running_jobs = metrics.gauge(
+                "slurm_running_jobs", "jobs currently executing"
+            )
+            self._m_duration = metrics.histogram(
+                "slurm_job_duration_hours",
+                "wall duration of finished jobs in hours",
+                buckets=(0.05, 0.25, 1.0, 4.0, 12.0, 24.0, 48.0, 96.0),
+            )
 
     # ------------------------------------------------------------------
     # Submission and placement
@@ -77,6 +115,7 @@ class Scheduler:
     def submit(self, request: JobRequest) -> None:
         """Enqueue a job and immediately try to place queued work."""
         self._queue.append(request)
+        self._m_submitted.inc()
         self._try_schedule()
 
     def _try_schedule(self) -> None:
@@ -92,6 +131,7 @@ class Scheduler:
             else:
                 self._start_job(request, allocation)
         self._queue = still_waiting
+        self._m_queue_depth.set(len(self._queue))
 
     def _find_allocation(self, request: JobRequest) -> Optional[Allocation]:
         if request.partition is Partition.CPU:
@@ -178,6 +218,8 @@ class Scheduler:
         self._running[request.job_id] = running
         for node_name in allocation.nodes:
             self._jobs_by_node.setdefault(node_name, set()).add(request.job_id)
+        self._m_started.inc()
+        self._m_running_jobs.set(len(self._running))
 
     # ------------------------------------------------------------------
     # Job termination
@@ -205,6 +247,7 @@ class Scheduler:
             return False
         running.end_handle.cancel()
         running.killed_by = cause
+        self._m_killed.labels(cause=cause.value).inc()
         state = JobState.NODE_FAIL if node_failure else JobState.FAILED
         self._finish(running, state, exit_code=137)
         return True
@@ -246,6 +289,9 @@ class Scheduler:
                 if not members:
                     self._fire_empty_callbacks(node_name)
         self.records.append(record)
+        self._m_finished.labels(state=state.value).inc()
+        self._m_duration.observe((record.end_time - record.start_time) / 3600.0)
+        self._m_running_jobs.set(len(self._running))
         if self._on_job_end is not None:
             self._on_job_end(record)
         self._try_schedule()

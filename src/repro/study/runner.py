@@ -22,6 +22,7 @@ from ..cluster.inventory import Inventory
 from ..cluster.topology import Cluster
 from ..core.timebase import HOUR
 from ..faults.injector import FaultInjector
+from ..obs import Telemetry
 from ..ops.manager import OpsManager
 from ..ops.repair import RepairTimeModel
 from ..sim.engine import Engine
@@ -80,7 +81,11 @@ class DeltaStudy:
         """The run's configuration."""
         return self._config
 
-    def run(self, output_dir: Optional[Path] = None) -> StudyArtifacts:
+    def run(
+        self,
+        output_dir: Optional[Path] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> StudyArtifacts:
         """Run the full simulation; optionally write on-disk artifacts.
 
         Args:
@@ -88,86 +93,137 @@ class DeltaStudy:
                 ``sacct.csv``, and ``truth.csv``.  ``None`` keeps the
                 run memory-only (useful for tests that only need the
                 ground truth).
+            telemetry: optional :class:`~repro.obs.Telemetry`; when
+                enabled the run is traced (span timestamps on the
+                simulation clock — DESIGN §9), every subsystem feeds
+                the metrics registry, and phase events are logged.
 
         Returns:
             the :class:`~repro.study.artifacts.StudyArtifacts`.
         """
         cfg = self._config
-        cluster = Cluster(cfg.cluster_shape)
-        cluster.validate()
-        rngs = RngRegistry(cfg.seed)
-        engine = Engine(horizon=cfg.window.end)
-        log_bus = LogBus()
-        scheduler = Scheduler(engine, cluster)
-        repair = RepairTimeModel(cfg.repair, rngs.stream("ops.repair"))
-        ops = OpsManager(
-            engine=engine,
-            cluster=cluster,
-            scheduler=scheduler,
-            repair_model=repair,
-            policy=cfg.ops_policy,
-            window=cfg.window,
-            rng=rngs.stream("ops.detection"),
-            on_event=log_bus.emit,
-        )
-        injector = FaultInjector(
-            engine=engine,
-            cluster=cluster,
-            scheduler=scheduler,
-            ops=ops,
-            log_bus=log_bus,
-            suite=cfg.fault_suite,
-            window=cfg.window,
-            rngs=rngs,
-            fault_scale=cfg.fault_scale,
-        )
-        injector.arm()
-
-        generator = WorkloadGenerator(cfg.workload, rngs.stream("workload"))
-        requests = generator.generate(cfg.window)
-        _JobFeeder(engine, scheduler, requests)
-
-        utilization_samples: List[Tuple[float, float]] = []
-        interval = cfg.utilization_sample_interval_hours * HOUR
-
-        def sample_utilization() -> None:
-            utilization_samples.append(
-                (engine.now, scheduler.gpu_busy_fraction())
+        tel = telemetry if telemetry is not None else Telemetry.disabled()
+        metrics = tel.metrics if tel.enabled else None
+        with tel.tracer.span("simulate", seed=cfg.seed):
+            with tel.tracer.span("build"):
+                cluster = Cluster(cfg.cluster_shape)
+                cluster.validate()
+                rngs = RngRegistry(cfg.seed)
+                engine = Engine(horizon=cfg.window.end, metrics=metrics)
+                # Sim-domain telemetry keeps simulation time, never the
+                # wall clock: same seed, byte-identical artifacts.
+                tel.set_clock(lambda: engine.now)
+                log_bus = LogBus()
+                scheduler = Scheduler(engine, cluster, metrics=metrics)
+                repair = RepairTimeModel(cfg.repair, rngs.stream("ops.repair"))
+                ops = OpsManager(
+                    engine=engine,
+                    cluster=cluster,
+                    scheduler=scheduler,
+                    repair_model=repair,
+                    policy=cfg.ops_policy,
+                    window=cfg.window,
+                    rng=rngs.stream("ops.detection"),
+                    on_event=log_bus.emit,
+                    metrics=metrics,
+                )
+                injector = FaultInjector(
+                    engine=engine,
+                    cluster=cluster,
+                    scheduler=scheduler,
+                    ops=ops,
+                    log_bus=log_bus,
+                    suite=cfg.fault_suite,
+                    window=cfg.window,
+                    rngs=rngs,
+                    fault_scale=cfg.fault_scale,
+                    metrics=metrics,
+                )
+            tel.logger.event(
+                "simulate.start",
+                seed=cfg.seed,
+                horizon_days=cfg.window.end / 86400.0,
+                gpu_nodes=cfg.cluster_shape.gpu_node_count,
             )
-            if engine.now + interval < engine.horizon:
-                engine.schedule_after(interval, sample_utilization)
+            with tel.tracer.span("arm"):
+                injector.arm()
 
-        engine.schedule(interval / 2.0, sample_utilization)
+            with tel.tracer.span("workload"):
+                generator = WorkloadGenerator(
+                    cfg.workload, rngs.stream("workload")
+                )
+                requests = generator.generate(cfg.window)
+                _JobFeeder(engine, scheduler, requests)
 
-        engine.run()
+            utilization_samples: List[Tuple[float, float]] = []
+            interval = cfg.utilization_sample_interval_hours * HOUR
 
-        # Benign noise and excluded XIDs never interact with the DES
-        # state, so they are generated in one vectorized pass post-run.
-        noise = generate_noise(
-            cfg.noise,
-            node_names=[n.name for n in cluster.nodes()],
-            gpu_node_names=[n.name for n in cluster.gpu_nodes()],
-            window=cfg.window,
-            rng=rngs.stream("syslog.noise"),
-        )
-        log_bus.extend(noise)
+            def sample_utilization() -> None:
+                utilization_samples.append(
+                    (engine.now, scheduler.gpu_busy_fraction())
+                )
+                if engine.now + interval < engine.horizon:
+                    engine.schedule_after(
+                        interval, sample_utilization, label="sample:utilization"
+                    )
 
-        syslog_dir = inventory_path = sacct_path = truth_path = None
-        if output_dir is not None:
-            output_dir.mkdir(parents=True, exist_ok=True)
-            syslog_dir = output_dir / "syslog"
-            write_day_partitioned(
-                syslog_dir, log_bus.sorted_records(), compress=cfg.compress_logs
+            engine.schedule(
+                interval / 2.0, sample_utilization, label="sample:utilization"
             )
-            inventory_path = output_dir / "inventory.json"
-            Inventory.from_cluster(cluster).save(inventory_path)
-            sacct_path = output_dir / "sacct.csv"
-            truth_path = output_dir / "truth.csv"
-            with AccountingWriter(sacct_path, truth_path) as writer:
-                for record in sorted(
-                    scheduler.records, key=lambda r: r.end_time
-                ):
-                    writer.write(record)
+
+            with tel.tracer.span("engine-run") as run_span:
+                engine.run()
+                if run_span is not None:
+                    run_span.set_attr("executed_events", engine.executed_events)
+            engine.flush_metrics()
+            tel.logger.event(
+                "simulate.engine-done",
+                executed_events=engine.executed_events,
+                logical_errors=len(injector.logical_events),
+                job_records=len(scheduler.records),
+            )
+
+            # Benign noise and excluded XIDs never interact with the DES
+            # state, so they are generated in one vectorized pass post-run.
+            with tel.tracer.span("noise"):
+                noise = generate_noise(
+                    cfg.noise,
+                    node_names=[n.name for n in cluster.nodes()],
+                    gpu_node_names=[n.name for n in cluster.gpu_nodes()],
+                    window=cfg.window,
+                    rng=rngs.stream("syslog.noise"),
+                )
+                log_bus.extend(noise)
+            if metrics is not None:
+                metrics.counter(
+                    "sim_log_lines_total",
+                    "raw log lines on the bus (faults + ops + noise)",
+                ).inc(len(log_bus))
+
+            syslog_dir = inventory_path = sacct_path = truth_path = None
+            if output_dir is not None:
+                with tel.tracer.span("write-artifacts"):
+                    output_dir.mkdir(parents=True, exist_ok=True)
+                    syslog_dir = output_dir / "syslog"
+                    write_day_partitioned(
+                        syslog_dir,
+                        log_bus.sorted_records(),
+                        compress=cfg.compress_logs,
+                    )
+                    inventory_path = output_dir / "inventory.json"
+                    Inventory.from_cluster(cluster).save(inventory_path)
+                    sacct_path = output_dir / "sacct.csv"
+                    truth_path = output_dir / "truth.csv"
+                    with AccountingWriter(sacct_path, truth_path) as writer:
+                        for record in sorted(
+                            scheduler.records, key=lambda r: r.end_time
+                        ):
+                            writer.write(record)
+            tel.logger.event(
+                "simulate.done",
+                log_lines=len(log_bus),
+                downtime_records=len(ops.downtime_records),
+            )
 
         return StudyArtifacts(
             output_dir=output_dir,

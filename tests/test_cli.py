@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -99,3 +101,116 @@ class TestSummary:
         assert "-- reliability --" in out
         assert "-- availability --" in out
         assert "weakest components" in out
+
+
+class TestObservability:
+    def test_telemetry_flags_parse_on_every_run_command(self):
+        parser = build_parser()
+        for command in ("simulate", "pipeline", "report"):
+            args = parser.parse_args(
+                [command, "d", "--metrics-out", "m.prom", "--trace-out",
+                 "t.jsonl", "--log-json", "l.jsonl", "--obs"]
+            )
+            assert args.metrics_out == "m.prom"
+            assert args.trace_out == "t.jsonl"
+            assert args.log_json == "l.jsonl"
+            assert args.obs
+
+    @pytest.fixture(scope="class")
+    def telemetry_artifacts(self, tmp_path_factory):
+        """One telemetry-enabled simulation via the CLI."""
+        root = tmp_path_factory.mktemp("cli_obs")
+        code = main(
+            [
+                "simulate", str(root / "run"),
+                "--preset", "small", "--seed", "5", "--job-scale", "0.005",
+                "--metrics-out", str(root / "m.prom"),
+                "--trace-out", str(root / "t.jsonl"),
+                "--log-json", str(root / "l.jsonl"),
+            ]
+        )
+        assert code == 0
+        return root
+
+    def test_simulate_writes_telemetry_artifacts(
+        self, telemetry_artifacts, capsys
+    ):
+        prom = (telemetry_artifacts / "m.prom").read_text()
+        assert "# TYPE faults_injected_total counter" in prom
+        assert "sim_events_executed_total{" in prom
+        trace_lines = (
+            (telemetry_artifacts / "t.jsonl").read_text().splitlines()
+        )
+        names = {json.loads(line)["name"] for line in trace_lines}
+        assert {"simulate", "build", "engine-run"} <= names
+        log_lines = (telemetry_artifacts / "l.jsonl").read_text().splitlines()
+        events = {json.loads(line)["event"] for line in log_lines}
+        assert "simulate.done" in events
+
+    def test_run_report_printed(self, telemetry_artifacts, capsys):
+        out_dir = telemetry_artifacts / "run2"
+        code = main(
+            ["simulate", str(out_dir), "--preset", "small",
+             "--seed", "5", "--job-scale", "0.005", "--obs"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "wall time per stage" in out
+        assert "sim events/sec" in out
+        assert "hottest subsystems" in out
+
+    def test_obs_renders_metrics_table(self, telemetry_artifacts, capsys):
+        code = main(["obs", str(telemetry_artifacts / "m.prom")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults_injected_total" in out
+        assert "metric" in out and "value" in out
+
+    def test_obs_json_snapshot_also_renders(
+        self, telemetry_artifacts, capsys
+    ):
+        out_dir = telemetry_artifacts / "run3"
+        code = main(
+            ["simulate", str(out_dir), "--preset", "small",
+             "--seed", "5", "--job-scale", "0.005",
+             "--metrics-out", str(telemetry_artifacts / "m.json")]
+        )
+        assert code == 0
+        capsys.readouterr()
+        snapshot = json.loads((telemetry_artifacts / "m.json").read_text())
+        assert snapshot["schema"] == "repro-metrics-v1"
+        code = main(["obs", str(telemetry_artifacts / "m.json")])
+        assert code == 0
+        assert "faults_injected_total" in capsys.readouterr().out
+
+    def test_obs_chrome_conversion(self, telemetry_artifacts, capsys):
+        chrome = telemetry_artifacts / "t.chrome.json"
+        code = main(
+            ["obs", str(telemetry_artifacts / "t.jsonl"),
+             "--chrome", str(chrome)]
+        )
+        assert code == 0
+        doc = json.loads(chrome.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+        assert {e["name"] for e in doc["traceEvents"]} >= {
+            "simulate", "engine-run"
+        }
+
+    def test_same_seed_cli_runs_identical_artifacts(
+        self, telemetry_artifacts, tmp_path
+    ):
+        code = main(
+            ["simulate", str(tmp_path / "again"), "--preset", "small",
+             "--seed", "5", "--job-scale", "0.005",
+             "--metrics-out", str(tmp_path / "m.prom"),
+             "--trace-out", str(tmp_path / "t.jsonl")]
+        )
+        assert code == 0
+        assert (tmp_path / "m.prom").read_text() == (
+            telemetry_artifacts / "m.prom"
+        ).read_text()
+        assert (tmp_path / "t.jsonl").read_text() == (
+            telemetry_artifacts / "t.jsonl"
+        ).read_text()

@@ -1,0 +1,249 @@
+"""Integration tests for the telemetry layer: engine tombstone
+accounting and auto-compaction, health-report/metrics agreement after a
+chaos-corrupted pipeline run, and end-to-end export determinism."""
+
+import json
+
+import pytest
+
+from repro import DeltaStudy, StudyConfig
+from repro.obs import Telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline import run_pipeline
+from repro.sim.engine import Engine
+from repro.syslog.chaos import ChaosConfig, corrupt_artifacts
+
+
+def _noop() -> None:
+    pass
+
+
+class TestEngineTombstoneAccounting:
+    def test_live_vs_tombstone_split(self):
+        engine = Engine(horizon=100.0, auto_compact_ratio=0.0)
+        handles = [engine.schedule(float(i + 1), _noop) for i in range(10)]
+        for h in handles[:4]:
+            h.cancel()
+        assert engine.pending_events == 10
+        assert engine.live_pending_events == 6
+        assert engine.tombstone_ratio == pytest.approx(0.4)
+
+    def test_double_cancel_counted_once(self):
+        engine = Engine(horizon=100.0, auto_compact_ratio=0.0)
+        h = engine.schedule(1.0, _noop)
+        h.cancel()
+        h.cancel()
+        assert engine.live_pending_events == 0
+        assert engine.tombstone_ratio == 1.0
+
+    def test_compact_removes_only_tombstones(self):
+        engine = Engine(horizon=100.0, auto_compact_ratio=0.0)
+        fired = []
+        for i in range(8):
+            h = engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+            if i % 2:
+                h.cancel()
+        removed = engine.compact()
+        assert removed == 4
+        assert engine.pending_events == 4
+        assert engine.tombstone_ratio == 0.0
+        assert engine.compactions == 1
+        engine.run()
+        assert fired == [0, 2, 4, 6]
+
+    def test_auto_compaction_triggers_at_ratio(self):
+        engine = Engine(
+            horizon=1e6, auto_compact_ratio=0.5, auto_compact_min=8
+        )
+        handles = [engine.schedule(float(i + 1), _noop) for i in range(8)]
+        for h in handles[:3]:
+            h.cancel()
+        assert engine.compactions == 0  # 3/8 < 0.5
+        handles[3].cancel()  # 4/8 crosses the threshold
+        assert engine.compactions == 1
+        assert engine.pending_events == 4
+        assert engine.live_pending_events == 4
+
+    def test_auto_compaction_respects_min_heap_size(self):
+        engine = Engine(
+            horizon=1e6, auto_compact_ratio=0.5, auto_compact_min=100
+        )
+        handles = [engine.schedule(float(i + 1), _noop) for i in range(10)]
+        for h in handles:
+            h.cancel()
+        assert engine.compactions == 0
+
+    def test_bad_ratio_rejected(self):
+        from repro.core.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            Engine(horizon=10.0, auto_compact_ratio=1.5)
+
+
+class TestEngineMetrics:
+    def test_flush_publishes_tombstone_and_subsystem_series(self):
+        reg = MetricsRegistry()
+        engine = Engine(horizon=100.0, metrics=reg, auto_compact_ratio=0.0)
+        engine.schedule(1.0, _noop, label="submit:j1")
+        engine.schedule(2.0, _noop, label="submit:j2")
+        engine.schedule(3.0, _noop, label="detect:n1")
+        doomed = engine.schedule(50.0, _noop, label="repair:n1")
+        doomed.cancel()
+        engine.schedule(99.0, _noop, label="repair:n2")
+        engine.run(until=10.0)
+        engine.flush_metrics()
+
+        assert reg.value("sim_events_executed_total", subsystem="submit") == 2
+        assert reg.value("sim_events_executed_total", subsystem="detect") == 1
+        assert reg.value("sim_events_scheduled_total") == 5
+        assert reg.value("sim_events_cancelled_total") == 1
+        assert reg.value("sim_heap_depth", state="live") == 1
+        assert reg.value("sim_heap_depth", state="tombstone") == 1
+        assert reg.value("sim_tombstone_ratio") == pytest.approx(0.5)
+        assert reg.value("sim_now_seconds") == 10.0
+        # Host domain: wall seconds exist but stay out of default exports.
+        assert reg.value(
+            "sim_callback_seconds_total", subsystem="submit"
+        ) >= 0.0
+        assert "sim_callback_seconds_total" not in reg.render_prometheus()
+
+    def test_flush_is_idempotent(self):
+        reg = MetricsRegistry()
+        engine = Engine(horizon=100.0, metrics=reg)
+        engine.schedule(1.0, _noop, label="submit:x")
+        engine.run()
+        engine.flush_metrics()
+        engine.flush_metrics()
+        assert reg.value("sim_events_executed_total", subsystem="submit") == 1
+        assert reg.value("sim_events_scheduled_total") == 1
+
+    def test_tombstones_fired_when_not_compacted(self):
+        reg = MetricsRegistry()
+        engine = Engine(horizon=100.0, metrics=reg, auto_compact_ratio=0.0)
+        engine.schedule(1.0, _noop).cancel()
+        engine.schedule(2.0, _noop)
+        engine.run()
+        engine.flush_metrics()
+        assert reg.value("sim_tombstones_fired_total") == 1
+        assert reg.value("sim_compactions_total") == 0
+
+
+@pytest.fixture(scope="module")
+def chaos_telemetry_run(tmp_path_factory):
+    """A chaos-corrupted small run pushed through the pipeline with
+    telemetry enabled; returns ``(result, telemetry)``."""
+    out = tmp_path_factory.mktemp("obs_chaos")
+    config = StudyConfig.small(
+        seed=41, job_scale=0.005, op_days=25, include_episode=True
+    )
+    DeltaStudy(config).run(out)
+    corrupt_artifacts(out, ChaosConfig.calibrated(seed=3).scaled(20.0))
+    telemetry = Telemetry.create(seed=41)
+    result = run_pipeline(out, telemetry=telemetry)
+    return result, telemetry
+
+
+class TestHealthMetricsAgreement:
+    """Satellite: the health report and the metrics registry are two
+    views of the same pass and must never drift apart."""
+
+    def test_chaos_run_actually_quarantined_lines(self, chaos_telemetry_run):
+        result, _ = chaos_telemetry_run
+        assert result.health.total_quarantined > 0
+        assert result.health.total_repaired > 0
+
+    def test_quarantine_reasons_agree(self, chaos_telemetry_run):
+        result, telemetry = chaos_telemetry_run
+        m = telemetry.metrics
+        for reason, count in result.health.quarantined.items():
+            assert (
+                m.value("pipeline_quarantined_lines_total", reason=reason)
+                == count
+            ), reason
+        total = sum(
+            s.value
+            for s in m.samples()
+            if s.name == "pipeline_quarantined_lines_total"
+        )
+        assert total == result.health.total_quarantined
+
+    def test_repairs_and_file_incidents_agree(self, chaos_telemetry_run):
+        result, telemetry = chaos_telemetry_run
+        m = telemetry.metrics
+        for reason, count in result.health.repaired.items():
+            assert (
+                m.value("pipeline_repaired_lines_total", reason=reason)
+                == count
+            ), reason
+        for reason, count in result.health.file_incidents.items():
+            assert (
+                m.value("pipeline_file_incidents_total", reason=reason)
+                == count
+            ), reason
+
+    def test_line_and_coverage_accounting_agree(self, chaos_telemetry_run):
+        result, telemetry = chaos_telemetry_run
+        m = telemetry.metrics
+        health = result.health
+        assert m.value("pipeline_lines_read_total") == health.lines_read
+        assert m.value("pipeline_lines_parsed_total") == health.parsed_lines
+        assert (
+            m.value("pipeline_day_coverage", state="present")
+            == health.days_present
+        )
+        assert (
+            m.value("pipeline_day_coverage", state="missing")
+            == health.days_missing
+        )
+        assert m.value("pipeline_completeness") == pytest.approx(
+            health.completeness
+        )
+        assert m.value("pipeline_coalesced_errors_total") == len(result.errors)
+        assert m.value("pipeline_job_records_total") == len(result.jobs)
+
+    def test_trace_covers_every_stage(self, chaos_telemetry_run):
+        _, telemetry = chaos_telemetry_run
+        names = {s.name for s in telemetry.tracer.finished}
+        assert {
+            "pipeline", "discover", "extract", "coalesce", "downtime",
+            "load-jobs", "day",
+        } <= names
+
+
+class TestSimulateExportDeterminism:
+    """Acceptance: same seed, byte-identical metric and trace exports."""
+
+    @staticmethod
+    def _run(seed):
+        telemetry = Telemetry.create(seed=seed)
+        config = StudyConfig.small(seed=seed, job_scale=0.003, op_days=20)
+        DeltaStudy(config).run(telemetry=telemetry)
+        return (
+            telemetry.metrics.render_prometheus(),
+            telemetry.metrics.to_json(),
+            telemetry.tracer.to_jsonl(),
+        )
+
+    def test_same_seed_identical_exports(self):
+        first = self._run(11)
+        second = self._run(11)
+        assert first == second
+
+    def test_different_seed_diverges(self):
+        assert self._run(11)[2] != self._run(12)[2]
+
+    def test_sim_span_timestamps_are_simulation_time(self):
+        telemetry = Telemetry.create(seed=11)
+        config = StudyConfig.small(seed=11, job_scale=0.003, op_days=20)
+        DeltaStudy(config).run(telemetry=telemetry)
+        spans = {s.name: s for s in telemetry.tracer.finished}
+        run_span = spans["engine-run"]
+        # The engine-run span closes at the horizon, in sim seconds.
+        assert run_span.end == pytest.approx(config.window.end)
+        # Exported records carry no wall-clock fields ...
+        for record in map(
+            json.loads, telemetry.tracer.to_jsonl().splitlines()
+        ):
+            assert "wall_start" not in record and "wall_end" not in record
+        # ... while the in-memory spans keep wall time for the report.
+        assert run_span.wall_seconds > 0.0

@@ -1,0 +1,235 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, NOOP, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total")
+        assert reg.value("events_total") == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert reg.value("events_total") == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total")
+        with pytest.raises(ValueError, match=">= 0"):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("faults_total", labels=("xid",))
+        c.labels(xid="63").inc(3)
+        c.labels(xid="79").inc(1)
+        assert reg.value("faults_total", xid="63") == 3
+        assert reg.value("faults_total", xid="79") == 1
+        assert reg.value("faults_total", xid="31") == 0
+
+    def test_label_child_is_cached(self):
+        reg = MetricsRegistry()
+        c = reg.counter("faults_total", labels=("xid",))
+        assert c.labels(xid="63") is c.labels(xid="63")
+
+
+class TestLabelSemantics:
+    def test_wrong_label_set_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labels=("a", "b"))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.labels(a="1")
+        with pytest.raises(ValueError, match="expected labels"):
+            c.labels(a="1", b="2", c="3")
+
+    def test_unlabeled_convenience_on_labeled_family_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError, match="declares labels"):
+            c.inc()
+
+    def test_label_values_coerced_to_str(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labels=("xid",))
+        c.labels(xid=63).inc()
+        assert reg.value("x_total", xid="63") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert reg.value("depth") == 13
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.7, 5.0, 50.0, 5000.0):
+            h.observe(v)
+        child = h.labels()
+        cum = child.cumulative()
+        assert cum == [(1.0, 2), (10.0, 3), (100.0, 4), (math.inf, 5)]
+        assert child.count == 5
+        assert child.sum == pytest.approx(5056.2)
+
+    def test_boundary_value_falls_in_lower_bucket(self):
+        # Prometheus buckets are "le" (<=) buckets.
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.labels().bucket_counts == [1, 0, 0]
+
+    def test_default_buckets_used_when_unspecified(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(3.0)
+        assert h.labels().bounds == DEFAULT_BUCKETS
+
+    def test_value_of_histogram_is_observation_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(0.2)
+        h.observe(9.0)
+        assert reg.value("lat") == 2
+
+
+class TestRegistration:
+    def test_same_name_same_shape_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels=("k",))
+        b = reg.counter("x_total", labels=("k",))
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("x_total", labels=("b",))
+
+    def test_bad_domain_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="domain"):
+            reg.counter("x_total", domain="cloud")
+
+
+class TestNoopPath:
+    def test_disabled_registry_hands_out_shared_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a_total") is NOOP
+        assert reg.gauge("b") is NOOP
+        assert reg.histogram("c") is NOOP
+
+    def test_noop_accepts_every_operation(self):
+        NOOP.labels(anything="x").inc()
+        NOOP.inc(5)
+        NOOP.dec()
+        NOOP.set(3)
+        NOOP.observe(1.5)
+
+    def test_disabled_registry_exports_empty(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a_total").inc()
+        assert reg.render_prometheus() == ""
+        assert list(reg.samples()) == []
+        assert json.loads(reg.to_json())["metrics"] == []
+
+
+class TestPrometheusExport:
+    def test_text_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("faults_total", "injected faults", labels=("xid",))
+        c.labels(xid="63").inc(3)
+        g = reg.gauge("depth", "heap depth")
+        g.set(7)
+        text = reg.render_prometheus()
+        assert "# HELP faults_total injected faults" in text
+        assert "# TYPE faults_total counter" in text
+        assert 'faults_total{xid="63"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_series(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(20.0)
+        text = reg.render_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 20.5" in text
+        assert "lat_count 2" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labels=("msg",))
+        c.labels(msg='say "hi"\nback\\slash').inc()
+        text = reg.render_prometheus()
+        assert r'msg="say \"hi\"\nback\\slash"' in text
+
+    def test_host_domain_excluded_by_default(self):
+        reg = MetricsRegistry()
+        reg.counter("sim_total").inc()
+        reg.gauge("wall_seconds", domain="host").set(1.25)
+        text = reg.render_prometheus()
+        assert "sim_total" in text
+        assert "wall_seconds" not in text
+        assert "wall_seconds" in reg.render_prometheus(include_host=True)
+
+    def test_untouched_family_emits_nothing(self):
+        reg = MetricsRegistry()
+        reg.counter("never_total")
+        assert reg.render_prometheus() == ""
+
+    def test_sorted_deterministic_output(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name in order:
+                reg.counter(name, labels=("k",))
+            reg.counter("b_total", labels=("k",)).labels(k="2").inc()
+            reg.counter("b_total", labels=("k",)).labels(k="1").inc()
+            reg.counter("a_total", labels=("k",)).labels(k="z").inc()
+            return reg.render_prometheus()
+
+        assert build(["a_total", "b_total"]) == build(["b_total", "a_total"])
+
+
+class TestJsonExport:
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help a", labels=("k",)).labels(k="x").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        doc = json.loads(reg.to_json(include_host=True))
+        assert doc["schema"] == "repro-metrics-v1"
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        assert by_name["a_total"]["series"] == [
+            {"labels": {"k": "x"}, "value": 2.0}
+        ]
+        hist = by_name["h"]["series"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"] == [["1", 1], ["+Inf", 1]]
+
+    def test_samples_stream_matches_values(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", labels=("k",)).labels(k="x").inc(4)
+        samples = list(reg.samples())
+        assert len(samples) == 1
+        s = samples[0]
+        assert (s.name, s.labels, s.value) == ("a_total", {"k": "x"}, 4.0)

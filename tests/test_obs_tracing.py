@@ -1,0 +1,190 @@
+"""Unit tests for span tracing and structured logging (repro.obs)."""
+
+import io
+import json
+
+from repro.obs import Telemetry
+from repro.obs.tracing import Tracer, chrome_trace_from_jsonl
+
+
+def _make_tracer(seed=7):
+    """A tracer driven by a hand-cranked fake clock."""
+    tracer = Tracer(enabled=True, seed=seed)
+    state = {"t": 0.0}
+
+    def advance(dt):
+        state["t"] += dt
+
+    tracer.set_clock(lambda: state["t"])
+    return tracer, advance
+
+
+class TestSpanTree:
+    def test_nesting_sets_parent_and_depth(self):
+        tracer, advance = _make_tracer()
+        with tracer.span("outer") as outer:
+            advance(1.0)
+            with tracer.span("inner") as inner:
+                advance(2.0)
+                assert inner.parent_id == outer.span_id
+                assert (outer.depth, inner.depth) == (1, 2)
+        assert tracer.current_span_id is None
+        # Completion order: inner closes first.
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_trace_clock_timestamps(self):
+        tracer, advance = _make_tracer()
+        with tracer.span("outer"):
+            advance(1.0)
+            with tracer.span("inner") as inner:
+                advance(2.0)
+        outer = tracer.finished[1]
+        assert (outer.start, outer.end) == (0.0, 3.0)
+        assert (inner.start, inner.end) == (1.0, 3.0)
+        assert inner.duration == 2.0
+
+    def test_siblings_share_parent(self):
+        tracer, _ = _make_tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_span_finishes_on_exception(self):
+        tracer, advance = _make_tracer()
+        try:
+            with tracer.span("boom"):
+                advance(1.0)
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.finished] == ["boom"]
+        assert tracer.finished[0].end == 1.0
+        assert tracer.current_span_id is None
+
+    def test_set_attr(self):
+        tracer, _ = _make_tracer()
+        with tracer.span("s", preset="small") as span:
+            span.set_attr("events", 42)
+        rec = tracer.finished[0].to_record()
+        assert rec["attrs"] == {"preset": "small", "events": 42}
+
+
+class TestDeterminism:
+    def test_span_ids_derive_from_seed_and_ordinal(self):
+        a, _ = _make_tracer(seed=7)
+        b, _ = _make_tracer(seed=7)
+        other, _ = _make_tracer(seed=8)
+        for t in (a, b, other):
+            with t.span("x"):
+                with t.span("y"):
+                    pass
+        ids = lambda t: [s.span_id for s in t.finished]  # noqa: E731
+        assert ids(a) == ids(b)
+        assert ids(a) != ids(other)
+
+    def test_same_seed_byte_identical_jsonl(self):
+        def run(seed):
+            tracer, advance = _make_tracer(seed=seed)
+            with tracer.span("outer", seed=seed):
+                advance(1.5)
+                with tracer.span("inner"):
+                    advance(0.5)
+            return tracer.to_jsonl()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_exported_record_has_no_wall_clock_fields(self):
+        tracer, _ = _make_tracer()
+        with tracer.span("s"):
+            pass
+        rec = tracer.finished[0].to_record()
+        assert set(rec) == {
+            "name", "span_id", "parent_id", "depth", "start", "end", "attrs",
+        }
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        tracer, advance = _make_tracer()
+        with tracer.span("outer"):
+            advance(2.0)
+            with tracer.span("inner"):
+                advance(1.0)
+        doc = tracer.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = {e["name"]: e for e in doc["traceEvents"]}
+        assert len(events) == 2
+        outer = events["outer"]
+        assert outer["ph"] == "X"
+        assert outer["ts"] == 0.0
+        assert outer["dur"] == 3.0 * 1e6  # microseconds
+        assert outer["tid"] == 1
+        assert events["inner"]["tid"] == 2
+        assert events["inner"]["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_jsonl_round_trip_matches_direct_export(self):
+        tracer, advance = _make_tracer()
+        with tracer.span("s", k="v"):
+            advance(1.0)
+        from_jsonl = chrome_trace_from_jsonl(tracer.to_jsonl())
+        assert from_jsonl == tracer.to_chrome_trace()
+
+
+class TestDisabledTracer:
+    def test_yields_none_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            assert span is None
+        assert tracer.finished == []
+        assert tracer.to_jsonl() == ""
+        assert tracer.to_chrome_trace()["traceEvents"] == []
+
+
+class TestStructuredLogger:
+    def test_records_correlate_to_run_and_span(self):
+        stream = io.StringIO()
+        tel = Telemetry.create(seed=5, log_stream=stream)
+        state = {"t": 0.0}
+        tel.set_clock(lambda: state["t"])
+        with tel.tracer.span("phase") as span:
+            state["t"] = 12.5
+            tel.logger.event("thing.done", count=3)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        rec = json.loads(lines[0])
+        assert rec["event"] == "thing.done"
+        assert rec["run_id"] == "run-00000005"
+        assert rec["span_id"] == span.span_id
+        assert rec["t"] == 12.5
+        assert rec["level"] == "info"
+        assert rec["count"] == 3
+        assert tel.logger.records_written == 1
+
+    def test_no_stream_is_noop(self):
+        tel = Telemetry.create(seed=1)  # no log_stream
+        tel.logger.event("ignored")
+        assert tel.logger.records_written == 0
+
+    def test_disabled_bundle_is_inert(self):
+        tel = Telemetry.disabled()
+        assert not tel.enabled
+        with tel.tracer.span("x") as span:
+            assert span is None
+        tel.logger.event("ignored")
+        tel.metrics.counter("c_total").inc()
+        assert tel.metrics.render_prometheus() == ""
+        tel.close()
+
+    def test_close_is_idempotent(self):
+        stream = io.StringIO()
+        tel = Telemetry.create(seed=1, log_stream=stream)
+        tel.logger.event("one")
+        tel.close()
+        tel.close()
+        assert not tel.logger.enabled
