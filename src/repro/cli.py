@@ -16,6 +16,13 @@ The subcommands cover the full workflow:
   runs.
 * ``obs`` — inspect telemetry artifacts: render a metrics snapshot as
   a table, or convert a span trace to Chrome ``trace_event`` JSON.
+* ``study`` — run a multi-seed campaign under the fault-tolerant
+  supervisor (process-isolated workers, retries, timeouts, manifest,
+  ``--resume``; optionally with seeded worker chaos).
+
+Exit codes are part of the contract (see ``repro --help``): 0 full
+success, 2 configuration/usage error, 3 runtime failure, 4 partial
+campaign success (degraded coverage), 130 interrupted.
 
 Telemetry flags (``simulate``, ``pipeline``, ``report``): any of
 ``--metrics-out``, ``--trace-out``, ``--log-json``, or ``--obs``
@@ -43,6 +50,11 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from . import DeltaStudy, StudyConfig
+from .core.exceptions import (
+    CalibrationError,
+    ConfigurationError,
+    ReproError,
+)
 from .obs import Telemetry, chrome_trace_from_jsonl, render_run_report
 from .analysis import (
     AvailabilityAnalysis,
@@ -60,6 +72,45 @@ from .reporting import (
 )
 
 _PRESETS = ("small", "delta", "delta-workload")
+
+# ---------------------------------------------------------------------
+# Exit codes — a stable contract for scripts and CI wrapping the CLI.
+# ---------------------------------------------------------------------
+
+#: Full success.
+EXIT_OK = 0
+#: Bad configuration or usage (also what argparse uses for bad flags).
+EXIT_CONFIG_ERROR = 2
+#: A runtime failure: simulation, pipeline, checkpoint, or campaign
+#: error that was not a configuration problem.
+EXIT_RUNTIME_ERROR = 3
+#: A campaign finished but degraded: some cells permanently failed (or
+#: the pass was interrupted), so aggregates cover a subset of seeds.
+EXIT_PARTIAL = 4
+#: Interrupted by the user (SIGINT convention: 128 + 2).
+EXIT_INTERRUPTED = 130
+
+_EXIT_CODE_DOC = """\
+exit codes:
+  0   success
+  2   configuration or usage error (bad flags, bad preset, bad config)
+  3   runtime failure (simulation/pipeline/checkpoint/campaign error)
+  4   partial campaign success — some cells permanently failed or the
+      pass was interrupted; aggregates cover a subset of seeds (see the
+      coverage annotation in campaign_summary.json)
+  130 interrupted (Ctrl-C)
+"""
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI's documented exit code."""
+    if isinstance(exc, KeyboardInterrupt):
+        return EXIT_INTERRUPTED
+    if isinstance(exc, (ConfigurationError, CalibrationError)):
+        return EXIT_CONFIG_ERROR
+    if isinstance(exc, ReproError):
+        return EXIT_RUNTIME_ERROR
+    raise exc
 
 
 def _build_config(preset: str, seed: int, job_scale: Optional[float]) -> StudyConfig:
@@ -302,6 +353,92 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(spec: str) -> tuple:
+    """Parse a seed list: ``7,8,9`` or an inclusive range ``7..14``."""
+    spec = spec.strip()
+    try:
+        if ".." in spec:
+            lo_text, hi_text = spec.split("..", 1)
+            lo, hi = int(lo_text), int(hi_text)
+            if hi < lo:
+                raise ValueError
+            return tuple(range(lo, hi + 1))
+        return tuple(int(part) for part in spec.split(","))
+    except ValueError:
+        raise ConfigurationError(
+            f"bad --seeds {spec!r}: use a comma list (7,8,9) or an "
+            f"inclusive range (7..14)"
+        )
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .study.chaos import WorkerChaosConfig
+    from .study.supervise import (
+        CampaignLimits,
+        CampaignSpec,
+        CampaignSupervisor,
+    )
+
+    seeds = _parse_seeds(args.seeds)
+    overrides = {}
+    if args.job_scale is not None:
+        overrides["job_scale"] = args.job_scale
+    if args.fault_scale is not None:
+        overrides["fault_scale"] = args.fault_scale
+    if args.preset == "small":
+        if args.pre_days is not None:
+            overrides["pre_days"] = args.pre_days
+        if args.op_days is not None:
+            overrides["op_days"] = args.op_days
+    elif args.pre_days is not None or args.op_days is not None:
+        raise ConfigurationError(
+            "--pre-days/--op-days only apply to --preset small"
+        )
+    chaos = None
+    if args.chaos_kill or args.chaos_hang or args.chaos_garbage:
+        chaos = WorkerChaosConfig(
+            seed=args.chaos_seed,
+            kill_probability=args.chaos_kill,
+            hang_probability=args.chaos_hang,
+            garbage_exit_probability=args.chaos_garbage,
+            max_strikes_per_cell=args.chaos_strikes,
+        )
+    campaign_dir = Path(args.campaign_dir)
+    spec = CampaignSpec.sweep(
+        name=campaign_dir.name or "campaign",
+        preset=args.preset,
+        seeds=seeds,
+        overrides=overrides,
+        limits=CampaignLimits(
+            max_workers=args.max_workers,
+            timeout_seconds=args.timeout,
+            max_attempts=args.max_attempts,
+            backoff_base_seconds=args.backoff_base,
+        ),
+        checkpoint_cadence_days=args.checkpoint_days,
+        chaos=chaos,
+    )
+    telemetry = _telemetry_from_args(args, seed=seeds[0], wall_clock=True)
+    supervisor = CampaignSupervisor(spec, campaign_dir, telemetry=telemetry)
+    result = supervisor.run(resume=args.resume)
+    print(result.coverage.render())
+    for cell_id, status in sorted(result.cell_status.items()):
+        marker = "ok" if status == "done" else status
+        print(f"  {cell_id}: {marker}")
+    print(f"campaign manifest: {result.manifest_path}")
+    print(f"campaign summary:  {result.summary_path}")
+    _finish_telemetry(telemetry, args)
+    if not result.coverage.complete or result.interrupted:
+        print(
+            "warning: degraded campaign — aggregates cover "
+            f"{result.coverage.cells_completed} of "
+            f"{result.coverage.cells_total} cells",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
@@ -331,6 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="A100 GPU resilience study — simulator and analysis pipeline",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -414,6 +553,49 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--job-scale", type=float, default=0.05)
     experiments.set_defaults(func=_cmd_experiments)
 
+    study = sub.add_parser(
+        "study",
+        help="run a multi-seed campaign under the fault-tolerant supervisor",
+        parents=[obs_flags],
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    study.add_argument("campaign_dir",
+                       help="campaign directory (manifest, cells/, summary)")
+    study.add_argument("--preset", choices=_PRESETS, default="small")
+    study.add_argument("--seeds", default="2022..2025",
+                       help="seed sweep: comma list (7,8,9) or range (7..14)")
+    study.add_argument("--job-scale", type=float, default=None)
+    study.add_argument("--fault-scale", type=float, default=None)
+    study.add_argument("--pre-days", type=float, default=None,
+                       help="pre-production days (small preset only)")
+    study.add_argument("--op-days", type=float, default=None,
+                       help="production days (small preset only)")
+    study.add_argument("--max-workers", type=int, default=4,
+                       help="concurrent worker subprocesses")
+    study.add_argument("--timeout", type=float, default=600.0,
+                       help="per-attempt wall-clock timeout (seconds)")
+    study.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per cell before it is marked failed")
+    study.add_argument("--backoff-base", type=float, default=0.5,
+                       help="base retry backoff (seconds, exponential)")
+    study.add_argument("--checkpoint-days", type=float, default=None,
+                       help="engine checkpoint cadence in sim days "
+                            "(enables per-cell checkpointed resume)")
+    study.add_argument("--resume", action="store_true",
+                       help="resume: skip done cells, re-queue failed ones")
+    study.add_argument("--chaos-kill", type=float, default=0.0,
+                       help="probability a worker attempt SIGKILLs itself")
+    study.add_argument("--chaos-hang", type=float, default=0.0,
+                       help="probability a worker attempt hangs forever")
+    study.add_argument("--chaos-garbage", type=float, default=0.0,
+                       help="probability of a garbage exit with no result")
+    study.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the worker chaos plans")
+    study.add_argument("--chaos-strikes", type=int, default=1,
+                       help="max sabotaged attempts per cell")
+    study.set_defaults(func=_cmd_study)
+
     obs = sub.add_parser(
         "obs", help="inspect telemetry artifacts (metrics table, trace export)"
     )
@@ -432,7 +614,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (KeyboardInterrupt, ReproError) as exc:
+        code = exit_code_for(exc)
+        if isinstance(exc, KeyboardInterrupt):
+            print("interrupted", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

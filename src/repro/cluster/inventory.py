@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from ..core.atomicio import atomic_write_json
 from .topology import Cluster
 
 
@@ -76,7 +77,7 @@ class Inventory:
             }
             for e in self.entries()
         ]
-        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        atomic_write_json(path, payload, indent=2, sort_keys=False)
 
     @classmethod
     def load(cls, path: Path) -> "Inventory":

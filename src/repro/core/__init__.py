@@ -4,11 +4,14 @@ periods, record types, and the exception hierarchy."""
 from .exceptions import (
     AnalysisError,
     CalibrationError,
+    CampaignError,
+    CheckpointError,
     ConfigurationError,
     LogFormatError,
     ReproError,
     SchedulingError,
     SimulationError,
+    SimulationInterrupted,
     TopologyError,
 )
 from .periods import Period, PeriodName, StudyWindow
@@ -18,11 +21,14 @@ from .xid import CATALOG, ErrorCategory, EventClass, RecoveryAction, XidSpec
 __all__ = [
     "AnalysisError",
     "CalibrationError",
+    "CampaignError",
+    "CheckpointError",
     "ConfigurationError",
     "LogFormatError",
     "ReproError",
     "SchedulingError",
     "SimulationError",
+    "SimulationInterrupted",
     "TopologyError",
     "Period",
     "PeriodName",

@@ -57,3 +57,34 @@ class PipelineInterrupted(ReproError):
 
 class AnalysisError(ReproError):
     """A Stage-III analysis was run on inconsistent or insufficient data."""
+
+
+class SimulationInterrupted(ReproError):
+    """A checkpointed study run was interrupted before its horizon.
+
+    Raised by :meth:`repro.study.runner.DeltaStudy.run` when an
+    ``interrupt_at_day`` drill fires mid-run (crash-recovery tests).
+    Checkpoint records written so far remain valid, so a subsequent
+    resumed run completes and yields byte-identical artifacts.
+    """
+
+
+class CheckpointError(ReproError):
+    """An engine checkpoint is unusable or a resumed run diverged.
+
+    Divergence means the replayed simulation reached a checkpointed
+    sim-time with a different engine or RNG state digest than the
+    original run recorded — i.e. the run is not deterministic, which
+    the resume path treats as a hard error rather than silently
+    producing different artifacts.
+    """
+
+
+class CampaignError(ReproError):
+    """A campaign supervisor run could not produce any usable cells.
+
+    Partial success (some cells permanently failed, others completed)
+    is *not* an exception — the supervisor degrades gracefully and
+    reports coverage; this is raised only when the campaign as a whole
+    is unusable (invalid spec, zero surviving cells).
+    """

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..cluster.inventory import Inventory
+from ..core.atomicio import atomic_write_json
 from ..core.exceptions import (
     ConfigurationError,
     LogFormatError,
@@ -180,12 +180,15 @@ class _Checkpoint:
         return payload
 
     def store(self, path: Path, fingerprint: str, payload: dict) -> None:
-        """Persist one day's payload and atomically update the manifest."""
-        self.days.mkdir(parents=True, exist_ok=True)
+        """Persist one day's payload and atomically update the manifest.
+
+        Both writes go through :mod:`repro.core.atomicio`: the payload
+        must be durable before the manifest references it, and the
+        manifest itself must never be torn — ``resume=True`` trusts
+        whatever it finds there.
+        """
         payload_name = f"{day_stem(path)}.json"
-        (self.days / payload_name).write_text(
-            json.dumps(payload), encoding="utf-8"
-        )
+        atomic_write_json(self.days / payload_name, payload)
         self.files[path.name] = {
             "fingerprint": fingerprint,
             "payload": payload_name,
@@ -195,9 +198,7 @@ class _Checkpoint:
             "inventory": self._inventory_key,
             "files": self.files,
         }
-        tmp = self._manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest), encoding="utf-8")
-        os.replace(tmp, self._manifest_path)
+        atomic_write_json(self._manifest_path, manifest)
 
 
 def _flush_pipeline_metrics(

@@ -10,6 +10,7 @@ from .experiments import (
     report_table2,
     report_table3,
 )
+from .experiments_md import campaign_coverage_section
 from .figures import figure2_csv, render_figure2
 from .tables import render_table1, render_table2, render_table3
 
@@ -23,6 +24,7 @@ __all__ = [
     "report_table1",
     "report_table2",
     "report_table3",
+    "campaign_coverage_section",
     "figure2_csv",
     "render_figure2",
     "render_table1",

@@ -51,6 +51,42 @@ rendered tables under `benchmarks/results/`.
 """
 
 
+def campaign_coverage_section(summary: dict) -> str:
+    """Render a campaign's coverage annotation as a markdown section.
+
+    ``summary`` is the parsed ``campaign_summary.json`` a
+    :class:`~repro.study.supervise.CampaignSupervisor` writes.  Pass
+    the result to :func:`build_experiments_markdown` via
+    ``extra_sections`` so a degraded campaign's EXPERIMENTS record
+    states exactly which seeds its aggregates cover — partial coverage
+    must never masquerade as a full sweep.
+    """
+    coverage = summary.get("coverage", {})
+    total = coverage.get("cells_total", 0)
+    completed = coverage.get("cells_completed", 0)
+    fraction = coverage.get("fraction", 0.0)
+    lines = [
+        "## Campaign coverage",
+        "",
+        f"Campaign `{summary.get('campaign', '?')}`: aggregates below "
+        f"cover **{completed}/{total} cells** "
+        f"({100.0 * fraction:.1f}% of the planned sweep).",
+    ]
+    missing = coverage.get("missing_cells", [])
+    if missing:
+        lines += [
+            "",
+            "Cells permanently failed after exhausting their retry "
+            "budget (aggregates exclude them):",
+            "",
+        ]
+        lines += [f"- `{cell_id}`" for cell_id in missing]
+    else:
+        lines += ["", "All planned cells completed; coverage is full."]
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_experiments_markdown(
     errors: Sequence[ExtractedError],
     jobs: Sequence[JobRecord],

@@ -13,8 +13,10 @@ the 1170-day measurement window.
 
 from __future__ import annotations
 
+import copy
+import hashlib
 import heapq
-import itertools
+import json
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -64,6 +66,35 @@ class EventHandle:
         return self._event.time
 
 
+@dataclass
+class EngineSnapshot:
+    """Frozen copy of an :class:`Engine`'s mutable state.
+
+    Produced by :meth:`Engine.snapshot`; heap entries are copies, so
+    later engine activity (including compaction) never mutates a
+    snapshot.  Callbacks are shared by reference — see
+    :meth:`Engine.snapshot` for the validity rules.
+    """
+
+    now: float
+    seq: int
+    executed: int
+    scheduled: int
+    cancelled_pending: int
+    cancellations: int
+    tombstones_fired: int
+    compactions: int
+    tombstones_removed: int
+    events: List[_ScheduledEvent]
+    calls_by_subsystem: Dict[str, int]
+    seconds_by_subsystem: Dict[str, float]
+
+    @property
+    def live_events(self) -> int:
+        """Snapshot heap entries that are not tombstones."""
+        return sum(1 for e in self.events if not e.cancelled)
+
+
 def _subsystem_of(label: str) -> str:
     """The metrics subsystem of an event label (prefix before ``:``)."""
     if not label:
@@ -107,7 +138,7 @@ class Engine:
         self._horizon = float(horizon)
         self._now = 0.0
         self._heap: List[_ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._executed = 0
         self._scheduled = 0
         self._running = False
@@ -172,10 +203,11 @@ class Engine:
         event = _ScheduledEvent(
             time=float(time),
             priority=priority,
-            seq=next(self._seq),
+            seq=self._seq,
             callback=callback,
             label=label,
         )
+        self._seq += 1
         heapq.heappush(self._heap, event)
         self._scheduled += 1
         return EventHandle(event, self)
@@ -285,6 +317,96 @@ class Engine:
     def drain_cancelled(self) -> int:
         """Backwards-compatible alias for :meth:`compact`."""
         return self.compact()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "EngineSnapshot":
+        """Capture the engine's full mutable state.
+
+        The returned snapshot owns copies of every heap entry
+        (including tombstones, so cancellation accounting survives a
+        restore), the clock, the sequence counter, and all tallies.
+        Callbacks are shared *by reference* — snapshots are an
+        in-process mechanism, valid as long as the subsystem state the
+        callbacks close over is restored (or unchanged) alongside the
+        engine.  Cross-process recovery uses the replay-verified
+        checkpoints in :mod:`repro.sim.checkpoint` instead (closures
+        are not serializable; DESIGN §10).
+        """
+        return EngineSnapshot(
+            now=self._now,
+            seq=self._seq,
+            executed=self._executed,
+            scheduled=self._scheduled,
+            cancelled_pending=self._cancelled_pending,
+            cancellations=self._cancellations,
+            tombstones_fired=self._tombstones_fired,
+            compactions=self._compactions,
+            tombstones_removed=self._tombstones_removed,
+            events=[copy.copy(event) for event in self._heap],
+            calls_by_subsystem=dict(self._calls_by_subsystem),
+            seconds_by_subsystem=dict(self._seconds_by_subsystem),
+        )
+
+    def restore(self, snapshot: "EngineSnapshot") -> None:
+        """Reset the engine to a previously captured snapshot.
+
+        The snapshot itself is not consumed: the heap is rebuilt from
+        fresh copies, so one snapshot can seed any number of restores
+        (speculative execution, repeated what-if runs).  Restoring
+        while :meth:`run` is on the stack is an error.
+        """
+        if self._running:
+            raise SimulationError("cannot restore while the engine is running")
+        self._now = snapshot.now
+        self._seq = snapshot.seq
+        self._executed = snapshot.executed
+        self._scheduled = snapshot.scheduled
+        self._cancelled_pending = snapshot.cancelled_pending
+        self._cancellations = snapshot.cancellations
+        self._tombstones_fired = snapshot.tombstones_fired
+        self._compactions = snapshot.compactions
+        self._tombstones_removed = snapshot.tombstones_removed
+        heap = [copy.copy(event) for event in snapshot.events]
+        heapq.heapify(heap)
+        self._heap = heap
+        self._calls_by_subsystem = dict(snapshot.calls_by_subsystem)
+        self._seconds_by_subsystem = dict(snapshot.seconds_by_subsystem)
+
+    def state_digest(self, exclude_label_prefixes: tuple = ()) -> str:
+        """A deterministic hash of the engine's observable state.
+
+        Covers the clock and the multiset of *live* pending events as
+        ``(time, priority, label)``.  Tombstones, callback identities,
+        and sequence numbers are excluded: two runs that would execute
+        the same future simulation events digest equally, which is
+        exactly the property the replay-verified resume path checks (a
+        resumed run must reach each checkpointed sim-time with the
+        digest the original run recorded).
+
+        Args:
+            exclude_label_prefixes: drop events whose label starts with
+                any of these prefixes.  The checkpointer excludes
+                harness-injected events (``checkpoint:`` ticks,
+                ``chaos:`` process kills) so that a retry attempt —
+                which replays the simulation but may carry a different
+                set of harness events — still matches the digests the
+                killed attempt recorded.
+        """
+        live = sorted(
+            (e.time, e.priority, e.label)
+            for e in self._heap
+            if not e.cancelled
+            and not any(
+                e.label.startswith(prefix)
+                for prefix in exclude_label_prefixes
+            )
+        )
+        payload = {"now": self._now, "events": live}
+        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Metrics

@@ -15,6 +15,7 @@ plus the stream name hash form the entropy.
 from __future__ import annotations
 
 import hashlib
+import json
 from typing import Dict
 
 import numpy as np
@@ -59,6 +60,40 @@ class RngRegistry:
             gen = np.random.default_rng(_entropy_for(self._seed, name))
             self._streams[name] = gen
         return gen
+
+    def state(self) -> Dict[str, dict]:
+        """The bit-generator state of every stream created so far.
+
+        Keyed by stream name; each value is the generator's
+        ``bit_generator.state`` dict (plain ints and strings, so the
+        whole mapping is JSON-serializable).  Together with the root
+        seed this pins the registry's full stochastic state at one
+        instant — the engine checkpointer records a digest of it so a
+        resumed run can prove it replayed every draw identically.
+        """
+        return {
+            name: gen.bit_generator.state
+            for name, gen in sorted(self._streams.items())
+        }
+
+    def restore_state(self, state: Dict[str, dict]) -> None:
+        """Reset streams to a state previously captured by :meth:`state`.
+
+        Streams absent from ``state`` but already created are left
+        untouched; streams present but not yet created are materialized
+        first (so the restore is exact regardless of creation order).
+        """
+        for name, bit_state in state.items():
+            self.stream(name).bit_generator.state = bit_state
+
+    def digest(self) -> str:
+        """A deterministic hash of the registry's full stochastic state."""
+        blob = json.dumps(
+            {"seed": self._seed, "streams": self.state()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def fork(self, name: str) -> "RngRegistry":
         """A child registry whose streams are independent of the parent.

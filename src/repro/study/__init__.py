@@ -1,7 +1,28 @@
-"""Study orchestration: configuration, runner, artifacts."""
+"""Study orchestration: configuration, runner, artifacts, campaigns."""
 
 from .artifacts import StudyArtifacts
+from .chaos import WorkerChaosConfig, WorkerChaosPlan
 from .config import StudyConfig
 from .runner import DeltaStudy
+from .supervise import (
+    CampaignLimits,
+    CampaignResult,
+    CampaignSpec,
+    CampaignSupervisor,
+    CellSpec,
+    CoverageAnnotation,
+)
 
-__all__ = ["StudyArtifacts", "StudyConfig", "DeltaStudy"]
+__all__ = [
+    "StudyArtifacts",
+    "StudyConfig",
+    "DeltaStudy",
+    "WorkerChaosConfig",
+    "WorkerChaosPlan",
+    "CampaignLimits",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignSupervisor",
+    "CellSpec",
+    "CoverageAnnotation",
+]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from ..core.atomicio import atomic_write_json
 from ..core.periods import PeriodName, StudyWindow
 from ..core.records import DowntimeRecord, GpuErrorEvent
 from ..core.xid import EventClass
@@ -77,6 +78,45 @@ class StudyArtifacts:
         if not values:
             return 0.0
         return sum(values) / len(values)
+
+    def result_payload(self) -> Dict[str, object]:
+        """The run reduced to a deterministic JSON-serializable summary.
+
+        This is what a campaign worker reports back to the supervisor
+        (written as ``result.json`` in the cell directory): the
+        ground-truth logical-error counts per period and class — the
+        inputs to the campaign's Table I/II aggregation — plus job,
+        downtime, and utilization totals.  Equal runs produce equal
+        payloads byte-for-byte, which is what lets the supervisor
+        assert that a chaos-interrupted campaign converged to the same
+        aggregates as an uninterrupted one.
+        """
+        counts = self.logical_counts()
+        return {
+            "window_days": self.window.total_days,
+            "node_count": self.node_count,
+            "logical_errors": len(self.logical_events),
+            "logical_counts": {
+                period.value: {
+                    event_class.value: n
+                    for event_class, n in sorted(
+                        bucket.items(), key=lambda item: item[0].value
+                    )
+                }
+                for period, bucket in counts.items()
+            },
+            "downtime_episodes": len(self.downtime_records),
+            "jobs_finished": len(self.job_records),
+            "raw_log_lines": self.raw_log_lines,
+            "mean_utilization": {
+                period.value: round(self.mean_utilization(period), 9)
+                for period in PeriodName
+            },
+        }
+
+    def save_result(self, path: Path) -> None:
+        """Atomically write :meth:`result_payload` as ``result.json``."""
+        atomic_write_json(path, self.result_payload(), indent=2)
 
     def summary(self) -> str:
         """A short human-readable run summary."""

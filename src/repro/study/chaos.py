@@ -1,0 +1,187 @@
+"""Process-level chaos for campaign workers.
+
+PR 1 proved the Stage-II pipeline against corrupted *data*; this
+module proves the campaign supervisor against misbehaving *processes*.
+A seeded :class:`WorkerChaosConfig` decides, deterministically per
+``(cell, attempt)``, whether a worker subprocess should die mid-run —
+and how:
+
+* ``kill`` — SIGKILL itself at a sim-time fraction of the horizon
+  (models the OOM killer / a segfault: no cleanup, no exit status
+  handshake);
+* ``hang`` — stop making progress forever (models a wedged driver
+  call; only the supervisor's wall-clock timeout can reclaim it);
+* ``garbage-exit`` — exit immediately with a meaningless nonzero code
+  and no result artifact (models a corrupted interpreter teardown).
+
+Injection rides the :class:`~repro.sim.engine.Engine` event heap
+(label prefix ``chaos:``, which the checkpoint digests exclude), so a
+given seed kills a given attempt at exactly the same point in the
+simulation every time — the supervisor's recovery paths are tested
+reproducibly, and a retried attempt resuming from the killed
+attempt's checkpoint chain still verifies.
+
+``max_strikes_per_cell`` bounds how many attempts of one cell chaos
+may sabotage, so a campaign with ``max_attempts > max_strikes_per_cell``
+provably converges to full coverage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.exceptions import ConfigurationError
+from ..sim.engine import Engine
+
+#: Chaos actions, in cumulative-probability order.
+ACTION_KILL = "kill"
+ACTION_HANG = "hang"
+ACTION_GARBAGE = "garbage-exit"
+ACTION_NONE = "none"
+
+#: Exit code used by ``garbage-exit`` (deliberately unmapped).
+GARBAGE_EXIT_CODE = 113
+
+
+def _attempt_rng(seed: int, cell_id: str, attempt: int) -> random.Random:
+    """A deterministic RNG keyed on (chaos seed, cell, attempt)."""
+    key = f"{seed}:{cell_id}:{attempt}".encode("utf-8")
+    return random.Random(int.from_bytes(hashlib.sha256(key).digest()[:8], "big"))
+
+
+@dataclass(frozen=True)
+class WorkerChaosConfig:
+    """Seeded fault plan generator for campaign workers.
+
+    Attributes:
+        seed: chaos seed; independent of the simulation seeds.
+        kill_probability: chance an attempt is SIGKILLed mid-run.
+        hang_probability: chance an attempt hangs forever.
+        garbage_exit_probability: chance an attempt exits with a
+            garbage status and no result.
+        max_strikes_per_cell: attempts beyond this index run clean, so
+            retries converge.
+        min_fraction / max_fraction: the sim-time trigger point is
+            drawn uniformly from this range of the horizon.
+    """
+
+    seed: int = 0
+    kill_probability: float = 0.0
+    hang_probability: float = 0.0
+    garbage_exit_probability: float = 0.0
+    max_strikes_per_cell: int = 1
+    min_fraction: float = 0.25
+    max_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        total = (
+            self.kill_probability
+            + self.hang_probability
+            + self.garbage_exit_probability
+        )
+        if not 0.0 <= total <= 1.0:
+            raise ConfigurationError(
+                f"chaos action probabilities must sum to [0, 1], got {total}"
+            )
+        if not 0.0 <= self.min_fraction <= self.max_fraction <= 1.0:
+            raise ConfigurationError(
+                "chaos trigger fractions must satisfy "
+                f"0 <= min <= max <= 1, got [{self.min_fraction}, "
+                f"{self.max_fraction}]"
+            )
+        if self.max_strikes_per_cell < 0:
+            raise ConfigurationError("max_strikes_per_cell must be >= 0")
+
+    @classmethod
+    def storm(cls, seed: int = 0, strikes: int = 1) -> "WorkerChaosConfig":
+        """Every first-``strikes`` attempt dies, uniformly by mode."""
+        return cls(
+            seed=seed,
+            kill_probability=0.4,
+            hang_probability=0.3,
+            garbage_exit_probability=0.3,
+            max_strikes_per_cell=strikes,
+        )
+
+    def plan(self, cell_id: str, attempt: int) -> "WorkerChaosPlan":
+        """The deterministic plan for one ``(cell, attempt)``.
+
+        Attempts are 1-based; attempts beyond ``max_strikes_per_cell``
+        always get the no-op plan.
+        """
+        if attempt > self.max_strikes_per_cell:
+            return WorkerChaosPlan(action=ACTION_NONE, at_fraction=0.0)
+        rng = _attempt_rng(self.seed, cell_id, attempt)
+        draw = rng.random()
+        if draw < self.kill_probability:
+            action = ACTION_KILL
+        elif draw < self.kill_probability + self.hang_probability:
+            action = ACTION_HANG
+        elif draw < (
+            self.kill_probability
+            + self.hang_probability
+            + self.garbage_exit_probability
+        ):
+            action = ACTION_GARBAGE
+        else:
+            return WorkerChaosPlan(action=ACTION_NONE, at_fraction=0.0)
+        fraction = self.min_fraction + rng.random() * (
+            self.max_fraction - self.min_fraction
+        )
+        return WorkerChaosPlan(action=action, at_fraction=fraction)
+
+
+@dataclass(frozen=True)
+class WorkerChaosPlan:
+    """What one worker attempt should do to itself, and when."""
+
+    action: str
+    at_fraction: float
+
+    @property
+    def is_noop(self) -> bool:
+        return self.action == ACTION_NONE
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (recorded in the campaign manifest)."""
+        return {"action": self.action, "at_fraction": self.at_fraction}
+
+    @classmethod
+    def from_json(cls, payload: Optional[dict]) -> Optional["WorkerChaosPlan"]:
+        if payload is None:
+            return None
+        return cls(
+            action=str(payload["action"]),
+            at_fraction=float(payload["at_fraction"]),
+        )
+
+    def arm(self, engine: Engine) -> None:
+        """Plant the self-sabotage event on a worker's engine heap.
+
+        The event label carries the ``chaos:`` prefix so checkpoint
+        digests ignore it (a clean retry must still verify the killed
+        attempt's watermark chain).
+        """
+        if self.is_noop:
+            return
+        engine.schedule(
+            self.at_fraction * engine.horizon,
+            self._execute,
+            priority=-99,
+            label=f"chaos:{self.action}",
+        )
+
+    def _execute(self) -> None:  # pragma: no cover - dies or loops forever
+        if self.action == ACTION_KILL:
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.action == ACTION_HANG:
+            while True:
+                time.sleep(0.25)
+        elif self.action == ACTION_GARBAGE:
+            os._exit(GARBAGE_EXIT_CODE)

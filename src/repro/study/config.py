@@ -12,6 +12,7 @@ single object with Delta defaults.  Presets:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 
 from ..cluster.topology import ClusterShape
@@ -62,6 +63,17 @@ class StudyConfig:
             raise ValueError("fault_scale must be positive")
         if self.utilization_sample_interval_hours <= 0:
             raise ValueError("utilization sample interval must be positive")
+
+    def digest(self) -> str:
+        """Deterministic hash of the full configuration.
+
+        The engine checkpointer stamps this into the watermark chain so
+        a ``--resume`` against a different configuration is refused
+        instead of silently verified against the wrong digests.  The
+        config is a tree of frozen dataclasses, enums, and numbers, so
+        its ``repr`` is stable for equal configurations.
+        """
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()
 
     @classmethod
     def delta(

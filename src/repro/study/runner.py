@@ -16,15 +16,21 @@ artifacts the analysis pipeline consumes.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..cluster.inventory import Inventory
 from ..cluster.topology import Cluster
-from ..core.timebase import HOUR
+from ..core.exceptions import SimulationInterrupted
+from ..core.timebase import DAY, HOUR
 from ..faults.injector import FaultInjector
 from ..obs import Telemetry
 from ..ops.manager import OpsManager
 from ..ops.repair import RepairTimeModel
+from ..sim.checkpoint import (
+    CheckpointConfig,
+    CheckpointRecorder,
+    RunCheckpoint,
+)
 from ..sim.engine import Engine
 from ..sim.rng import RngRegistry
 from ..slurm.accounting import AccountingWriter
@@ -85,6 +91,11 @@ class DeltaStudy:
         self,
         output_dir: Optional[Path] = None,
         telemetry: Optional[Telemetry] = None,
+        *,
+        checkpoint: Optional[CheckpointConfig] = None,
+        resume: bool = False,
+        on_engine: Optional[Callable[[Engine], None]] = None,
+        interrupt_at_day: Optional[float] = None,
     ) -> StudyArtifacts:
         """Run the full simulation; optionally write on-disk artifacts.
 
@@ -97,6 +108,21 @@ class DeltaStudy:
                 enabled the run is traced (span timestamps on the
                 simulation clock — DESIGN §9), every subsystem feeds
                 the metrics registry, and phase events are logged.
+            checkpoint: optional engine checkpoint configuration; when
+                given, the run writes a replay-verified watermark chain
+                at the configured sim-time cadence (DESIGN §10).
+            resume: with ``checkpoint``, verify an existing watermark
+                chain while replaying (raises
+                :class:`~repro.core.exceptions.CheckpointError` on
+                divergence) before extending it.  A missing or damaged
+                checkpoint file simply starts a fresh chain.
+            on_engine: hook invoked with the built :class:`Engine`
+                before the run starts — the campaign chaos harness uses
+                it to plant process-kill events at a sim-time.
+            interrupt_at_day: crash-recovery drill — raise
+                :class:`~repro.core.exceptions.SimulationInterrupted`
+                when the simulation clock reaches this day.  Checkpoint
+                records written before the interrupt stay valid.
 
         Returns:
             the :class:`~repro.study.artifacts.StudyArtifacts`.
@@ -139,6 +165,36 @@ class DeltaStudy:
                     fault_scale=cfg.fault_scale,
                     metrics=metrics,
                 )
+            recorder: Optional[CheckpointRecorder] = None
+            if checkpoint is not None:
+                loaded = (
+                    RunCheckpoint.load(checkpoint.path) if resume else None
+                )
+                recorder = CheckpointRecorder(
+                    checkpoint,
+                    engine,
+                    rngs,
+                    cfg.digest(),
+                    resume_from=loaded,
+                    metrics=metrics,
+                )
+                recorder.arm()
+            if interrupt_at_day is not None:
+
+                def _interrupt() -> None:
+                    raise SimulationInterrupted(
+                        f"interrupted at sim day {interrupt_at_day:.2f} "
+                        f"(crash-recovery drill)"
+                    )
+
+                engine.schedule(
+                    interrupt_at_day * DAY,
+                    _interrupt,
+                    priority=-100,
+                    label="chaos:interrupt",
+                )
+            if on_engine is not None:
+                on_engine(engine)
             tel.logger.event(
                 "simulate.start",
                 seed=cfg.seed,
@@ -175,6 +231,8 @@ class DeltaStudy:
                 engine.run()
                 if run_span is not None:
                     run_span.set_attr("executed_events", engine.executed_events)
+            if recorder is not None:
+                recorder.finalize()
             engine.flush_metrics()
             tel.logger.event(
                 "simulate.engine-done",

@@ -214,3 +214,126 @@ class TestObservability:
         assert (tmp_path / "t.jsonl").read_text() == (
             telemetry_artifacts / "t.jsonl"
         ).read_text()
+
+
+class TestExitCodes:
+    def test_mapping(self):
+        from repro.cli import (
+            EXIT_CONFIG_ERROR,
+            EXIT_INTERRUPTED,
+            EXIT_RUNTIME_ERROR,
+            exit_code_for,
+        )
+        from repro.core.exceptions import (
+            CampaignError,
+            CheckpointError,
+            ConfigurationError,
+        )
+
+        assert exit_code_for(ConfigurationError("x")) == EXIT_CONFIG_ERROR
+        assert exit_code_for(CampaignError("x")) == EXIT_RUNTIME_ERROR
+        assert exit_code_for(CheckpointError("x")) == EXIT_RUNTIME_ERROR
+        assert exit_code_for(KeyboardInterrupt()) == EXIT_INTERRUPTED
+
+    def test_unknown_exceptions_propagate(self):
+        from repro.cli import exit_code_for
+
+        with pytest.raises(ValueError):
+            exit_code_for(ValueError("not ours"))
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "partial campaign success" in out
+
+    def test_config_error_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["study", str(tmp_path / "camp"), "--seeds", "not-a-seed"]
+        )
+        assert code == 2
+        assert "bad --seeds" in capsys.readouterr().err
+
+
+class TestSeedParsing:
+    def test_comma_list_and_range(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("7,8,9") == (7, 8, 9)
+        assert _parse_seeds("7..10") == (7, 8, 9, 10)
+        assert _parse_seeds(" 5 ") == (5,)
+
+    def test_bad_specs_rejected(self):
+        from repro.cli import _parse_seeds
+        from repro.core.exceptions import ConfigurationError
+
+        for bad in ("x", "9..7", "1,two", ""):
+            with pytest.raises(ConfigurationError):
+                _parse_seeds(bad)
+
+
+class TestStudyCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["study", "camp"])
+        assert args.preset == "small"
+        assert args.seeds == "2022..2025"
+        assert args.max_workers == 4
+        assert args.max_attempts == 3
+        assert not args.resume
+
+    def test_campaign_via_cli(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        code = main(
+            [
+                "study", str(camp),
+                "--seeds", "7,8",
+                "--job-scale", "0.01",
+                "--pre-days", "1", "--op-days", "3",
+                "--max-workers", "2",
+                "--chaos-garbage", "1.0",
+                "--chaos-strikes", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage: 2/2 cells (100.0%)" in out
+        assert (camp / "manifest.json").is_file()
+        summary = json.loads(
+            (camp / "campaign_summary.json").read_text("utf-8")
+        )
+        assert summary["coverage"]["fraction"] == 1.0
+        # Chaos forced a retry on every cell.
+        manifest = json.loads((camp / "manifest.json").read_text("utf-8"))
+        assert all(
+            cell["attempts"] == 2 for cell in manifest["cells"].values()
+        )
+
+    def test_partial_campaign_exits_4(self, tmp_path, capsys):
+        # Chaos seed 0 deterministically sabotages seed-8's only
+        # attempt and spares seed-7's (asserted in test_supervise's
+        # plan-determinism coverage), so exactly one cell fails.
+        code = main(
+            [
+                "study", str(tmp_path / "camp"),
+                "--seeds", "7,8",
+                "--job-scale", "0.01",
+                "--pre-days", "1", "--op-days", "3",
+                "--max-attempts", "1",
+                "--chaos-garbage", "0.5",
+                "--chaos-seed", "0",
+                "--chaos-strikes", "9",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "degraded campaign" in captured.err
+        assert "coverage: 1/2 cells" in captured.out
+
+    def test_day_overrides_need_small_preset(self, tmp_path, capsys):
+        code = main(
+            ["study", str(tmp_path / "camp"), "--preset", "delta",
+             "--pre-days", "1"]
+        )
+        assert code == 2
+        assert "only apply to --preset small" in capsys.readouterr().err

@@ -1,0 +1,128 @@
+"""Process-level worker chaos plans (repro.study.chaos)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.sim.engine import Engine
+from repro.study.chaos import (
+    ACTION_GARBAGE,
+    ACTION_HANG,
+    ACTION_KILL,
+    ACTION_NONE,
+    WorkerChaosConfig,
+    WorkerChaosPlan,
+)
+
+
+class TestPlanDeterminism:
+    def test_same_inputs_same_plan(self):
+        config = WorkerChaosConfig.storm(seed=5, strikes=3)
+        for attempt in (1, 2, 3):
+            first = config.plan("small-seed00007", attempt)
+            again = config.plan("small-seed00007", attempt)
+            assert first == again
+
+    def test_cells_draw_independently(self):
+        config = WorkerChaosConfig.storm(seed=5, strikes=1)
+        plans = {
+            cell: config.plan(cell, 1)
+            for cell in (f"cell-{i}" for i in range(40))
+        }
+        actions = {plan.action for plan in plans.values()}
+        # A 40-cell storm should exercise more than one failure mode.
+        assert len(actions) > 1
+
+    def test_seed_changes_plans(self):
+        a = WorkerChaosConfig(seed=1, kill_probability=0.5)
+        b = WorkerChaosConfig(seed=2, kill_probability=0.5)
+        plans_a = [a.plan(f"c{i}", 1) for i in range(30)]
+        plans_b = [b.plan(f"c{i}", 1) for i in range(30)]
+        assert plans_a != plans_b
+
+
+class TestStrikesBudget:
+    def test_attempts_beyond_strikes_are_noop(self):
+        config = WorkerChaosConfig(
+            seed=0, kill_probability=1.0, max_strikes_per_cell=2
+        )
+        assert config.plan("c", 1).action == ACTION_KILL
+        assert config.plan("c", 2).action == ACTION_KILL
+        assert config.plan("c", 3).is_noop
+        assert config.plan("c", 99).is_noop
+
+    def test_zero_strikes_never_sabotages(self):
+        config = WorkerChaosConfig(
+            seed=0, kill_probability=1.0, max_strikes_per_cell=0
+        )
+        assert config.plan("c", 1).is_noop
+
+
+class TestActionBuckets:
+    @pytest.mark.parametrize(
+        "kwargs, action",
+        [
+            ({"kill_probability": 1.0}, ACTION_KILL),
+            ({"hang_probability": 1.0}, ACTION_HANG),
+            ({"garbage_exit_probability": 1.0}, ACTION_GARBAGE),
+            ({}, ACTION_NONE),
+        ],
+    )
+    def test_certain_probabilities(self, kwargs, action):
+        config = WorkerChaosConfig(seed=3, **kwargs)
+        for cell in ("a", "b", "c"):
+            assert config.plan(cell, 1).action == action
+
+    def test_trigger_fraction_in_window(self):
+        config = WorkerChaosConfig(
+            seed=3,
+            kill_probability=1.0,
+            min_fraction=0.4,
+            max_fraction=0.6,
+        )
+        for i in range(25):
+            plan = config.plan(f"c{i}", 1)
+            assert 0.4 <= plan.at_fraction <= 0.6
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            WorkerChaosConfig(kill_probability=0.7, hang_probability=0.7)
+        with pytest.raises(ConfigurationError):
+            WorkerChaosConfig(kill_probability=-0.1)
+
+    def test_fraction_window_validated(self):
+        with pytest.raises(ConfigurationError):
+            WorkerChaosConfig(min_fraction=0.8, max_fraction=0.2)
+
+    def test_negative_strikes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerChaosConfig(max_strikes_per_cell=-1)
+
+
+class TestPlanSerialization:
+    def test_json_roundtrip(self):
+        plan = WorkerChaosPlan(action=ACTION_HANG, at_fraction=0.375)
+        assert WorkerChaosPlan.from_json(plan.to_json()) == plan
+
+    def test_none_payload(self):
+        assert WorkerChaosPlan.from_json(None) is None
+
+
+class TestArming:
+    def test_noop_plan_schedules_nothing(self):
+        engine = Engine(horizon=100.0)
+        WorkerChaosPlan(action=ACTION_NONE, at_fraction=0.0).arm(engine)
+        assert engine.pending_events == 0
+
+    def test_armed_plan_is_digest_excluded(self):
+        engine = Engine(horizon=100.0)
+        clean = engine.state_digest(exclude_label_prefixes=("chaos:",))
+        WorkerChaosPlan(action=ACTION_KILL, at_fraction=0.5).arm(engine)
+        assert engine.pending_events == 1
+        assert (
+            engine.state_digest(exclude_label_prefixes=("chaos:",)) == clean
+        )
+        assert engine.state_digest() != clean
