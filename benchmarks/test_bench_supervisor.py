@@ -48,6 +48,7 @@ from repro.study.supervise import (
 
 root = Path(sys.argv[1])
 rounds = int(sys.argv[2])
+do_parallel = sys.argv[3] == "1"
 SEEDS = tuple(range(101, 109))  # 8 replicates
 # ~1 s of simulation per replicate, so the per-attempt fixed cost (one
 # fork plus two manifest fsyncs) is priced against realistic work.
@@ -102,8 +103,9 @@ for r in range(rounds):
         serial_best[cell_id] = min(serial_best.get(cell_id, s), s)
     machinery_best = min(machinery_best, machinery)
     serial_total_best = min(serial_total_best, total)
-    _, _, parallel_total = supervised(root / f"parallel-{r}", 4)
-    parallel_total_best = min(parallel_total_best, parallel_total)
+    if do_parallel:
+        _, _, parallel_total = supervised(root / f"parallel-{r}", 4)
+        parallel_total_best = min(parallel_total_best, parallel_total)
 
 print(json.dumps({
     "replicates": len(SEEDS),
@@ -112,7 +114,9 @@ print(json.dumps({
     "serial_supervised_seconds": sum(serial_best.values()) + machinery_best,
     "supervisor_machinery_seconds": machinery_best,
     "serial_total_seconds": serial_total_best,
-    "parallel_total_seconds": parallel_total_best,
+    "parallel_total_seconds": (
+        parallel_total_best if do_parallel else None
+    ),
 }))
 """
 
@@ -127,11 +131,26 @@ def _cores() -> int:
 
 
 def test_bench_supervisor_overhead_and_speedup(tmp_path, results_dir):
+    # On a single-core host a 4-worker campaign can only lose to the
+    # serialized one (fork overhead, no parallel cores), so recording
+    # its "speedup" would poison the trajectory file with a number
+    # that means "this box has one core", not "the supervisor got
+    # slower".  Skip the parallel pass entirely and annotate the JSON.
+    cores = _cores()
+    measure_parallel = cores >= 2
+
     src = Path(__file__).parent.parent / "src"
     env = dict(os.environ)
     env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
     proc = subprocess.run(
-        [sys.executable, "-c", _DRIVER, str(tmp_path), str(_ROUNDS)],
+        [
+            sys.executable,
+            "-c",
+            _DRIVER,
+            str(tmp_path),
+            str(_ROUNDS),
+            "1" if measure_parallel else "0",
+        ],
         capture_output=True,
         text=True,
         env=env,
@@ -144,23 +163,30 @@ def test_bench_supervisor_overhead_and_speedup(tmp_path, results_dir):
     t_serial = measured["serial_supervised_seconds"]
     machinery = measured["supervisor_machinery_seconds"]
     overhead = t_serial / t_inprocess - 1.0
+    t_parallel = measured["parallel_total_seconds"]
     speedup = (
-        measured["serial_total_seconds"]
-        / measured["parallel_total_seconds"]
+        measured["serial_total_seconds"] / t_parallel
+        if t_parallel is not None
+        else None
     )
-    cores = _cores()
 
-    text = "\n".join(
-        [
-            "E12 — supervisor overhead on an 8-replicate campaign",
-            f"in-process loop (per-cell best): {t_inprocess:.2f} s",
-            f"supervised, 1 worker:            {t_serial:.2f} s "
-            f"({overhead:+.1%}; machinery {machinery:.3f} s)",
-            f"supervised, 4 workers:           "
-            f"{measured['parallel_total_seconds']:.2f} s "
-            f"({speedup:.2f}x vs 1 worker on {cores} core(s))",
-        ]
-    )
+    lines = [
+        "E12 — supervisor overhead on an 8-replicate campaign",
+        f"in-process loop (per-cell best): {t_inprocess:.2f} s",
+        f"supervised, 1 worker:            {t_serial:.2f} s "
+        f"({overhead:+.1%}; machinery {machinery:.3f} s)",
+    ]
+    if speedup is not None:
+        lines.append(
+            f"supervised, 4 workers:           {t_parallel:.2f} s "
+            f"({speedup:.2f}x vs 1 worker on {cores} core(s))"
+        )
+    else:
+        lines.append(
+            f"supervised, 4 workers:           skipped "
+            f"(single-core host; speedup would only measure fork tax)"
+        )
+    text = "\n".join(lines)
     write_result(results_dir, "supervisor_overhead.txt", text)
     print()
     print(text)
@@ -177,20 +203,26 @@ def test_bench_supervisor_overhead_and_speedup(tmp_path, results_dir):
         "inprocess_seconds": round(t_inprocess, 3),
         "serial_supervised_seconds": round(t_serial, 3),
         "supervisor_machinery_seconds": round(machinery, 3),
-        "parallel_supervised_seconds": round(
-            measured["parallel_total_seconds"], 3
+        "parallel_supervised_seconds": (
+            round(t_parallel, 3) if t_parallel is not None else None
         ),
         "serial_overhead_fraction": round(overhead, 4),
-        "parallel_speedup": round(speedup, 2),
+        "parallel_speedup": (
+            round(speedup, 2) if speedup is not None else None
+        ),
     }
+    if not measure_parallel:
+        baseline["parallel_note"] = (
+            "parallel pass skipped: single-core host "
+            f"(host_cores={cores})"
+        )
     BENCH_PATH.write_text(
         json.dumps(baseline, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
 
     assert overhead < MAX_SERIAL_OVERHEAD
-    # Parallelism only pays where there are cores to spend; on a
-    # single-core host the supervised passes just tie.
+    # Parallelism only pays where there are cores to spend.
     if cores >= 4:
         assert speedup > 1.5
     elif cores >= 2:

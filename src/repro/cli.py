@@ -227,6 +227,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .pipeline import resolve_workers
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError:
+        print(f"error: invalid --workers: {args.workers!r}", file=sys.stderr)
+        return 2
     telemetry = _telemetry_from_args(args, wall_clock=True)
     result = run_pipeline(
         Path(args.artifact_dir),
@@ -234,6 +241,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         telemetry=telemetry,
+        workers=workers,
     )
     stats = result.extraction_stats
     print(f"raw lines scanned:        {stats.total_lines}")
@@ -524,6 +532,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="persist per-day progress for crash recovery")
     pipeline.add_argument("--resume", action="store_true",
                           help="resume from an existing checkpoint manifest")
+    pipeline.add_argument("--workers", default="auto",
+                          help="shard-scan process count: an integer, or "
+                               "'auto' for one per available core "
+                               "(results are identical for any value)")
     pipeline.set_defaults(func=_cmd_pipeline)
 
     report = sub.add_parser(

@@ -10,7 +10,8 @@ timestamps, exactly like the artifacts the paper consumed).
 
 from __future__ import annotations
 
-from datetime import datetime, timedelta, timezone
+import re
+from datetime import date, datetime, timedelta, timezone
 
 #: Study epoch: measurement begins January 2022 (paper, Section III-A).
 STUDY_EPOCH = datetime(2022, 1, 1, 0, 0, 0, tzinfo=timezone.utc)
@@ -56,12 +57,58 @@ def format_syslog_timestamp(sim_seconds: float) -> str:
     return to_datetime(sim_seconds).strftime("%Y-%m-%dT%H:%M:%S.%f")
 
 
+#: Exact shape emitted by :func:`format_syslog_timestamp`; anything
+#: else (short fractions, stray signs, unicode digits) takes the
+#: ``strptime`` path so the error behaviour stays canonical.
+_CANONICAL_TIMESTAMP = re.compile(
+    r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6}$", re.ASCII
+)
+
+#: Seconds-since-epoch of each date's midnight, filled on demand.  The
+#: study spans ~1200 distinct days, so this stays tiny.
+_MIDNIGHT_CACHE: dict = {}
+
+_EPOCH_DATE = STUDY_EPOCH.date()
+
+
 def parse_syslog_timestamp(text: str) -> float:
     """Parse a syslog ISO timestamp back into simulation seconds.
 
-    This is the inverse of :func:`format_syslog_timestamp` and is used by
-    the Stage-II extraction code when reading raw log files.
+    This is the inverse of :func:`format_syslog_timestamp` and is used
+    by the Stage-II extraction code when reading raw log files — the
+    hottest call in the whole pipeline, invoked once per log line.  The
+    canonical ``YYYY-MM-DDTHH:MM:SS.ffffff`` shape is parsed by field
+    slicing with a per-date midnight cache; the arithmetic mirrors
+    ``timedelta.total_seconds()`` exactly (single integer-microsecond
+    division) so the fast path is bit-identical to the ``strptime``
+    path.  Any deviation from the canonical shape falls back to
+    ``strptime`` for identical error semantics.
     """
+    if _CANONICAL_TIMESTAMP.match(text) is not None:
+        day_part = text[:10]
+        midnight_us = _MIDNIGHT_CACHE.get(day_part)
+        if midnight_us is None:
+            try:
+                parsed = date.fromisoformat(day_part)
+            except ValueError:
+                return _parse_syslog_timestamp_slow(text)
+            midnight_us = (parsed - _EPOCH_DATE).days * 86_400_000_000
+            _MIDNIGHT_CACHE[day_part] = midnight_us
+        hour = int(text[11:13])
+        minute = int(text[14:16])
+        second = int(text[17:19])
+        if hour < 24 and minute < 60 and second < 60:
+            micros = (
+                midnight_us
+                + (hour * 3600 + minute * 60 + second) * 1_000_000
+                + int(text[20:])
+            )
+            return micros / 10**6
+    return _parse_syslog_timestamp_slow(text)
+
+
+def _parse_syslog_timestamp_slow(text: str) -> float:
+    """The canonical ``strptime`` parse (error messages included)."""
     moment = datetime.strptime(text, "%Y-%m-%dT%H:%M:%S.%f")
     return from_datetime(moment)
 

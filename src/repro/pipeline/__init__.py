@@ -1,5 +1,6 @@
 """Stage-II processing: extraction, coalescing, downtime recovery,
-health accounting, and checkpointed (resumable) runs."""
+health accounting, and checkpointed (resumable) runs — serial or
+sharded across a process pool with a deterministic merge."""
 
 from .coalesce import (
     DEFAULT_WINDOW_SECONDS,
@@ -8,10 +9,12 @@ from .coalesce import (
     coalesce,
     iter_coalesced,
 )
-from .downtime import DowntimeExtractor, extract_downtime
+from .downtime import DOWNTIME_MARKER, DowntimeExtractor, extract_downtime
 from .extract import ErrorHit, ExtractionStats, XidExtractor, extract_all
 from .health import PipelineHealthReport, day_coverage
+from .parallel import host_cores, resolve_workers
 from .run import CHECKPOINT_DIRNAME, PipelineResult, run_pipeline
+from .shard import DayScan, merge_scan, scan_day_file
 
 __all__ = [
     "DEFAULT_WINDOW_SECONDS",
@@ -19,6 +22,7 @@ __all__ = [
     "WindowMode",
     "coalesce",
     "iter_coalesced",
+    "DOWNTIME_MARKER",
     "DowntimeExtractor",
     "extract_downtime",
     "ErrorHit",
@@ -30,4 +34,9 @@ __all__ = [
     "CHECKPOINT_DIRNAME",
     "PipelineResult",
     "run_pipeline",
+    "DayScan",
+    "merge_scan",
+    "scan_day_file",
+    "host_cores",
+    "resolve_workers",
 ]

@@ -23,6 +23,11 @@ from ..core.records import DowntimeRecord
 from ..core.xid import EventClass
 from ..syslog.reader import RawLine, iter_parsed_lines
 
+#: Literal shared by both downtime patterns — a cheap prefilter that
+#: lets callers (and :meth:`DowntimeExtractor.feed` itself) skip regex
+#: matching on the ~100% of lines that cannot be downtime markers.
+DOWNTIME_MARKER = "healthcheck: node "
+
 _OUT_PATTERN = re.compile(
     r"healthcheck: node (?P<node>\S+) out of service "
     r"cause=(?P<cause>\S+) kind=(?P<kind>\S+)"
@@ -58,6 +63,8 @@ class DowntimeExtractor:
 
     def feed(self, line: RawLine) -> None:
         """Process one raw log line."""
+        if DOWNTIME_MARKER not in line.message:
+            return
         match = _OUT_PATTERN.search(line.message)
         if match is not None:
             cause_text = match.group("cause")

@@ -91,26 +91,41 @@ class XidExtractor:
     def __init__(self, inventory: Optional[Inventory] = None) -> None:
         self._inventory = inventory
         self.stats = ExtractionStats()
+        # Memoized (host, pci) -> gpu_index resolution: day files repeat
+        # the same few hundred addresses millions of times.
+        self._resolve_cache: dict = {}
 
     def extract_line(self, line: RawLine) -> Optional[ErrorHit]:
-        """Classify one parsed log line; ``None`` when not analyzed."""
+        """Classify one parsed log line; ``None`` when not analyzed.
+
+        The hot path is guarded by literal prefilters: both analyzed
+        patterns contain ``"NVRM:"``, so the overwhelming majority of
+        lines skip regex matching entirely, and each precompiled
+        pattern only runs when its own distinguishing literal is
+        present.
+        """
         self.stats.total_lines += 1
-        match = XID_PATTERN.search(line.message)
-        if match is not None:
-            xid = int(match.group("xid"))
-            if is_excluded(xid):
-                self.stats.excluded_xid_lines += 1
-                return None
-            event_class = classify_xid(xid)
-            if event_class is None:
-                self.stats.unknown_xid_lines += 1
-                return None
-            return self._hit(line, match.group("pci"), event_class, xid)
-        match = ECC_PATTERN.search(line.message)
-        if match is not None:
-            return self._hit(
-                line, match.group("pci"), EventClass.UNCORRECTABLE_ECC, None
-            )
+        message = line.message
+        if "NVRM:" not in message:
+            return None
+        if "Xid (" in message:
+            match = XID_PATTERN.search(message)
+            if match is not None:
+                xid = int(match.group("xid"))
+                if is_excluded(xid):
+                    self.stats.excluded_xid_lines += 1
+                    return None
+                event_class = classify_xid(xid)
+                if event_class is None:
+                    self.stats.unknown_xid_lines += 1
+                    return None
+                return self._hit(line, match.group("pci"), event_class, xid)
+        if "uncorrectable ECC error" in message:
+            match = ECC_PATTERN.search(message)
+            if match is not None:
+                return self._hit(
+                    line, match.group("pci"), EventClass.UNCORRECTABLE_ECC, None
+                )
         return None
 
     def _hit(
@@ -122,7 +137,12 @@ class XidExtractor:
     ) -> ErrorHit:
         gpu_index = None
         if self._inventory is not None:
-            gpu_index = self._inventory.resolve(line.host, pci)
+            key = (line.host, pci)
+            try:
+                gpu_index = self._resolve_cache[key]
+            except KeyError:
+                gpu_index = self._inventory.resolve(line.host, pci)
+                self._resolve_cache[key] = gpu_index
             if gpu_index is None:
                 self.stats.unresolved_pci_lines += 1
         self.stats.matched_lines += 1

@@ -1,0 +1,88 @@
+"""Process-pool execution of per-day shard scans.
+
+The scan half of the sharded pipeline (:mod:`repro.pipeline.shard`) is
+watermark-independent, so day files can be scanned by a pool of worker
+processes in any order while the parent folds finished scans in day
+order.  This module owns the pool mechanics: per-worker initialization
+(each worker loads the hardware inventory once and reuses it for every
+file it scans), the picklable task function, and worker-count
+resolution for the CLI's ``--workers auto`` default.
+
+The pool is an optimization, never a requirement: the orchestrator in
+:mod:`repro.pipeline.run` falls back to in-process scanning when the
+pool cannot be created or a worker dies, so ``workers=N`` can only
+change wall-clock time, not results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Optional, Union
+
+from ..cluster.inventory import Inventory
+from .shard import DayScan, scan_day_file
+
+__all__ = ["host_cores", "resolve_workers", "create_scan_pool", "submit_scan"]
+
+#: Inventory loaded once per worker process by :func:`_init_worker`.
+_WORKER_INVENTORY: Optional[Inventory] = None
+
+
+def _init_worker(inventory_path: Optional[str]) -> None:
+    """Pool initializer: load the inventory once per worker process."""
+    global _WORKER_INVENTORY
+    _WORKER_INVENTORY = (
+        Inventory.load(Path(inventory_path)) if inventory_path else None
+    )
+
+
+def _scan_task(path_str: str, want_fingerprint: bool) -> DayScan:
+    """One pool task: scan a single day file against the worker inventory."""
+    return scan_day_file(
+        Path(path_str), _WORKER_INVENTORY, want_fingerprint=want_fingerprint
+    )
+
+
+def host_cores() -> int:
+    """CPU cores available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Map a CLI worker spec to a concrete pool size.
+
+    ``"auto"`` (and ``None``/``0``) mean one worker per available core;
+    anything else is taken literally, floored at 1.  The count is a
+    pool size, not a core reservation — asking for more workers than
+    cores is allowed (the determinism tests do exactly that on small
+    hosts).
+    """
+    if workers in (None, 0, "auto"):
+        return host_cores()
+    count = int(workers)
+    return count if count >= 1 else 1
+
+
+def create_scan_pool(
+    workers: int, inventory_path: Optional[Path]
+) -> ProcessPoolExecutor:
+    """A process pool whose workers have the inventory preloaded.
+
+    Raises whatever the platform raises when process pools are
+    unavailable; callers treat any failure as "run serial instead".
+    """
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(str(inventory_path) if inventory_path else None,),
+    )
+
+
+def submit_scan(pool: ProcessPoolExecutor, path: Path, want_fingerprint: bool):
+    """Submit one day-file scan to the pool; returns its future."""
+    return pool.submit(_scan_task, str(path), want_fingerprint)

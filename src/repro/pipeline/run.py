@@ -5,7 +5,7 @@ Fig. 1 stage (ii) does, reading only the on-disk artifacts a real
 deployment would have: the syslog directory, the hardware inventory,
 and the Slurm accounting CSV.
 
-Two robustness layers distinguish this from a naive pass:
+Three robustness/performance layers distinguish this from a naive pass:
 
 * **Tolerant streaming + quarantine** — every malformed, torn, or
   undecodable line is dropped (or repaired) with a reason code and
@@ -17,58 +17,56 @@ Two robustness layers distinguish this from a naive pass:
   quarantine deltas, the monotonic watermark) is persisted under
   ``<artifact_dir>/.pipeline_checkpoint/`` after the file is processed.
   A crashed or interrupted run restarted with ``resume=True`` replays
-  finished days from the manifest (validated by content hash) and
-  produces results identical to an uninterrupted run.
+  finished days from the manifest (validated by file size + mtime,
+  with the content hash recorded at scan time) and produces results
+  identical to an uninterrupted run.
+* **Sharded parallel execution** — with ``workers=N`` the per-day
+  scans run on a process pool while the parent folds finished shards
+  in day order through the exact merge of
+  :mod:`repro.pipeline.shard`.  Both execution modes share one
+  implementation of the per-line hot loop (:func:`scan_day_file` +
+  :func:`merge_scan`), so ``workers`` can only change wall-clock time:
+  results — including quarantine samples, clock-step accounting at
+  shard boundaries, and checkpoint payloads — are byte-identical to a
+  serial pass.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..cluster.inventory import Inventory
 from ..core.atomicio import atomic_write_json
-from ..core.exceptions import (
-    ConfigurationError,
-    LogFormatError,
-    PipelineInterrupted,
-)
+from ..core.exceptions import ConfigurationError, PipelineInterrupted
 from ..obs import Telemetry
 from ..core.records import DowntimeRecord, ExtractedError
-from ..core.xid import EventClass
 from ..slurm.accounting import load_records
 from ..slurm.types import JobRecord
-from ..syslog.quarantine import (
-    FILE_DUPLICATE_DAY,
-    REASON_CLOCK_STEP,
-    REASON_ENCODING,
-    Quarantine,
-)
+from ..syslog.quarantine import FILE_DUPLICATE_DAY, Quarantine
 from ..syslog.reader import (
     RawLine,
     day_stem,
     dedupe_day_files,
-    iter_file_lines,
     list_day_files,
-    parse_line,
 )
 from .coalesce import DEFAULT_WINDOW_SECONDS, WindowMode, coalesce
 from .downtime import DowntimeExtractor
-from .extract import ErrorHit, ExtractionStats, XidExtractor
+from .extract import ExtractionStats
 from .health import PipelineHealthReport
+from .parallel import create_scan_pool, submit_scan
+from .shard import DayScan, decode_hits, merge_scan, scan_day_file
 
 #: Directory (under the artifact dir) holding checkpoint state.
 CHECKPOINT_DIRNAME = ".pipeline_checkpoint"
 
 #: Manifest schema version; bump on incompatible payload changes.
-CHECKPOINT_VERSION = 1
-
-#: Cheap prefilter for lines the downtime extractor can react to
-#: (both of its patterns contain this literal).
-_DOWNTIME_MARKER = "healthcheck: node "
+#: v2: entries carry ``size``/``mtime_ns`` so resume validates by stat
+#: instead of re-hashing every file.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -104,41 +102,18 @@ class PipelineResult:
 
 
 def _fingerprint(path: Path) -> str:
-    """Content hash of one file (checkpoint validity check)."""
+    """Content hash of one file (inventory-key derivation).
+
+    Day files never pass through here: their fingerprints are computed
+    while the scan streams them (see
+    :func:`~repro.pipeline.shard.scan_day_file`), so checkpointing
+    costs no second read of multi-gigabyte logs.
+    """
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
         for block in iter(lambda: handle.read(1 << 20), b""):
             digest.update(block)
     return digest.hexdigest()
-
-
-def _encode_hits(hits: List[ErrorHit]) -> List[list]:
-    return [
-        [h.time, h.node, h.gpu_index, h.pci_address, h.event_class.value, h.xid]
-        for h in hits
-    ]
-
-
-def _decode_hits(rows: List[list]) -> List[ErrorHit]:
-    return [
-        ErrorHit(
-            time=row[0],
-            node=row[1],
-            gpu_index=row[2],
-            pci_address=row[3],
-            event_class=EventClass(row[4]),
-            xid=row[5],
-        )
-        for row in rows
-    ]
-
-
-def _stats_delta(after: ExtractionStats, before: Dict[str, int]) -> Dict[str, int]:
-    return {
-        name: value - before[name]
-        for name, value in asdict(after).items()
-        if value != before[name]
-    }
 
 
 class _Checkpoint:
@@ -149,7 +124,7 @@ class _Checkpoint:
         self.days = self.root / "days"
         self._manifest_path = self.root / "manifest.json"
         self._inventory_key = inventory_key
-        self.files: Dict[str, Dict[str, str]] = {}
+        self.files: Dict[str, dict] = {}
 
     def load(self) -> None:
         """Read an existing manifest; silently start fresh on damage."""
@@ -166,10 +141,22 @@ class _Checkpoint:
         if isinstance(files, dict):
             self.files = files
 
-    def payload_for(self, path: Path, fingerprint: str) -> Optional[dict]:
-        """The stored payload for a file, if still valid."""
+    def payload_for(self, path: Path, stat) -> Optional[dict]:
+        """The stored payload for a file, if still valid.
+
+        Validity is a stat match (size and mtime_ns recorded when the
+        payload was stored) — resume never re-reads finished day
+        files.  A rewritten file, even one restored to identical
+        bytes, fails the mtime check and is simply rescanned.
+        """
+        if stat is None:
+            return None
         entry = self.files.get(path.name)
-        if not entry or entry.get("fingerprint") != fingerprint:
+        if (
+            not entry
+            or entry.get("size") != stat.st_size
+            or entry.get("mtime_ns") != stat.st_mtime_ns
+        ):
             return None
         try:
             payload = json.loads(
@@ -179,18 +166,22 @@ class _Checkpoint:
             return None
         return payload
 
-    def store(self, path: Path, fingerprint: str, payload: dict) -> None:
+    def store(self, path: Path, stat, fingerprint: str, payload: dict) -> None:
         """Persist one day's payload and atomically update the manifest.
 
         Both writes go through :mod:`repro.core.atomicio`: the payload
         must be durable before the manifest references it, and the
         manifest itself must never be torn — ``resume=True`` trusts
-        whatever it finds there.
+        whatever it finds there.  ``stat`` is the pre-scan stat result:
+        a file mutated mid-scan records its pre-mutation identity and
+        is therefore rescanned on resume.
         """
         payload_name = f"{day_stem(path)}.json"
         atomic_write_json(self.days / payload_name, payload)
         self.files[path.name] = {
             "fingerprint": fingerprint,
+            "size": stat.st_size,
+            "mtime_ns": stat.st_mtime_ns,
             "payload": payload_name,
         }
         manifest = {
@@ -206,6 +197,8 @@ def _flush_pipeline_metrics(
     result: PipelineResult,
     bytes_read: int,
     extract_wall_seconds: float,
+    workers: int,
+    shard_rates: List[float],
 ) -> None:
     """Mirror the finished pass's accounting into the metrics registry.
 
@@ -281,6 +274,18 @@ def _flush_pipeline_metrics(
         "estimated fraction of emitted telemetry analyzed",
     ).set(health.completeness)
     # Host-domain throughput (excluded from deterministic exports).
+    m.gauge(
+        "pipeline_workers",
+        "process-pool size used for shard scans",
+        domain="host",
+    ).set(workers)
+    shard_hist = m.histogram(
+        "pipeline_shard_lines_per_second",
+        "per-day shard scan throughput",
+        domain="host",
+    )
+    for rate in shard_rates:
+        shard_hist.observe(rate)
     if extract_wall_seconds > 0:
         m.gauge(
             "pipeline_lines_per_second",
@@ -303,6 +308,7 @@ def run_pipeline(
     resume: bool = False,
     interrupt_after_files: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    workers: int = 1,
 ) -> PipelineResult:
     """Run the full Stage-II pipeline over a run's artifact directory.
 
@@ -319,13 +325,19 @@ def run_pipeline(
             remaining day files (implies ``checkpoint``).
         interrupt_after_files: raise
             :class:`~repro.core.exceptions.PipelineInterrupted` after
-            this many day files if work remains (crash-recovery drills
-            and tests).
+            this many day files have been merged if work remains
+            (crash-recovery drills and tests).  Under parallel
+            execution the interrupt fires at the same merge position,
+            so the surviving checkpoints match a serial interrupt.
         telemetry: optional :class:`~repro.obs.Telemetry`; when enabled
             the pass is traced per stage (and per day file) and the
             health accounting is mirrored into the metrics registry.
             Instrumentation is flushed at stage boundaries, so the
             per-line hot loop is identical with telemetry on or off.
+        workers: process-pool size for the per-day shard scans.  ``1``
+            (the default) scans in-process; any value produces
+            identical results (see :mod:`repro.pipeline.shard` for the
+            merge contract).
 
     Returns:
         the :class:`PipelineResult`, with a populated ``health`` report.
@@ -335,18 +347,24 @@ def run_pipeline(
     if not syslog_dir.is_dir():
         raise ConfigurationError(f"{artifact_dir}: no syslog/ directory")
     checkpoint = checkpoint or resume
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
     tel = telemetry if telemetry is not None else Telemetry.disabled()
     tracer = tel.tracer
 
-    with tracer.span("pipeline", checkpoint=checkpoint, resume=resume):
+    with tracer.span(
+        "pipeline", checkpoint=checkpoint, resume=resume, workers=workers
+    ):
         with tracer.span("discover"):
             inventory = None
+            inventory_path: Optional[Path] = artifact_dir / "inventory.json"
             inventory_key = "absent"
-            inventory_path = artifact_dir / "inventory.json"
             if inventory_path.exists():
                 inventory = Inventory.load(inventory_path)
                 if checkpoint:
                     inventory_key = _fingerprint(inventory_path)
+            else:
+                inventory_path = None
 
             store: Optional[_Checkpoint] = None
             if checkpoint:
@@ -360,134 +378,114 @@ def run_pipeline(
             )
             for dup in duplicate_files:
                 quarantine.file_incident(FILE_DUPLICATE_DAY, dup.name)
+
+            # Plan phase: one stat per file decides replay vs scan and
+            # feeds byte accounting — no file content is read here.
+            stats_by_name: Dict[str, Optional[object]] = {}
+            payloads: Dict[str, dict] = {}
+            bytes_read = 0
+            for path in unique_files:
+                try:
+                    st = path.stat()
+                except OSError:
+                    st = None
+                stats_by_name[path.name] = st
+                if st is not None:
+                    bytes_read += st.st_size
+                if store is not None:
+                    payload = store.payload_for(path, st)
+                    if payload is not None:
+                        payloads[path.name] = payload
+            to_scan = [p for p in unique_files if p.name not in payloads]
         tel.logger.event(
             "pipeline.start",
             day_files=len(unique_files),
             duplicates=len(duplicate_files),
+            workers=workers,
         )
 
-        extractor = XidExtractor(inventory)
+        stats = ExtractionStats()
         downtime_extractor = DowntimeExtractor()
-        hits: List[ErrorHit] = []
+        hits: list = []
         last_time = float("-inf")
         lines_read = 0
         parsed_lines = 0
         resumed_files = 0
-        bytes_read = 0
         extract_wall = 0.0
+        shard_rates: List[float] = []
 
-        with tracer.span("extract") as extract_span:
-            for index, path in enumerate(unique_files):
-                try:
-                    bytes_read += path.stat().st_size
-                except OSError:
-                    pass
-                fingerprint = _fingerprint(path) if checkpoint else ""
-                payload = (
-                    store.payload_for(path, fingerprint)
-                    if store is not None
-                    else None
+        pool = None
+        futures: Dict[str, object] = {}
+        if workers > 1 and len(to_scan) > 1:
+            try:
+                pool = create_scan_pool(
+                    min(workers, len(to_scan)), inventory_path
                 )
-                if payload is not None:
-                    hits.extend(_decode_hits(payload["hits"]))
-                    for time, host, message in payload["downtime_lines"]:
-                        downtime_extractor.feed(
-                            RawLine(time=time, host=host, message=message)
+                futures = {
+                    p.name: submit_scan(pool, p, checkpoint)
+                    for p in to_scan
+                }
+            except Exception:
+                # No process pool on this platform — run serial.
+                pool = None
+                futures = {}
+
+        try:
+            with tracer.span("extract") as extract_span:
+                for index, path in enumerate(unique_files):
+                    payload = payloads.get(path.name)
+                    if payload is not None:
+                        hits.extend(decode_hits(payload["hits"]))
+                        for time_, host, message in payload["downtime_lines"]:
+                            downtime_extractor.feed(
+                                RawLine(time=time_, host=host, message=message)
+                            )
+                        for name, delta in payload["stats"].items():
+                            setattr(stats, name, getattr(stats, name) + delta)
+                        quarantine.restore(payload["quarantine"])
+                        lines_read += payload["lines_read"]
+                        parsed_lines += payload["parsed_lines"]
+                        if payload["last_time"] is not None:
+                            last_time = max(last_time, payload["last_time"])
+                        resumed_files += 1
+                    else:
+                        scan = _resolve_scan(
+                            path, futures, inventory, checkpoint, tracer
                         )
-                    for name, delta in payload["stats"].items():
-                        setattr(
-                            extractor.stats,
-                            name,
-                            getattr(extractor.stats, name) + delta,
+                        last_time, day_payload = merge_scan(
+                            scan,
+                            last_time,
+                            quarantine,
+                            stats,
+                            downtime_extractor,
+                            hits,
                         )
-                    quarantine.restore(payload["quarantine"])
-                    lines_read += payload["lines_read"]
-                    parsed_lines += payload["parsed_lines"]
-                    if payload["last_time"] is not None:
-                        last_time = max(last_time, payload["last_time"])
-                    resumed_files += 1
-                else:
-                    with tracer.span("day", file=day_stem(path)) as day_span:
-                        stats_before = asdict(extractor.stats)
-                        quarantine_before = quarantine.snapshot()
-                        day_hits: List[ErrorHit] = []
-                        day_downtime: List[Tuple[float, str, str]] = []
-                        day_lines = 0
-                        day_parsed = 0
-                        for raw in iter_file_lines(path, quarantine):
-                            day_lines += 1
-                            if not raw.strip():
-                                continue
-                            try:
-                                line = parse_line(raw)
-                            except LogFormatError as exc:
-                                quarantine.reject(exc.reason, raw)
-                                extractor.stats.malformed_lines += 1
-                                continue
-                            if "�" in line.message:
-                                quarantine.repair(
-                                    REASON_ENCODING, line.message
-                                )
-                            if line.time < last_time:
-                                quarantine.repair(
-                                    REASON_CLOCK_STEP,
-                                    f"{line.host}: {line.time:.6f} clamped to "
-                                    f"{last_time:.6f}",
-                                )
-                                line = line._replace(time=last_time)
-                            else:
-                                last_time = line.time
-                            day_parsed += 1
-                            if _DOWNTIME_MARKER in line.message:
-                                day_downtime.append(
-                                    (line.time, line.host, line.message)
-                                )
-                                downtime_extractor.feed(line)
-                            hit = extractor.extract_line(line)
-                            if hit is not None:
-                                day_hits.append(hit)
-                        if day_span is not None:
-                            day_span.set_attr("lines", day_lines)
-                            day_span.set_attr("hits", len(day_hits))
-                    hits.extend(day_hits)
-                    lines_read += day_lines
-                    parsed_lines += day_parsed
-                    if store is not None:
-                        store.store(
-                            path,
-                            fingerprint,
-                            {
-                                "hits": _encode_hits(day_hits),
-                                "downtime_lines": [
-                                    list(d) for d in day_downtime
-                                ],
-                                "stats": _stats_delta(
-                                    extractor.stats, stats_before
-                                ),
-                                "quarantine": Quarantine.delta(
-                                    quarantine.snapshot(), quarantine_before
-                                ),
-                                "lines_read": day_lines,
-                                "parsed_lines": day_parsed,
-                                "last_time": (
-                                    last_time
-                                    if last_time != float("-inf")
-                                    else None
-                                ),
-                            },
+                        lines_read += scan.lines_read
+                        parsed_lines += scan.parsed_lines
+                        if scan.scan_wall_seconds > 0:
+                            shard_rates.append(
+                                scan.lines_read / scan.scan_wall_seconds
+                            )
+                        st = stats_by_name.get(path.name)
+                        if store is not None and st is not None:
+                            store.store(
+                                path, st, scan.fingerprint, day_payload
+                            )
+                    if (
+                        interrupt_after_files is not None
+                        and index + 1 >= interrupt_after_files
+                        and index + 1 < len(unique_files)
+                    ):
+                        raise PipelineInterrupted(
+                            f"interrupted after {index + 1}/"
+                            f"{len(unique_files)} day files"
                         )
-                if (
-                    interrupt_after_files is not None
-                    and index + 1 >= interrupt_after_files
-                    and index + 1 < len(unique_files)
-                ):
-                    raise PipelineInterrupted(
-                        f"interrupted after {index + 1}/{len(unique_files)} "
-                        f"day files"
-                    )
-        if extract_span is not None:
-            extract_wall = extract_span.wall_seconds
-            extract_span.set_attr("lines", lines_read)
+            if extract_span is not None:
+                extract_wall = extract_span.wall_seconds
+                extract_span.set_attr("lines", lines_read)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
         with tracer.span("coalesce"):
             errors = coalesce(hits, window_seconds, mode)
@@ -511,13 +509,15 @@ def run_pipeline(
             errors=errors,
             downtime=downtime,
             jobs=jobs,
-            extraction_stats=extractor.stats,
+            extraction_stats=stats,
             coalesce_window_seconds=window_seconds,
             raw_hits=len(hits),
             health=health,
         )
         if tel.enabled:
-            _flush_pipeline_metrics(tel, result, bytes_read, extract_wall)
+            _flush_pipeline_metrics(
+                tel, result, bytes_read, extract_wall, workers, shard_rates
+            )
         tel.logger.event(
             "pipeline.done",
             lines_read=lines_read,
@@ -526,3 +526,41 @@ def run_pipeline(
             repaired=health.total_repaired,
         )
     return result
+
+
+def _resolve_scan(
+    path: Path,
+    futures: Dict[str, object],
+    inventory: Optional[Inventory],
+    checkpoint: bool,
+    tracer,
+) -> DayScan:
+    """The scan for one day file: pool result, or in-process fallback.
+
+    A pool worker's crash (or the absence of a pool) degrades to
+    scanning the file in-process — parallelism is an optimization, not
+    a correctness dependency.  In-process scans are traced as ``day``
+    spans (the serial pipeline's per-file span); pool scans get a
+    ``shard`` span carrying the worker's wall time.
+    """
+    future = futures.get(path.name)
+    if future is not None:
+        try:
+            scan = future.result()
+        except Exception:
+            scan = None
+        if scan is not None:
+            with tracer.span("shard", file=day_stem(path)) as span:
+                if span is not None:
+                    span.set_attr("lines", scan.lines_read)
+                    span.set_attr("hits", len(scan.hits))
+                    span.set_attr(
+                        "scan_wall_seconds", scan.scan_wall_seconds
+                    )
+            return scan
+    with tracer.span("day", file=day_stem(path)) as span:
+        scan = scan_day_file(path, inventory, want_fingerprint=checkpoint)
+        if span is not None:
+            span.set_attr("lines", scan.lines_read)
+            span.set_attr("hits", len(scan.hits))
+    return scan

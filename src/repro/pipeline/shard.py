@@ -1,0 +1,432 @@
+"""Per-day shard scans and the deterministic merge contract.
+
+Stage II is embarrassingly parallel *except* for one piece of state
+that threads through the serial pass: the monotonic-timestamp
+watermark used to clamp NTP clock steps.  A worker scanning day *k*
+cannot know the watermark the serial pass would carry into that file
+(it depends on every earlier day), so a naive per-file pass diverges
+from the serial pass whenever a clock step crosses a day boundary.
+
+This module solves that by splitting each day's work into two halves:
+
+* :func:`scan_day_file` — the **watermark-independent scan**.  One day
+  file is streamed through the tolerant reader, parsed, extracted, and
+  clamped against a *local* watermark that starts at ``-inf``.  The
+  scan additionally records the minimal sufficient statistics needed
+  to re-derive, later, what a serial pass with *any* incoming
+  watermark ``W`` would have done (see below).  A scan depends only on
+  the file's bytes and the inventory, so scans can run in any order,
+  in any process.
+
+* :func:`merge_scan` — the **ordered reduce**.  Scans are folded in
+  day order against the running watermark.  The fold is exact, not
+  approximate: after merging, every accumulator (error hits, downtime
+  lines, extraction stats, quarantine counters *and samples*, line
+  counts, the outgoing watermark) is byte-identical to what the serial
+  pass produces for the same prefix of day files.
+
+Why the fix-up is exact
+-----------------------
+
+Let ``x_i`` be the raw parsed timestamps of one file and ``m_i`` their
+running maximum.  The serial pass with incoming watermark ``W`` emits
+clamped times ``y_i = max(W, m_i)``; the local scan emits
+``l_i = m_i``.  Hence ``y_i = max(l_i, W)`` — clamping commutes with
+the merge, and the fix-up is a single ``max`` per recorded time (error
+hits and downtime lines only; other lines carry no time downstream).
+
+Clock-step *accounting* needs one more observation: the serial pass
+counts a repair iff ``x_i < max(W, m_{i-1})``.  Lines already clamped
+locally (``x_i < m_{i-1}``) stay repairs under any ``W``.  Lines *not*
+clamped locally are each a new running maximum, so their values form a
+non-decreasing subsequence; the ones below ``W`` — the extra repairs
+the serial pass would have made at the shard boundary — are exactly a
+prefix of that subsequence.  The scan therefore keeps the unclamped
+timestamps (sorted by construction) and the merge derives the extra
+repair count with one ``bisect``, and the first few such lines (for
+quarantine samples) from the head of that subsequence.
+
+Quarantine samples are replayed in exact global order: every scan
+records its first ``sample_limit`` incidents per reason keyed by
+``(line_index, sub_position)``, the merge splices in boundary clamp
+candidates, sorts, and replays them through
+:meth:`~repro.syslog.quarantine.Quarantine.record_sample` while the
+counters are restored in bulk — so even the bounded sample list on the
+health report is identical between serial and parallel passes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from array import array
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.inventory import Inventory
+from ..core.exceptions import LogFormatError
+from ..core.xid import EventClass
+from ..syslog.quarantine import (
+    REASON_CLOCK_STEP,
+    REASON_ENCODING,
+    Quarantine,
+)
+from ..syslog.reader import RawLine, iter_file_lines, parse_line
+from .downtime import DOWNTIME_MARKER, DowntimeExtractor
+from .extract import ErrorHit, ExtractionStats, XidExtractor
+
+#: Sample-event operation codes (compact across the worker boundary).
+_OP_REJECT = "J"
+_OP_ENCODING = "E"
+_OP_CLOCK = "C"
+_OP_FILE = "F"
+
+#: Sub-position of an event within one line: encoding repairs are
+#: recorded before clock-step repairs by the serial pass.
+_SUB_FIRST = 0
+_SUB_CLOCK = 1
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class DayScan:
+    """Everything one worker derives from one day file.
+
+    All fields are plain picklable data so a scan can cross a process
+    boundary.  Times on ``hits`` and ``downtime_lines`` are clamped
+    against the *local* watermark only; :func:`merge_scan` stitches
+    them onto the global watermark.
+
+    Attributes:
+        day: the file name (manifest key).
+        fingerprint: SHA-256 of the on-disk bytes, hashed during the
+            streaming pass (empty when not requested).
+        lines_read: raw lines streamed (blank lines included).
+        parsed_lines: lines surviving parse + quarantine.
+        local_max: largest raw timestamp seen (``None`` when the file
+            yielded no parsed lines).
+        hits: extracted error hits, locally clamped.
+        downtime_lines: downtime-relevant lines, locally clamped.
+        stats: :class:`ExtractionStats` deltas for this file.
+        rejected / repaired / file_incidents: nonzero quarantine
+            counter deltas (``repaired`` holds *local* clock-step
+            counts; the merge adds boundary clamps).
+        events: first ``sample_limit``-per-reason incident events as
+            ``(line_idx, sub, op, a, b, c)`` tuples in line order.
+        boundary_candidates: the first ``sample_limit`` locally
+            *unclamped* lines as ``(line_idx, host, time)`` — the only
+            lines that can become clock-step repairs at the shard
+            boundary.
+        unclamped_times: sorted timestamps of all locally unclamped
+            lines (for the boundary repair count).
+        scan_wall_seconds: host wall-clock spent scanning (telemetry
+            only; never exported deterministically).
+        bytes_read: on-disk size actually streamed.
+    """
+
+    day: str
+    fingerprint: str = ""
+    lines_read: int = 0
+    parsed_lines: int = 0
+    local_max: Optional[float] = None
+    hits: List[ErrorHit] = field(default_factory=list)
+    downtime_lines: List[Tuple[float, str, str]] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    rejected: Dict[str, int] = field(default_factory=dict)
+    repaired: Dict[str, int] = field(default_factory=dict)
+    file_incidents: Dict[str, int] = field(default_factory=dict)
+    events: List[tuple] = field(default_factory=list)
+    boundary_candidates: List[Tuple[int, str, float]] = field(
+        default_factory=list
+    )
+    unclamped_times: array = field(default_factory=lambda: array("d"))
+    scan_wall_seconds: float = 0.0
+    bytes_read: int = 0
+
+
+class _IncidentRecorder:
+    """Quarantine-shaped sink the tolerant reader reports into.
+
+    Captures whole-file incidents with their position in the line
+    stream so the merge can interleave them into the global sample
+    order exactly where the serial pass would have recorded them.
+    """
+
+    def __init__(self, scan: DayScan, event_counts, sample_limit: int):
+        self._scan = scan
+        self._counts = event_counts
+        self._limit = sample_limit
+        self.line_idx = 0
+
+    def file_incident(self, reason: str, name: str) -> None:
+        scan = self._scan
+        scan.file_incidents[reason] = scan.file_incidents.get(reason, 0) + 1
+        if self._counts.get(reason, 0) < self._limit:
+            self._counts[reason] = self._counts.get(reason, 0) + 1
+            scan.events.append(
+                (self.line_idx + 1, _SUB_FIRST, _OP_FILE, reason, name, None)
+            )
+
+
+def scan_day_file(
+    path: Path,
+    inventory: Optional[Inventory] = None,
+    want_fingerprint: bool = False,
+    sample_limit: int = Quarantine.DEFAULT_SAMPLE_LIMIT,
+) -> DayScan:
+    """Run the watermark-independent half of Stage II over one file.
+
+    This is the pipeline's hot loop, shared verbatim by the serial
+    pass (``workers=1``) and every pool worker — parallelism cannot
+    change per-line behaviour because there is only one implementation
+    of it.
+    """
+    started = time.perf_counter()
+    scan = DayScan(day=path.name)
+    try:
+        scan.bytes_read = path.stat().st_size
+    except OSError:
+        pass
+    hasher = hashlib.sha256() if want_fingerprint else None
+    extractor = XidExtractor(inventory)
+    event_counts: Dict[str, int] = {}
+    recorder = _IncidentRecorder(scan, event_counts, sample_limit)
+
+    events = scan.events
+    hits = scan.hits
+    downtime_lines = scan.downtime_lines
+    unclamped = scan.unclamped_times
+    boundary = scan.boundary_candidates
+    rejected = scan.rejected
+    local_last = _NEG_INF
+    local_clock_repairs = 0
+    encoding_repairs = 0
+    line_idx = 0
+    parsed_count = 0
+
+    for raw in iter_file_lines(path, recorder, hasher):
+        line_idx += 1
+        recorder.line_idx = line_idx
+        if not raw.strip():
+            continue
+        try:
+            line = parse_line(raw)
+        except LogFormatError as exc:
+            reason = exc.reason
+            rejected[reason] = rejected.get(reason, 0) + 1
+            extractor.stats.malformed_lines += 1
+            if event_counts.get(reason, 0) < sample_limit:
+                event_counts[reason] = event_counts.get(reason, 0) + 1
+                events.append(
+                    (
+                        line_idx,
+                        _SUB_FIRST,
+                        _OP_REJECT,
+                        reason,
+                        raw.rstrip("\n"),
+                        None,
+                    )
+                )
+            continue
+        if "�" in line.message:
+            encoding_repairs += 1
+            if event_counts.get(REASON_ENCODING, 0) < sample_limit:
+                event_counts[REASON_ENCODING] = (
+                    event_counts.get(REASON_ENCODING, 0) + 1
+                )
+                events.append(
+                    (
+                        line_idx,
+                        _SUB_FIRST,
+                        _OP_ENCODING,
+                        REASON_ENCODING,
+                        line.message,
+                        None,
+                    )
+                )
+        if line.time < local_last:
+            local_clock_repairs += 1
+            if event_counts.get(REASON_CLOCK_STEP, 0) < sample_limit:
+                event_counts[REASON_CLOCK_STEP] = (
+                    event_counts.get(REASON_CLOCK_STEP, 0) + 1
+                )
+                events.append(
+                    (
+                        line_idx,
+                        _SUB_CLOCK,
+                        _OP_CLOCK,
+                        line.host,
+                        line.time,
+                        local_last,
+                    )
+                )
+            line = line._replace(time=local_last)
+        else:
+            unclamped.append(line.time)
+            if len(boundary) < sample_limit:
+                boundary.append((line_idx, line.host, line.time))
+            local_last = line.time
+        parsed_count += 1
+        if DOWNTIME_MARKER in line.message:
+            downtime_lines.append((line.time, line.host, line.message))
+        hit = extractor.extract_line(line)
+        if hit is not None:
+            hits.append(hit)
+
+    scan.lines_read = line_idx
+    scan.parsed_lines = parsed_count
+    scan.local_max = local_last if local_last != _NEG_INF else None
+    if encoding_repairs:
+        scan.repaired[REASON_ENCODING] = encoding_repairs
+    if local_clock_repairs:
+        scan.repaired[REASON_CLOCK_STEP] = local_clock_repairs
+    scan.stats = {
+        name: value
+        for name, value in vars(extractor.stats).items()
+        if value
+    }
+    if hasher is not None:
+        scan.fingerprint = hasher.hexdigest()
+    scan.scan_wall_seconds = time.perf_counter() - started
+    return scan
+
+
+def decode_hits(rows: List[list]) -> List[ErrorHit]:
+    """Inverse of the hit rows in a checkpoint payload."""
+    return [
+        ErrorHit(
+            time=row[0],
+            node=row[1],
+            gpu_index=row[2],
+            pci_address=row[3],
+            event_class=EventClass(row[4]),
+            xid=row[5],
+        )
+        for row in rows
+    ]
+
+
+def merge_scan(
+    scan: DayScan,
+    watermark: float,
+    quarantine: Quarantine,
+    stats: ExtractionStats,
+    downtime_extractor: DowntimeExtractor,
+    hits_out: List[ErrorHit],
+) -> Tuple[float, dict]:
+    """Fold one scan into the global accumulators, in day order.
+
+    Args:
+        scan: the shard to merge (its day must be the next one in
+            order).
+        watermark: the monotonic watermark carried out of the previous
+            day (``-inf`` for the first).
+        quarantine: the run's global quarantine (counters restored in
+            bulk, samples replayed in order).
+        stats: the run's global extraction stats (deltas added).
+        downtime_extractor: the run's downtime state machine (fed the
+            shard's downtime lines, stitched times, in line order).
+        hits_out: the run's accumulated error hits.
+
+    Returns:
+        ``(new_watermark, checkpoint_payload)`` — the watermark to
+        carry into the next day and the per-day payload the checkpoint
+        store persists (identical to what a serial pass would persist).
+    """
+    # Boundary clamps: locally unclamped lines below the incoming
+    # watermark would have been repaired by the serial pass.
+    boundary_repairs = 0
+    if watermark != _NEG_INF and scan.unclamped_times:
+        boundary_repairs = bisect_left(scan.unclamped_times, watermark)
+
+    # --- counters (exact, bulk) --------------------------------------
+    repaired = dict(scan.repaired)
+    if boundary_repairs:
+        repaired[REASON_CLOCK_STEP] = (
+            repaired.get(REASON_CLOCK_STEP, 0) + boundary_repairs
+        )
+    delta: Dict[str, Dict[str, int]] = {}
+    if scan.rejected:
+        delta["rejected"] = dict(scan.rejected)
+    if repaired:
+        delta["repaired"] = repaired
+    if scan.file_incidents:
+        delta["file_incidents"] = dict(scan.file_incidents)
+    quarantine.restore(delta)
+
+    # --- samples (exact global order) --------------------------------
+    events = scan.events
+    if boundary_repairs:
+        events = list(events)
+        for line_idx, host, raw_time in scan.boundary_candidates:
+            if raw_time < watermark:
+                insort(
+                    events,
+                    (line_idx, _SUB_CLOCK, _OP_CLOCK, host, raw_time, _NEG_INF),
+                )
+    for line_idx, sub, op, a, b, c in events:
+        if op == _OP_CLOCK:
+            target = c if c > watermark else watermark
+            quarantine.record_sample(
+                REASON_CLOCK_STEP,
+                f"{a}: {b:.6f} clamped to {target:.6f}",
+                repaired=True,
+            )
+        elif op == _OP_REJECT:
+            quarantine.record_sample(a, b, repaired=False)
+        elif op == _OP_ENCODING:
+            quarantine.record_sample(REASON_ENCODING, b, repaired=True)
+        else:  # _OP_FILE
+            quarantine.record_sample(a, b, repaired=False)
+
+    # --- stats --------------------------------------------------------
+    for name, value in scan.stats.items():
+        setattr(stats, name, getattr(stats, name) + value)
+
+    # --- hits and downtime lines (watermark stitch) -------------------
+    if watermark != _NEG_INF:
+        day_hits = [
+            ErrorHit(
+                time=watermark,
+                node=h.node,
+                gpu_index=h.gpu_index,
+                pci_address=h.pci_address,
+                event_class=h.event_class,
+                xid=h.xid,
+            )
+            if h.time < watermark
+            else h
+            for h in scan.hits
+        ]
+        day_downtime = [
+            (watermark if t < watermark else t, host, message)
+            for t, host, message in scan.downtime_lines
+        ]
+    else:
+        day_hits = list(scan.hits)
+        day_downtime = [tuple(d) for d in scan.downtime_lines]
+    hits_out.extend(day_hits)
+    for t, host, message in day_downtime:
+        downtime_extractor.feed(RawLine(time=t, host=host, message=message))
+
+    # --- watermark ----------------------------------------------------
+    new_watermark = watermark
+    if scan.local_max is not None and scan.local_max > new_watermark:
+        new_watermark = scan.local_max
+
+    payload = {
+        "hits": [
+            [h.time, h.node, h.gpu_index, h.pci_address, h.event_class.value, h.xid]
+            for h in day_hits
+        ],
+        "downtime_lines": [list(d) for d in day_downtime],
+        "stats": dict(scan.stats),
+        "quarantine": delta,
+        "lines_read": scan.lines_read,
+        "parsed_lines": scan.parsed_lines,
+        "last_time": new_watermark if new_watermark != _NEG_INF else None,
+    }
+    return new_watermark, payload

@@ -73,7 +73,11 @@ class Quarantine:
     #: Longest raw-line excerpt kept in a sample record.
     DETAIL_LIMIT = 200
 
-    def __init__(self, sample_limit: int = 10) -> None:
+    #: Default max sampled records per reason (shared with the sharded
+    #: pipeline, whose per-shard event caps must match this bound).
+    DEFAULT_SAMPLE_LIMIT = 10
+
+    def __init__(self, sample_limit: int = DEFAULT_SAMPLE_LIMIT) -> None:
         self._sample_limit = sample_limit
         self.rejected: Counter = Counter()
         self.repaired: Counter = Counter()
@@ -105,6 +109,16 @@ class Quarantine:
         """Record one whole-file problem."""
         self.file_incidents[reason] += 1
         self._sample(reason, name, repaired=False)
+
+    def record_sample(self, reason: str, detail: str, repaired: bool) -> None:
+        """Append one sample *without* touching the counters.
+
+        The sharded pipeline accounts counters in bulk via
+        :meth:`restore` and replays the per-shard sample events in
+        global line order through this hook, so a parallel pass
+        reconstructs exactly the sample list a serial pass records.
+        """
+        self._sample(reason, detail, repaired=repaired)
 
     @property
     def total_rejected(self) -> int:
