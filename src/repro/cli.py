@@ -471,6 +471,42 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .core.periods import StudyWindow
+    from .stream import StreamService
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    telemetry = _telemetry_from_args(args, wall_clock=True)
+    service = StreamService(
+        Path(args.follow),
+        port=None if args.port < 0 else args.port,
+        checkpoint_dir=Path(args.checkpoint) if args.checkpoint else None,
+        resume=args.resume,
+        once=args.once,
+        poll_interval=args.poll_interval,
+        checkpoint_interval=args.checkpoint_interval,
+        window_seconds=args.coalesce_window,
+        window=StudyWindow.delta_default() if args.delta_window else None,
+        node_count=args.nodes,
+        fleet_out=Path(args.fleet_out) if args.fleet_out else None,
+        alerts_out=Path(args.alerts_out) if args.alerts_out else None,
+        idle_exit=args.idle_exit,
+        telemetry=telemetry,
+    )
+    if service.server is not None:
+        print(
+            f"fleet-health service on http://{service.server.address} "
+            "(/healthz /metrics /v1/fleet /v1/alerts)",
+            flush=True,
+        )
+    code = service.run()
+    print(service.health_report().render())
+    _finish_telemetry(telemetry, args)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -619,6 +655,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="convert the span JSONL at PATH to Chrome trace_event JSON",
     )
     obs.set_defaults(func=_cmd_obs)
+
+    stream = sub.add_parser(
+        "stream",
+        help="live fleet-health service over a growing syslog directory",
+        parents=[obs_flags],
+        epilog=(
+            "graceful shutdown:\n"
+            "  SIGTERM/SIGINT stop the follow loop after the in-flight\n"
+            "  poll, persist a final checkpoint, flush --fleet-out, and\n"
+            "  exit 0 (the expected daemon exit path, not an error).\n\n"
+            + _EXIT_CODE_DOC
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    stream.add_argument(
+        "--follow", metavar="DIR", required=True,
+        help="artifact dir (containing syslog/) or the syslog dir itself",
+    )
+    stream.add_argument(
+        "--port", type=int, default=8787,
+        help="HTTP port for /healthz /metrics /v1/fleet /v1/alerts "
+             "(0 = ephemeral, -1 = no server)",
+    )
+    stream.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="directory for the durable resume state (stream offsets, "
+             "coalescer, quarantine)",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint DIR when a checkpoint exists",
+    )
+    stream.add_argument(
+        "--once", action="store_true",
+        help="ingest everything on disk, drain, write outputs, exit",
+    )
+    stream.add_argument("--poll-interval", type=float, default=1.0,
+                        metavar="SECONDS")
+    stream.add_argument("--checkpoint-interval", type=float, default=10.0,
+                        metavar="SECONDS")
+    stream.add_argument("--coalesce-window", type=float, default=30.0)
+    stream.add_argument("--nodes", type=int, default=106,
+                        help="fleet size for per-node MTBE scaling")
+    stream.add_argument(
+        "--delta-window", action="store_true",
+        help="use the full Delta study window for /v1/fleet instead of "
+             "inferring one from the watermark",
+    )
+    stream.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="drain and exit cleanly after this long without new lines",
+    )
+    stream.add_argument(
+        "--fleet-out", metavar="PATH", default=None,
+        help="write the final fleet snapshot JSON here on exit",
+    )
+    stream.add_argument(
+        "--alerts-out", metavar="PATH", default=None,
+        help="append fired alerts to this JSON-lines file",
+    )
+    stream.set_defaults(func=_cmd_stream)
     return parser
 
 

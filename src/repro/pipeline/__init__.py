@@ -5,6 +5,7 @@ sharded across a process pool with a deterministic merge."""
 from .coalesce import (
     DEFAULT_WINDOW_SECONDS,
     ErrorCoalescer,
+    StreamingCoalescer,
     WindowMode,
     coalesce,
     iter_coalesced,
@@ -12,16 +13,26 @@ from .coalesce import (
 from .downtime import DOWNTIME_MARKER, DowntimeExtractor, extract_downtime
 from .extract import ErrorHit, ExtractionStats, XidExtractor, extract_all
 from .health import PipelineHealthReport, day_coverage
+from .metrics import PipelineMetricSet, PipelineTotals
 from .parallel import host_cores, resolve_workers
-from .run import CHECKPOINT_DIRNAME, PipelineResult, run_pipeline
+from .run import (
+    CHECKPOINT_DIRNAME,
+    PipelineResult,
+    run_pipeline,
+    totals_from_result,
+)
 from .shard import DayScan, merge_scan, scan_day_file
 
 __all__ = [
     "DEFAULT_WINDOW_SECONDS",
     "ErrorCoalescer",
+    "StreamingCoalescer",
     "WindowMode",
     "coalesce",
     "iter_coalesced",
+    "PipelineMetricSet",
+    "PipelineTotals",
+    "totals_from_result",
     "DOWNTIME_MARKER",
     "DowntimeExtractor",
     "extract_downtime",

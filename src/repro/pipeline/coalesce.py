@@ -155,6 +155,312 @@ def coalesce(
     return errors
 
 
+class StreamingCoalescer:
+    """Watermark-evicting coalescer whose drained output is *identical*
+    to batch :func:`coalesce` over the same hit stream.
+
+    The batch coalescer holds every open group until end of input, which
+    a long-running service cannot afford.  This variant adds
+    :meth:`evict`: once the stream watermark has passed a group's window
+    boundary, no future hit can merge into it (hits arrive in
+    non-decreasing time order within the pipeline's 1e-9 tolerance, so
+    any future hit lies at or beyond the boundary and would complete
+    the group anyway), and the group can be emitted early and its
+    memory reclaimed.
+
+    Matching the batch output *order* — not just the set — requires
+    reconstructing :func:`coalesce`'s stable sort.  Batch output is the
+    stable time-sort of push-completions (in push order) followed by
+    flush-completions (in key first-insertion order), i.e. a sort by
+    the key ``(time, tag, rank)`` with ``tag=0, rank=push index`` for
+    push-completions and ``tag=1, rank=key insertion order`` for
+    flush-completions.  An evicted group's rank is therefore *deferred*:
+    if a later identical hit arrives at push index ``p``, batch would
+    have completed the group there (``tag=0, rank=p``); if the stream
+    ends first, batch would have flushed it (``tag=1, rank=key order``).
+    :meth:`errors` applies the reconstructed sort, so a fully drained
+    streaming pass is list-equal to the batch pass by construction.
+
+    Args:
+        window_seconds: the Δt window.
+        mode: tumbling (paper) or sliding (ablation).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        mode: WindowMode = WindowMode.TUMBLING,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError(f"window must be non-negative, got {window_seconds}")
+        self._window = window_seconds
+        self._mode = mode
+        self._open: Dict[Tuple[str, object, EventClass], _OpenGroup] = {}
+        #: key -> first-ever insertion index (batch dict order proxy).
+        self._key_order: Dict[Tuple[str, object, EventClass], int] = {}
+        #: completed errors as mutable ``[error, tag, rank]`` entries;
+        #: evicted entries carry ``tag=None`` until their rank resolves.
+        self._emitted: List[List[object]] = []
+        #: key -> index into ``_emitted`` of its unresolved eviction.
+        self._pending: Dict[Tuple[str, object, EventClass], int] = {}
+        self._pushes = 0
+        self._last_time: Optional[float] = None
+        self._drained = False
+
+    @property
+    def window_seconds(self) -> float:
+        """The Δt in use."""
+        return self._window
+
+    @property
+    def mode(self) -> WindowMode:
+        """The window semantics in use."""
+        return self._mode
+
+    @property
+    def open_groups(self) -> int:
+        """Number of groups still accumulating hits."""
+        return len(self._open)
+
+    @property
+    def completed_count(self) -> int:
+        """Errors completed so far (excludes open groups)."""
+        return len(self._emitted)
+
+    def _boundary(self, group: _OpenGroup) -> float:
+        return (
+            group.first.time + self._window
+            if self._mode is WindowMode.TUMBLING
+            else group.last_time + self._window
+        )
+
+    def push(self, hit: ErrorHit) -> Optional[ExtractedError]:
+        """Feed one hit; returns a completed error when one closes.
+
+        Hits must arrive in non-decreasing time order (1e-9 tolerance,
+        same contract as :class:`ErrorCoalescer`).
+        """
+        if self._drained:
+            raise ValueError("coalescer already drained")
+        if self._last_time is not None and hit.time < self._last_time - 1e-9:
+            raise ValueError(
+                f"hits out of order: {hit.time} after {self._last_time}"
+            )
+        self._last_time = hit.time
+        self._pushes += 1
+        key = _identity(hit)
+        if key not in self._key_order:
+            self._key_order[key] = len(self._key_order)
+        pending = self._pending.pop(key, None)
+        if pending is not None:
+            # Batch would have completed the evicted group at this very
+            # push; resolve its deferred rank accordingly.
+            entry = self._emitted[pending]
+            entry[1] = 0
+            entry[2] = self._pushes
+        group = self._open.get(key)
+        if group is None:
+            self._open[key] = _OpenGroup(first=hit, last_time=hit.time, count=1)
+            return None
+        if hit.time < self._boundary(group):
+            group.last_time = hit.time
+            group.count += 1
+            return None
+        completed = ErrorCoalescer._to_error(group)
+        self._emitted.append([completed, 0, self._pushes])
+        self._open[key] = _OpenGroup(first=hit, last_time=hit.time, count=1)
+        return completed
+
+    def evict(self, watermark: float) -> List[ExtractedError]:
+        """Close every group whose window boundary the watermark passed.
+
+        Safe by the ordering contract: a future hit has time at least
+        ``watermark - 1e-9``, so a group with boundary at or below that
+        can never absorb another merge.  Returns the newly completed
+        errors in eviction order (callers feed them to estimators; the
+        batch-identical ordering is applied later by :meth:`errors`).
+        """
+        if self._drained:
+            raise ValueError("coalescer already drained")
+        completed: List[ExtractedError] = []
+        for key in [
+            k
+            for k, g in self._open.items()
+            if self._boundary(g) <= watermark - 1e-9
+        ]:
+            error = ErrorCoalescer._to_error(self._open.pop(key))
+            self._pending[key] = len(self._emitted)
+            self._emitted.append([error, None, None])
+            completed.append(error)
+        return completed
+
+    def drain(self) -> List[ExtractedError]:
+        """End of stream: flush open groups, resolve deferred ranks.
+
+        Returns only the *newly* completed errors (the final flush), in
+        batch flush order; use :meth:`errors` for the full sorted list.
+        Idempotent — a second drain returns an empty list.
+        """
+        if self._drained:
+            return []
+        flushed = [
+            (self._key_order[key], ErrorCoalescer._to_error(group))
+            for key, group in self._open.items()
+        ]
+        self._open.clear()
+        for rank, error in flushed:
+            self._emitted.append([error, 1, rank])
+        for key, index in self._pending.items():
+            entry = self._emitted[index]
+            entry[1] = 1
+            entry[2] = self._key_order[key]
+        self._pending.clear()
+        self._drained = True
+        flushed.sort(key=lambda pair: pair[1].time)
+        return [error for _, error in flushed]
+
+    def errors(self) -> List[ExtractedError]:
+        """All completed errors in batch-identical order.
+
+        After :meth:`drain` this is exactly what :func:`coalesce` would
+        return for the same hit stream.  Before drain, still-pending
+        evictions sort with their provisional flush rank and open
+        groups are absent, so the list is a (correct-so-far) prefix
+        view rather than the final answer.
+        """
+        provisional = {
+            index: self._key_order[key]
+            for key, index in self._pending.items()
+        }
+
+        def sort_key(pair: Tuple[int, List[object]]) -> Tuple[float, int, int]:
+            index, entry = pair
+            error, tag, rank = entry
+            if tag is None:
+                return (error.time, 1, provisional[index])  # type: ignore[union-attr]
+            return (error.time, tag, rank)  # type: ignore[return-value]
+
+        return [
+            entry[0]  # type: ignore[misc]
+            for _, entry in sorted(enumerate(self._emitted), key=sort_key)
+        ]
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serializable state for checkpointing."""
+        return {
+            "window_seconds": self._window,
+            "mode": self._mode.value,
+            "pushes": self._pushes,
+            "last_time": self._last_time,
+            "drained": self._drained,
+            "key_order": [
+                [_key_to_json(key), order]
+                for key, order in self._key_order.items()
+            ],
+            "open": [
+                [_key_to_json(key), _hit_to_json(g.first), g.last_time, g.count]
+                for key, g in self._open.items()
+            ],
+            "pending": [
+                [_key_to_json(key), index]
+                for key, index in self._pending.items()
+            ],
+            "emitted": [
+                [_error_to_json(error), tag, rank]
+                for error, tag, rank in self._emitted
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StreamingCoalescer":
+        """Rebuild a coalescer from :meth:`to_state` output."""
+        self = cls(
+            window_seconds=float(state["window_seconds"]),  # type: ignore[arg-type]
+            mode=WindowMode(state["mode"]),
+        )
+        self._pushes = int(state["pushes"])  # type: ignore[call-overload]
+        last_time = state.get("last_time")
+        self._last_time = None if last_time is None else float(last_time)  # type: ignore[arg-type]
+        self._drained = bool(state["drained"])
+        for raw_key, order in state["key_order"]:  # type: ignore[union-attr]
+            self._key_order[_key_from_json(raw_key)] = int(order)
+        for raw_key, raw_hit, last, count in state["open"]:  # type: ignore[union-attr]
+            self._open[_key_from_json(raw_key)] = _OpenGroup(
+                first=_hit_from_json(raw_hit),
+                last_time=float(last),
+                count=int(count),
+            )
+        for raw_key, index in state["pending"]:  # type: ignore[union-attr]
+            self._pending[_key_from_json(raw_key)] = int(index)
+        for raw_error, tag, rank in state["emitted"]:  # type: ignore[union-attr]
+            self._emitted.append(
+                [
+                    _error_from_json(raw_error),
+                    None if tag is None else int(tag),
+                    None if rank is None else int(rank),
+                ]
+            )
+        return self
+
+
+def _key_to_json(key: Tuple[str, object, EventClass]) -> List[object]:
+    node, gpu_key, event_class = key
+    return [node, gpu_key, event_class.value]
+
+
+def _key_from_json(raw: object) -> Tuple[str, object, EventClass]:
+    node, gpu_key, class_value = raw  # type: ignore[misc]
+    return (node, gpu_key, EventClass(class_value))
+
+
+def _hit_to_json(hit: ErrorHit) -> List[object]:
+    return [
+        hit.time,
+        hit.node,
+        hit.gpu_index,
+        hit.pci_address,
+        hit.event_class.value,
+        hit.xid,
+    ]
+
+
+def _hit_from_json(raw: object) -> ErrorHit:
+    time, node, gpu_index, pci_address, class_value, xid = raw  # type: ignore[misc]
+    return ErrorHit(
+        time=float(time),
+        node=node,
+        gpu_index=gpu_index,
+        pci_address=pci_address,
+        event_class=EventClass(class_value),
+        xid=xid,
+    )
+
+
+def _error_to_json(error: ExtractedError) -> List[object]:
+    return [
+        error.time,
+        error.node,
+        error.gpu_index,
+        error.event_class.value,
+        error.xid,
+        error.raw_line_count,
+        error.last_time,
+    ]
+
+
+def _error_from_json(raw: object) -> ExtractedError:
+    time, node, gpu_index, class_value, xid, count, last = raw  # type: ignore[misc]
+    return ExtractedError(
+        time=float(time),
+        node=node,
+        gpu_index=gpu_index,
+        event_class=EventClass(class_value),
+        xid=xid,
+        raw_line_count=int(count),
+        last_time=None if last is None else float(last),
+    )
+
+
 def iter_coalesced(
     hits: Iterable[ErrorHit],
     window_seconds: float = DEFAULT_WINDOW_SECONDS,

@@ -101,6 +101,63 @@ class DowntimeExtractor:
         self._records.sort(key=lambda r: r.start)
         return self._records
 
+    def records(self) -> List[DowntimeRecord]:
+        """Completed episodes so far, in start order (non-destructive).
+
+        Unlike :meth:`finish` this leaves open outages tracked, so a
+        live consumer (the streaming fleet-health service) can render
+        provisional availability figures between polls and still get
+        the batch-identical answer from a later :meth:`finish`.
+        """
+        return sorted(self._records, key=lambda r: r.start)
+
+    @property
+    def open_outages(self) -> int:
+        """Nodes currently out of service (not yet returned)."""
+        return len(self._open)
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serializable state for checkpointing."""
+        return {
+            "open": [
+                [node, start, cause.value, kind]
+                for node, (start, cause, kind) in self._open.items()
+            ],
+            "records": [
+                [r.node, r.start, r.end, r.cause.value, r.gpu_replaced]
+                for r in self._records
+            ],
+            "stats": [
+                self.stats.episodes,
+                self.stats.unmatched_returns,
+                self.stats.dangling_outages,
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "DowntimeExtractor":
+        """Rebuild an extractor from :meth:`to_state` output."""
+        self = cls()
+        for node, start, cause_value, kind in state["open"]:  # type: ignore[union-attr]
+            self._open[node] = (float(start), EventClass(cause_value), kind)
+        for node, start, end, cause_value, swapped in state["records"]:  # type: ignore[union-attr]
+            self._records.append(
+                DowntimeRecord(
+                    node=node,
+                    start=float(start),
+                    end=float(end),
+                    cause=EventClass(cause_value),
+                    gpu_replaced=bool(swapped),
+                )
+            )
+        episodes, unmatched, dangling = state["stats"]  # type: ignore[misc]
+        self.stats = DowntimeExtractionStats(
+            episodes=int(episodes),
+            unmatched_returns=int(unmatched),
+            dangling_outages=int(dangling),
+        )
+        return self
+
 
 def extract_downtime(log_dir: Path) -> List[DowntimeRecord]:
     """Extract every completed unavailability episode from raw logs."""

@@ -1,0 +1,207 @@
+"""Canonical Stage-II metric families, shared by batch and stream.
+
+The batch pipeline used to publish its counters inline from
+``run.py``; the live fleet-health service (:mod:`repro.stream`) must
+publish the *same* families — identical metric names, help strings,
+and label sets — or dashboards built against one would silently break
+against the other.  This module is the single definition both paths
+import: :class:`PipelineMetricSet` registers every family once, and
+:class:`PipelineTotals` is the neutral counter bundle either caller
+fills in.
+
+Counters are monotonic in the registry, so the streaming path (which
+republishes growing totals after every poll) goes through
+:meth:`PipelineMetricSet.publish_totals`, which increments by the
+delta since its own last publication.  The batch path publishes one
+final snapshot through the same method (its first delta *is* the
+total) plus the host-domain throughput gauges that only make sense
+for a finished pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..obs.metrics import MetricsRegistry
+
+
+@dataclass
+class PipelineTotals:
+    """Cumulative Stage-II accounting in metric-ready form.
+
+    Attributes mirror the counter families one-to-one; labeled
+    families (``quarantined``/``repaired``/``file_incidents``) are
+    per-reason dicts.  All values are running totals — delta handling
+    lives in :class:`PipelineMetricSet`.
+    """
+
+    lines_read: int = 0
+    parsed_lines: int = 0
+    bytes_read: int = 0
+    matched_lines: int = 0
+    excluded_xid_lines: int = 0
+    malformed_lines: int = 0
+    raw_hits: int = 0
+    coalesced_errors: int = 0
+    downtime_episodes: int = 0
+    job_records: int = 0
+    resumed_files: int = 0
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    repaired: Dict[str, int] = field(default_factory=dict)
+    file_incidents: Dict[str, int] = field(default_factory=dict)
+    days_present: int = 0
+    days_missing: int = 0
+    completeness: float = 1.0
+
+
+class PipelineMetricSet:
+    """Registers the shared ``pipeline_*`` families on one registry.
+
+    Instantiate once per run (batch pass or stream service) and call
+    :meth:`publish_totals` with growing :class:`PipelineTotals`; each
+    call increments counters by the delta since the previous call on
+    *this instance*, so repeated publication never double-counts and a
+    single publication degenerates to the classic one-shot flush.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        m = metrics
+        self.lines_read = m.counter(
+            "pipeline_lines_read_total", "raw lines streamed from disk"
+        )
+        self.lines_parsed = m.counter(
+            "pipeline_lines_parsed_total", "lines surviving parse + quarantine"
+        )
+        self.bytes_read = m.counter(
+            "pipeline_bytes_read_total", "bytes of day files consumed"
+        )
+        self.matched_lines = m.counter(
+            "pipeline_matched_lines_total", "lines matching an analyzed pattern"
+        )
+        self.excluded_xid_lines = m.counter(
+            "pipeline_excluded_xid_lines_total", "XID 13/43 lines skipped"
+        )
+        self.malformed_lines = m.counter(
+            "pipeline_malformed_lines_total", "lines that failed to parse"
+        )
+        self.raw_hits = m.counter(
+            "pipeline_raw_hits_total", "matched raw hits before coalescing"
+        )
+        self.coalesced_errors = m.counter(
+            "pipeline_coalesced_errors_total", "logical errors after coalescing"
+        )
+        self.downtime_episodes = m.counter(
+            "pipeline_downtime_episodes_total", "downtime episodes recovered"
+        )
+        self.job_records = m.counter(
+            "pipeline_job_records_total", "accounting records loaded"
+        )
+        self.resumed_files = m.counter(
+            "pipeline_resumed_files_total", "day files replayed from checkpoint"
+        )
+        self.quarantined = m.counter(
+            "pipeline_quarantined_lines_total",
+            "lines dropped by the quarantine, by reason",
+            labels=("reason",),
+        )
+        self.repaired = m.counter(
+            "pipeline_repaired_lines_total",
+            "lines kept after a lossy repair, by reason",
+            labels=("reason",),
+        )
+        self.file_incidents = m.counter(
+            "pipeline_file_incidents_total",
+            "whole-file incidents, by reason",
+            labels=("reason",),
+        )
+        self.day_coverage = m.gauge(
+            "pipeline_day_coverage",
+            "day files by coverage state",
+            labels=("state",),
+        )
+        self.completeness = m.gauge(
+            "pipeline_completeness",
+            "estimated fraction of emitted telemetry analyzed",
+        )
+        self._metrics = m
+        self._published = PipelineTotals()
+
+    def publish_totals(self, totals: PipelineTotals) -> None:
+        """Sync the registry to ``totals`` (incrementing by the delta).
+
+        Safe to call after every poll: counters move by exactly the
+        growth since the last call, labeled counters per reason, and
+        the coverage/completeness gauges are set to the current value.
+        """
+        prev = self._published
+        self.lines_read.inc(totals.lines_read - prev.lines_read)
+        self.lines_parsed.inc(totals.parsed_lines - prev.parsed_lines)
+        self.bytes_read.inc(totals.bytes_read - prev.bytes_read)
+        self.matched_lines.inc(totals.matched_lines - prev.matched_lines)
+        self.excluded_xid_lines.inc(
+            totals.excluded_xid_lines - prev.excluded_xid_lines
+        )
+        self.malformed_lines.inc(totals.malformed_lines - prev.malformed_lines)
+        self.raw_hits.inc(totals.raw_hits - prev.raw_hits)
+        self.coalesced_errors.inc(
+            totals.coalesced_errors - prev.coalesced_errors
+        )
+        self.downtime_episodes.inc(
+            totals.downtime_episodes - prev.downtime_episodes
+        )
+        self.job_records.inc(totals.job_records - prev.job_records)
+        self.resumed_files.inc(totals.resumed_files - prev.resumed_files)
+        for family, now, before in (
+            (self.quarantined, totals.quarantined, prev.quarantined),
+            (self.repaired, totals.repaired, prev.repaired),
+            (self.file_incidents, totals.file_incidents, prev.file_incidents),
+        ):
+            for reason, count in now.items():
+                delta = count - before.get(reason, 0)
+                if delta:
+                    family.labels(reason=reason).inc(delta)
+        self.day_coverage.labels(state="present").set(totals.days_present)
+        self.day_coverage.labels(state="missing").set(totals.days_missing)
+        self.completeness.set(totals.completeness)
+        self._published = totals
+
+    def publish_host_throughput(
+        self,
+        *,
+        workers: int,
+        shard_rates: List[float],
+        wall_seconds: float,
+        lines_read: int,
+        bytes_read: int,
+    ) -> None:
+        """Publish the host-domain throughput gauges for a batch pass.
+
+        Host-domain metrics are excluded from deterministic exports,
+        so these carry wall-clock-dependent rates the batch pipeline
+        reports once at the end of a pass.
+        """
+        m = self._metrics
+        m.gauge(
+            "pipeline_workers",
+            "process-pool size used for shard scans",
+            domain="host",
+        ).set(workers)
+        shard_hist = m.histogram(
+            "pipeline_shard_lines_per_second",
+            "per-day shard scan throughput",
+            domain="host",
+        )
+        for rate in shard_rates:
+            shard_hist.observe(rate)
+        if wall_seconds > 0:
+            m.gauge(
+                "pipeline_lines_per_second",
+                "extraction throughput",
+                domain="host",
+            ).set(lines_read / wall_seconds)
+            m.gauge(
+                "pipeline_bytes_per_second",
+                "extraction byte throughput",
+                domain="host",
+            ).set(bytes_read / wall_seconds)

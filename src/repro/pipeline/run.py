@@ -57,6 +57,7 @@ from .coalesce import DEFAULT_WINDOW_SECONDS, WindowMode, coalesce
 from .downtime import DowntimeExtractor
 from .extract import ExtractionStats
 from .health import PipelineHealthReport
+from .metrics import PipelineMetricSet, PipelineTotals
 from .parallel import create_scan_pool, submit_scan
 from .shard import DayScan, decode_hits, merge_scan, scan_day_file
 
@@ -192,6 +193,39 @@ class _Checkpoint:
         atomic_write_json(self._manifest_path, manifest)
 
 
+def totals_from_result(
+    result: PipelineResult, bytes_read: int
+) -> PipelineTotals:
+    """Bundle a finished pass's accounting for metric publication.
+
+    Built from the same :class:`PipelineResult` (and its health
+    report) the caller receives, so health data and telemetry cannot
+    drift apart — a regression test asserts the two agree after a
+    chaos-corrupted run.
+    """
+    stats = result.extraction_stats
+    health = result.health
+    return PipelineTotals(
+        lines_read=health.lines_read,
+        parsed_lines=health.parsed_lines,
+        bytes_read=bytes_read,
+        matched_lines=stats.matched_lines,
+        excluded_xid_lines=stats.excluded_xid_lines,
+        malformed_lines=stats.malformed_lines,
+        raw_hits=result.raw_hits,
+        coalesced_errors=len(result.errors),
+        downtime_episodes=len(result.downtime),
+        job_records=len(result.jobs),
+        resumed_files=health.resumed_files,
+        quarantined=dict(health.quarantined),
+        repaired=dict(health.repaired),
+        file_incidents=dict(health.file_incidents),
+        days_present=health.days_present,
+        days_missing=health.days_missing,
+        completeness=health.completeness,
+    )
+
+
 def _flush_pipeline_metrics(
     telemetry: Telemetry,
     result: PipelineResult,
@@ -202,101 +236,20 @@ def _flush_pipeline_metrics(
 ) -> None:
     """Mirror the finished pass's accounting into the metrics registry.
 
-    Counters are written once, from the same :class:`PipelineResult`
-    (and its health report) the caller receives, so health data and
-    telemetry cannot drift apart — a regression test asserts the two
-    agree after a chaos-corrupted run.
+    Publication goes through the shared
+    :class:`~repro.pipeline.metrics.PipelineMetricSet`, the same
+    definition the streaming fleet-health service uses, so the two
+    paths can never diverge on metric names, help strings, or labels.
     """
-    m = telemetry.metrics
-    stats = result.extraction_stats
-    health = result.health
-    m.counter(
-        "pipeline_lines_read_total", "raw lines streamed from disk"
-    ).inc(health.lines_read)
-    m.counter(
-        "pipeline_lines_parsed_total", "lines surviving parse + quarantine"
-    ).inc(health.parsed_lines)
-    m.counter(
-        "pipeline_bytes_read_total", "bytes of day files consumed"
-    ).inc(bytes_read)
-    m.counter(
-        "pipeline_matched_lines_total", "lines matching an analyzed pattern"
-    ).inc(stats.matched_lines)
-    m.counter(
-        "pipeline_excluded_xid_lines_total", "XID 13/43 lines skipped"
-    ).inc(stats.excluded_xid_lines)
-    m.counter(
-        "pipeline_malformed_lines_total", "lines that failed to parse"
-    ).inc(stats.malformed_lines)
-    m.counter(
-        "pipeline_raw_hits_total", "matched raw hits before coalescing"
-    ).inc(result.raw_hits)
-    m.counter(
-        "pipeline_coalesced_errors_total", "logical errors after coalescing"
-    ).inc(len(result.errors))
-    m.counter(
-        "pipeline_downtime_episodes_total", "downtime episodes recovered"
-    ).inc(len(result.downtime))
-    m.counter(
-        "pipeline_job_records_total", "accounting records loaded"
-    ).inc(len(result.jobs))
-    m.counter(
-        "pipeline_resumed_files_total", "day files replayed from checkpoint"
-    ).inc(health.resumed_files)
-    quarantined = m.counter(
-        "pipeline_quarantined_lines_total",
-        "lines dropped by the quarantine, by reason",
-        labels=("reason",),
+    metric_set = PipelineMetricSet(telemetry.metrics)
+    metric_set.publish_totals(totals_from_result(result, bytes_read))
+    metric_set.publish_host_throughput(
+        workers=workers,
+        shard_rates=shard_rates,
+        wall_seconds=extract_wall_seconds,
+        lines_read=result.health.lines_read,
+        bytes_read=bytes_read,
     )
-    for reason, count in health.quarantined.items():
-        quarantined.labels(reason=reason).inc(count)
-    repaired = m.counter(
-        "pipeline_repaired_lines_total",
-        "lines kept after a lossy repair, by reason",
-        labels=("reason",),
-    )
-    for reason, count in health.repaired.items():
-        repaired.labels(reason=reason).inc(count)
-    incidents = m.counter(
-        "pipeline_file_incidents_total",
-        "whole-file incidents, by reason",
-        labels=("reason",),
-    )
-    for reason, count in health.file_incidents.items():
-        incidents.labels(reason=reason).inc(count)
-    days = m.gauge(
-        "pipeline_day_coverage", "day files by coverage state", labels=("state",)
-    )
-    days.labels(state="present").set(health.days_present)
-    days.labels(state="missing").set(health.days_missing)
-    m.gauge(
-        "pipeline_completeness",
-        "estimated fraction of emitted telemetry analyzed",
-    ).set(health.completeness)
-    # Host-domain throughput (excluded from deterministic exports).
-    m.gauge(
-        "pipeline_workers",
-        "process-pool size used for shard scans",
-        domain="host",
-    ).set(workers)
-    shard_hist = m.histogram(
-        "pipeline_shard_lines_per_second",
-        "per-day shard scan throughput",
-        domain="host",
-    )
-    for rate in shard_rates:
-        shard_hist.observe(rate)
-    if extract_wall_seconds > 0:
-        m.gauge(
-            "pipeline_lines_per_second",
-            "extraction throughput",
-            domain="host",
-        ).set(health.lines_read / extract_wall_seconds)
-        m.gauge(
-            "pipeline_bytes_per_second",
-            "extraction byte throughput",
-            domain="host",
-        ).set(bytes_read / extract_wall_seconds)
 
 
 def run_pipeline(

@@ -1,0 +1,53 @@
+"""repro.stream — the live fleet-health service.
+
+The batch pipeline answers "what happened over the study window"; this
+package answers "what is happening *now*" without forking the
+analysis.  A :class:`~repro.stream.follow.DirectoryFollower` tails the
+growing syslog directory (rotation, new days, duplicate and late
+files), :class:`~repro.stream.ingest.StreamIngest` runs the
+batch-identical per-line Stage-II path into a watermark-evicting
+:class:`~repro.pipeline.coalesce.StreamingCoalescer`, online
+estimators and alert rules consume errors as they complete, and
+:class:`~repro.stream.service.StreamService` serves the whole thing
+over stdlib HTTP with durable checkpoint/resume.
+
+The load-bearing property, enforced by the replay-identity tests: a
+drained streaming pass over a finished directory produces the same
+errors, quarantine accounting, and Table-I/availability figures —
+byte-identical JSON — as the batch pipeline, chaos-corrupted input
+included.
+"""
+
+from .alerts import Alert, AlertEngine, AlertRule, default_rules
+from .estimators import (
+    DEFAULT_NODE_COUNT,
+    FleetEstimators,
+    RollingWindow,
+    fleet_report,
+    infer_stream_window,
+)
+from .follow import DirectoryFollower, FollowStats
+from .ingest import CHECKPOINT_FILE, PollOutcome, StreamIngest
+from .serve import FleetHealthServer, json_route
+from .service import StreamService, resolve_syslog_dir
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "default_rules",
+    "DEFAULT_NODE_COUNT",
+    "FleetEstimators",
+    "RollingWindow",
+    "fleet_report",
+    "infer_stream_window",
+    "DirectoryFollower",
+    "FollowStats",
+    "CHECKPOINT_FILE",
+    "PollOutcome",
+    "StreamIngest",
+    "FleetHealthServer",
+    "json_route",
+    "StreamService",
+    "resolve_syslog_dir",
+]

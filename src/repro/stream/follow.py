@@ -1,0 +1,397 @@
+"""Follow mode over a growing day-partitioned syslog directory.
+
+The batch reader (:mod:`repro.syslog.reader`) streams a *finished*
+directory once; a live fleet-health service must instead tail the
+newest day file as it grows, notice rotation (a new day file
+appearing), and keep delivering lines without re-reading what it has
+already consumed.  :class:`DirectoryFollower` provides that on top of
+the same tolerant-decode semantics:
+
+* Plain day files are read incrementally from a persisted byte offset.
+  Raw bytes are carried across polls so a line (or a multi-byte UTF-8
+  sequence) torn across two appends is reassembled exactly as the
+  batch chunked decoder would have seen it; the delivered line stream
+  is identical to :func:`repro.syslog.reader.iter_file_lines` once the
+  file stops growing.
+* A file stops being "newest" the moment a later day appears; it is
+  then drained to EOF and finalized (its trailing unterminated line,
+  if any, is delivered — matching the batch reader).
+* Gzipped day files are archival: they are ingested whole via the
+  batch gzip path, and a trailing ``.gz`` (still possibly being
+  written by rotation) is held until a later day exists or the caller
+  forces a final drain.
+* Duplicate-day and late-arriving day files are skipped with
+  :data:`~repro.syslog.quarantine.FILE_DUPLICATE_DAY` /
+  :data:`~repro.syslog.quarantine.FILE_LATE_DAY` incidents — replaying
+  a day the watermark has passed would violate the monotonic-time
+  contract the incremental coalescer depends on.
+
+Offsets only ever point at line boundaries, so
+:meth:`DirectoryFollower.state` taken between polls is a safe resume
+point: a restart re-reads nothing and loses nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..syslog.quarantine import (
+    FILE_CORRUPT,
+    FILE_DUPLICATE_DAY,
+    FILE_LATE_DAY,
+    FILE_UNREADABLE,
+    Quarantine,
+)
+from ..syslog.reader import day_stem, dedupe_day_files, _iter_gzip_lines
+
+#: Binary read size per poll step (matches the batch reader's chunk).
+_CHUNK_BYTES = 1 << 20
+
+
+def _split_complete_lines(
+    buf: bytes, final: bool = False
+) -> Tuple[List[Tuple[bytes, int]], bytes]:
+    """Split a byte buffer into complete lines plus the unterminated tail.
+
+    Returns ``([(payload, consumed_bytes), ...], tail)`` where
+    ``payload`` excludes the terminator and ``consumed_bytes`` includes
+    it.  Universal-newline semantics match the batch decoder: ``\\n``,
+    ``\\r\\n`` and lone ``\\r`` all end a line, and a trailing ``\\r``
+    is held back (it may be half of a ``\\r\\n`` torn across appends)
+    unless ``final`` declares the stream over.
+    """
+    if b"\r" not in buf:
+        if b"\n" not in buf:
+            return [], buf
+        parts = buf.split(b"\n")
+        tail = parts.pop()
+        return [(part, len(part) + 1) for part in parts], tail
+    out: List[Tuple[bytes, int]] = []
+    start = 0
+    i = 0
+    n = len(buf)
+    while i < n:
+        byte = buf[i]
+        if byte == 0x0A:
+            out.append((buf[start:i], i + 1 - start))
+            i += 1
+            start = i
+        elif byte == 0x0D:
+            if i + 1 == n:
+                if not final:
+                    break
+                out.append((buf[start:i], i + 1 - start))
+                i += 1
+                start = i
+            else:
+                skip = 2 if buf[i + 1] == 0x0A else 1
+                out.append((buf[start:i], i + skip - start))
+                i += skip
+                start = i
+        else:
+            i += 1
+    return out, buf[start:]
+
+
+@dataclass
+class _FileState:
+    """Tracking for one followed day file."""
+
+    name: str
+    is_gz: bool
+    offset: int = 0
+    carry: bytes = b""
+    finalized: bool = False
+    handle: object = None
+    size: int = 0
+
+    def close(self) -> None:
+        """Release the open handle, if any."""
+        if self.handle is not None:
+            try:
+                self.handle.close()  # type: ignore[attr-defined]
+            except OSError:
+                pass
+            self.handle = None
+
+
+@dataclass
+class FollowStats:
+    """Counters the follower maintains across polls.
+
+    Attributes:
+        bytes_read: on-disk bytes consumed so far (compressed size for
+            gzip files).
+        lines_delivered: raw lines handed to the consumer (blank lines
+            included, matching the batch reader's accounting).
+        files_finalized: day files fully drained and closed.
+    """
+
+    bytes_read: int = 0
+    lines_delivered: int = 0
+    files_finalized: int = 0
+
+
+class DirectoryFollower:
+    """Incremental, restartable tail over a syslog day directory.
+
+    Args:
+        syslog_dir: the directory holding ``syslog-YYYY-MM-DD.log[.gz]``
+            day files.
+        quarantine: optional sink for file-level incidents (duplicate
+            days, late days, unreadable/corrupt files); line-level
+            problems are the consumer's concern.
+    """
+
+    def __init__(
+        self, syslog_dir: Path, quarantine: Optional[Quarantine] = None
+    ) -> None:
+        self._dir = Path(syslog_dir)
+        self._quarantine = quarantine
+        self._files: Dict[str, _FileState] = {}
+        #: stem -> file name chosen to represent that day.
+        self._chosen: Dict[str, str] = {}
+        #: file names already reported as duplicates (report once).
+        self._dup_seen: Set[str] = set()
+        #: file names already reported as late arrivals.
+        self._late_seen: Set[str] = set()
+        #: largest day stem ingestion has started on.
+        self._max_started = ""
+        self.stats = FollowStats()
+
+    def day_stems(self) -> List[str]:
+        """Sorted stems of the days chosen for ingestion so far."""
+        return sorted(self._chosen)
+
+    def _note_duplicate(self, name: str) -> None:
+        if name in self._dup_seen:
+            return
+        self._dup_seen.add(name)
+        if self._quarantine is not None:
+            self._quarantine.file_incident(FILE_DUPLICATE_DAY, name)
+
+    def _note_late(self, name: str) -> None:
+        if name in self._late_seen:
+            return
+        self._late_seen.add(name)
+        if self._quarantine is not None:
+            self._quarantine.file_incident(FILE_LATE_DAY, name)
+
+    def _discover(self) -> List[Path]:
+        """Scan the directory; returns chosen, not-yet-final files in order.
+
+        Mirrors the batch plan phase: the file list is sorted by day
+        stem (plain before gzip within a stem), duplicates are recorded
+        before any line is delivered, and a day that first appears
+        after a later day has already started ingesting is skipped as
+        a late arrival.
+        """
+        files = list(self._dir.glob("syslog-*.log")) + list(
+            self._dir.glob("syslog-*.log.gz")
+        )
+        files.sort(key=day_stem)
+        unique, duplicates = dedupe_day_files(files)
+        for dup in duplicates:
+            self._note_duplicate(dup.name)
+        active: List[Path] = []
+        for path in unique:
+            stem = day_stem(path)
+            chosen = self._chosen.get(stem)
+            if chosen is not None and chosen != path.name:
+                previous = self._files.get(chosen)
+                if previous is not None and previous.is_gz and not previous.finalized:
+                    # The gz form appeared first, but gz files are held
+                    # until a successor day exists — nothing has been
+                    # ingested yet, so switch to the batch-preferred
+                    # plain form (the gz was already recorded as the
+                    # duplicate by the dedupe pass above).
+                    previous.close()
+                    previous.finalized = True
+                    self._chosen[stem] = path.name
+                    self._files[path.name] = _FileState(
+                        name=path.name, is_gz=False
+                    )
+                else:
+                    # The other compression form already represents
+                    # this day (e.g. rotation gzipped a file we fully
+                    # ingested).
+                    self._note_duplicate(path.name)
+                    continue
+            if chosen is None:
+                if stem < self._max_started:
+                    self._note_late(path.name)
+                    continue
+                self._chosen[stem] = path.name
+                self._files[path.name] = _FileState(
+                    name=path.name, is_gz=path.name.endswith(".gz")
+                )
+                if stem > self._max_started:
+                    self._max_started = stem
+            state = self._files[path.name]
+            if not state.finalized:
+                active.append(path)
+        return active
+
+    def poll(
+        self, on_line: Callable[[str], None], final: bool = False
+    ) -> int:
+        """Deliver every newly available line, oldest day first.
+
+        Any file with a successor day is drained to EOF and finalized;
+        the newest file is read up to its last complete line (its
+        unterminated tail waits for more bytes) unless ``final`` is
+        set, which drains and finalizes everything — the end-of-stream
+        semantics of the batch reader.
+
+        Returns the number of lines delivered by this poll.
+        """
+        before = self.stats.lines_delivered
+        active = self._discover()
+        last_stem = day_stem(active[-1]) if active else ""
+        for path in active:
+            state = self._files[path.name]
+            is_last = day_stem(path) == last_stem
+            finalize = final or not is_last
+            if state.is_gz:
+                # Archival form: only safe to read once rotation is
+                # provably finished (a later day exists) or at drain.
+                if finalize:
+                    self._ingest_gzip(path, state, on_line)
+            else:
+                self._tail_plain(path, state, on_line, finalize)
+        return self.stats.lines_delivered - before
+
+    def _deliver(self, on_line: Callable[[str], None], line: str) -> None:
+        self.stats.lines_delivered += 1
+        on_line(line)
+
+    def _ingest_gzip(
+        self, path: Path, state: _FileState, on_line: Callable[[str], None]
+    ) -> None:
+        """Read one gzipped day whole, through the batch gzip path."""
+        try:
+            state.size = path.stat().st_size
+        except OSError:
+            state.size = 0
+        for line in _iter_gzip_lines(path, self._quarantine, None):
+            self._deliver(on_line, line)
+        state.finalized = True
+        state.offset = state.size
+        self.stats.bytes_read += state.size
+        self.stats.files_finalized += 1
+
+    def _fail_file(self, state: _FileState, reason: str) -> None:
+        """Contain a mid-stream read failure to this file.
+
+        The batch reader drops its partial tail on a read error;
+        mirror that by discarding the carry.
+        """
+        if self._quarantine is not None:
+            self._quarantine.file_incident(reason, state.name)
+        state.carry = b""
+        state.finalized = True
+        state.close()
+        self.stats.files_finalized += 1
+
+    def _tail_plain(
+        self,
+        path: Path,
+        state: _FileState,
+        on_line: Callable[[str], None],
+        finalize: bool,
+    ) -> None:
+        """Incrementally read one plain day file from its offset."""
+        if state.handle is None:
+            try:
+                state.handle = open(path, "rb")
+            except OSError:
+                self._fail_file(state, FILE_UNREADABLE)
+                return
+            try:
+                state.handle.seek(state.offset + len(state.carry))
+            except OSError:
+                self._fail_file(state, FILE_CORRUPT)
+                return
+        while True:
+            try:
+                chunk = state.handle.read(_CHUNK_BYTES)  # type: ignore[attr-defined]
+            except OSError:
+                self._fail_file(state, FILE_CORRUPT)
+                return
+            if not chunk:
+                break
+            buf = state.carry + chunk
+            lines, state.carry = _split_complete_lines(buf)
+            for payload, consumed in lines:
+                state.offset += consumed
+                self.stats.bytes_read += consumed
+                self._deliver(on_line, payload.decode("utf-8", "replace"))
+        if finalize:
+            lines, tail = _split_complete_lines(state.carry, final=True)
+            for payload, consumed in lines:
+                state.offset += consumed
+                self.stats.bytes_read += consumed
+                self._deliver(on_line, payload.decode("utf-8", "replace"))
+            if tail:
+                state.offset += len(tail)
+                self.stats.bytes_read += len(tail)
+                self._deliver(on_line, tail.decode("utf-8", "replace"))
+            state.carry = b""
+            state.finalized = True
+            state.close()
+            self.stats.files_finalized += 1
+
+    def state(self) -> Dict[str, object]:
+        """JSON-serializable resume state (valid between polls).
+
+        Offsets always sit on line boundaries; the raw carry is *not*
+        persisted — a resumed follower re-reads from the boundary and
+        reassembles the partial tail itself, so the checkpoint cannot
+        tear a line.
+        """
+        return {
+            "files": [
+                [s.name, s.is_gz, s.offset, s.finalized]
+                for s in self._files.values()
+            ],
+            "chosen": sorted(self._chosen.items()),
+            "dup_seen": sorted(self._dup_seen),
+            "late_seen": sorted(self._late_seen),
+            "max_started": self._max_started,
+            "stats": [
+                self.stats.bytes_read,
+                self.stats.lines_delivered,
+                self.stats.files_finalized,
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        syslog_dir: Path,
+        state: Dict[str, object],
+        quarantine: Optional[Quarantine] = None,
+    ) -> "DirectoryFollower":
+        """Rebuild a follower from :meth:`state` output."""
+        self = cls(syslog_dir, quarantine)
+        for name, is_gz, offset, finalized in state["files"]:  # type: ignore[union-attr]
+            self._files[name] = _FileState(
+                name=name,
+                is_gz=bool(is_gz),
+                offset=int(offset),
+                finalized=bool(finalized),
+            )
+        for stem, name in state["chosen"]:  # type: ignore[union-attr]
+            self._chosen[stem] = name
+        self._dup_seen = set(state["dup_seen"])  # type: ignore[arg-type]
+        self._late_seen = set(state["late_seen"])  # type: ignore[arg-type]
+        self._max_started = str(state["max_started"])
+        bytes_read, delivered, finalized_count = state["stats"]  # type: ignore[misc]
+        self.stats = FollowStats(
+            bytes_read=int(bytes_read),
+            lines_delivered=int(delivered),
+            files_finalized=int(finalized_count),
+        )
+        return self

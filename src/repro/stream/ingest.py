@@ -1,0 +1,399 @@
+"""Incremental Stage-II ingest with durable checkpoint/resume.
+
+:class:`StreamIngest` is the per-line Stage-II pipeline rearranged for
+a long-running process: lines arrive from a
+:class:`~repro.stream.follow.DirectoryFollower` poll instead of a
+batch file walk, error hits feed the watermark-evicting
+:class:`~repro.pipeline.coalesce.StreamingCoalescer` instead of an
+end-of-run :func:`~repro.pipeline.coalesce.coalesce`, and the whole
+mutable state can be serialized between polls for kill/resume.
+
+The per-line body replicates the batch scan loop
+(:func:`~repro.pipeline.shard.scan_day_file` + the serial merge)
+exactly — same quarantine reasons and sample details, same clock-step
+clamping against the running watermark, same extraction and downtime
+feeding order — so a drained streaming pass over a finished directory
+reproduces the batch :class:`~repro.pipeline.run.PipelineResult`
+field-for-field, chaos-corrupted input included.  The replay-identity
+tests in ``tests/test_stream_identity.py`` enforce this.
+
+Checkpoints are one JSON document written atomically
+(:func:`~repro.core.atomicio.atomic_write_json`) strictly *between*
+polls, so every persisted offset sits on a line boundary and a killed
+service resumes without dropping or double-counting a single line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..cluster.inventory import Inventory
+from ..core.atomicio import atomic_write_json
+from ..core.exceptions import ConfigurationError, LogFormatError
+from ..core.records import DowntimeRecord, ExtractedError
+from ..pipeline.coalesce import (
+    DEFAULT_WINDOW_SECONDS,
+    StreamingCoalescer,
+    WindowMode,
+)
+from ..pipeline.downtime import DOWNTIME_MARKER, DowntimeExtractor
+from ..pipeline.extract import XidExtractor
+from ..pipeline.health import PipelineHealthReport, day_coverage
+from ..pipeline.metrics import PipelineTotals
+from ..pipeline.run import PipelineResult
+from ..syslog.quarantine import (
+    REASON_CLOCK_STEP,
+    REASON_ENCODING,
+    Quarantine,
+)
+from ..syslog.reader import parse_line
+from .follow import DirectoryFollower
+
+#: Checkpoint file name inside the checkpoint directory.
+CHECKPOINT_FILE = "stream_checkpoint.json"
+
+#: Checkpoint schema version; bump on incompatible changes.
+CHECKPOINT_VERSION = 1
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class PollOutcome:
+    """What one ingest poll produced.
+
+    Attributes:
+        lines: raw lines delivered by the follower (blanks included).
+        completed: coalesced errors newly completed this poll, in
+            completion order (push-completions first, then evictions) —
+            the feed for online estimators and alert rules.
+        drained: True when this outcome came from the final drain.
+    """
+
+    lines: int = 0
+    completed: List[ExtractedError] = field(default_factory=list)
+    drained: bool = False
+
+
+class StreamIngest:
+    """Streaming Stage-II over a growing syslog directory.
+
+    Args:
+        syslog_dir: directory of ``syslog-YYYY-MM-DD.log[.gz]`` files.
+        window_seconds: coalescing Δt.
+        mode: coalescing window semantics.
+        inventory: optional hardware inventory for PCI→GPU resolution
+            (same role as in the batch pipeline).
+    """
+
+    def __init__(
+        self,
+        syslog_dir: Path,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        mode: WindowMode = WindowMode.TUMBLING,
+        inventory: Optional[Inventory] = None,
+    ) -> None:
+        self._syslog_dir = Path(syslog_dir)
+        self.quarantine = Quarantine()
+        self.follower = DirectoryFollower(self._syslog_dir, self.quarantine)
+        self._extractor = XidExtractor(inventory)
+        self.coalescer = StreamingCoalescer(window_seconds, mode)
+        self._downtime = DowntimeExtractor()
+        self._watermark = _NEG_INF
+        self._lines_read = 0
+        self._parsed_lines = 0
+        self._raw_hits = 0
+        self._drained = False
+        self._final_downtime: Optional[List[DowntimeRecord]] = None
+        self._poll_completed: List[ExtractedError] = []
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    @property
+    def watermark(self) -> float:
+        """Largest (clamped) log timestamp ingested so far."""
+        return self._watermark
+
+    @property
+    def drained(self) -> bool:
+        """True after :meth:`drain` closed the stream."""
+        return self._drained
+
+    @property
+    def lines_read(self) -> int:
+        """Raw lines ingested (blank lines included)."""
+        return self._lines_read
+
+    @property
+    def raw_hits(self) -> int:
+        """Matched raw hits before coalescing."""
+        return self._raw_hits
+
+    def _process_line(self, raw: str) -> None:
+        """The batch scan loop's per-line body, verbatim."""
+        self._lines_read += 1
+        if not raw.strip():
+            return
+        try:
+            line = parse_line(raw)
+        except LogFormatError as exc:
+            self.quarantine.reject(exc.reason, raw)
+            self._extractor.stats.malformed_lines += 1
+            return
+        if "�" in line.message:
+            self.quarantine.repair(REASON_ENCODING, line.message)
+        if line.time < self._watermark:
+            self.quarantine.repair(
+                REASON_CLOCK_STEP,
+                f"{line.host}: {line.time:.6f} clamped to "
+                f"{self._watermark:.6f}",
+            )
+            line = line._replace(time=self._watermark)
+        else:
+            self._watermark = line.time
+        self._parsed_lines += 1
+        if DOWNTIME_MARKER in line.message:
+            self._downtime.feed(line)
+        hit = self._extractor.extract_line(line)
+        if hit is not None:
+            self._raw_hits += 1
+            done = self.coalescer.push(hit)
+            if done is not None:
+                self._poll_completed.append(done)
+
+    def poll(self, final: bool = False) -> PollOutcome:
+        """One follow-and-ingest cycle.
+
+        Reads every newly available line, then evicts coalescing
+        groups the watermark has passed.  Returns the lines consumed
+        and the errors that completed (the estimator/alert feed).
+        """
+        if self._drained:
+            return PollOutcome(drained=True)
+        self._poll_completed = []
+        lines = self.follower.poll(self._process_line, final=final)
+        completed = self._poll_completed
+        self._poll_completed = []
+        if self._watermark != _NEG_INF:
+            completed.extend(self.coalescer.evict(self._watermark))
+        return PollOutcome(lines=lines, completed=completed)
+
+    def drain(self) -> PollOutcome:
+        """End of stream: final poll, coalescer flush, downtime close.
+
+        After draining, :meth:`result` is the batch-identical answer.
+        Idempotent — a second drain is an empty outcome.
+        """
+        if self._drained:
+            return PollOutcome(drained=True)
+        outcome = self.poll(final=True)
+        outcome.completed.extend(self.coalescer.drain())
+        outcome.drained = True
+        self._final_downtime = self._downtime.finish()
+        self._drained = True
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def errors(self) -> List[ExtractedError]:
+        """Completed errors in batch order (final after :meth:`drain`)."""
+        return self.coalescer.errors()
+
+    def downtime_records(self) -> List[DowntimeRecord]:
+        """Completed downtime episodes so far, in start order."""
+        if self._final_downtime is not None:
+            return list(self._final_downtime)
+        return self._downtime.records()
+
+    @property
+    def open_outages(self) -> int:
+        """Nodes currently out of service."""
+        return self._downtime.open_outages
+
+    def health(self) -> PipelineHealthReport:
+        """The live data-quality report (same builder as batch)."""
+        return PipelineHealthReport.build(
+            self.quarantine,
+            lines_read=self._lines_read,
+            parsed_lines=self._parsed_lines,
+            day_stems=self.follower.day_stems(),
+            resumed_files=0,
+        )
+
+    def result(self) -> PipelineResult:
+        """The batch-shaped result of the stream (requires drain).
+
+        Field-for-field comparable with
+        :func:`~repro.pipeline.run.run_pipeline` over the same
+        finished directory (with ``load_jobs=False`` — the streamer
+        has no accounting CSV to load).
+        """
+        if not self._drained:
+            raise ConfigurationError(
+                "stream result requires drain(); the coalescer still "
+                "holds open groups"
+            )
+        return PipelineResult(
+            errors=self.errors(),
+            downtime=self.downtime_records(),
+            jobs=[],
+            extraction_stats=self._extractor.stats,
+            coalesce_window_seconds=self.coalescer.window_seconds,
+            raw_hits=self._raw_hits,
+            health=self.health(),
+        )
+
+    def totals(self) -> PipelineTotals:
+        """Current cumulative accounting for shared metric publication."""
+        present, missing = day_coverage(self.follower.day_stems())
+        health = self.health()
+        stats = self._extractor.stats
+        return PipelineTotals(
+            lines_read=self._lines_read,
+            parsed_lines=self._parsed_lines,
+            bytes_read=self.follower.stats.bytes_read,
+            matched_lines=stats.matched_lines,
+            excluded_xid_lines=stats.excluded_xid_lines,
+            malformed_lines=stats.malformed_lines,
+            raw_hits=self._raw_hits,
+            coalesced_errors=self.coalescer.completed_count,
+            downtime_episodes=self._downtime.stats.episodes,
+            job_records=0,
+            resumed_files=0,
+            quarantined=dict(self.quarantine.rejected),
+            repaired=dict(self.quarantine.repaired),
+            file_incidents=dict(self.quarantine.file_incidents),
+            days_present=present,
+            days_missing=missing,
+            completeness=health.completeness,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Full mutable state as one JSON-serializable document.
+
+        Only valid between polls (the follower's offsets must sit on
+        line boundaries).
+        """
+        stats = self._extractor.stats
+        return {
+            "version": CHECKPOINT_VERSION,
+            "syslog_dir": str(self._syslog_dir.resolve()),
+            "window_seconds": self.coalescer.window_seconds,
+            "mode": self.coalescer.mode.value,
+            "watermark": (
+                None if self._watermark == _NEG_INF else self._watermark
+            ),
+            "lines_read": self._lines_read,
+            "parsed_lines": self._parsed_lines,
+            "raw_hits": self._raw_hits,
+            "drained": self._drained,
+            "follower": self.follower.state(),
+            "coalescer": self.coalescer.to_state(),
+            "downtime": self._downtime.to_state(),
+            "quarantine": {
+                "counters": self.quarantine.snapshot(),
+                "samples": [
+                    [r.reason, r.detail, r.repaired]
+                    for r in self.quarantine.samples
+                ],
+            },
+            "extraction_stats": {
+                name: value
+                for name, value in vars(stats).items()
+                if value
+            },
+        }
+
+    def checkpoint(self, checkpoint_dir: Path) -> Path:
+        """Atomically persist :meth:`to_state` under ``checkpoint_dir``."""
+        path = Path(checkpoint_dir) / CHECKPOINT_FILE
+        atomic_write_json(path, self.to_state())
+        return path
+
+    @classmethod
+    def from_state(
+        cls,
+        syslog_dir: Path,
+        state: Dict[str, object],
+        inventory: Optional[Inventory] = None,
+    ) -> "StreamIngest":
+        """Rebuild an ingest from :meth:`to_state` output.
+
+        Raises :class:`~repro.core.exceptions.ConfigurationError` on a
+        version or directory mismatch — resuming someone else's
+        offsets against a different log directory would silently
+        corrupt every downstream figure.
+        """
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"unsupported stream checkpoint version "
+                f"{state.get('version')!r} (expected {CHECKPOINT_VERSION})"
+            )
+        recorded = state.get("syslog_dir")
+        actual = str(Path(syslog_dir).resolve())
+        if recorded != actual:
+            raise ConfigurationError(
+                f"stream checkpoint was taken against {recorded}, not "
+                f"{actual}; refusing to resume"
+            )
+        self = cls(
+            Path(syslog_dir),
+            window_seconds=float(state["window_seconds"]),  # type: ignore[arg-type]
+            mode=WindowMode(state["mode"]),
+            inventory=inventory,
+        )
+        watermark = state.get("watermark")
+        self._watermark = _NEG_INF if watermark is None else float(watermark)  # type: ignore[arg-type]
+        self._lines_read = int(state["lines_read"])  # type: ignore[call-overload]
+        self._parsed_lines = int(state["parsed_lines"])  # type: ignore[call-overload]
+        self._raw_hits = int(state["raw_hits"])  # type: ignore[call-overload]
+        self._drained = bool(state["drained"])
+        self.follower = DirectoryFollower.restore(
+            self._syslog_dir, state["follower"], self.quarantine  # type: ignore[arg-type]
+        )
+        self.coalescer = StreamingCoalescer.from_state(state["coalescer"])  # type: ignore[arg-type]
+        self._downtime = DowntimeExtractor.from_state(state["downtime"])  # type: ignore[arg-type]
+        quarantine_state = state["quarantine"]
+        self.quarantine.restore(quarantine_state["counters"])  # type: ignore[index]
+        for reason, detail, repaired in quarantine_state["samples"]:  # type: ignore[index]
+            self.quarantine.record_sample(reason, detail, bool(repaired))
+        for name, value in state["extraction_stats"].items():  # type: ignore[union-attr]
+            setattr(self._extractor.stats, name, value)
+        return self
+
+    @classmethod
+    def resume(
+        cls,
+        syslog_dir: Path,
+        checkpoint_dir: Path,
+        inventory: Optional[Inventory] = None,
+    ) -> Optional["StreamIngest"]:
+        """Resume from a checkpoint directory, or ``None`` when absent.
+
+        A damaged (torn, non-JSON) checkpoint raises — the atomic
+        writer makes that impossible in normal operation, so damage
+        means something external happened and silently starting from
+        zero would double-count the whole history.
+        """
+        import json
+
+        path = Path(checkpoint_dir) / CHECKPOINT_FILE
+        if not path.exists():
+            return None
+        try:
+            state = json.loads(path.read_text("utf-8"))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"damaged stream checkpoint at {path}: {exc}"
+            ) from exc
+        return cls.from_state(syslog_dir, state, inventory=inventory)

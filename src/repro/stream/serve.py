@@ -1,0 +1,128 @@
+"""Zero-dependency HTTP surface for the fleet-health service.
+
+A thin :class:`~http.server.ThreadingHTTPServer` wrapper exposing the
+streaming service's state:
+
+* ``GET /healthz`` — liveness + ingest progress (JSON).
+* ``GET /metrics`` — the shared Prometheus text exporter
+  (:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`), host
+  domain included, so the streamer publishes the exact metric families
+  the batch pipeline does plus the stream-specific ones.
+* ``GET /v1/fleet`` — the authoritative fleet snapshot
+  (:func:`~repro.stream.estimators.fleet_report`) merged with the
+  online estimator view.
+* ``GET /v1/alerts`` — rule definitions plus fired-alert history.
+
+Handlers are plain callables returning ``(content_type, body)`` so the
+service can register routes without subclassing, and so tests can call
+them directly without a socket.  The server thread is a daemon; the
+service owns start/stop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+#: A route handler: () -> (content type, response body).
+RouteHandler = Callable[[], Tuple[str, str]]
+
+
+def json_route(fn: Callable[[], object]) -> RouteHandler:
+    """Wrap a dict-returning callable as a JSON route handler."""
+
+    def handler() -> Tuple[str, str]:
+        """Serialize the wrapped callable's result as a JSON response."""
+        return (
+            "application/json",
+            json.dumps(fn(), sort_keys=True, indent=2) + "\n",
+        )
+
+    return handler
+
+
+class FleetHealthServer:
+    """Threaded HTTP server over a route table.
+
+    Args:
+        routes: absolute path → handler map (query strings ignored).
+        host: bind address.
+        port: bind port; ``0`` picks an ephemeral port (tests).
+    """
+
+    def __init__(
+        self,
+        routes: Dict[str, RouteHandler],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._routes = dict(routes)
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            """Request handler bound to the outer route table."""
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                """Dispatch one GET request through the route table."""
+                path = self.path.split("?", 1)[0]
+                handler = outer._routes.get(path)
+                if handler is None:
+                    body = json.dumps({"error": "not found", "path": path})
+                    self._reply(404, "application/json", body + "\n")
+                    return
+                try:
+                    content_type, body = handler()
+                except Exception as exc:  # pragma: no cover - defensive
+                    body = json.dumps({"error": str(exc)})
+                    self._reply(500, "application/json", body + "\n")
+                    return
+                self._reply(200, content_type, body)
+
+            def _reply(self, status: int, content_type: str, body: str) -> None:
+                """Send one complete response."""
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type + "; charset=utf-8")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, format: str, *args: object) -> None:
+                """Silence per-request stderr logging."""
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ephemeral ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the bound socket."""
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> None:
+        """Serve requests on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="fleet-health-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None

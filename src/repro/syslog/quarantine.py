@@ -45,6 +45,9 @@ FILE_CORRUPT = "corrupt_file"
 FILE_UNREADABLE = "unreadable_file"
 #: Duplicate day file (same date, other compression form) skipped.
 FILE_DUPLICATE_DAY = "duplicate_day_file"
+#: Day file that appeared *after* a later day was already ingested
+#: (live follow mode only; replaying it would break the watermark).
+FILE_LATE_DAY = "late_day_file"
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.syslog",
     "repro.study",
     "repro.pipeline",
+    "repro.stream",
     "repro.analysis",
     "repro.reporting",
     "repro.calibration",

@@ -1,0 +1,461 @@
+"""Unit tests for the live fleet-health service (repro.stream)."""
+
+import json
+import random
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.records import ExtractedError
+from repro.core.xid import EventClass
+from repro.pipeline.coalesce import (
+    StreamingCoalescer,
+    WindowMode,
+    coalesce,
+)
+from repro.pipeline.extract import ErrorHit
+from repro.stream import (
+    AlertEngine,
+    AlertRule,
+    DirectoryFollower,
+    FleetEstimators,
+    FleetHealthServer,
+    StreamService,
+    json_route,
+)
+from repro.stream.follow import _split_complete_lines
+from repro.syslog.quarantine import (
+    FILE_DUPLICATE_DAY,
+    FILE_LATE_DAY,
+    Quarantine,
+)
+
+
+class TestSplitCompleteLines:
+    def test_newline_terminated(self):
+        lines, tail = _split_complete_lines(b"a\nbb\nccc")
+        assert lines == [(b"a", 2), (b"bb", 3)]
+        assert tail == b"ccc"
+
+    def test_crlf_and_lone_cr(self):
+        lines, tail = _split_complete_lines(b"a\r\nb\rc\n")
+        assert [payload for payload, _ in lines] == [b"a", b"b", b"c"]
+        assert sum(n for _, n in lines) == 7
+        assert tail == b""
+
+    def test_trailing_cr_held_until_final(self):
+        lines, tail = _split_complete_lines(b"a\r")
+        assert lines == []
+        assert tail == b"a\r"
+        lines, tail = _split_complete_lines(b"a\r", final=True)
+        assert lines == [(b"a", 2)]
+        assert tail == b""
+
+    def test_consumed_bytes_cover_buffer(self):
+        buf = b"one\r\ntwo\nthree\rfour"
+        lines, tail = _split_complete_lines(buf)
+        assert sum(n for _, n in lines) + len(tail) == len(buf)
+
+
+def _write_day(path: Path, lines):
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+
+
+class TestDirectoryFollower:
+    def test_incremental_appends_deliver_each_line_once(self, tmp_path):
+        follower = DirectoryFollower(tmp_path)
+        day = tmp_path / "syslog-2022-01-01.log"
+        seen = []
+        with open(day, "w") as fh:
+            fh.write("alpha\nbet")
+            fh.flush()
+            follower.poll(seen.append)
+            assert seen == ["alpha"]
+            fh.write("a\ngamma\n")
+            fh.flush()
+            follower.poll(seen.append)
+        assert seen == ["alpha", "beta", "gamma"]
+
+    def test_rotation_finalizes_previous_day(self, tmp_path):
+        follower = DirectoryFollower(tmp_path)
+        (tmp_path / "syslog-2022-01-01.log").write_text("a\nunterminated")
+        seen = []
+        follower.poll(seen.append)
+        assert seen == ["a"]  # tail waits for more bytes
+        _write_day(tmp_path / "syslog-2022-01-02.log", ["b"])
+        follower.poll(seen.append)
+        assert seen == ["a", "unterminated", "b"]
+        assert follower.stats.files_finalized == 1
+
+    def test_final_drain_flushes_tail(self, tmp_path):
+        follower = DirectoryFollower(tmp_path)
+        (tmp_path / "syslog-2022-01-01.log").write_text("x\ny")
+        seen = []
+        follower.poll(seen.append, final=True)
+        assert seen == ["x", "y"]
+
+    def test_duplicate_day_single_incident(self, tmp_path):
+        import gzip
+
+        quarantine = Quarantine()
+        follower = DirectoryFollower(tmp_path, quarantine)
+        _write_day(tmp_path / "syslog-2022-01-01.log", ["plain"])
+        with gzip.open(tmp_path / "syslog-2022-01-01.log.gz", "wt") as fh:
+            fh.write("gzipped\n")
+        seen = []
+        follower.poll(seen.append, final=True)
+        follower.poll(seen.append, final=True)
+        assert seen == ["plain"]  # plain form wins
+        assert quarantine.file_incidents[FILE_DUPLICATE_DAY] == 1
+
+    def test_gz_first_then_plain_switches_to_plain(self, tmp_path):
+        import gzip
+
+        quarantine = Quarantine()
+        follower = DirectoryFollower(tmp_path, quarantine)
+        with gzip.open(tmp_path / "syslog-2022-01-01.log.gz", "wt") as fh:
+            fh.write("gz form\n")
+        seen = []
+        follower.poll(seen.append)  # gz held: no successor day yet
+        assert seen == []
+        _write_day(tmp_path / "syslog-2022-01-01.log", ["plain form"])
+        _write_day(tmp_path / "syslog-2022-01-02.log", ["next"])
+        follower.poll(seen.append, final=True)
+        assert seen == ["plain form", "next"]
+        assert quarantine.file_incidents[FILE_DUPLICATE_DAY] == 1
+
+    def test_late_day_skipped_with_incident(self, tmp_path):
+        quarantine = Quarantine()
+        follower = DirectoryFollower(tmp_path, quarantine)
+        _write_day(tmp_path / "syslog-2022-01-05.log", ["now"])
+        seen = []
+        follower.poll(seen.append)
+        _write_day(tmp_path / "syslog-2022-01-03.log", ["too late"])
+        follower.poll(seen.append, final=True)
+        assert "too late" not in seen
+        assert quarantine.file_incidents[FILE_LATE_DAY] == 1
+        assert follower.day_stems() == ["syslog-2022-01-05"]
+
+    def test_state_restore_resumes_at_line_boundary(self, tmp_path):
+        day = tmp_path / "syslog-2022-01-01.log"
+        follower = DirectoryFollower(tmp_path)
+        seen = []
+        with open(day, "w") as fh:
+            fh.write("one\ntwo\nthr")
+            fh.flush()
+            follower.poll(seen.append)
+            resumed = DirectoryFollower.restore(tmp_path, follower.state())
+            fh.write("ee\n")
+            fh.flush()
+        resumed.poll(seen.append, final=True)
+        assert seen == ["one", "two", "three"]
+
+
+def _hit(time, node="gpua001", gpu=0, cls=EventClass.MMU_ERROR, xid=31):
+    return ErrorHit(
+        time=time,
+        node=node,
+        gpu_index=gpu,
+        pci_address="0000:07:00",
+        event_class=cls,
+        xid=xid,
+    )
+
+
+class TestStreamingCoalescer:
+    def test_matches_batch_on_simple_sequence(self):
+        hits = [_hit(0.0), _hit(10.0), _hit(45.0), _hit(100.0, node="gpua002")]
+        streaming = StreamingCoalescer(30.0)
+        for hit in hits:
+            streaming.push(hit)
+        streaming.drain()
+        assert streaming.errors() == coalesce(hits, 30.0)
+
+    def test_eviction_preserves_batch_order(self):
+        # Two keys completing at the same first-occurrence time: batch
+        # order depends on push/flush ranks, which eviction must keep.
+        hits = [
+            _hit(0.0, node="gpua001"),
+            _hit(0.0, node="gpua002"),
+            _hit(500.0, node="gpua001"),
+            _hit(500.0, node="gpua002"),
+        ]
+        streaming = StreamingCoalescer(30.0)
+        for hit in hits:
+            streaming.push(hit)
+            streaming.evict(hit.time)
+        streaming.drain()
+        assert streaming.errors() == coalesce(hits, 30.0)
+
+    @pytest.mark.parametrize("mode", [WindowMode.TUMBLING, WindowMode.SLIDING])
+    @pytest.mark.parametrize("seed", range(10))
+    def test_property_streaming_equals_batch(self, seed, mode):
+        rng = random.Random(seed)
+        window = 30.0
+        nodes = ["gpua001", "gpua002", "gpua003"]
+        classes = [
+            EventClass.MMU_ERROR,
+            EventClass.DBE,
+            EventClass.NVLINK_ERROR,
+        ]
+        time = 0.0
+        hits = []
+        for _ in range(200):
+            # Quantized steps force equal-time ties and same-boundary
+            # collisions — the adversarial cases for eviction ranks.
+            time += rng.choice([0.0, window / 3, window / 3, window * 1.5])
+            hits.append(
+                _hit(
+                    time,
+                    node=rng.choice(nodes),
+                    gpu=rng.choice([0, 1, None]),
+                    cls=rng.choice(classes),
+                )
+            )
+        streaming = StreamingCoalescer(window, mode)
+        for i, hit in enumerate(hits):
+            streaming.push(hit)
+            streaming.evict(hit.time)
+            if i % 37 == 0:  # checkpoint round-trips mid-stream
+                streaming = StreamingCoalescer.from_state(streaming.to_state())
+        streaming.drain()
+        assert streaming.errors() == coalesce(hits, window, mode)
+
+    def test_rejects_out_of_order_push(self):
+        streaming = StreamingCoalescer(30.0)
+        streaming.push(_hit(100.0))
+        with pytest.raises(ValueError):
+            streaming.push(_hit(50.0))
+
+    def test_drain_is_idempotent(self):
+        streaming = StreamingCoalescer(30.0)
+        streaming.push(_hit(0.0))
+        first = streaming.drain()
+        assert len(first) == 1
+        assert streaming.drain() == []
+
+
+def _error(time, node="gpua001", gpu=0, cls=EventClass.MMU_ERROR, xid=31):
+    return ExtractedError(
+        time=time,
+        node=node,
+        gpu_index=gpu,
+        event_class=cls,
+        xid=xid,
+        raw_line_count=1,
+    )
+
+
+class TestFleetEstimators:
+    def test_rolling_window_evicts_by_log_time(self):
+        est = FleetEstimators(horizons=(3600.0,))
+        est.observe_error(_error(0.0))
+        est.observe_error(_error(1800.0))
+        est.advance(1800.0)
+        assert est.rolling[0].summary()["count"] == 2
+        est.advance(3700.0)
+        rolling = est.rolling[0].summary()
+        assert rolling["count"] == 1
+        assert rolling["system_mtbe_hours"] == 1.0
+
+    def test_top_nodes_and_units(self):
+        est = FleetEstimators()
+        for _ in range(3):
+            est.observe_error(_error(0.0, node="gpua002", gpu=1))
+        est.observe_error(_error(0.0, node="gpua001"))
+        assert est.top_nodes(1) == [("gpua002", 3)]
+        assert est.top_units(1) == [("gpua002", 1, 3)]
+
+    def test_snapshot_shape(self):
+        est = FleetEstimators()
+        est.observe_error(_error(10.0))
+        est.advance(3600.0)
+        snap = est.snapshot()
+        assert snap["errors_total"] == 1
+        assert snap["per_class"] == {"mmu_error": 1}
+        assert snap["first_error_time"] == 10.0
+        assert len(snap["rolling"]) == 3
+
+
+class TestAlertEngine:
+    def test_xid79_fires_once_and_rearms(self):
+        engine = AlertEngine()
+        engine.observe_error(_error(0.0, cls=EventClass.FALLEN_OFF_BUS, xid=79))
+        fired = engine.evaluate(0.0)
+        assert [a.rule for a in fired] == ["xid79_fallen_off_bus"]
+        assert fired[0].severity == "critical"
+        assert fired[0].node == "gpua001"
+        # Latched: no refire while the condition still holds.
+        assert engine.evaluate(3600.0) == []
+        # Past the 24h horizon the window drains and the rule re-arms.
+        assert engine.evaluate(90000.0) == []
+        engine.observe_error(
+            _error(100000.0, cls=EventClass.FALLEN_OFF_BUS, xid=79)
+        )
+        assert [a.rule for a in engine.evaluate(100000.0)] == [
+            "xid79_fallen_off_bus"
+        ]
+
+    def test_node_burst_threshold(self):
+        engine = AlertEngine()
+        for i in range(4):
+            engine.observe_error(_error(float(i)))
+        assert engine.evaluate(4.0) == []
+        engine.observe_error(_error(5.0))
+        fired = engine.evaluate(5.0)
+        assert [a.rule for a in fired] == ["node_error_burst"]
+        assert fired[0].count == 5
+
+    def test_custom_rule_scoping(self):
+        rule = AlertRule(
+            name="any_two_fleet",
+            description="two errors fleet-wide",
+            severity="warning",
+            scope="fleet",
+            threshold=2,
+            horizon_seconds=3600.0,
+        )
+        engine = AlertEngine([rule])
+        engine.observe_error(_error(0.0, node="gpua001"))
+        engine.observe_error(_error(1.0, node="gpua009"))
+        fired = engine.evaluate(1.0)
+        assert [a.rule for a in fired] == ["any_two_fleet"]
+        assert fired[0].node is None
+
+    def test_history_and_snapshot(self):
+        engine = AlertEngine()
+        engine.observe_error(_error(0.0, cls=EventClass.FALLEN_OFF_BUS, xid=79))
+        engine.evaluate(0.0)
+        snap = engine.snapshot()
+        assert snap["active"] == 1
+        assert len(snap["history"]) == 1
+        assert {r["name"] for r in snap["rules"]} >= {"xid79_fallen_off_bus"}
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+class TestFleetHealthServer:
+    def test_routes_and_404(self):
+        server = FleetHealthServer(
+            {"/ping": json_route(lambda: {"pong": True})}, port=0
+        )
+        server.start()
+        try:
+            status, body = _get(f"http://127.0.0.1:{server.port}/ping")
+            assert status == 200
+            assert json.loads(body) == {"pong": True}
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://127.0.0.1:{server.port}/nope")
+            assert err.value.code == 404
+        finally:
+            server.stop()
+
+
+@pytest.fixture(scope="module")
+def stream_artifacts(tmp_path_factory):
+    """A small finished artifact directory for service-level tests."""
+    from repro import DeltaStudy, StudyConfig
+
+    out = tmp_path_factory.mktemp("stream_cli") / "run"
+    DeltaStudy(
+        StudyConfig.small(
+            seed=5, include_episode=True, job_scale=0.005, op_days=10
+        )
+    ).run(out)
+    return out
+
+
+class TestStreamService:
+    def test_endpoints_while_running(self, stream_artifacts, tmp_path):
+        service = StreamService(
+            stream_artifacts,
+            port=0,
+            checkpoint_dir=tmp_path / "ckpt",
+            poll_interval=0.05,
+        )
+        service.server.start()
+        try:
+            service.poll_once()
+            base = f"http://127.0.0.1:{service.server.port}"
+            status, body = _get(base + "/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["lines_read"] > 0
+            status, metrics = _get(base + "/metrics")
+            assert "pipeline_lines_read_total" in metrics
+            assert "stream_watermark_seconds" in metrics
+            status, fleet = _get(base + "/v1/fleet")
+            fleet = json.loads(fleet)
+            assert fleet["report"]["schema"] == "repro-fleet-v1"
+            assert fleet["stream"]["drained"] is False
+            status, alerts = _get(base + "/v1/alerts")
+            assert "rules" in json.loads(alerts)
+        finally:
+            service.server.stop()
+
+    def test_sigterm_style_stop_returns_zero(self, stream_artifacts):
+        import threading
+
+        service = StreamService(
+            stream_artifacts, port=None, poll_interval=0.05
+        )
+        threading.Timer(0.3, service.stop).start()
+        assert service.run(install_signals=False) == 0
+
+    def test_repeated_publish_does_not_double_count(self, stream_artifacts):
+        service = StreamService(stream_artifacts, port=None, once=True)
+        assert service.run(install_signals=False) == 0
+        family = service.metrics.counter("pipeline_lines_read_total")
+        assert family.labels().value == service.ingest.lines_read
+
+
+class TestStreamCli:
+    def test_once_exits_zero_and_writes_fleet(
+        self, stream_artifacts, tmp_path, capsys
+    ):
+        fleet_out = tmp_path / "fleet.json"
+        code = main(
+            [
+                "stream",
+                "--follow",
+                str(stream_artifacts),
+                "--once",
+                "--port",
+                "-1",
+                "--checkpoint",
+                str(tmp_path / "ckpt"),
+                "--fleet-out",
+                str(fleet_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline health:" in out
+        fleet = json.loads(fleet_out.read_text())
+        assert fleet["stream"]["drained"] is True
+        assert fleet["report"]["errors_total"] > 0
+
+    def test_missing_directory_is_config_error(self, tmp_path, capsys):
+        code = main(
+            ["stream", "--follow", str(tmp_path / "nope"), "--once"]
+        )
+        assert code == 2
+
+    def test_resume_requires_checkpoint(self, tmp_path, capsys):
+        code = main(
+            ["stream", "--follow", str(tmp_path), "--once", "--resume"]
+        )
+        assert code == 2
+
+    def test_help_documents_exit_codes_and_shutdown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "SIGTERM" in out
