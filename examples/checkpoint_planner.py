@@ -9,23 +9,35 @@ must checkpoint.  This example:
    (the paper's Table II machinery);
 2. quantifies the GPU-hours lost to those failures;
 3. sweeps checkpoint intervals to find the policy that maximizes net
-   saved compute (recomputation avoided minus checkpoint overhead).
+   saved compute (recomputation avoided minus checkpoint overhead);
+4. compares the measured sweep against the analytic Young/Daly optimum
+   from the calibrated goodput model (``repro recover-sweep``).
+
+Artifacts go to a temporary directory that is removed on exit; pass
+``--out DIR`` to keep them.
 
 Usage::
 
     python examples/checkpoint_planner.py [--overhead 0.02] [--restart-min 5]
+    python examples/checkpoint_planner.py --out /tmp/ckpt-study
 """
 
 import argparse
+import shutil
 import tempfile
 from pathlib import Path
 
 from repro import DeltaStudy, StudyConfig
 from repro.analysis import JobImpactAnalysis
+from repro.analysis.checkpoint import (
+    MEASURED_INTERVALS_HOURS,
+    calibrated_model,
+    measured_sweep,
+    render_measured_sweep,
+    sweep,
+)
 from repro.analysis.mitigation import MitigationAnalysis
 from repro.pipeline import run_pipeline
-
-INTERVALS_HOURS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
 
 
 def main(argv=None) -> int:
@@ -35,54 +47,79 @@ def main(argv=None) -> int:
     parser.add_argument("--restart-min", type=float, default=5.0,
                         help="restart time after a failure, minutes")
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="artifact directory to keep (default: a "
+                             "temporary directory, removed on exit)")
     args = parser.parse_args(argv)
 
-    out = Path(tempfile.mkdtemp(prefix="repro-ckpt-"))
-    print("== simulating a small study with the calibrated fault suite ==")
-    config = StudyConfig.small(seed=args.seed, job_scale=0.05)
-    artifacts = DeltaStudy(config).run(out)
-    result = run_pipeline(out)
+    if args.out is not None:
+        out, cleanup = args.out, False
+        out.mkdir(parents=True, exist_ok=True)
+    else:
+        out, cleanup = Path(tempfile.mkdtemp(prefix="repro-ckpt-")), True
+    try:
+        print("== simulating a small study with the calibrated fault suite ==")
+        config = StudyConfig.small(seed=args.seed, job_scale=0.05)
+        artifacts = DeltaStudy(config).run(out)
+        result = run_pipeline(out)
 
-    impact = JobImpactAnalysis(result.errors, result.jobs, artifacts.window).run()
-    print(
-        f"{impact.total_gpu_failed_jobs} of {impact.total_jobs_analyzed} "
-        "operational GPU jobs were ended by GPU errors"
-    )
-
-    mitigation = MitigationAnalysis(
-        result.jobs, impact.gpu_failed_job_ids, artifacts.window
-    )
-    lost = mitigation.lost_gpu_hours()
-    print(f"GPU-hours lost without checkpointing: {lost:.1f}")
-
-    print(
-        f"\n== checkpoint interval sweep "
-        f"(overhead {args.overhead * 100:.1f}%, restart {args.restart_min:.0f} min) =="
-    )
-    header = f"{'interval':>10s} {'lost w/ ckpt':>13s} {'overhead':>10s} {'net benefit':>12s}"
-    print(header)
-    print("-" * len(header))
-    for report in mitigation.sweep(
-        INTERVALS_HOURS, args.overhead, args.restart_min
-    ):
+        impact = JobImpactAnalysis(
+            result.errors, result.jobs, artifacts.window
+        ).run()
         print(
-            f"{report.policy.interval_hours:>9.2f}h "
-            f"{report.lost_with_checkpointing:>12.1f}h "
-            f"{report.checkpoint_overhead:>9.1f}h "
-            f"{report.net_benefit:>+11.1f}h"
+            f"{impact.total_gpu_failed_jobs} of {impact.total_jobs_analyzed} "
+            "operational GPU jobs were ended by GPU errors"
         )
 
-    best = mitigation.best_policy(INTERVALS_HOURS, args.overhead, args.restart_min)
-    print(
-        f"\nbest interval: {best.policy.interval_hours:g} h "
-        f"(net benefit {best.net_benefit:+.1f} GPU-hours over the period)"
-    )
-    if best.net_benefit <= 0:
-        print(
-            "checkpointing does not pay off at this failure rate/overhead — "
-            "try --overhead 0.005"
+        mitigation = MitigationAnalysis(
+            result.jobs, impact.gpu_failed_job_ids, artifacts.window
         )
-    return 0
+        lost = mitigation.lost_gpu_hours()
+        print(f"GPU-hours lost without checkpointing: {lost:.1f}")
+
+        print(
+            f"\n== checkpoint interval sweep "
+            f"(overhead {args.overhead * 100:.1f}%, "
+            f"restart {args.restart_min:.0f} min) =="
+        )
+        reports = measured_sweep(
+            result.jobs,
+            impact.gpu_failed_job_ids,
+            artifacts.window,
+            overhead_fraction=args.overhead,
+            restart_minutes=args.restart_min,
+        )
+        print(render_measured_sweep(reports))
+
+        best = mitigation.best_policy(
+            MEASURED_INTERVALS_HOURS, args.overhead, args.restart_min
+        )
+        print(
+            f"\nbest interval: {best.policy.interval_hours:g} h "
+            f"(net benefit {best.net_benefit:+.1f} GPU-hours over the period)"
+        )
+        if best.net_benefit <= 0:
+            print(
+                "checkpointing does not pay off at this failure rate/"
+                "overhead — try --overhead 0.005"
+            )
+
+        print("\n== analytic reference (calibrated goodput model) ==")
+        analytic = sweep(calibrated_model(gang_nodes=2))
+        print(
+            f"Young optimum {analytic.young_interval_hours:.2f} h, "
+            f"Daly {analytic.daly_interval_hours:.2f} h, swept optimum "
+            f"{analytic.optimal_interval_hours:.2f} h "
+            f"(goodput {analytic.optimal_row.goodput:.4f})"
+        )
+        if cleanup:
+            print("\n(temporary artifacts removed; pass --out DIR to keep them)")
+        else:
+            print(f"\nartifacts kept in {out}")
+        return 0
+    finally:
+        if cleanup:
+            shutil.rmtree(out, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -1,10 +1,23 @@
 """Stage-III analysis: MTBE, job impact, availability, job statistics,
-NVLink propagation, ML classification, and headline composition."""
+NVLink propagation, ML classification, checkpoint-interval economics,
+and headline composition."""
 
 from .availability import (
     AvailabilityAnalysis,
     AvailabilityReport,
     UnavailabilityDistribution,
+)
+from .checkpoint import (
+    CheckpointSweepReport,
+    GoodputModel,
+    SweepRow,
+    calibrated_model,
+    daly_interval_hours,
+    gang_mtbf_hours,
+    measured_sweep,
+    render_measured_sweep,
+    sweep,
+    young_interval_hours,
 )
 from .correlation import (
     FollowStat,
@@ -51,6 +64,16 @@ __all__ = [
     "AvailabilityAnalysis",
     "AvailabilityReport",
     "UnavailabilityDistribution",
+    "CheckpointSweepReport",
+    "GoodputModel",
+    "SweepRow",
+    "calibrated_model",
+    "daly_interval_hours",
+    "gang_mtbf_hours",
+    "measured_sweep",
+    "render_measured_sweep",
+    "sweep",
+    "young_interval_hours",
     "FollowStat",
     "correlation_matrix",
     "follow_probability",

@@ -1,0 +1,358 @@
+"""Checkpoint-interval economics: Young/Daly optima and goodput sweeps.
+
+Section V-B of the paper concludes that almost no GPU hardware error
+can be absorbed at the application level — long gang-scheduled jobs
+must checkpoint.  This module prices that defence with the standard
+first-order renewal model, grounded in the calibrated per-node MTBE of
+Table I instead of an assumed failure rate:
+
+* **Young/Daly optimum** — the classic closed forms for the interval
+  that balances checkpoint overhead against expected recomputation:
+  ``T_young = sqrt(2 w M)`` and Daly's higher-order refinement, where
+  ``w`` is the checkpoint write cost and ``M`` the job-level MTBF.  A
+  gang of ``n`` nodes fails whenever any member fails, so its MTBF is
+  the per-node MTBE divided by ``n``.
+* **Goodput model** — the fraction of wall-clock time converted into
+  durable forward progress under a given interval: the cycle pays the
+  write overhead, and each failure (rate ``1/M``) costs half a cycle
+  of rework plus the full detection→drain→reschedule→restore timeline.
+* **ETTR** — expected time-to-recovery: how long a failed gang is not
+  RUNNING (detection latency + drain + reschedule + restore).  ETTR is
+  interval-independent; the interval only controls how much *work* the
+  outage destroys.
+
+The sweep report backs ``repro recover-sweep`` and benchmark E15.  The
+analytic argmax of the goodput curve sits at the Young point to first
+order, so a half-octave grid centred there always brackets the optimum
+within one step — the acceptance contract of the CLI report.
+
+The module also hosts the *measured* sweep used by
+``examples/checkpoint_planner.py``: a thin driver over
+:class:`~repro.analysis.mitigation.MitigationAnalysis` that evaluates
+fixed intervals against an observed failure population.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.exceptions import AnalysisError
+from ..core.periods import StudyWindow
+from ..slurm.types import JobRecord
+from .mitigation import MitigationAnalysis, MitigationReport
+
+#: Half-octave multipliers around the Young interval: the default sweep
+#: grid.  One "sweep step" is a factor of sqrt(2).
+DEFAULT_GRID_STEPS: Sequence[float] = tuple(
+    2.0 ** (k / 2.0) for k in range(-4, 5)
+)
+
+#: Fixed-interval grid for measured sweeps (hours) — matches the
+#: historical ``checkpoint_planner`` example grid.
+MEASURED_INTERVALS_HOURS: Sequence[float] = (
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0,
+)
+
+
+def young_interval_hours(write_minutes: float, mtbf_hours: float) -> float:
+    """Young's optimal checkpoint interval ``sqrt(2 w M)`` in hours."""
+    if write_minutes <= 0 or mtbf_hours <= 0:
+        raise AnalysisError(
+            f"young interval needs positive write cost and MTBF, got "
+            f"write={write_minutes} min, mtbf={mtbf_hours} h"
+        )
+    w = write_minutes / 60.0
+    return math.sqrt(2.0 * w * mtbf_hours)
+
+
+def daly_interval_hours(write_minutes: float, mtbf_hours: float) -> float:
+    """Daly's higher-order optimum (reduces to Young for ``w << M``)."""
+    w = write_minutes / 60.0
+    m = mtbf_hours
+    if w <= 0 or m <= 0:
+        raise AnalysisError("daly interval needs positive write cost and MTBF")
+    if w >= 2.0 * m:
+        # Pathological regime: checkpointing costs more than the MTBF;
+        # Daly's expansion prescribes checkpointing "continuously".
+        return m
+    x = math.sqrt(w / (2.0 * m))
+    return math.sqrt(2.0 * w * m) * (1.0 + x / 3.0 + (x * x) / 9.0) - w
+
+
+@dataclass(frozen=True)
+class GoodputModel:
+    """First-order goodput model for one gang-job configuration.
+
+    Attributes:
+        mtbf_hours: job-level MTBF (per-node MTBE / gang node count).
+        write_minutes: cost of writing one checkpoint.
+        restore_minutes: cost of reloading the last checkpoint.
+        detect_minutes: expected failure-detection latency.
+        resched_minutes: expected drain + reschedule time (queueing,
+            backoff, spare promotion).
+    """
+
+    mtbf_hours: float
+    write_minutes: float = 4.0
+    restore_minutes: float = 10.0
+    detect_minutes: float = 2.0
+    resched_minutes: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mtbf_hours", "write_minutes", "restore_minutes",
+            "detect_minutes", "resched_minutes",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise AnalysisError(f"{name} must be finite and >= 0")
+        if self.mtbf_hours <= 0 or self.write_minutes <= 0:
+            raise AnalysisError("mtbf_hours and write_minutes must be > 0")
+
+    @property
+    def ettr_minutes(self) -> float:
+        """Expected time-to-recovery (failure → back to RUNNING)."""
+        return self.detect_minutes + self.resched_minutes + self.restore_minutes
+
+    def lost_hours_per_failure(self, interval_hours: float) -> float:
+        """Expected wall-hours destroyed by one failure.
+
+        Half a compute interval of rework (uniform failure position)
+        plus half the in-flight checkpoint write, plus the full
+        recovery timeline during which the gang does nothing.
+        """
+        w = self.write_minutes / 60.0
+        return interval_hours / 2.0 + w / 2.0 + self.ettr_minutes / 60.0
+
+    def goodput(self, interval_hours: float) -> float:
+        """Durable-work fraction of wall-clock time at this interval."""
+        if interval_hours <= 0:
+            raise AnalysisError("interval_hours must be positive")
+        w = self.write_minutes / 60.0
+        cycle_efficiency = interval_hours / (interval_hours + w)
+        failure_tax = self.lost_hours_per_failure(interval_hours) / self.mtbf_hours
+        return max(0.0, cycle_efficiency * (1.0 - min(failure_tax, 1.0)))
+
+    def young_hours(self) -> float:
+        """Young-optimal interval for this model."""
+        return young_interval_hours(self.write_minutes, self.mtbf_hours)
+
+    def daly_hours(self) -> float:
+        """Daly-optimal interval for this model."""
+        return daly_interval_hours(self.write_minutes, self.mtbf_hours)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One interval of a goodput sweep."""
+
+    interval_hours: float
+    goodput: float
+    ettr_minutes: float
+    lost_hours_per_failure: float
+    expected_failures_per_30d: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """The row as a rounded, JSON-serializable mapping."""
+        return {
+            "interval_hours": round(self.interval_hours, 6),
+            "goodput": round(self.goodput, 6),
+            "ettr_minutes": round(self.ettr_minutes, 4),
+            "lost_hours_per_failure": round(self.lost_hours_per_failure, 4),
+            "expected_failures_per_30d": round(
+                self.expected_failures_per_30d, 4
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class CheckpointSweepReport:
+    """The goodput-vs-interval curve and its reference optima."""
+
+    model: GoodputModel
+    rows: List[SweepRow]
+    optimal_interval_hours: float
+    young_interval_hours: float
+    daly_interval_hours: float
+
+    @property
+    def optimal_row(self) -> SweepRow:
+        """The swept row with the highest goodput."""
+        return max(self.rows, key=lambda r: r.goodput)
+
+    def optimal_within_one_step_of_young(self) -> bool:
+        """True when the swept optimum brackets the Young point.
+
+        "One sweep step" is the grid's half-octave ratio: the optimum
+        and the Young interval must be within a factor of sqrt(2).
+        """
+        ratio = self.optimal_interval_hours / self.young_interval_hours
+        return 1.0 / math.sqrt(2.0) - 1e-9 <= ratio <= math.sqrt(2.0) + 1e-9
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The report as a JSON-serializable mapping (model, rows, optima)."""
+        return {
+            "model": {
+                "mtbf_hours": self.model.mtbf_hours,
+                "write_minutes": self.model.write_minutes,
+                "restore_minutes": self.model.restore_minutes,
+                "detect_minutes": self.model.detect_minutes,
+                "resched_minutes": self.model.resched_minutes,
+            },
+            "rows": [row.to_dict() for row in self.rows],
+            "optimal_interval_hours": round(self.optimal_interval_hours, 6),
+            "young_interval_hours": round(self.young_interval_hours, 6),
+            "daly_interval_hours": round(self.daly_interval_hours, 6),
+            "optimal_matches_young": self.optimal_within_one_step_of_young(),
+        }
+
+    def to_json(self) -> str:
+        """The report serialized as stable, indented JSON."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    def render_markdown(self) -> str:
+        """The goodput table as GitHub-flavoured markdown."""
+        lines = [
+            "## Checkpoint-interval sweep",
+            "",
+            f"- job-level MTBF: **{self.model.mtbf_hours:.1f} h**",
+            f"- checkpoint write: {self.model.write_minutes:.1f} min, "
+            f"restore: {self.model.restore_minutes:.1f} min",
+            f"- ETTR (detect + reschedule + restore): "
+            f"**{self.model.ettr_minutes:.1f} min**",
+            f"- Young optimum: **{self.young_interval_hours:.2f} h**, "
+            f"Daly optimum: {self.daly_interval_hours:.2f} h",
+            "",
+            "| interval (h) | goodput | lost h/failure | failures/30d |",
+            "|---:|---:|---:|---:|",
+        ]
+        best = self.optimal_row
+        for row in self.rows:
+            marker = " **←**" if row is best else ""
+            lines.append(
+                f"| {row.interval_hours:.2f} | {row.goodput:.4f} | "
+                f"{row.lost_hours_per_failure:.2f} | "
+                f"{row.expected_failures_per_30d:.1f} |{marker}"
+            )
+        lines.append("")
+        lines.append(
+            f"Swept optimum: **{self.optimal_interval_hours:.2f} h** "
+            f"(goodput {best.goodput:.4f}) — "
+            + (
+                "within one sweep step of Young/Daly."
+                if self.optimal_within_one_step_of_young()
+                else "OUTSIDE one sweep step of Young/Daly."
+            )
+        )
+        return "\n".join(lines)
+
+
+def default_interval_grid(model: GoodputModel) -> List[float]:
+    """Half-octave grid centred on the model's Young interval."""
+    young = model.young_hours()
+    return [young * step for step in DEFAULT_GRID_STEPS]
+
+
+def sweep(
+    model: GoodputModel,
+    intervals_hours: Optional[Sequence[float]] = None,
+) -> CheckpointSweepReport:
+    """Evaluate the goodput curve over a grid of intervals."""
+    grid = (
+        list(intervals_hours)
+        if intervals_hours is not None
+        else default_interval_grid(model)
+    )
+    if not grid:
+        raise AnalysisError("no intervals supplied")
+    rows = []
+    for interval in sorted(grid):
+        rows.append(
+            SweepRow(
+                interval_hours=interval,
+                goodput=model.goodput(interval),
+                ettr_minutes=model.ettr_minutes,
+                lost_hours_per_failure=model.lost_hours_per_failure(interval),
+                expected_failures_per_30d=30.0 * 24.0 / model.mtbf_hours,
+            )
+        )
+    best = max(rows, key=lambda r: r.goodput)
+    return CheckpointSweepReport(
+        model=model,
+        rows=rows,
+        optimal_interval_hours=best.interval_hours,
+        young_interval_hours=model.young_hours(),
+        daly_interval_hours=model.daly_hours(),
+    )
+
+
+def gang_mtbf_hours(per_node_mtbe_hours: float, gang_nodes: int) -> float:
+    """Job-level MTBF of an all-or-nothing gang of ``gang_nodes``."""
+    if per_node_mtbe_hours <= 0 or gang_nodes <= 0:
+        raise AnalysisError("per-node MTBE and gang size must be positive")
+    return per_node_mtbe_hours / gang_nodes
+
+
+def calibrated_model(
+    gang_nodes: int = 2,
+    per_node_mtbe_hours: Optional[float] = None,
+    write_minutes: float = 4.0,
+    restore_minutes: float = 10.0,
+    detect_minutes: float = 2.0,
+    resched_minutes: float = 5.0,
+) -> GoodputModel:
+    """A goodput model grounded in the paper's calibrated MTBE.
+
+    Defaults to the operational-period per-node MTBE of Table I
+    (154 h); pass ``per_node_mtbe_hours`` to use a measured value
+    (e.g. from :class:`~repro.analysis.mtbe.MtbeAnalysis`).
+    """
+    if per_node_mtbe_hours is None:
+        from ..calibration.paper import HEADLINE
+
+        per_node_mtbe_hours = HEADLINE.op_per_node_mtbe_hours
+    return GoodputModel(
+        mtbf_hours=gang_mtbf_hours(per_node_mtbe_hours, gang_nodes),
+        write_minutes=write_minutes,
+        restore_minutes=restore_minutes,
+        detect_minutes=detect_minutes,
+        resched_minutes=resched_minutes,
+    )
+
+
+# ---------------------------------------------------------------------
+# Measured sweep (the checkpoint_planner example's engine)
+# ---------------------------------------------------------------------
+
+
+def measured_sweep(
+    jobs: Sequence[JobRecord],
+    gpu_failed_job_ids: Set[int],
+    window: StudyWindow,
+    intervals_hours: Sequence[float] = MEASURED_INTERVALS_HOURS,
+    overhead_fraction: float = 0.02,
+    restart_minutes: float = 5.0,
+) -> List[MitigationReport]:
+    """Fixed-interval what-ifs against a measured failure population."""
+    analysis = MitigationAnalysis(jobs, gpu_failed_job_ids, window)
+    return analysis.sweep(intervals_hours, overhead_fraction, restart_minutes)
+
+
+def render_measured_sweep(reports: Sequence[MitigationReport]) -> str:
+    """Fixed-width table of measured-sweep results (GPU-hours)."""
+    header = (
+        f"{'interval':>10s} {'lost w/ ckpt':>13s} "
+        f"{'overhead':>10s} {'net benefit':>12s}"
+    )
+    lines = [header, "-" * len(header)]
+    for report in reports:
+        lines.append(
+            f"{report.policy.interval_hours:>9.2f}h "
+            f"{report.lost_with_checkpointing:>12.1f}h "
+            f"{report.checkpoint_overhead:>9.1f}h "
+            f"{report.net_benefit:>+11.1f}h"
+        )
+    return "\n".join(lines)

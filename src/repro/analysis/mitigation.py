@@ -20,6 +20,7 @@ closed-form failure rate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence, Set
 
@@ -45,12 +46,19 @@ class CheckpointPolicy:
     restart_minutes: float = 5.0
 
     def __post_init__(self) -> None:
-        if self.interval_hours <= 0:
-            raise AnalysisError("checkpoint interval must be positive")
-        if not 0.0 <= self.overhead_fraction < 1.0:
-            raise AnalysisError("overhead_fraction must be in [0, 1)")
-        if self.restart_minutes < 0:
-            raise AnalysisError("restart_minutes must be non-negative")
+        # NaN slips through plain comparisons (``nan <= 0`` is False),
+        # so every bound check also demands a finite value.
+        if not math.isfinite(self.interval_hours) or self.interval_hours <= 0:
+            raise AnalysisError("checkpoint interval must be finite and positive")
+        if (
+            not math.isfinite(self.overhead_fraction)
+            or not 0.0 <= self.overhead_fraction < 1.0
+        ):
+            raise AnalysisError("overhead_fraction must be finite and in [0, 1)")
+        if not math.isfinite(self.restart_minutes) or self.restart_minutes < 0:
+            raise AnalysisError(
+                "restart_minutes must be finite and non-negative"
+            )
 
 
 @dataclass(frozen=True)

@@ -3,7 +3,8 @@
 The subcommands cover the full workflow:
 
 * ``simulate`` — run a study and write the raw artifacts (optionally
-  corrupting the emitted logs with the chaos layer via ``--corrupt``).
+  corrupting the emitted logs with the chaos layer via ``--corrupt``,
+  or arming the gang-recovery engine via ``--recovery <preset>``).
 * ``chaos`` — corrupt an existing artifact directory's syslog with the
   seeded chaos injector and print what was injected.
 * ``pipeline`` — run Stage-II extraction/coalescing over an artifact
@@ -12,6 +13,9 @@ The subcommands cover the full workflow:
   an interrupted checkpointed run.
 * ``report`` — run Stage-III analyses over an artifact directory and
   print the paper's tables/figures (optionally with paper comparisons).
+* ``recover-sweep`` — sweep checkpoint intervals through the goodput
+  model and report the optimum against the Young/Daly closed forms
+  (markdown to stdout, JSON via ``--out``).
 * ``experiments`` — regenerate the EXPERIMENTS.md record from fresh
   runs.
 * ``obs`` — inspect telemetry artifacts: render a metrics snapshot as
@@ -32,6 +36,8 @@ end of the command.
 Examples::
 
     python -m repro simulate out/ --preset small --seed 7 --corrupt
+    python -m repro simulate out/ --recovery a100
+    python -m repro recover-sweep --gang-nodes 4 --out sweep.json
     python -m repro simulate out/ --metrics-out m.prom --trace-out t.jsonl
     python -m repro chaos out/ --chaos-seed 3
     python -m repro pipeline out/ --resume --obs
@@ -190,6 +196,14 @@ def _finish_telemetry(
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args.preset, args.seed, args.job_scale)
+    if args.recovery is not None:
+        import dataclasses
+
+        from .recovery import RECOVERY_PRESETS
+
+        config = dataclasses.replace(
+            config, recovery=RECOVERY_PRESETS[args.recovery]
+        )
     telemetry = _telemetry_from_args(args, seed=args.seed)
     artifacts = DeltaStudy(config).run(
         Path(args.output_dir), telemetry=telemetry
@@ -255,6 +269,15 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     print(f"downtime episodes:        {len(result.downtime)}")
     print(f"job records:              {len(result.jobs)}")
+    if result.recovery:
+        from .pipeline import recovery_timeline_summary
+
+        timeline = recovery_timeline_summary(result.recovery)
+        print(
+            f"recovery events:          {timeline['events']} "
+            f"(gangs {len(timeline['incidents_by_gang'])}, "
+            f"mean ETTR {timeline['mean_ettr_minutes']:.1f} min)"
+        )
     if result.health is not None:
         print(result.health.render())
     _finish_telemetry(telemetry, args)
@@ -296,6 +319,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print()
             print(report.render())
     _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_recover_sweep(args: argparse.Namespace) -> int:
+    from .analysis.checkpoint import calibrated_model, sweep
+
+    model = calibrated_model(
+        gang_nodes=args.gang_nodes,
+        per_node_mtbe_hours=args.mtbe_hours,
+        write_minutes=args.write_min,
+        restore_minutes=args.restore_min,
+        detect_minutes=args.detect_min,
+        resched_minutes=args.resched_min,
+    )
+    report = sweep(model)
+    print(report.render_markdown())
+    if args.out:
+        path = _ensure_parent(args.out)
+        path.write_text(report.to_json(), encoding="utf-8")
+        print(f"\nsweep report written to {path}")
     return 0
 
 
@@ -548,6 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="corrupt the emitted logs with the chaos layer")
     simulate.add_argument("--chaos-seed", type=int, default=0,
                           help="chaos injector seed (with --corrupt)")
+    from .recovery import RECOVERY_PRESETS as _recovery_presets
+
+    simulate.add_argument(
+        "--recovery", choices=sorted(_recovery_presets), default=None,
+        metavar="PRESET",
+        help="arm the gang-recovery engine with a named policy preset "
+             f"(choices: {', '.join(sorted(_recovery_presets))})",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     chaos = sub.add_parser(
@@ -586,6 +637,31 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--delta-window", action="store_true",
                         help="force the 1170-day Delta study window")
     report.set_defaults(func=_cmd_report)
+
+    recover_sweep = sub.add_parser(
+        "recover-sweep",
+        help="checkpoint-interval goodput sweep vs the Young/Daly optima",
+    )
+    recover_sweep.add_argument(
+        "--gang-nodes", type=int, default=2,
+        help="gang size in nodes (job-level MTBF = per-node MTBE / n)",
+    )
+    recover_sweep.add_argument(
+        "--mtbe-hours", type=float, default=None,
+        help="per-node MTBE in hours (default: the paper's calibrated "
+             "operational-period value)",
+    )
+    recover_sweep.add_argument("--write-min", type=float, default=4.0,
+                               help="checkpoint write cost (minutes)")
+    recover_sweep.add_argument("--restore-min", type=float, default=10.0,
+                               help="checkpoint restore cost (minutes)")
+    recover_sweep.add_argument("--detect-min", type=float, default=2.0,
+                               help="expected detection latency (minutes)")
+    recover_sweep.add_argument("--resched-min", type=float, default=5.0,
+                               help="expected drain+reschedule time (minutes)")
+    recover_sweep.add_argument("--out", metavar="PATH", default=None,
+                               help="also write the sweep report as JSON")
+    recover_sweep.set_defaults(func=_cmd_recover_sweep)
 
     summary = sub.add_parser("summary", help="one-page study summary")
     summary.add_argument("artifact_dir")

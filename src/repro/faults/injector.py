@@ -417,9 +417,17 @@ class FaultInjector:
             else:
                 victims = self._scheduler.jobs_using_gpu(node.name, gpu.index)
             for job_id in victims:
-                if rng.random() < impact.kill_probability:
+                # The roll is consumed unconditionally so enabling gang
+                # jobs never perturbs the fate of the ordinary
+                # population; gangs themselves die deterministically —
+                # no distributed training survives a member fault.
+                roll = rng.random()
+                if self._scheduler.is_gang(job_id) or roll < impact.kill_probability:
                     self._schedule_kill(
-                        job_id, event_class, impact.node_failure_state
+                        job_id,
+                        event_class,
+                        impact.node_failure_state,
+                        node=node.name,
                     )
         if kills_only:
             return
@@ -433,14 +441,18 @@ class FaultInjector:
             )
 
     def _schedule_kill(
-        self, job_id: int, cause: EventClass, node_failure: bool
+        self,
+        job_id: int,
+        cause: EventClass,
+        node_failure: bool,
+        node: Optional[str] = None,
     ) -> None:
         rng = self._rngs.stream("faults.impact")
         delay = float(rng.uniform(_KILL_DELAY_LO, _KILL_DELAY_HI))
         self._m_kills.labels(cause=cause.value).inc()
         self._engine.schedule_after(
             delay,
-            lambda: self._scheduler.kill_job(job_id, cause, node_failure),
+            lambda: self._scheduler.kill_job(job_id, cause, node_failure, node=node),
             priority=5,
             label=f"kill:{job_id}",
         )
@@ -493,7 +505,7 @@ class FaultInjector:
                 else EventClass.CONTAINED_MEMORY_ERROR
             )
             for job_id in self._scheduler.jobs_using_gpu(node.name, gpu.index):
-                self._schedule_kill(job_id, cause, node_failure=False)
+                self._schedule_kill(job_id, cause, node_failure=False, node=node.name)
         if outcome.remap_failed:
             self._ops.record_rrf(node.name, gpu.index)
         if outcome.needs_reset:
@@ -623,16 +635,25 @@ class FaultInjector:
             gpu_count = self._scheduler.job_gpu_count(job_id)
             if gpu_count >= 2:
                 # The job's collective traffic rode the faulty link.
-                if rng.random() < cfg.link_fatal_probability:
+                # Gangs always die (roll still consumed — see
+                # _apply_impact for why); ordinary jobs take the draw.
+                roll = rng.random()
+                if self._scheduler.is_gang(job_id) or roll < cfg.link_fatal_probability:
                     self._schedule_kill(
-                        job_id, EventClass.NVLINK_ERROR, node_failure=False
+                        job_id,
+                        EventClass.NVLINK_ERROR,
+                        node_failure=False,
+                        node=node.name,
                     )
             elif not crc_enabled:
                 # Without CRC detection, corrupt transfers can reach
                 # even single-GPU memory traffic routed over the fabric.
                 if rng.random() < cfg.link_fatal_probability * 0.5:
                     self._schedule_kill(
-                        job_id, EventClass.NVLINK_ERROR, node_failure=False
+                        job_id,
+                        EventClass.NVLINK_ERROR,
+                        node_failure=False,
+                        node=node.name,
                     )
 
     # ------------------------------------------------------------------
@@ -655,7 +676,10 @@ class FaultInjector:
         )
         for job_id in self._scheduler.jobs_using_gpu(node.name, gpu_index):
             self._schedule_kill(
-                job_id, EventClass.UNCONTAINED_MEMORY_ERROR, node_failure=False
+                job_id,
+                EventClass.UNCONTAINED_MEMORY_ERROR,
+                node_failure=False,
+                node=node.name,
             )
 
     def _defective_discovered(self, node: Node, gpu_index: int) -> None:

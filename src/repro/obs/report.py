@@ -107,6 +107,38 @@ def render_run_report(telemetry) -> str:
         for name, seconds in hot[:5]:
             lines.append(f"  {name:<20} {_fmt_seconds(seconds)}")
 
+    # Gang recovery: only present when the recovery engine was armed.
+    recovery: List[str] = []
+    incidents = metrics.value("recovery_incidents_total")
+    if incidents:
+        ettr_count = 0.0
+        ettr_sum = 0.0
+        for sample in metrics.samples():
+            if sample.name == "recovery_ettr_minutes":
+                histogram = getattr(sample, "histogram", None)
+                if histogram is not None:
+                    ettr_count += histogram.count
+                    ettr_sum += histogram.sum
+        recovery.append(f"  incidents:           {_fmt_rate(incidents)}")
+        if ettr_count:
+            recovery.append(
+                f"  mean ETTR:           {ettr_sum / ettr_count:.1f} min"
+                f"  ({_fmt_rate(ettr_count)} recoveries)"
+            )
+        for label, name in (
+            ("retries", "recovery_retries_total"),
+            ("spare promotions", "recovery_spare_promotions_total"),
+            ("degradations", "recovery_degradations_total"),
+            ("hangs caught", "recovery_hangs_total"),
+            ("checkpoint writes", "recovery_checkpoint_writes_total"),
+        ):
+            value = metrics.value(name)
+            if value:
+                recovery.append(f"  {label + ':':<20} {_fmt_rate(value)}")
+    if recovery:
+        lines.append("gang recovery:")
+        lines.extend(recovery)
+
     if telemetry.logger.records_written:
         lines.append(
             f"structured log records: {telemetry.logger.records_written}"

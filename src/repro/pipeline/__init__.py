@@ -1,6 +1,7 @@
 """Stage-II processing: extraction, coalescing, downtime recovery,
-health accounting, and checkpointed (resumable) runs — serial or
-sharded across a process pool with a deterministic merge."""
+gang-recovery timelines, health accounting, and checkpointed
+(resumable) runs — serial or sharded across a process pool with a
+deterministic merge."""
 
 from .coalesce import (
     DEFAULT_WINDOW_SECONDS,
@@ -15,6 +16,12 @@ from .extract import ErrorHit, ExtractionStats, XidExtractor, extract_all
 from .health import PipelineHealthReport, day_coverage
 from .metrics import PipelineMetricSet, PipelineTotals
 from .parallel import host_cores, resolve_workers
+from .recovery import (
+    RecoveryEvent,
+    RecoveryExtractor,
+    extract_recovery,
+    recovery_timeline_summary,
+)
 from .run import (
     CHECKPOINT_DIRNAME,
     PipelineResult,
@@ -42,6 +49,10 @@ __all__ = [
     "extract_all",
     "PipelineHealthReport",
     "day_coverage",
+    "RecoveryEvent",
+    "RecoveryExtractor",
+    "extract_recovery",
+    "recovery_timeline_summary",
     "CHECKPOINT_DIRNAME",
     "PipelineResult",
     "run_pipeline",

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -59,6 +59,7 @@ from .extract import ExtractionStats
 from .health import PipelineHealthReport
 from .metrics import PipelineMetricSet, PipelineTotals
 from .parallel import create_scan_pool, submit_scan
+from .recovery import RecoveryEvent, RecoveryExtractor
 from .shard import DayScan, decode_hits, merge_scan, scan_day_file
 
 #: Directory (under the artifact dir) holding checkpoint state.
@@ -67,7 +68,9 @@ CHECKPOINT_DIRNAME = ".pipeline_checkpoint"
 #: Manifest schema version; bump on incompatible payload changes.
 #: v2: entries carry ``size``/``mtime_ns`` so resume validates by stat
 #: instead of re-hashing every file.
-CHECKPOINT_VERSION = 2
+#: v3: the ``downtime_lines`` channel also carries ``gangd:`` recovery
+#: lines, so v2 payloads would replay an incomplete line set.
+CHECKPOINT_VERSION = 3
 
 
 @dataclass
@@ -84,6 +87,8 @@ class PipelineResult:
         raw_hits: matched raw lines before coalescing.
         health: data-quality accounting for the pass (quarantined and
             repaired lines, file incidents, day coverage, resume info).
+        recovery: gang-recovery events reconstructed from ``gangd:``
+            log lines (empty for runs without a recovery policy).
     """
 
     errors: List[ExtractedError]
@@ -93,6 +98,7 @@ class PipelineResult:
     coalesce_window_seconds: float
     raw_hits: int
     health: Optional[PipelineHealthReport] = None
+    recovery: List[RecoveryEvent] = field(default_factory=list)
 
     @property
     def coalescing_reduction(self) -> float:
@@ -359,6 +365,7 @@ def run_pipeline(
 
         stats = ExtractionStats()
         downtime_extractor = DowntimeExtractor()
+        recovery_extractor = RecoveryExtractor()
         hits: list = []
         last_time = float("-inf")
         lines_read = 0
@@ -390,9 +397,11 @@ def run_pipeline(
                     if payload is not None:
                         hits.extend(decode_hits(payload["hits"]))
                         for time_, host, message in payload["downtime_lines"]:
-                            downtime_extractor.feed(
-                                RawLine(time=time_, host=host, message=message)
+                            raw = RawLine(
+                                time=time_, host=host, message=message
                             )
+                            downtime_extractor.feed(raw)
+                            recovery_extractor.feed(raw)
                         for name, delta in payload["stats"].items():
                             setattr(stats, name, getattr(stats, name) + delta)
                         quarantine.restore(payload["quarantine"])
@@ -412,6 +421,7 @@ def run_pipeline(
                             stats,
                             downtime_extractor,
                             hits,
+                            recovery_extractor,
                         )
                         lines_read += scan.lines_read
                         parsed_lines += scan.parsed_lines
@@ -444,6 +454,8 @@ def run_pipeline(
             errors = coalesce(hits, window_seconds, mode)
         with tracer.span("downtime"):
             downtime = downtime_extractor.finish()
+        with tracer.span("recovery"):
+            recovery_events = recovery_extractor.finish()
 
         jobs: List[JobRecord] = []
         sacct_path = artifact_dir / "sacct.csv"
@@ -466,6 +478,7 @@ def run_pipeline(
             coalesce_window_seconds=window_seconds,
             raw_hits=len(hits),
             health=health,
+            recovery=recovery_events,
         )
         if tel.enabled:
             _flush_pipeline_metrics(

@@ -73,9 +73,11 @@ from ..syslog.quarantine import (
     REASON_ENCODING,
     Quarantine,
 )
+from ..recovery.machine import RECOVERY_MARKER
 from ..syslog.reader import RawLine, iter_file_lines, parse_line
 from .downtime import DOWNTIME_MARKER, DowntimeExtractor
 from .extract import ErrorHit, ExtractionStats, XidExtractor
+from .recovery import RecoveryExtractor
 
 #: Sample-event operation codes (compact across the worker boundary).
 _OP_REJECT = "J"
@@ -270,7 +272,10 @@ def scan_day_file(
                 boundary.append((line_idx, line.host, line.time))
             local_last = line.time
         parsed_count += 1
-        if DOWNTIME_MARKER in line.message:
+        # One shared channel carries both stateful-extraction line
+        # families: downtime markers and gangd recovery lines.  The
+        # downstream extractors each prefilter on their own marker.
+        if DOWNTIME_MARKER in line.message or RECOVERY_MARKER in line.message:
             downtime_lines.append((line.time, line.host, line.message))
         hit = extractor.extract_line(line)
         if hit is not None:
@@ -316,6 +321,7 @@ def merge_scan(
     stats: ExtractionStats,
     downtime_extractor: DowntimeExtractor,
     hits_out: List[ErrorHit],
+    recovery_extractor: Optional[RecoveryExtractor] = None,
 ) -> Tuple[float, dict]:
     """Fold one scan into the global accumulators, in day order.
 
@@ -330,6 +336,9 @@ def merge_scan(
         downtime_extractor: the run's downtime state machine (fed the
             shard's downtime lines, stitched times, in line order).
         hits_out: the run's accumulated error hits.
+        recovery_extractor: optional gang-recovery state machine; fed
+            the same stitched line channel (it prefilters on its own
+            marker, so non-recovery runs pay nothing).
 
     Returns:
         ``(new_watermark, checkpoint_payload)`` — the watermark to
@@ -410,7 +419,10 @@ def merge_scan(
         day_downtime = [tuple(d) for d in scan.downtime_lines]
     hits_out.extend(day_hits)
     for t, host, message in day_downtime:
-        downtime_extractor.feed(RawLine(time=t, host=host, message=message))
+        raw = RawLine(time=t, host=host, message=message)
+        downtime_extractor.feed(raw)
+        if recovery_extractor is not None:
+            recovery_extractor.feed(raw)
 
     # --- watermark ----------------------------------------------------
     new_watermark = watermark

@@ -1,0 +1,33 @@
+"""Gang-job recovery engine (DESIGN §13).
+
+Gang-scheduled multi-node jobs with all-or-nothing allocations, a
+detect→drain→reschedule→restore state machine driven by engine
+events, hot-spare promotion, bounded retries with exponential backoff,
+graceful degradation, and checkpoint/restore work accounting.
+"""
+
+from .config import (
+    GANG_JOB_ID_BASE,
+    CheckpointPlan,
+    DetectionModel,
+    RECOVERY_PRESETS,
+    RecoveryPolicy,
+)
+from .machine import (
+    GangRecoveryManager,
+    GangState,
+    RECOVERY_MARKER,
+    RecoverySummary,
+)
+
+__all__ = [
+    "GANG_JOB_ID_BASE",
+    "CheckpointPlan",
+    "DetectionModel",
+    "GangRecoveryManager",
+    "GangState",
+    "RECOVERY_MARKER",
+    "RECOVERY_PRESETS",
+    "RecoveryPolicy",
+    "RecoverySummary",
+]

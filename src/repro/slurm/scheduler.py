@@ -40,6 +40,7 @@ class _RunningJob:
     allocation: Allocation
     end_handle: EventHandle
     killed_by: Optional[EventClass] = None
+    failed_node: Optional[str] = None
 
 
 class Scheduler:
@@ -73,6 +74,8 @@ class Scheduler:
         self._cpu_slots_used: Dict[str, int] = {}
         self._empty_callbacks: Dict[str, List[Callable[[], None]]] = {}
         self._drained: set = set()
+        self._start_listeners: List[Callable[[JobRequest, Allocation], None]] = []
+        self._end_listeners: List[Callable[[JobRecord], None]] = []
         self.records: List[JobRecord] = []
         if metrics is None:
             self._m_submitted = self._m_started = NOOP
@@ -154,6 +157,8 @@ class Scheduler:
             for n in self._cluster.gpu_nodes()
             if n.schedulable and n.name not in self._drained
         ]
+        if request.is_gang:
+            return self._find_gang_allocation(request, candidates)
         # Single-node placement: smallest node that fits, fewest leftover.
         if count <= 8:
             best = None
@@ -188,6 +193,39 @@ class Scheduler:
             gpus={n: g for n, g in chosen_nodes},
         )
 
+    def _find_gang_allocation(
+        self, request: JobRequest, candidates
+    ) -> Optional[Allocation]:
+        """All-or-nothing placement: exactly ``gang_nodes`` idle nodes.
+
+        Gang members seize entire idle nodes — every GPU on the node,
+        even when the gang nominally needs fewer (exclusive use; real
+        gang schedulers pin topology) — and the allocation only exists
+        when all members fit at once; a partial gang never starts.
+        """
+        per_node = request.gpus_per_gang_node
+        chosen: List[Tuple[str, Tuple[int, ...]]] = []
+        for node in candidates:
+            free = node.free_gpu_indices()
+            if len(free) != node.gpu_count or node.gpu_count < per_node:
+                continue
+            chosen.append((node.name, tuple(free)))
+            if len(chosen) == request.gang_nodes:
+                return Allocation(
+                    nodes=tuple(n for n, _ in chosen),
+                    gpus={n: g for n, g in chosen},
+                )
+        return None
+
+    def can_place(self, request: JobRequest) -> bool:
+        """True when the request would be allocated right now.
+
+        A pure probe: no resources change hands.  The recovery engine
+        uses this to decide between submitting a restarted gang segment
+        and backing off.
+        """
+        return self._find_allocation(request) is not None
+
     def _start_job(self, request: JobRequest, allocation: Allocation) -> None:
         now = self._engine.now
         for node_name, indices in allocation.gpus.items():
@@ -220,6 +258,8 @@ class Scheduler:
             self._jobs_by_node.setdefault(node_name, set()).add(request.job_id)
         self._m_started.inc()
         self._m_running_jobs.set(len(self._running))
+        for listener in self._start_listeners:
+            listener(request, allocation)
 
     # ------------------------------------------------------------------
     # Job termination
@@ -235,18 +275,25 @@ class Scheduler:
             self._finish(running, JobState.COMPLETED, exit_code=0)
 
     def kill_job(
-        self, job_id: int, cause: EventClass, node_failure: bool = False
+        self,
+        job_id: int,
+        cause: EventClass,
+        node_failure: bool = False,
+        node: Optional[str] = None,
     ) -> bool:
         """Terminate a running job because of a GPU error.
 
-        Returns False when the job already ended (races between an
-        error and a natural completion resolve in event order).
+        ``node`` records which member node hosted the fatal error so
+        the recovery engine knows what to drain.  Returns False when
+        the job already ended (races between an error and a natural
+        completion resolve in event order).
         """
         running = self._running.get(job_id)
         if running is None:
             return False
         running.end_handle.cancel()
         running.killed_by = cause
+        running.failed_node = node
         self._m_killed.labels(cause=cause.value).inc()
         state = JobState.NODE_FAIL if node_failure else JobState.FAILED
         self._finish(running, state, exit_code=137)
@@ -268,6 +315,7 @@ class Scheduler:
             gpu_count=request.gpu_count,
             is_ml_truth=request.is_ml,
             killed_by=running.killed_by,
+            failed_node=running.failed_node,
         )
         # Release resources.
         for node_name, indices in running.allocation.gpus.items():
@@ -294,6 +342,8 @@ class Scheduler:
         self._m_running_jobs.set(len(self._running))
         if self._on_job_end is not None:
             self._on_job_end(record)
+        for listener in self._end_listeners:
+            listener(record)
         self._try_schedule()
 
     # ------------------------------------------------------------------
@@ -316,6 +366,26 @@ class Scheduler:
         """Total GPUs a running job holds (0 if not running)."""
         running = self._running.get(job_id)
         return 0 if running is None else running.request.gpu_count
+
+    def is_gang(self, job_id: int) -> bool:
+        """True when a *running* job is a gang member segment."""
+        running = self._running.get(job_id)
+        return running is not None and running.request.is_gang
+
+    def add_job_start_listener(
+        self, listener: Callable[[JobRequest, Allocation], None]
+    ) -> None:
+        """Subscribe to every job start (request, granted allocation)."""
+        self._start_listeners.append(listener)
+
+    def add_job_end_listener(self, listener: Callable[[JobRecord], None]) -> None:
+        """Subscribe to every finished-job record.
+
+        Unlike ``on_job_end`` (reserved for the accounting DB), any
+        number of listeners can subscribe; the recovery engine uses
+        this to notice gang deaths.
+        """
+        self._end_listeners.append(listener)
 
     def nodes_with_multi_gpu_jobs(self) -> List[str]:
         """Nodes currently hosting at least one multi-GPU job.

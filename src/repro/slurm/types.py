@@ -60,6 +60,10 @@ class JobRequest:
             of Section V-A).
         is_ml: ground-truth ML flag used only to *validate* the
             name-based classifier, never by the analysis itself.
+        gang_nodes: when set, the job is a gang: it must receive an
+            all-or-nothing allocation of exactly this many whole nodes
+            (``gpu_count`` split evenly across them), and a fatal GPU
+            error on any member node kills the entire job.
     """
 
     job_id: int
@@ -71,6 +75,7 @@ class JobRequest:
     duration: float
     intrinsic_failure: bool = False
     is_ml: bool = False
+    gang_nodes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -79,6 +84,28 @@ class JobRequest:
             raise ValueError(f"job {self.job_id}: negative gpu_count")
         if self.partition.is_gpu and self.gpu_count == 0:
             raise ValueError(f"job {self.job_id}: GPU partition but 0 GPUs")
+        if self.gang_nodes is not None:
+            if self.gang_nodes < 1:
+                raise ValueError(f"job {self.job_id}: gang_nodes must be >= 1")
+            if not self.partition.is_gpu:
+                raise ValueError(f"job {self.job_id}: CPU jobs cannot gang")
+            if self.gpu_count % self.gang_nodes != 0:
+                raise ValueError(
+                    f"job {self.job_id}: gpu_count {self.gpu_count} not "
+                    f"divisible across {self.gang_nodes} gang nodes"
+                )
+
+    @property
+    def is_gang(self) -> bool:
+        """True for all-or-nothing multi-node gang jobs."""
+        return self.gang_nodes is not None
+
+    @property
+    def gpus_per_gang_node(self) -> int:
+        """GPUs each gang member node contributes (0 for non-gangs)."""
+        if self.gang_nodes is None:
+            return 0
+        return self.gpu_count // self.gang_nodes
 
 
 @dataclass(frozen=True)
@@ -110,9 +137,10 @@ class Allocation:
 class JobRecord:
     """The finished-job record written to the accounting database.
 
-    This is the analysis-facing artifact; ``killed_by`` is simulator
-    ground truth kept for validation and is *not* serialized into the
-    sacct CSV the pipeline reads.
+    This is the analysis-facing artifact; ``killed_by`` and
+    ``failed_node`` are simulator ground truth kept for validation and
+    recovery bookkeeping and are *not* serialized into the sacct CSV
+    the pipeline reads.
     """
 
     job_id: int
@@ -128,6 +156,7 @@ class JobRecord:
     gpu_count: int
     is_ml_truth: bool = False
     killed_by: Optional[EventClass] = None
+    failed_node: Optional[str] = None
 
     @property
     def elapsed(self) -> float:

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.atomicio import atomic_write_json
 from ..core.periods import PeriodName, StudyWindow
 from ..core.records import DowntimeRecord, GpuErrorEvent
 from ..core.xid import EventClass
+from ..recovery.machine import RecoverySummary
 from ..slurm.types import JobRecord
 
 
@@ -42,6 +43,8 @@ class StudyArtifacts:
         job_records: finished jobs, in completion order.
         utilization_samples: (time, busy_fraction) samples.
         raw_log_lines: total raw syslog lines written.
+        recovery: gang-recovery accounting when the run had a recovery
+            policy, else ``None``.
     """
 
     output_dir: Path | None
@@ -56,6 +59,7 @@ class StudyArtifacts:
     job_records: List[JobRecord] = field(default_factory=list)
     utilization_samples: List[Tuple[float, float]] = field(default_factory=list)
     raw_log_lines: int = 0
+    recovery: Optional[RecoverySummary] = None
 
     def logical_counts(self) -> Dict[PeriodName, Dict[EventClass, int]]:
         """Ground-truth logical-error counts by period and class."""
@@ -92,7 +96,7 @@ class StudyArtifacts:
         aggregates as an uninterrupted one.
         """
         counts = self.logical_counts()
-        return {
+        payload: Dict[str, object] = {
             "window_days": self.window.total_days,
             "node_count": self.node_count,
             "logical_errors": len(self.logical_events),
@@ -113,6 +117,11 @@ class StudyArtifacts:
                 for period in PeriodName
             },
         }
+        # The key exists only on recovery runs, keeping pre-recovery
+        # payloads (and the campaign determinism checks) byte-stable.
+        if self.recovery is not None:
+            payload["recovery"] = self.recovery.to_dict()
+        return payload
 
     def save_result(self, path: Path) -> None:
         """Atomically write :meth:`result_payload` as ``result.json``."""
@@ -130,4 +139,11 @@ class StudyArtifacts:
             f"jobs finished: {len(self.job_records)}",
             f"downtime episodes: {len(self.downtime_records)}",
         ]
+        if self.recovery is not None:
+            r = self.recovery
+            lines.append(
+                f"recovery: {r.gangs} gangs, {r.incidents} incidents, "
+                f"goodput {r.goodput:.3f}, "
+                f"mean ETTR {r.mean_ettr_minutes:.1f} min"
+            )
         return "\n".join(lines)

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from ..cluster.topology import ClusterShape
 from ..core.periods import StudyWindow
 from ..faults.config import FaultSuiteConfig
 from ..ops.manager import OpsPolicy
 from ..ops.repair import RepairTimeConfig
+from ..recovery.config import RecoveryPolicy
 from ..syslog.noise import NoiseConfig
 from ..workload.generator import WorkloadConfig
 from ..calibration.delta import delta_fault_suite
@@ -44,6 +46,10 @@ class StudyConfig:
             fraction sampler.
         compress_logs: gzip the per-day syslog files (the archival form
             of Delta's consolidated logs; the pipeline reads both).
+        recovery: optional gang-job recovery policy; when set, gang
+            jobs are injected and the recovery state machine runs
+            (``None`` keeps runs byte-identical to pre-recovery
+            builds).
     """
 
     seed: int = 2022
@@ -57,6 +63,7 @@ class StudyConfig:
     fault_scale: float = 1.0
     utilization_sample_interval_hours: float = 6.0
     compress_logs: bool = False
+    recovery: Optional[RecoveryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.fault_scale <= 0:

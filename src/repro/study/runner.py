@@ -26,6 +26,7 @@ from ..faults.injector import FaultInjector
 from ..obs import Telemetry
 from ..ops.manager import OpsManager
 from ..ops.repair import RepairTimeModel
+from ..recovery.machine import GangRecoveryManager
 from ..sim.checkpoint import (
     CheckpointConfig,
     CheckpointRecorder,
@@ -203,6 +204,18 @@ class DeltaStudy:
             )
             with tel.tracer.span("arm"):
                 injector.arm()
+                recovery_manager: Optional[GangRecoveryManager] = None
+                if cfg.recovery is not None:
+                    recovery_manager = GangRecoveryManager(
+                        engine=engine,
+                        cluster=cluster,
+                        scheduler=scheduler,
+                        log_bus=log_bus,
+                        policy=cfg.recovery,
+                        rng=rngs.stream("recovery"),
+                        metrics=metrics,
+                    )
+                    recovery_manager.arm()
 
             with tel.tracer.span("workload"):
                 generator = WorkloadGenerator(
@@ -283,7 +296,7 @@ class DeltaStudy:
                 downtime_records=len(ops.downtime_records),
             )
 
-        return StudyArtifacts(
+        artifacts = StudyArtifacts(
             output_dir=output_dir,
             syslog_dir=syslog_dir,
             inventory_path=inventory_path,
@@ -296,4 +309,12 @@ class DeltaStudy:
             job_records=scheduler.records,
             utilization_samples=utilization_samples,
             raw_log_lines=len(log_bus),
+            recovery=(
+                recovery_manager.summary()
+                if recovery_manager is not None
+                else None
+            ),
         )
+        if output_dir is not None:
+            artifacts.save_result(output_dir / "result.json")
+        return artifacts

@@ -181,6 +181,55 @@ def bucket_for_gpu_count(
 
 
 @dataclass(frozen=True)
+class GangJobSpec:
+    """A gang-scheduled multi-node training workload (Section V-B).
+
+    The recovery engine injects ``count`` long-running gangs on top of
+    the Table III population.  Each gang holds an all-or-nothing
+    allocation of ``gang_nodes`` whole nodes (``gpus_per_node`` GPUs
+    each); any fatal GPU/NVLink error on a member node fails the whole
+    gang, which then walks the detect→drain→reschedule→restore
+    timeline.
+
+    Attributes:
+        name: job-name stem (carries the ML signal for Section V-A's
+            classifier, like real pre-training job names do).
+        count: number of independent gangs to inject.
+        gang_nodes: whole nodes per gang.
+        gpus_per_node: GPUs taken on each member node.
+        work_days: total work, in wall-days at full gang size (a
+            degraded gang does the same work proportionally slower).
+        submit_day: sim day the gangs are submitted.
+        user: synthetic owner of the gangs.
+    """
+
+    name: str = "llm-pretrain"
+    count: int = 2
+    gang_nodes: int = 2
+    gpus_per_node: int = 4
+    work_days: float = 45.0
+    submit_day: float = 1.0
+    user: str = "mlops"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise CalibrationError("gang count must be >= 1")
+        if self.gang_nodes < 1:
+            raise CalibrationError("gang_nodes must be >= 1")
+        if not 1 <= self.gpus_per_node <= 8:
+            raise CalibrationError("gpus_per_node must be in [1, 8]")
+        if self.work_days <= 0:
+            raise CalibrationError("work_days must be positive")
+        if self.submit_day < 0:
+            raise CalibrationError("submit_day must be >= 0")
+
+    @property
+    def gpu_count(self) -> int:
+        """Total GPUs one full-size gang holds."""
+        return self.gang_nodes * self.gpus_per_node
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """Top-level workload calibration (paper Section V-A).
 

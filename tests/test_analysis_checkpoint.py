@@ -1,0 +1,139 @@
+"""Unit tests for checkpoint-interval economics (repro.analysis.checkpoint)."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.checkpoint import (
+    DEFAULT_GRID_STEPS,
+    GoodputModel,
+    calibrated_model,
+    daly_interval_hours,
+    default_interval_grid,
+    gang_mtbf_hours,
+    sweep,
+    young_interval_hours,
+)
+from repro.core.exceptions import AnalysisError
+
+
+class TestClosedForms:
+    def test_young_formula(self):
+        # T = sqrt(2 w M): w = 6 min = 0.1 h, M = 80 h -> 4 h.
+        assert young_interval_hours(6.0, 80.0) == pytest.approx(4.0)
+
+    def test_young_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            young_interval_hours(0.0, 80.0)
+        with pytest.raises(AnalysisError):
+            young_interval_hours(6.0, 0.0)
+
+    def test_daly_close_to_young_when_write_small(self):
+        young = young_interval_hours(4.0, 154.0)
+        daly = daly_interval_hours(4.0, 154.0)
+        assert daly == pytest.approx(young, rel=0.05)
+        assert daly < young  # the refinement shaves the interval
+
+    def test_daly_pathological_regime(self):
+        # Write cost beyond 2*MTBF: prescription collapses to the MTBF.
+        assert daly_interval_hours(300.0, 1.0) == pytest.approx(1.0)
+
+    def test_gang_mtbf_scales_inversely_with_size(self):
+        assert gang_mtbf_hours(154.0, 1) == pytest.approx(154.0)
+        assert gang_mtbf_hours(154.0, 4) == pytest.approx(38.5)
+        with pytest.raises(AnalysisError):
+            gang_mtbf_hours(154.0, 0)
+
+
+class TestGoodputModel:
+    def test_rejects_nan_and_negative(self):
+        with pytest.raises(AnalysisError):
+            GoodputModel(mtbf_hours=float("nan"))
+        with pytest.raises(AnalysisError):
+            GoodputModel(mtbf_hours=77.0, write_minutes=-1.0)
+        with pytest.raises(AnalysisError):
+            GoodputModel(mtbf_hours=0.0)
+
+    def test_ettr_is_interval_independent(self):
+        model = GoodputModel(
+            mtbf_hours=77.0, detect_minutes=2.0, resched_minutes=5.0,
+            restore_minutes=10.0,
+        )
+        assert model.ettr_minutes == pytest.approx(17.0)
+
+    def test_goodput_bounded_and_finite(self):
+        model = GoodputModel(mtbf_hours=77.0)
+        for interval in (0.1, 1.0, 10.0, 100.0):
+            g = model.goodput(interval)
+            assert 0.0 <= g <= 1.0
+            assert math.isfinite(g)
+
+    def test_goodput_rejects_non_positive_interval(self):
+        with pytest.raises(AnalysisError):
+            GoodputModel(mtbf_hours=77.0).goodput(0.0)
+
+    def test_goodput_peaks_near_young(self):
+        # The analytic curve's argmax sits at the Young point to first
+        # order: goodput at Young beats both a much shorter and a much
+        # longer interval.
+        model = GoodputModel(mtbf_hours=77.0, write_minutes=4.0)
+        young = model.young_hours()
+        at_young = model.goodput(young)
+        assert at_young > model.goodput(young / 4.0)
+        assert at_young > model.goodput(young * 4.0)
+
+
+class TestSweep:
+    def test_default_grid_is_half_octave_centred_on_young(self):
+        model = GoodputModel(mtbf_hours=77.0)
+        grid = default_interval_grid(model)
+        assert len(grid) == len(DEFAULT_GRID_STEPS)
+        assert model.young_hours() in grid
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert all(r == pytest.approx(math.sqrt(2.0)) for r in ratios)
+
+    def test_calibrated_optimum_within_one_step_of_young(self):
+        # The acceptance contract of `repro recover-sweep`: on the
+        # calibrated A100 model the swept optimum brackets Young/Daly.
+        report = sweep(calibrated_model(gang_nodes=2))
+        assert report.optimal_within_one_step_of_young()
+        assert report.optimal_row.interval_hours == pytest.approx(
+            report.optimal_interval_hours
+        )
+
+    def test_optimum_holds_across_gang_sizes(self):
+        for gang_nodes in (1, 2, 4, 8):
+            report = sweep(calibrated_model(gang_nodes=gang_nodes))
+            assert report.optimal_within_one_step_of_young(), gang_nodes
+
+    def test_explicit_grid_is_sorted_into_rows(self):
+        report = sweep(GoodputModel(mtbf_hours=77.0), [4.0, 1.0, 2.0])
+        assert [r.interval_hours for r in report.rows] == [1.0, 2.0, 4.0]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep(GoodputModel(mtbf_hours=77.0), [])
+
+    def test_json_roundtrip_and_markdown(self):
+        report = sweep(calibrated_model(gang_nodes=2))
+        doc = json.loads(report.to_json())
+        assert doc["optimal_matches_young"] is True
+        assert len(doc["rows"]) == len(report.rows)
+        markdown = report.render_markdown()
+        assert "Young optimum" in markdown
+        assert "within one sweep step" in markdown
+
+
+class TestCalibratedModel:
+    def test_uses_paper_headline_mtbe_by_default(self):
+        from repro.calibration.paper import HEADLINE
+
+        model = calibrated_model(gang_nodes=2)
+        assert model.mtbf_hours == pytest.approx(
+            HEADLINE.op_per_node_mtbe_hours / 2.0
+        )
+
+    def test_explicit_mtbe_override(self):
+        model = calibrated_model(gang_nodes=4, per_node_mtbe_hours=100.0)
+        assert model.mtbf_hours == pytest.approx(25.0)

@@ -1,5 +1,7 @@
 """Unit tests for the checkpointing what-if (repro.analysis.mitigation)."""
 
+import math
+
 import pytest
 
 from repro.analysis.mitigation import (
@@ -49,6 +51,23 @@ class TestPolicyValidation:
     def test_restart_non_negative(self):
         with pytest.raises(AnalysisError):
             CheckpointPolicy(interval_hours=1.0, restart_minutes=-1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_interval_must_be_finite(self, bad):
+        # Regression: ``nan <= 0`` is False, so NaN used to pass the
+        # positivity check and poison every downstream GPU-hour figure.
+        with pytest.raises(AnalysisError):
+            CheckpointPolicy(interval_hours=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_overhead_must_be_finite(self, bad):
+        with pytest.raises(AnalysisError):
+            CheckpointPolicy(interval_hours=1.0, overhead_fraction=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_restart_must_be_finite(self, bad):
+        with pytest.raises(AnalysisError):
+            CheckpointPolicy(interval_hours=1.0, restart_minutes=bad)
 
 
 class TestLostCompute:
@@ -116,6 +135,50 @@ class TestEvaluation:
             )
         )
         assert report.lost_with_checkpointing == pytest.approx(1.5)
+
+
+class TestEdgeCases:
+    def test_zero_failure_window_is_well_defined(self, window):
+        # No GPU-failed jobs: zero loss either way, overhead still paid,
+        # and every figure stays finite (no 0/0 NaN).
+        jobs = [job(1, hours=10.0, gpus=2), job(2, hours=5.0, gpus=1)]
+        analysis = MitigationAnalysis(jobs, set(), window)
+        report = analysis.evaluate(CheckpointPolicy(interval_hours=1.0))
+        assert analysis.failed_jobs == 0
+        assert report.lost_without_checkpointing == 0.0
+        assert report.lost_with_checkpointing == 0.0
+        assert report.net_benefit == pytest.approx(-report.checkpoint_overhead)
+        assert all(
+            math.isfinite(v)
+            for v in (
+                report.lost_without_checkpointing,
+                report.lost_with_checkpointing,
+                report.checkpoint_overhead,
+                report.net_benefit,
+            )
+        )
+
+    def test_empty_population_is_well_defined(self, window):
+        analysis = MitigationAnalysis([], set(), window)
+        report = analysis.evaluate(CheckpointPolicy(interval_hours=1.0))
+        assert analysis.analyzed_jobs == 0
+        assert report.checkpoint_overhead == 0.0
+        assert report.net_benefit == 0.0
+
+    def test_interval_longer_than_every_job(self, window):
+        # An interval past the longest job reduces to the uncheckpointed
+        # loss (capped at elapsed), never above it.
+        jobs = [job(1, hours=2.0, gpus=3, state=JobState.FAILED)]
+        analysis = MitigationAnalysis(jobs, {1}, window)
+        report = analysis.evaluate(
+            CheckpointPolicy(
+                interval_hours=1000.0, overhead_fraction=0.0, restart_minutes=0.0
+            )
+        )
+        assert report.lost_with_checkpointing == pytest.approx(
+            report.lost_without_checkpointing
+        )
+        assert report.net_benefit == pytest.approx(0.0)
 
 
 class TestSweep:

@@ -1,0 +1,314 @@
+"""Tests for the gang-job recovery engine (repro.recovery).
+
+Covers the three layers separately:
+
+* scheduler gang semantics — all-or-nothing multi-node placement;
+* the recovery state machine — detection, drain, reschedule, restore,
+  watermark discipline, backoff reproducibility;
+* study integration — same-seed byte-identical artifacts with recovery
+  armed, and non-recovery runs untouched by the feature.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.core.timebase import DAY, HOUR
+from repro.core.xid import EventClass
+from repro.recovery import (
+    GANG_JOB_ID_BASE,
+    CheckpointPlan,
+    DetectionModel,
+    GangRecoveryManager,
+    GangState,
+    RECOVERY_PRESETS,
+    RecoveryPolicy,
+)
+from repro.sim.engine import Engine
+from repro.slurm.scheduler import Scheduler
+from repro.slurm.types import JobRequest, JobState, Partition
+from repro.study import DeltaStudy, StudyConfig
+from repro.syslog.records import LogBus
+from repro.workload.spec import GangJobSpec
+
+
+def make_env(four_way=4, eight_way=0, cpu=1, horizon=200 * DAY):
+    engine = Engine(horizon=horizon)
+    cluster = Cluster.small(four_way=four_way, eight_way=eight_way, cpu=cpu)
+    scheduler = Scheduler(engine, cluster)
+    return engine, cluster, scheduler
+
+
+def gang_request(job_id=1, gang_nodes=2, gpus=8, duration=10 * HOUR, submit=0.0):
+    return JobRequest(
+        job_id=job_id,
+        name=f"gang{job_id}",
+        user="mlops",
+        partition=Partition.GPU_A100_X4,
+        submit_time=submit,
+        gpu_count=gpus,
+        duration=duration,
+        is_ml=True,
+        gang_nodes=gang_nodes,
+    )
+
+
+class TestGangRequestValidation:
+    def test_gang_gpus_must_divide_evenly(self):
+        with pytest.raises(ValueError):
+            gang_request(gang_nodes=3, gpus=8)
+
+    def test_gang_requires_gpu_partition(self):
+        with pytest.raises(ValueError):
+            JobRequest(
+                job_id=1, name="g", user="u", partition=Partition.CPU,
+                submit_time=0.0, gpu_count=0, duration=HOUR, gang_nodes=2,
+            )
+
+    def test_gang_properties(self):
+        request = gang_request(gang_nodes=2, gpus=8)
+        assert request.is_gang
+        assert request.gpus_per_gang_node == 4
+
+    def test_spec_validation(self):
+        with pytest.raises(Exception):
+            GangJobSpec(gang_nodes=0)
+        with pytest.raises(Exception):
+            GangJobSpec(work_days=0.0)
+        assert GangJobSpec(gang_nodes=2, gpus_per_node=4).gpu_count == 8
+
+
+class TestGangPlacement:
+    def test_gang_seizes_whole_nodes(self):
+        engine, cluster, scheduler = make_env()
+        scheduler.submit(gang_request(gang_nodes=2, gpus=8))
+        assert scheduler.running_count == 1
+        occupied = [
+            n.name for n in cluster.gpu_nodes()
+            if scheduler.jobs_on_node(n.name)
+        ]
+        assert len(occupied) == 2
+        # Every GPU on the member nodes is busy — exclusive use.
+        for node in cluster.gpu_nodes():
+            if node.name in occupied:
+                assert all(g.busy for g in node.gpus)
+
+    def test_all_or_nothing_queues_when_short_one_node(self):
+        engine, cluster, scheduler = make_env(four_way=2)
+        scheduler.submit(gang_request(job_id=1, gang_nodes=1, gpus=4))
+        # Only one idle node left: a 2-node gang must wait, not start
+        # partially.
+        scheduler.submit(gang_request(job_id=2, gang_nodes=2, gpus=8))
+        assert scheduler.running_count == 1
+        assert scheduler.queued_count == 1
+        assert not scheduler.can_place(gang_request(job_id=3, gang_nodes=2))
+        engine.run()
+        records = {r.job_id: r for r in scheduler.records}
+        assert records[2].state is JobState.COMPLETED
+        assert len(records[2].allocation.nodes) == 2
+
+    def test_gang_avoids_drained_nodes(self):
+        engine, cluster, scheduler = make_env(four_way=2)
+        scheduler.drain_node(cluster.gpu_nodes()[0].name)
+        assert not scheduler.can_place(gang_request(gang_nodes=2))
+        assert scheduler.can_place(gang_request(gang_nodes=1, gpus=4))
+
+
+def quick_policy(**overrides):
+    """A small, fast recovery policy for state-machine tests."""
+    defaults = dict(
+        gang=GangJobSpec(count=1, gang_nodes=2, gpus_per_node=4,
+                         work_days=0.5, submit_day=0.0),
+        detection=DetectionModel(mean_seconds=60.0, floor_seconds=10.0),
+        checkpoint=CheckpointPlan(mode="fixed", interval_hours=1.0,
+                                  write_minutes=2.0, restore_minutes=5.0),
+        spare_nodes=1,
+        drain_seconds=30.0,
+        max_retries=2,
+        backoff_base_seconds=60.0,
+        backoff_factor=2.0,
+        cordon_minutes=45.0,
+        min_gang_nodes=1,
+    )
+    defaults.update(overrides)
+    return RecoveryPolicy(**defaults)
+
+
+def arm_manager(policy, four_way=4, seed=3):
+    engine, cluster, scheduler = make_env(four_way=four_way)
+    log_bus = LogBus()
+    manager = GangRecoveryManager(
+        engine=engine,
+        cluster=cluster,
+        scheduler=scheduler,
+        log_bus=log_bus,
+        policy=policy,
+        rng=np.random.default_rng(seed),
+    )
+    manager.arm()
+    return engine, cluster, scheduler, log_bus, manager
+
+
+def gang_lines(log_bus):
+    return [
+        r.message for r in log_bus.sorted_records() if "gangd:" in r.message
+    ]
+
+
+class TestStateMachine:
+    def test_unfailed_gang_completes(self):
+        engine, _, scheduler, log_bus, manager = arm_manager(quick_policy())
+        engine.run()
+        summary = manager.summary()
+        assert summary.completed == 1
+        assert summary.incidents == 0
+        assert summary.per_gang[0]["progress"] == pytest.approx(1.0)
+        assert any("completed all work" in m for m in gang_lines(log_bus))
+
+    def test_whole_gang_fails_exactly_once_per_incident(self):
+        engine, cluster, scheduler, log_bus, manager = arm_manager(
+            quick_policy()
+        )
+        # Kill the gang once, two hours in, on its second member node.
+        def kill():
+            job_id = GANG_JOB_ID_BASE + 1000  # gang 1, segment 0
+            scheduler.kill_job(
+                job_id, EventClass.DBE, node_failure=True,
+                node=cluster.gpu_nodes()[1].name,
+            )
+        engine.schedule(2 * HOUR, kill, label="test:kill")
+        engine.run()
+        summary = manager.summary()
+        assert summary.incidents == 1
+        assert summary.completed == 1
+        lines = gang_lines(log_bus)
+        # One failure line, one detection, one cordon, one restore.
+        assert sum("failed, losing" in m for m in lines) == 1
+        assert sum("failure detected" in m for m in lines) == 1
+        assert sum("cordoned" in m for m in lines) == 1
+        assert sum("restoring from checkpoint" in m for m in lines) == 1
+        assert sum("recovered in" in m for m in lines) == 1
+        # Exactly one segment ended in failure, one completed.
+        failed = [r for r in scheduler.records if r.job_id >= GANG_JOB_ID_BASE
+                  and r.state is not JobState.COMPLETED]
+        assert len(failed) == 1
+
+    def test_restore_never_passes_watermark(self):
+        policy = quick_policy()
+        engine, cluster, scheduler, log_bus, manager = arm_manager(policy)
+        watermarks = []
+
+        def probe():
+            gang = manager._gangs[1]
+            watermarks.append(gang.watermark)
+
+        for hour in range(1, 14):
+            engine.schedule(hour * HOUR, probe, label="test:probe")
+
+        def kill():
+            scheduler.kill_job(
+                GANG_JOB_ID_BASE + 1000, EventClass.DBE, node_failure=True,
+                node=cluster.gpu_nodes()[0].name,
+            )
+        engine.schedule(2.5 * HOUR, kill, label="test:kill")
+        engine.run()
+        gang = manager._gangs[1]
+        # The watermark only ever moves forward, and the gang finished.
+        assert watermarks == sorted(watermarks)
+        assert gang.state is GangState.COMPLETED
+        assert gang.watermark == pytest.approx(gang.total_work)
+        # Work was actually lost (the kill landed past a tick boundary).
+        assert gang.lost_work > 0
+
+    def test_spare_promotion_on_failure(self):
+        engine, cluster, scheduler, log_bus, manager = arm_manager(
+            quick_policy()
+        )
+
+        def kill():
+            scheduler.kill_job(
+                GANG_JOB_ID_BASE + 1000, EventClass.DBE, node_failure=True,
+                node=cluster.gpu_nodes()[0].name,
+            )
+        engine.schedule(HOUR, kill, label="test:kill")
+        engine.run()
+        summary = manager.summary()
+        assert summary.spare_promotions == 1
+        lines = gang_lines(log_bus)
+        assert any("promoted spare" in m for m in lines)
+        # The healthy ex-failed node refills the pool at cordon expiry.
+        assert sum("reserved" in m for m in lines) == 2
+
+    def test_backoff_schedule_is_reproducible(self):
+        policy = quick_policy(max_retries=3, backoff_base_seconds=60.0,
+                              backoff_factor=2.0)
+        assert policy.backoff_delays() == (60.0, 120.0, 240.0)
+        # Identical policies always yield the identical schedule.
+        assert policy.backoff_delays() == quick_policy(
+            max_retries=3, backoff_base_seconds=60.0, backoff_factor=2.0
+        ).backoff_delays()
+
+    def test_degradation_when_capacity_gone(self):
+        # 2 four-way nodes, no spares: after the failed node is
+        # cordoned, a 2-node gang can never fit again — it must degrade
+        # to 1 node and still finish.
+        policy = quick_policy(spare_nodes=0, max_retries=1,
+                              cordon_minutes=10_000.0)
+        engine, cluster, scheduler, log_bus, manager = arm_manager(
+            policy, four_way=2
+        )
+
+        def kill():
+            scheduler.kill_job(
+                GANG_JOB_ID_BASE + 1000, EventClass.DBE, node_failure=True,
+                node=cluster.gpu_nodes()[0].name,
+            )
+        engine.schedule(HOUR, kill, label="test:kill")
+        engine.run()
+        summary = manager.summary()
+        assert summary.degradations == 1
+        assert summary.completed == 1
+        assert any("degrading to 1 nodes" in m for m in gang_lines(log_bus))
+
+
+class TestPresets:
+    def test_preset_names(self):
+        assert sorted(RECOVERY_PRESETS) == [
+            "a100", "fast-detect", "fixed-2h", "no-spare", "undetected-hang",
+        ]
+
+    def test_presets_are_valid_policies(self):
+        for name, policy in RECOVERY_PRESETS.items():
+            assert policy.backoff_delays(), name
+            assert policy.checkpoint.interval_seconds_for(
+                policy.gang.gang_nodes
+            ) > 0, name
+
+
+class TestStudyIntegration:
+    def _config(self, seed=42):
+        cfg = StudyConfig.small(
+            seed=seed, pre_days=2.0, op_days=8.0, job_scale=0.05,
+            include_episode=False,
+        )
+        return dataclasses.replace(cfg, recovery=RECOVERY_PRESETS["a100"])
+
+    def test_same_seed_runs_are_byte_identical(self):
+        first = DeltaStudy(self._config()).run(None)
+        second = DeltaStudy(self._config()).run(None)
+        a = json.dumps(first.result_payload(), sort_keys=True)
+        b = json.dumps(second.result_payload(), sort_keys=True)
+        assert a == b
+        assert "recovery" in first.result_payload()
+
+    def test_non_recovery_payload_has_no_recovery_key(self):
+        cfg = StudyConfig.small(
+            seed=42, pre_days=2.0, op_days=8.0, job_scale=0.05,
+            include_episode=False,
+        )
+        artifacts = DeltaStudy(cfg).run(None)
+        assert artifacts.recovery is None
+        assert "recovery" not in artifacts.result_payload()
