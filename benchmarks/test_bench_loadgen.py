@@ -1,0 +1,232 @@
+"""E16 — load harness at scale and request-instrumentation overhead.
+
+Two acceptance claims measured together:
+
+* **Scale** — a closed loop of 1000 concurrent keep-alive pollers
+  drives a real ``repro stream`` service (subprocess, one box) to
+  completion with zero 5xx and a schema-stable ``repro-loadgen-v1``
+  report carrying the service's own SLO verdicts.
+* **Overhead** — the request-observability layer must be free when it
+  is off: the E14 stream-drain workload through a ``StreamService``
+  with ``request_obs=False`` stays within 5% of the instrumented
+  service, and a NOOP dispatch costs single-digit microseconds.
+
+Records ``BENCH_loadgen.json`` at the repo root and a rendered
+summary under ``benchmarks/results/loadgen.txt``.
+"""
+
+import gc
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import DeltaStudy, StudyConfig
+from repro.loadgen import LoadConfig, build_report, run_load
+from repro.stream import FleetHealthServer, StreamService, json_route
+
+from conftest import write_result
+
+#: Repo-root trajectory file (ROADMAP: BENCH_* series).
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_loadgen.json"
+
+#: Instrumented drain must stay within this factor of the NOOP drain
+#: (plus a small absolute guard for timer noise on short passes).
+MAX_OVERHEAD = 1.05
+
+#: The headline scale point: concurrent closed-loop pollers.
+POLLERS = 1000
+
+_LOAD_SECONDS = 8.0
+_DRAIN_ROUNDS = 3
+_DISPATCH_CALLS = 20_000
+
+
+def _timed_best_interleaved(fns, rounds=_DRAIN_ROUNDS):
+    """Best-of-N for several callables, rounds interleaved.
+
+    Alternating the candidates inside each round keeps slow drift
+    (page cache, CPU frequency) from biasing one side of an A/B
+    comparison the way back-to-back best-of-N does.
+    """
+    bests = [float("inf")] * len(fns)
+    results = [None] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            gc.collect()
+            t0 = time.perf_counter()
+            results[i] = fn()
+            bests[i] = min(bests[i], time.perf_counter() - t0)
+    return bests, results
+
+
+def _service_drain(artifact_dir, request_obs):
+    service = StreamService(
+        artifact_dir, port=None, once=True, request_obs=request_obs
+    )
+    service.poll_once(final=True)
+    return service.ingest.lines_read
+
+
+def _dispatch_cost_ns(observability=None):
+    """Mean ns per FleetHealthServer.dispatch of a trivial route."""
+    server = FleetHealthServer(
+        {"/ping": json_route(lambda: {"pong": True})},
+        port=0,
+        observability=observability,
+    )
+    try:
+        server.dispatch("/ping")  # warm up
+        t0 = time.perf_counter()
+        for _ in range(_DISPATCH_CALLS):
+            server.dispatch("/ping")
+        return (time.perf_counter() - t0) / _DISPATCH_CALLS * 1e9
+    finally:
+        server.stop()
+
+
+def _start_service(artifact_dir):
+    """Launch ``repro stream`` on an ephemeral port; return (proc, url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "stream",
+            "--follow", str(artifact_dir),
+            "--port", "0",
+            "--poll-interval", "0.2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 60.0
+    banner = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"service exited early (rc={proc.poll()}): {banner}"
+            )
+        banner += line
+        match = re.search(r"http://([0-9.]+):(\d+)", line)
+        if match:
+            return proc, f"http://{match.group(1)}:{match.group(2)}"
+    proc.kill()
+    raise AssertionError(f"service never printed its address: {banner}")
+
+
+def test_bench_loadgen_scale_and_overhead(tmp_path_factory, results_dir):
+    out = tmp_path_factory.mktemp("loadgen_bench")
+    config = StudyConfig.small(seed=7, job_scale=0.01, include_episode=True)
+    DeltaStudy(config).run(out)
+
+    # ---- overhead: E14 drain workload, NOOP vs instrumented --------
+    (t_plain, t_inst), (lines, _) = _timed_best_interleaved(
+        [
+            lambda: _service_drain(out, False),
+            lambda: _service_drain(out, True),
+        ]
+    )
+    overhead_ratio = t_inst / t_plain
+    noop_ns = _dispatch_cost_ns(observability=None)
+
+    # ---- scale: 1000 closed-loop pollers vs a real subprocess ------
+    proc, url = _start_service(out)
+    try:
+        time.sleep(1.0)  # let the first poll build the corpus view
+        result = run_load(
+            LoadConfig(
+                url=url,
+                mode="closed",
+                pollers=POLLERS,
+                duration_seconds=_LOAD_SECONDS,
+                seed=16,
+            )
+        )
+        report = build_report(result)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    totals = report["totals"]
+    fleet_latency = report["routes"]["/v1/fleet"]["latency_ms"]
+    text = "\n".join(
+        [
+            "E16 — load harness at scale + request-instrumentation overhead",
+            f"drain workload: {lines} lines",
+            f"drain, request obs off: {t_plain:.3f} s",
+            f"drain, request obs on:  {t_inst:.3f} s "
+            f"({(overhead_ratio - 1) * 100:+.2f}%)",
+            f"NOOP dispatch cost: {noop_ns:,.0f} ns/request",
+            f"closed loop: {POLLERS} pollers x {_LOAD_SECONDS:g} s -> "
+            f"{totals['requests']:,} requests "
+            f"({report['rates']['achieved_per_sec']:,.0f} req/s)",
+            f"errors: {totals['errors']} "
+            f"(transport {totals['transport_failures']})",
+            f"/v1/fleet latency ms: p50={fleet_latency['p50']:.1f} "
+            f"p95={fleet_latency['p95']:.1f} p99={fleet_latency['p99']:.1f}",
+            f"poller fairness (Jain): {report['fairness']['jain_index']:.4f}",
+            "SLO verdicts: "
+            + ", ".join(
+                f"{name}={digest['verdict']}"
+                for name, digest in sorted(report["slo"]["verdicts"].items())
+            ),
+        ]
+    )
+    write_result(results_dir, "loadgen.txt", text)
+    print()
+    print(text)
+
+    record = {
+        "schema": "repro-bench-v1",
+        "benchmark": "loadgen",
+        "workload": {
+            "preset": "small",
+            "seed": 7,
+            "job_scale": 0.01,
+            "pipeline_lines": int(lines),
+        },
+        "drain_seconds_noop": round(t_plain, 4),
+        "drain_seconds_instrumented": round(t_inst, 4),
+        "drain_overhead_ratio": round(overhead_ratio, 4),
+        "noop_dispatch_ns": round(noop_ns, 1),
+        "pollers": POLLERS,
+        "load_seconds": _LOAD_SECONDS,
+        "requests": totals["requests"],
+        "errors": totals["errors"],
+        "achieved_per_sec": round(report["rates"]["achieved_per_sec"], 1),
+        "fleet_p50_ms": round(fleet_latency["p50"], 3),
+        "fleet_p99_ms": round(fleet_latency["p99"], 3),
+        "jain_fairness": round(report["fairness"]["jain_index"], 4),
+        "slo_verdicts": {
+            name: digest["verdict"]
+            for name, digest in sorted(report["slo"]["verdicts"].items())
+        },
+    }
+    BENCH_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    # Scale: the full poller fleet completed real work with no 5xx.
+    assert report["schema"] == "repro-loadgen-v1"
+    assert totals["requests"] >= POLLERS
+    assert totals["errors"] == 0
+    assert len(result.per_poller_requests) == POLLERS
+    assert report["slo"] is not None
+    assert set(report["slo"]["verdicts"]) >= {
+        "fleet-availability", "fleet-latency",
+        "alerts-availability", "alerts-latency",
+        "ingest-freshness",
+    }
+    # Overhead: instrumentation must be free when off (small absolute
+    # guard absorbs timer noise on short drains).
+    assert t_inst <= t_plain * MAX_OVERHEAD + 0.02, (
+        f"instrumented drain {t_inst:.3f}s vs noop {t_plain:.3f}s "
+        f"({overhead_ratio:.3f}x)"
+    )

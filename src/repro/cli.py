@@ -23,6 +23,11 @@ The subcommands cover the full workflow:
 * ``study`` — run a multi-seed campaign under the fault-tolerant
   supervisor (process-isolated workers, retries, timeouts, manifest,
   ``--resume``; optionally with seeded worker chaos).
+* ``stream`` — run the live fleet-health service over a growing syslog
+  directory (``/healthz /metrics /v1/fleet /v1/alerts /v1/slo``).
+* ``loadgen`` — drive seeded open/closed-loop load at a running
+  fleet-health service and report latency quantiles, error rates, and
+  the service's own SLO verdicts.
 
 Exit codes are part of the contract (see ``repro --help``): 0 full
 success, 2 configuration/usage error, 3 runtime failure, 4 partial
@@ -541,13 +546,57 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if service.server is not None:
         print(
             f"fleet-health service on http://{service.server.address} "
-            "(/healthz /metrics /v1/fleet /v1/alerts)",
+            "(/healthz /metrics /v1/fleet /v1/alerts /v1/slo)",
             flush=True,
         )
     code = service.run()
     print(service.health_report().render())
     _finish_telemetry(telemetry, args)
     return code
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .loadgen import (
+        DEFAULT_ROUTES,
+        LoadConfig,
+        build_report,
+        check_service,
+        render_report,
+        run_load,
+    )
+
+    routes = (
+        tuple(part for part in args.routes.split(",") if part)
+        if args.routes
+        else DEFAULT_ROUTES
+    )
+    try:
+        config = LoadConfig(
+            url=args.url,
+            mode=args.mode,
+            pollers=args.pollers,
+            duration_seconds=args.duration,
+            rate=args.rate,
+            seed=args.seed,
+            routes=routes,
+            timeout_seconds=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    check_service(config)  # raises ReproError -> exit 3 via main()
+    result = run_load(config)
+    report = build_report(result)
+    print(render_report(report))
+    if args.out:
+        path = _ensure_parent(args.out)
+        path.write_text(
+            json.dumps(report, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"loadgen report written to {path}")
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -792,6 +841,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="append fired alerts to this JSON-lines file",
     )
     stream.set_defaults(func=_cmd_stream)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive load at a running fleet-health service and report "
+             "latency quantiles, error rates, and SLO verdicts",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    loadgen.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="service base URL (default %(default)s)",
+    )
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: N concurrent pollers; open: Poisson arrivals "
+             "at --rate req/s (default %(default)s)",
+    )
+    loadgen.add_argument("--pollers", type=int, default=64,
+                         help="worker thread count (default %(default)s)")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="load duration (default %(default)s)")
+    loadgen.add_argument("--rate", type=float, default=200.0,
+                         help="open-loop offered rate, req/s "
+                              "(default %(default)s)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="route-choice and arrival-schedule seed")
+    loadgen.add_argument(
+        "--routes", default=None, metavar="CSV",
+        help="comma-separated route list (default /v1/fleet,/v1/alerts)",
+    )
+    loadgen.add_argument("--timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="per-request socket timeout")
+    loadgen.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the repro-loadgen-v1 JSON report here",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

@@ -1,0 +1,34 @@
+"""repro.loadgen — the seeded load harness for the fleet-health service.
+
+A service that states SLOs needs a way to put weight on them.  This
+package drives the live service's data routes with two canonical load
+shapes — a **closed loop** of N concurrent keep-alive pollers and an
+**open loop** executing a seeded Poisson arrival schedule — and emits
+a schema-stable ``repro-loadgen-v1`` JSON report pairing
+client-observed latency quantiles (mergeable per-worker sketches, no
+sample retention) with the service's own ``/v1/slo`` verdicts.
+
+Entry points: :func:`~repro.loadgen.harness.run_load` from code,
+``repro loadgen`` from the CLI, and benchmark E16 for the
+1000-poller + overhead acceptance run.
+"""
+
+from .harness import (
+    DEFAULT_ROUTES,
+    LoadConfig,
+    LoadResult,
+    check_service,
+    run_load,
+)
+from .report import build_report, jain_fairness, render_report
+
+__all__ = [
+    "DEFAULT_ROUTES",
+    "LoadConfig",
+    "LoadResult",
+    "check_service",
+    "run_load",
+    "build_report",
+    "jain_fairness",
+    "render_report",
+]

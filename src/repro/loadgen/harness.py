@@ -1,0 +1,373 @@
+"""The load generator: seeded open- and closed-loop HTTP drivers.
+
+Two canonical load shapes, both deterministic in *what* they request
+(seeded route choice and arrival schedule) even though *when* replies
+arrive is wall-clock:
+
+* **closed loop** — ``pollers`` concurrent workers, each holding one
+  keep-alive connection and issuing its next request as soon as the
+  previous one completes.  Throughput is latency-coupled: the harness
+  measures what the service can sustain under N outstanding requests.
+* **open loop** — a Poisson arrival schedule at ``rate`` requests/sec
+  is precomputed from the seed, and a pool of workers executes it on
+  time regardless of how slowly replies come back.  The gap between
+  offered and achieved rate exposes saturation that a closed loop
+  hides (coordinated omission).
+
+Workers record latency into per-route mergeable
+:class:`~repro.obs.quantile.StreamingQuantile` sketches (no sample
+retention, no hot-path contention — merged once at the end), count
+statuses, and track transport failures separately from HTTP errors.
+Thread stacks are shrunk so a thousand closed-loop pollers fit in a
+default address space.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..core.exceptions import ReproError
+from ..obs.quantile import StreamingQuantile
+
+__all__ = [
+    "DEFAULT_ROUTES",
+    "LoadConfig",
+    "LoadResult",
+    "check_service",
+    "run_load",
+]
+
+#: Routes the stock harness exercises (the service's data plane).
+DEFAULT_ROUTES: Tuple[str, ...] = ("/v1/fleet", "/v1/alerts")
+
+#: Per-thread stack size while spawning workers (512 KiB keeps a
+#: thousand pollers to ~0.5 GiB of reserved stack).
+_THREAD_STACK_BYTES = 512 * 1024
+
+#: Status bucket for transport-level failures (refused, reset, timeout).
+TRANSPORT_ERROR = 0
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load-generation run, fully specified.
+
+    Attributes:
+        url: service base URL (scheme+host+port; paths are appended).
+        mode: ``"closed"`` (N concurrent pollers) or ``"open"``
+            (Poisson arrivals at ``rate`` req/s).
+        pollers: concurrent worker count (closed: the load itself;
+            open: the executor pool draining the schedule).
+        duration_seconds: how long to drive load.
+        rate: open-loop offered arrival rate, requests/second.
+        seed: entropy for route choice and the arrival schedule.
+        routes: the route set to drive, chosen uniformly per request.
+        timeout_seconds: per-request socket timeout.
+    """
+
+    url: str = "http://127.0.0.1:8787"
+    mode: str = "closed"
+    pollers: int = 64
+    duration_seconds: float = 10.0
+    rate: float = 200.0
+    seed: int = 0
+    routes: Tuple[str, ...] = DEFAULT_ROUTES
+    timeout_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.pollers < 1:
+            raise ValueError("pollers must be >= 1")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open-loop rate must be positive")
+        if not self.routes:
+            raise ValueError("routes must be non-empty")
+
+    @property
+    def host_port(self) -> Tuple[str, int]:
+        """``(host, port)`` parsed from :attr:`url`."""
+        parts = urlsplit(self.url)
+        host = parts.hostname or "127.0.0.1"
+        port = parts.port or (443 if parts.scheme == "https" else 80)
+        return host, port
+
+
+@dataclass
+class LoadResult:
+    """Raw outcome of one run, before report rendering.
+
+    Attributes:
+        config: the driving configuration.
+        wall_seconds: measured wall time of the load phase.
+        requests: total requests attempted (transport failures
+            included).
+        statuses: HTTP status -> count; key ``0`` is transport failure.
+        route_sketches: route -> merged latency sketch (successful
+            transports only).
+        route_requests: route -> completed request count (transport
+            failures are not attributed to a route).
+        per_poller_requests: requests completed by each worker (the
+            fairness input).
+        offered: open-loop arrivals scheduled (``None`` for closed).
+        slo: the service's ``/v1/slo`` document fetched after the run
+            (``None`` when unavailable).
+    """
+
+    config: LoadConfig
+    wall_seconds: float = 0.0
+    requests: int = 0
+    statuses: Dict[int, int] = field(default_factory=dict)
+    route_sketches: Dict[str, StreamingQuantile] = field(default_factory=dict)
+    route_requests: Dict[str, int] = field(default_factory=dict)
+    per_poller_requests: List[int] = field(default_factory=list)
+    offered: Optional[int] = None
+    slo: Optional[Dict[str, object]] = None
+
+    @property
+    def errors(self) -> int:
+        """Requests that failed: transport errors plus HTTP 5xx."""
+        return sum(
+            count
+            for status, count in self.statuses.items()
+            if status == TRANSPORT_ERROR or status >= 500
+        )
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completed requests per second of wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+
+class _Worker:
+    """One poller: a keep-alive connection plus local accounting."""
+
+    __slots__ = (
+        "index",
+        "host",
+        "port",
+        "timeout",
+        "routes",
+        "rng",
+        "conn",
+        "requests",
+        "statuses",
+        "sketches",
+    )
+
+    def __init__(self, index: int, config: LoadConfig) -> None:
+        self.index = index
+        self.host, self.port = config.host_port
+        self.timeout = config.timeout_seconds
+        self.routes = config.routes
+        # Distinct stream per worker, deterministic in (seed, index).
+        self.rng = random.Random((config.seed << 20) ^ index)
+        self.conn: Optional[http.client.HTTPConnection] = None
+        self.requests = 0
+        self.statuses: Dict[int, int] = {}
+        self.sketches: Dict[str, StreamingQuantile] = {
+            route: StreamingQuantile() for route in config.routes
+        }
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.conn is None:
+            self.conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self.conn
+
+    def request(self, route: str) -> int:
+        """Issue one GET; returns the status (0 on transport failure)."""
+        start = time.perf_counter()
+        try:
+            conn = self._connection()
+            conn.request("GET", route)
+            response = conn.getresponse()
+            response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            # Drop the connection so the next request redials.
+            if self.conn is not None:
+                self.conn.close()
+                self.conn = None
+            status = TRANSPORT_ERROR
+        elapsed = time.perf_counter() - start
+        self.requests += 1
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        if status != TRANSPORT_ERROR:
+            self.sketches[route].observe(elapsed)
+        return status
+
+    def close(self) -> None:
+        """Release the connection."""
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+
+def _closed_loop(worker: _Worker, deadline: float) -> None:
+    while time.perf_counter() < deadline:
+        worker.request(worker.rng.choice(worker.routes))
+
+
+def _open_loop(
+    worker: _Worker,
+    schedule: List[Tuple[float, str]],
+    cursor: List[int],
+    lock: threading.Lock,
+    origin: float,
+) -> None:
+    while True:
+        with lock:
+            index = cursor[0]
+            if index >= len(schedule):
+                return
+            cursor[0] = index + 1
+        offset, route = schedule[index]
+        delay = origin + offset - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        worker.request(route)
+
+
+def _build_schedule(config: LoadConfig) -> List[Tuple[float, str]]:
+    """Poisson arrivals with seeded route choice, sorted by offset."""
+    rng = random.Random(config.seed)
+    schedule: List[Tuple[float, str]] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(config.rate)
+        if t >= config.duration_seconds:
+            return schedule
+        schedule.append((t, rng.choice(config.routes)))
+
+
+def check_service(config: LoadConfig) -> Dict[str, object]:
+    """Preflight: GET ``/healthz`` once; raise :class:`ReproError` if
+    the service is unreachable or unhealthy.  Returns the health doc.
+    """
+    host, port = config.host_port
+    try:
+        conn = http.client.HTTPConnection(
+            host, port, timeout=config.timeout_seconds
+        )
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            body = response.read()
+            if response.status != 200:
+                raise ReproError(
+                    f"service at {config.url} answered /healthz with "
+                    f"{response.status}"
+                )
+            return json.loads(body.decode("utf-8"))
+        finally:
+            conn.close()
+    except (OSError, http.client.HTTPException, ValueError) as exc:
+        raise ReproError(
+            f"cannot reach fleet-health service at {config.url}: {exc}"
+        ) from exc
+
+
+def _fetch_slo(config: LoadConfig) -> Optional[Dict[str, object]]:
+    host, port = config.host_port
+    try:
+        conn = http.client.HTTPConnection(
+            host, port, timeout=config.timeout_seconds
+        )
+        try:
+            conn.request("GET", "/v1/slo")
+            response = conn.getresponse()
+            body = response.read()
+            if response.status != 200:
+                return None
+            return json.loads(body.decode("utf-8"))
+        finally:
+            conn.close()
+    except (OSError, http.client.HTTPException, ValueError):
+        return None
+
+
+def run_load(config: LoadConfig, fetch_slo: bool = True) -> LoadResult:
+    """Drive the configured load and return the merged result.
+
+    Spawns ``config.pollers`` worker threads (with reduced stacks),
+    runs the closed or open loop for ``duration_seconds``, merges the
+    per-worker sketches and counters, and — when ``fetch_slo`` — asks
+    the service for its own ``/v1/slo`` verdict afterwards, so the
+    report pairs client-observed latency with server-declared health.
+    """
+    workers = [_Worker(i, config) for i in range(config.pollers)]
+    schedule = _build_schedule(config) if config.mode == "open" else None
+
+    previous_stack = threading.stack_size()
+    try:
+        try:
+            threading.stack_size(_THREAD_STACK_BYTES)
+        except (ValueError, RuntimeError):  # pragma: no cover - platform floor
+            pass
+        origin = time.perf_counter()
+        if config.mode == "closed":
+            deadline = origin + config.duration_seconds
+            threads = [
+                threading.Thread(
+                    target=_closed_loop,
+                    args=(worker, deadline),
+                    name=f"loadgen-{worker.index}",
+                    daemon=True,
+                )
+                for worker in workers
+            ]
+        else:
+            cursor = [0]
+            lock = threading.Lock()
+            threads = [
+                threading.Thread(
+                    target=_open_loop,
+                    args=(worker, schedule, cursor, lock, origin),
+                    name=f"loadgen-{worker.index}",
+                    daemon=True,
+                )
+                for worker in workers
+            ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - origin
+    finally:
+        try:
+            threading.stack_size(previous_stack)
+        except (ValueError, RuntimeError):  # pragma: no cover
+            pass
+        for worker in workers:
+            worker.close()
+
+    result = LoadResult(config=config, wall_seconds=wall)
+    result.offered = len(schedule) if schedule is not None else None
+    result.route_sketches = {
+        route: StreamingQuantile() for route in config.routes
+    }
+    result.route_requests = {route: 0 for route in config.routes}
+    for worker in workers:
+        result.requests += worker.requests
+        result.per_poller_requests.append(worker.requests)
+        for status, count in worker.statuses.items():
+            result.statuses[status] = result.statuses.get(status, 0) + count
+        for route, sketch in worker.sketches.items():
+            result.route_sketches[route].merge(sketch)
+            result.route_requests[route] += sketch.count
+    if fetch_slo:
+        result.slo = _fetch_slo(config)
+    return result

@@ -1,0 +1,174 @@
+"""Load-harness reporting: the ``repro-loadgen-v1`` document.
+
+The report is schema-stable JSON — fixed keys, sorted routes — so CI
+jobs and the E16 benchmark can assert on structure while the values
+track the wall clock.  Client-observed latency (merged worker
+sketches) sits next to the server's own ``/v1/slo`` verdicts, which is
+the whole point: the harness validates the service's self-reported
+health against an outside observer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .harness import TRANSPORT_ERROR, LoadResult
+
+__all__ = ["SCHEMA", "build_report", "jain_fairness", "render_report"]
+
+#: Schema tag stamped into every report.
+SCHEMA = "repro-loadgen-v1"
+
+
+def jain_fairness(counts: List[int]) -> float:
+    """Jain's fairness index over per-poller request counts.
+
+    ``(Σx)² / (n · Σx²)`` — 1.0 when every poller completed the same
+    number of requests, approaching ``1/n`` when one poller starved
+    the rest.  Defined as 1.0 for empty or all-zero inputs.
+    """
+    if not counts:
+        return 1.0
+    total = sum(counts)
+    squares = sum(c * c for c in counts)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(counts) * squares)
+
+
+def _slo_digest(slo: Optional[Dict[str, object]]) -> Optional[Dict[str, object]]:
+    """Compress the ``/v1/slo`` document to verdict-level facts."""
+    if not slo:
+        return None
+    verdicts: Dict[str, object] = {}
+    for objective in slo.get("objectives", []):
+        verdicts[objective["name"]] = {
+            "verdict": objective["verdict"],
+            "compliance": objective["compliance"],
+            "error_budget_spent": objective["error_budget_spent"],
+            "alerting": objective["alerting"],
+        }
+    return {
+        "schema": slo.get("schema"),
+        "verdicts": verdicts,
+        "alerts_fired": len(slo.get("alerts", [])),
+    }
+
+
+def build_report(result: LoadResult) -> Dict[str, object]:
+    """Assemble the ``repro-loadgen-v1`` report from a raw result."""
+    config = result.config
+    routes: Dict[str, object] = {}
+    for route in sorted(result.route_sketches):
+        digest = result.route_sketches[route].summary()
+        routes[route] = {
+            "requests": result.route_requests.get(route, 0),
+            "latency_ms": {
+                "mean": digest["mean"] * 1000.0,
+                "p50": digest["p50"] * 1000.0,
+                "p95": digest["p95"] * 1000.0,
+                "p99": digest["p99"] * 1000.0,
+                "max": digest["max"] * 1000.0,
+            },
+        }
+    transport_failures = result.statuses.get(TRANSPORT_ERROR, 0)
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "url": config.url,
+            "mode": config.mode,
+            "pollers": config.pollers,
+            "duration_seconds": config.duration_seconds,
+            "rate": config.rate if config.mode == "open" else None,
+            "seed": config.seed,
+            "routes": list(config.routes),
+        },
+        "wall_seconds": result.wall_seconds,
+        "totals": {
+            "requests": result.requests,
+            "errors": result.errors,
+            "error_rate": (
+                result.errors / result.requests if result.requests else 0.0
+            ),
+            "transport_failures": transport_failures,
+            "by_status": {
+                str(status): count
+                for status, count in sorted(result.statuses.items())
+            },
+        },
+        "rates": {
+            "offered_per_sec": (
+                result.offered / config.duration_seconds
+                if result.offered is not None
+                else None
+            ),
+            "achieved_per_sec": result.achieved_rate,
+        },
+        "fairness": {
+            "jain_index": jain_fairness(result.per_poller_requests),
+            "min_poller_requests": (
+                min(result.per_poller_requests)
+                if result.per_poller_requests
+                else 0
+            ),
+            "max_poller_requests": (
+                max(result.per_poller_requests)
+                if result.per_poller_requests
+                else 0
+            ),
+        },
+        "routes": routes,
+        "slo": _slo_digest(result.slo),
+    }
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """One-screen human rendering of a ``repro-loadgen-v1`` report."""
+    config = report["config"]
+    totals = report["totals"]
+    rates = report["rates"]
+    fairness = report["fairness"]
+    lines = [
+        f"==== loadgen report ({config['mode']} loop, "
+        f"{config['pollers']} pollers, seed {config['seed']}) ====",
+        f"target:          {config['url']}",
+        f"wall time:       {report['wall_seconds']:.2f} s "
+        f"(asked for {config['duration_seconds']:g} s)",
+        f"requests:        {totals['requests']:,} "
+        f"({totals['errors']:,} errors, "
+        f"rate {totals['error_rate'] * 100:.3f}%)",
+    ]
+    if rates["offered_per_sec"] is not None:
+        lines.append(
+            f"offered rate:    {rates['offered_per_sec']:,.1f} req/s"
+        )
+    lines.append(
+        f"achieved rate:   {rates['achieved_per_sec']:,.1f} req/s"
+    )
+    lines.append(
+        f"poller fairness: Jain {fairness['jain_index']:.4f} "
+        f"(min {fairness['min_poller_requests']:,} / "
+        f"max {fairness['max_poller_requests']:,} requests)"
+    )
+    lines.append("per-route latency (ms):")
+    for route, stats in report["routes"].items():
+        latency = stats["latency_ms"]
+        lines.append(
+            f"  {route:<14} n={stats['requests']:<8,} "
+            f"p50={latency['p50']:.2f}  p95={latency['p95']:.2f}  "
+            f"p99={latency['p99']:.2f}  max={latency['max']:.2f}"
+        )
+    slo = report.get("slo")
+    if slo:
+        lines.append("service SLO verdicts:")
+        for name, digest in sorted(slo["verdicts"].items()):
+            compliance = digest["compliance"]
+            rendered = (
+                "n/a" if compliance is None else f"{compliance * 100:.3f}%"
+            )
+            flag = "  [ALERTING]" if digest["alerting"] else ""
+            lines.append(
+                f"  {name:<24} {digest['verdict']:<8} "
+                f"compliance {rendered}{flag}"
+            )
+    return "\n".join(lines)

@@ -23,8 +23,10 @@ from __future__ import annotations
 from typing import Callable, IO, Optional
 
 from .logging import StructuredLogger
-from .metrics import DEFAULT_BUCKETS, NOOP, MetricsRegistry
+from .metrics import DEFAULT_BUCKETS, LATENCY_BUCKETS, NOOP, MetricsRegistry
+from .quantile import StreamingQuantile
 from .report import render_metrics_table, render_run_report
+from .slo import SLOAlert, SLOEngine, ServiceObjective, default_slos
 from .tracing import Span, Tracer, chrome_trace_from_jsonl
 
 __all__ = [
@@ -33,8 +35,14 @@ __all__ = [
     "Tracer",
     "Span",
     "StructuredLogger",
+    "StreamingQuantile",
+    "SLOAlert",
+    "SLOEngine",
+    "ServiceObjective",
+    "default_slos",
     "NOOP",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "chrome_trace_from_jsonl",
     "render_run_report",
     "render_metrics_table",

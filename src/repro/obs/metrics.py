@@ -29,7 +29,26 @@ __all__ = [
     "MetricsRegistry",
     "MetricSample",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
 ]
+
+#: Histogram bucket bounds for request/poll latencies in seconds
+#: (1 ms – 10 s, the range an HTTP service and a poll loop live in).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
 
 #: Generic histogram bucket bounds (powers of ten with mid-steps).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -197,15 +216,19 @@ class Family:
 
     # Unlabeled-family conveniences ------------------------------------
     def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled series (label-free families only)."""
         self._unlabeled().inc(amount)
 
     def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabeled series (label-free families only)."""
         self._unlabeled().dec(amount)
 
     def set(self, value: float) -> None:
+        """Set the unlabeled series (label-free families only)."""
         self._unlabeled().set(value)
 
     def observe(self, value: float) -> None:
+        """Observe into the unlabeled series (label-free families only)."""
         self._unlabeled().observe(value)
 
     def items(self) -> Iterator[Tuple[Dict[str, str], object]]:

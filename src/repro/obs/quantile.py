@@ -1,0 +1,250 @@
+"""Streaming quantile estimation over geometric buckets.
+
+The request-observability layer needs *live* p50/p95/p99 — the
+cumulative-bucket :class:`~repro.obs.metrics.MetricsRegistry`
+histograms answer "how many requests were faster than X" but cannot
+invert that question at useful resolution without retaining samples.
+:class:`StreamingQuantile` is a DDSketch-style estimator: values land
+in geometrically spaced buckets (``bucket i`` covers
+``(base·γ^(i-1), base·γ^i]``), so the sketch guarantees a bounded
+*relative* value error of ``(γ−1)/(γ+1) ≈ α`` at any quantile while
+storing only occupied bucket counts — no sample retention, memory
+bounded by the dynamic range, O(1) updates.
+
+Two properties the rest of the system leans on:
+
+* **Mergeability** — two sketches with the same resolution merge by
+  adding bucket counts, and merging is associative and commutative.
+  The load harness exploits this: every poller keeps a private
+  per-route sketch (no cross-thread contention on the hot path) and
+  the report merges them at the end.
+* **Determinism** — the estimate is a pure function of the multiset of
+  observed values (bucket counts), never of arrival order or wall
+  time, so same-input reports are identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["StreamingQuantile"]
+
+#: Default relative-accuracy target (2% value error at any quantile).
+DEFAULT_ALPHA = 0.02
+
+#: Default smallest distinguishable magnitude (1 µs — latencies in
+#: seconds are the primary workload).
+DEFAULT_MIN_VALUE = 1e-6
+
+
+class StreamingQuantile:
+    """Mergeable fixed-memory quantile sketch with relative-error bounds.
+
+    Args:
+        alpha: relative accuracy target; bucket growth factor is
+            ``γ = (1+α)/(1−α)``.
+        min_value: values at or below this magnitude collapse into the
+            zero bucket (reported as ``0.0``); also the base of the
+            geometric grid.
+
+    Only non-negative values are accepted (the workloads are latencies
+    and rates); negative observations raise ``ValueError``.
+    """
+
+    __slots__ = (
+        "alpha",
+        "min_value",
+        "_gamma",
+        "_log_gamma",
+        "_buckets",
+        "_zero_count",
+        "count",
+        "sum",
+        "min",
+        "max",
+    )
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        min_value: float = DEFAULT_MIN_VALUE,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be > 0, got {min_value}")
+        self.alpha = float(alpha)
+        self.min_value = float(min_value)
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the sketch (O(1))."""
+        value = float(value)
+        if value < 0.0:
+            raise ValueError(f"negative observation {value}")
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.min_value:
+            self._zero_count += 1
+            return
+        index = math.ceil(math.log(value / self.min_value) / self._log_gamma)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def merge(self, other: "StreamingQuantile") -> "StreamingQuantile":
+        """Fold ``other`` into this sketch in place; returns ``self``.
+
+        Both sketches must share the same resolution (``alpha`` and
+        ``min_value``); merging is associative and commutative, so any
+        fold order over a set of sketches yields the same state.
+        """
+        if (other.alpha, other.min_value) != (self.alpha, self.min_value):
+            raise ValueError(
+                "cannot merge sketches with different resolution: "
+                f"({self.alpha}, {self.min_value}) vs "
+                f"({other.alpha}, {other.min_value})"
+            )
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self._zero_count += other._zero_count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _representative(self, index: int) -> float:
+        """The reported value for one bucket (geometric midpoint)."""
+        upper = self.min_value * math.exp(index * self._log_gamma)
+        return upper * 2.0 / (1.0 + self._gamma)
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (``0 ≤ q ≤ 1``).
+
+        Returns ``nan`` on an empty sketch.  The estimate is clamped
+        into ``[min, max]`` so extreme quantiles never report outside
+        the observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        seen = self._zero_count
+        if rank < seen:
+            return max(0.0, self.min)
+        estimate: Optional[float] = None
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                estimate = self._representative(index)
+                break
+        if estimate is None:  # rank == count - 1 edge
+            estimate = self.max
+        return min(max(estimate, self.min), self.max)
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        """Estimates for several quantiles in one call."""
+        return [self.quantile(q) for q in qs]
+
+    @property
+    def mean(self) -> float:
+        """Exact running mean (``nan`` when empty)."""
+        return self.sum / self.count if self.count else math.nan
+
+    def summary(self) -> Dict[str, float]:
+        """The standard latency digest: count/mean/p50/p95/p99/max."""
+        if self.count == 0:
+            return {
+                "count": 0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "max": 0.0,
+            }
+        p50, p95, p99 = self.quantiles((0.50, 0.95, 0.99))
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+            "max": self.max,
+        }
+
+    # ------------------------------------------------------------------
+    # State (merge across processes / report artifacts)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serializable full state (bucket counts included)."""
+        return {
+            "alpha": self.alpha,
+            "min_value": self.min_value,
+            "zero_count": self._zero_count,
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "buckets": sorted(
+                (index, n) for index, n in self._buckets.items()
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StreamingQuantile":
+        """Rebuild a sketch from :meth:`to_state` output."""
+        sketch = cls(
+            alpha=float(state["alpha"]),
+            min_value=float(state["min_value"]),
+        )
+        sketch._zero_count = int(state["zero_count"])
+        sketch.count = int(state["count"])
+        sketch.sum = float(state["sum"])
+        if sketch.count:
+            sketch.min = float(state["min"])
+            sketch.max = float(state["max"])
+        for index, n in state["buckets"]:
+            sketch._buckets[int(index)] = int(n)
+        return sketch
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamingQuantile):
+            return NotImplemented
+        mine, theirs = self.to_state(), other.to_state()
+        # Running sums accumulate in observation order; merges fold in
+        # different orders, so compare the sums with float tolerance.
+        my_sum, their_sum = mine.pop("sum"), theirs.pop("sum")
+        return mine == theirs and math.isclose(
+            my_sum, their_sum, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingQuantile(alpha={self.alpha}, count={self.count}, "
+            f"buckets={len(self._buckets)})"
+        )

@@ -139,6 +139,47 @@ def render_run_report(telemetry) -> str:
         lines.append("gang recovery:")
         lines.extend(recovery)
 
+    # Service observability: only present when the fleet-health service
+    # ran with request instrumentation (host-domain families).
+    http_total = 0.0
+    http_by_route: dict = {}
+    http_errors = 0.0
+    verdicts: List[Tuple[str, str, float]] = []
+    for sample in metrics.samples(include_host=True):
+        if sample.name == "http_requests_total":
+            http_total += sample.value
+            route = sample.labels.get("route", "?")
+            http_by_route[route] = http_by_route.get(route, 0.0) + sample.value
+        elif sample.name == "http_requests_errors_total":
+            http_errors += sample.value
+    if http_total:
+        compliance = {
+            s.labels.get("slo", "?"): s.value
+            for s in metrics.samples(include_host=True)
+            if s.name == "slo_compliance"
+        }
+        for sample in metrics.samples(include_host=True):
+            if sample.name == "slo_verdict":
+                slo = sample.labels.get("slo", "?")
+                verdicts.append((slo, "pass" if sample.value else "FAIL",
+                                 compliance.get(slo, float("nan"))))
+        lines.append("http requests:")
+        for route in sorted(http_by_route):
+            lines.append(
+                f"  {route:<20} {_fmt_rate(http_by_route[route])}"
+            )
+        lines.append(f"  total:               {_fmt_rate(http_total)}"
+                     f"  ({_fmt_rate(http_errors)} errors)")
+    if verdicts:
+        lines.append("service SLOs:")
+        for slo, verdict, compliance_value in sorted(verdicts):
+            rendered = (
+                f"{compliance_value * 100:.3f}%"
+                if compliance_value == compliance_value
+                else "n/a"
+            )
+            lines.append(f"  {slo:<24} {verdict:<5} compliance {rendered}")
+
     if telemetry.logger.records_written:
         lines.append(
             f"structured log records: {telemetry.logger.records_written}"

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -113,6 +114,7 @@ class Tracer:
         self._clock: Callable[[], float] = clock or (lambda: 0.0)
         self._stack: List[Span] = []
         self._counter = 0
+        self._record_lock = threading.Lock()
         self.finished: List[Span] = []
 
     def set_clock(self, clock: Callable[[], float]) -> None:
@@ -148,6 +150,42 @@ class Tracer:
             span.end = self._clock()
             span.wall_end = time.perf_counter()
             self.finished.append(span)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        wall_seconds: float = 0.0,
+        **attrs,
+    ) -> Optional[Span]:
+        """Record an already-completed span (thread-safe, no nesting).
+
+        The context-manager :meth:`span` API threads spans through an
+        implicit stack, which is correct for the single-threaded
+        simulator and pipeline but would corrupt parent/depth links if
+        used from concurrent HTTP worker threads.  Request telemetry
+        therefore measures a request with plain ``perf_counter`` calls
+        and retro-records the finished span here: id assignment and the
+        append to :attr:`finished` happen under a lock, the span gets
+        no parent, and the shared stack is never touched.
+        """
+        if not self.enabled:
+            return None
+        with self._record_lock:
+            self._counter += 1
+            span = Span(
+                name=name,
+                span_id=_span_id(self._seed, self._counter),
+                parent_id=None,
+                depth=1,
+                start=start,
+                attrs=dict(attrs),
+            )
+            span.end = end
+            span.wall_end = wall_seconds  # wall_start stays 0.0
+            self.finished.append(span)
+        return span
 
     # ------------------------------------------------------------------
     # Exports

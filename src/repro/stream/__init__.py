@@ -28,7 +28,7 @@ from .estimators import (
 )
 from .follow import DirectoryFollower, FollowStats
 from .ingest import CHECKPOINT_FILE, PollOutcome, StreamIngest
-from .serve import FleetHealthServer, json_route
+from .serve import FleetHealthServer, RequestObservability, json_route
 from .service import StreamService, resolve_syslog_dir
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "PollOutcome",
     "StreamIngest",
     "FleetHealthServer",
+    "RequestObservability",
     "json_route",
     "StreamService",
     "resolve_syslog_dir",

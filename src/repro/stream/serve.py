@@ -7,27 +7,199 @@ streaming service's state:
 * ``GET /metrics`` — the shared Prometheus text exporter
   (:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`), host
   domain included, so the streamer publishes the exact metric families
-  the batch pipeline does plus the stream-specific ones.
+  the batch pipeline does plus the stream/request/SLO ones.
 * ``GET /v1/fleet`` — the authoritative fleet snapshot
   (:func:`~repro.stream.estimators.fleet_report`) merged with the
   online estimator view.
 * ``GET /v1/alerts`` — rule definitions plus fired-alert history.
+* ``GET /v1/slo`` — service-level objectives, burn rates, verdicts.
 
 Handlers are plain callables returning ``(content_type, body)`` so the
 service can register routes without subclassing, and so tests can call
 them directly without a socket.  The server thread is a daemon; the
 service owns start/stop.
+
+**Request observability.**  Every request — GET or HEAD, matched or
+not — flows through :meth:`FleetHealthServer.dispatch`, which assigns
+a request id (echoed as ``X-Request-Id``), times the handler, and
+feeds a :class:`RequestObservability`: per-route/per-status counters,
+latency histograms, live :class:`~repro.obs.quantile.StreamingQuantile`
+p50/p95/p99, sampled spans via the shared tracer, and the SLO engine's
+good/bad classification.  The default observability is built on a
+disabled registry, so a bare server pays only a boolean check per
+request (the NOOP path E16 bounds).
+
+**Failure containment.**  A handler exception produces a *generic*
+500 body carrying only the request id — the real exception goes to the
+structured log and the ``http_requests_errors_total`` counter, never
+to the client.  A client that disconnects mid-write
+(``BrokenPipeError``/``ConnectionResetError``) is counted, not logged
+as a traceback, and not misclassified as a server error.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 
+from ..obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..obs.quantile import StreamingQuantile
+
 #: A route handler: () -> (content type, response body).
 RouteHandler = Callable[[], Tuple[str, str]]
+
+#: Route label used for paths that match no registered route — one
+#: shared label keeps scanner noise from exploding metric cardinality.
+UNMATCHED_ROUTE = "(unmatched)"
+
+#: Record a span for every Nth successful fast request (errors and
+#: slow requests are always recorded).
+SPAN_SAMPLE_EVERY = 100
+
+#: Requests slower than this always get a span (seconds).
+SLOW_SPAN_SECONDS = 0.25
+
+
+class RequestObservability:
+    """Per-request telemetry sink shared by all handler threads.
+
+    Args:
+        registry: metrics registry; ``None`` (or a disabled registry)
+            selects the NOOP path — instruments are shared no-ops and
+            the quantile/span/SLO work is skipped entirely.
+        tracer: optional :class:`~repro.obs.tracing.Tracer`; requests
+            are recorded via its thread-safe
+            :meth:`~repro.obs.tracing.Tracer.record_span` (sampled —
+            every error, every slow request, and 1-in-N of the rest).
+        logger: optional structured logger receiving one ``http_error``
+            event per handler exception (the only place the real
+            exception text goes).
+        slo: optional :class:`~repro.obs.slo.SLOEngine` fed every
+            request's route/status/latency.
+
+    All families are ``domain="host"`` — request latencies are wall
+    clock and must never leak into the deterministic sim exports.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+        logger=None,
+        slo=None,
+    ) -> None:
+        self.metrics_enabled = registry is not None and registry.enabled
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.logger = logger if logger is not None and logger.enabled else None
+        self.slo = slo
+        #: Anything to do per request at all?  False = pure NOOP path.
+        self.active = bool(
+            self.metrics_enabled or self.tracer or self.logger or self.slo
+        )
+        reg = registry if self.metrics_enabled else MetricsRegistry(enabled=False)
+        self.requests = reg.counter(
+            "http_requests_total",
+            "HTTP requests served",
+            labels=("route", "method", "status"),
+            domain="host",
+        )
+        self.errors = reg.counter(
+            "http_requests_errors_total",
+            "HTTP requests that failed with an unhandled handler exception",
+            labels=("route",),
+            domain="host",
+        )
+        self.disconnects = reg.counter(
+            "http_client_disconnects_total",
+            "clients that disconnected mid-response",
+            domain="host",
+        )
+        self.latency = reg.histogram(
+            "http_request_duration_seconds",
+            "request latency from dispatch to handler return",
+            labels=("route",),
+            domain="host",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.inflight = reg.gauge(
+            "http_inflight_requests",
+            "requests currently being handled",
+            domain="host",
+        )
+        self._lock = threading.Lock()
+        self._route_quantiles: Dict[str, StreamingQuantile] = {}
+        self._sample_tick = 0
+
+    def observe(
+        self, route: str, method: str, status: int, seconds: float
+    ) -> None:
+        """Fold one finished request into every live instrument."""
+        if not self.active:
+            return
+        self.requests.labels(
+            route=route, method=method, status=str(status)
+        ).inc()
+        self.latency.labels(route=route).observe(seconds)
+        if self.slo is not None:
+            self.slo.record_request(route, status, seconds)
+        record_span = False
+        if self.metrics_enabled or self.tracer is not None:
+            with self._lock:
+                if self.metrics_enabled:
+                    sketch = self._route_quantiles.get(route)
+                    if sketch is None:
+                        sketch = StreamingQuantile()
+                        self._route_quantiles[route] = sketch
+                    sketch.observe(seconds)
+                if self.tracer is not None:
+                    self._sample_tick += 1
+                    record_span = (
+                        status >= 500
+                        or seconds >= SLOW_SPAN_SECONDS
+                        or self._sample_tick % SPAN_SAMPLE_EVERY == 0
+                    )
+        if record_span:
+            now = time.perf_counter()
+            self.tracer.record_span(
+                "http-request",
+                start=now - seconds,
+                end=now,
+                wall_seconds=seconds,
+                route=route,
+                method=method,
+                status=status,
+            )
+
+    def client_disconnect(self) -> None:
+        """Count a mid-write disconnect (not an error, not a log line)."""
+        if self.active:
+            self.disconnects.inc()
+
+    def handler_error(self, route: str, request_id: str, exc: BaseException) -> None:
+        """Record a handler exception: counter plus structured log."""
+        if not self.active:
+            return
+        self.errors.labels(route=route).inc()
+        if self.logger is not None:
+            self.logger.event(
+                "http_error",
+                level="error",
+                route=route,
+                request_id=request_id,
+                exception=f"{type(exc).__name__}: {exc}",
+            )
+
+    def quantile_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Live per-route latency digests (p50/p95/p99/max, seconds)."""
+        with self._lock:
+            return {
+                route: sketch.summary()
+                for route, sketch in sorted(self._route_quantiles.items())
+            }
 
 
 def json_route(fn: Callable[[], object]) -> RouteHandler:
@@ -50,6 +222,15 @@ class FleetHealthServer:
         routes: absolute path → handler map (query strings ignored).
         host: bind address.
         port: bind port; ``0`` picks an ephemeral port (tests).
+        observability: request telemetry sink; ``None`` installs an
+            all-NOOP :class:`RequestObservability`.
+
+    The request handler speaks HTTP/1.1 with explicit content lengths,
+    so keep-alive clients (load generators, probes) reuse one
+    connection per poller instead of churning a thread per request.
+    ``HEAD`` is answered for every route — handlers run, headers are
+    sent, the body is withheld — so load balancers probing with HEAD
+    see 200s, not 501s.
     """
 
     def __init__(
@@ -57,44 +238,140 @@ class FleetHealthServer:
         routes: Dict[str, RouteHandler],
         host: str = "127.0.0.1",
         port: int = 0,
+        observability: Optional[RequestObservability] = None,
     ) -> None:
         self._routes = dict(routes)
+        self.observability = (
+            observability if observability is not None else RequestObservability()
+        )
+        self._request_ids = itertools.count(1)
         outer = self
 
         class _Handler(BaseHTTPRequestHandler):
             """Request handler bound to the outer route table."""
 
+            protocol_version = "HTTP/1.1"
+            # Headers and body leave in separate writes; without
+            # TCP_NODELAY, Nagle + delayed ACK stalls the body ~40 ms.
+            disable_nagle_algorithm = True
+
             def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
                 """Dispatch one GET request through the route table."""
-                path = self.path.split("?", 1)[0]
-                handler = outer._routes.get(path)
-                if handler is None:
-                    body = json.dumps({"error": "not found", "path": path})
-                    self._reply(404, "application/json", body + "\n")
-                    return
-                try:
-                    content_type, body = handler()
-                except Exception as exc:  # pragma: no cover - defensive
-                    body = json.dumps({"error": str(exc)})
-                    self._reply(500, "application/json", body + "\n")
-                    return
-                self._reply(200, content_type, body)
+                status, content_type, body, request_id = outer.dispatch(
+                    self.path, method="GET"
+                )
+                self._reply(status, content_type, body, request_id)
 
-            def _reply(self, status: int, content_type: str, body: str) -> None:
-                """Send one complete response."""
+            def do_HEAD(self) -> None:  # noqa: N802 (stdlib naming)
+                """Answer HEAD with GET's headers and no body."""
+                status, content_type, body, request_id = outer.dispatch(
+                    self.path, method="HEAD"
+                )
+                self._reply(
+                    status, content_type, body, request_id, send_body=False
+                )
+
+            def _reply(
+                self,
+                status: int,
+                content_type: str,
+                body: str,
+                request_id: str = "",
+                send_body: bool = True,
+            ) -> None:
+                """Send one complete response.
+
+                A client gone mid-write is routine for a polled service
+                (curl timeouts, load-balancer probes): swallow the
+                broken pipe, count it, and close the connection instead
+                of spewing a traceback or faking a 500.
+                """
                 payload = body.encode("utf-8")
-                self.send_response(status)
-                self.send_header("Content-Type", content_type + "; charset=utf-8")
-                self.send_header("Content-Length", str(len(payload)))
-                self.end_headers()
-                self.wfile.write(payload)
+                try:
+                    self.send_response(status)
+                    self.send_header(
+                        "Content-Type", content_type + "; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(payload)))
+                    if request_id:
+                        self.send_header("X-Request-Id", request_id)
+                    self.end_headers()
+                    if send_body:
+                        self.wfile.write(payload)
+                except (BrokenPipeError, ConnectionResetError):
+                    outer.observability.client_disconnect()
+                    self.close_connection = True
 
             def log_message(self, format: str, *args: object) -> None:
                 """Silence per-request stderr logging."""
 
-        self._server = ThreadingHTTPServer((host, port), _Handler)
-        self._server.daemon_threads = True
+        class _Server(ThreadingHTTPServer):
+            """Threaded server with a deep accept backlog.
+
+            A load generator opening hundreds of keep-alive
+            connections at once overflows the stdlib default backlog
+            of 5 into connection resets before the first byte.
+            """
+
+            daemon_threads = True
+            request_queue_size = 128
+
+        self.handler_class = _Handler
+        self._server = _Server((host, port), _Handler)
         self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Request pipeline (socket-free; tests call this directly)
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self, path: str, method: str = "GET"
+    ) -> Tuple[int, str, str, str]:
+        """Run one request through routing, the handler, and telemetry.
+
+        Returns ``(status, content type, body, request id)``.  All
+        outcomes — 200, 404, handler crash — are timed and counted
+        under the matched route (404s share one ``(unmatched)`` label).
+        """
+        request_id = f"req-{next(self._request_ids):08x}"
+        route = path.split("?", 1)[0]
+        handler = self._routes.get(route)
+        obs = self.observability
+        obs.inflight.inc()
+        start = time.perf_counter()
+        try:
+            if handler is None:
+                status, content_type = 404, "application/json"
+                body = (
+                    json.dumps(
+                        {"error": "not found", "path": route,
+                         "request_id": request_id},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                route = UNMATCHED_ROUTE
+            else:
+                try:
+                    content_type, body = handler()
+                    status = 200
+                except Exception as exc:
+                    # Generic body only: the exception text goes to the
+                    # structured log, never over the wire.
+                    status, content_type = 500, "application/json"
+                    body = (
+                        json.dumps(
+                            {"error": "internal server error",
+                             "request_id": request_id},
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                    obs.handler_error(route, request_id, exc)
+        finally:
+            obs.inflight.dec()
+        obs.observe(route, method, status, time.perf_counter() - start)
+        return status, content_type, body, request_id
 
     @property
     def port(self) -> int:

@@ -8,7 +8,13 @@
   :class:`~repro.stream.alerts.AlertEngine` consume every completed
   coalesced error between polls;
 * a :class:`~repro.stream.serve.FleetHealthServer` exposes
-  ``/healthz``, ``/metrics``, ``/v1/fleet``, and ``/v1/alerts``;
+  ``/healthz``, ``/metrics``, ``/v1/fleet``, ``/v1/alerts``, and
+  ``/v1/slo``, with every request id-stamped, counted, and timed
+  through :class:`~repro.stream.serve.RequestObservability`;
+* an :class:`~repro.obs.slo.SLOEngine` classifies every request and
+  every ingest poll against the service's declared objectives
+  (availability, latency, append-to-visible freshness) and runs
+  multi-window burn-rate alerting over them;
 * the shared :class:`~repro.pipeline.metrics.PipelineMetricSet` is
   republished after every poll, so the streamer exports the exact
   metric families the batch pipeline does (delta publication makes
@@ -35,6 +41,8 @@ from ..core.atomicio import atomic_write_json
 from ..core.exceptions import ConfigurationError
 from ..core.periods import StudyWindow
 from ..obs import MetricsRegistry, Telemetry
+from ..obs.metrics import LATENCY_BUCKETS
+from ..obs.slo import SLOEngine, ServiceObjective, default_slos
 from ..pipeline.coalesce import DEFAULT_WINDOW_SECONDS, WindowMode
 from ..pipeline.health import PipelineHealthReport
 from ..pipeline.metrics import PipelineMetricSet
@@ -46,7 +54,7 @@ from .estimators import (
     infer_stream_window,
 )
 from .ingest import StreamIngest
-from .serve import FleetHealthServer, json_route
+from .serve import FleetHealthServer, RequestObservability, json_route
 
 _NEG_INF = float("-inf")
 
@@ -105,6 +113,11 @@ class StreamService:
         telemetry: optional shared telemetry bundle; when absent or
             disabled the service still runs a private live metrics
             registry so ``/metrics`` always works.
+        slos: service-level objectives for the SLO engine (default
+            :func:`~repro.obs.slo.default_slos`).
+        request_obs: master switch for the per-request telemetry; when
+            False the HTTP layer runs on the shared NOOP instruments
+            (the overhead path benchmark E16 measures).
     """
 
     def __init__(
@@ -125,6 +138,8 @@ class StreamService:
         idle_exit: Optional[float] = None,
         rules: Optional[Sequence[AlertRule]] = None,
         telemetry: Optional[Telemetry] = None,
+        slos: Optional[Sequence[ServiceObjective]] = None,
+        request_obs: bool = True,
     ) -> None:
         if poll_interval <= 0:
             raise ConfigurationError(
@@ -180,12 +195,43 @@ class StreamService:
             "alerts fired by the rule engine",
             labels=("severity",),
         )
+        self._poll_duration = registry.histogram(
+            "stream_poll_duration_seconds",
+            "wall time spent per ingest poll",
+            domain="host",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._visibility_lag_gauge = registry.gauge(
+            "stream_visibility_lag_seconds",
+            "append-to-visible upper bound: last poll duration + interval",
+            domain="host",
+        )
+
+        # Self-observability: SLO engine on a monotonic wall clock
+        # (same latch/re-arm semantics as the fleet alert engine, but
+        # over the service's own traffic), and the per-request sink the
+        # HTTP layer feeds.  request_obs=False degrades both to NOOP.
+        self._request_obs_enabled = request_obs
+        obs_registry = registry if request_obs else None
+        self.slo = SLOEngine(
+            objectives=slos,
+            registry=obs_registry,
+            clock=time.monotonic,
+        )
+        self.request_obs = RequestObservability(
+            registry=obs_registry,
+            tracer=telemetry.tracer if telemetry is not None else None,
+            logger=telemetry.logger if telemetry is not None else None,
+            slo=self.slo if request_obs else None,
+        )
+        self._seen_first_poll = False
 
         self.estimators = FleetEstimators(node_count=node_count)
         self.alerts = AlertEngine(rules)
         self._replay_into_estimators()
 
         self._lock = threading.Lock()
+        self._fleet_cache: Optional[tuple] = None
         self._stop = threading.Event()
         self.server: Optional[FleetHealthServer] = None
         if port is not None:
@@ -195,8 +241,10 @@ class StreamService:
                     "/metrics": self._metrics_route,
                     "/v1/fleet": json_route(self.fleet_snapshot),
                     "/v1/alerts": json_route(self.alerts_snapshot),
+                    "/v1/slo": json_route(self.slo_snapshot),
                 },
                 port=port,
+                observability=self.request_obs,
             )
 
     # ------------------------------------------------------------------
@@ -245,13 +293,31 @@ class StreamService:
         self._open_outages_gauge.set(self.ingest.open_outages)
 
     def poll_once(self, final: bool = False) -> int:
-        """One locked poll cycle; returns the lines ingested."""
+        """One locked poll cycle; returns the lines ingested.
+
+        Besides ingesting, the poll is the service's freshness
+        heartbeat: its duration feeds the poll-latency histogram, and
+        ``duration + poll interval`` — the worst-case append-to-visible
+        lag for a line landing just after the poll started — feeds the
+        freshness SLO.  The very first poll is exempt: it replays the
+        backlog already on disk, which is catch-up, not staleness.
+        """
+        start = time.perf_counter()
         with self._lock:
             outcome = (
                 self.ingest.drain() if final else self.ingest.poll()
             )
             fired = self._observe(outcome.completed)
             self._publish_metrics()
+        duration = time.perf_counter() - start
+        self._poll_duration.observe(duration)
+        if self._seen_first_poll and self._request_obs_enabled:
+            lag = duration + self._poll_interval
+            self._visibility_lag_gauge.set(lag)
+            self.slo.record_freshness(lag)
+        self._seen_first_poll = True
+        if self._request_obs_enabled:
+            self.slo.evaluate()
         if self._alerts_out is not None:
             append_alert_log(self._alerts_out, fired)
         return outcome.lines
@@ -289,6 +355,8 @@ class StreamService:
                 "open_outages": self.ingest.open_outages,
                 "days_followed": len(self.ingest.follower.day_stems()),
                 "alerts_active": self.alerts.active_count(),
+                "slo_alerting": self.slo.active_count(),
+                "request_latency": self.request_obs.quantile_snapshot(),
             }
 
     def fleet_snapshot(self) -> Dict[str, object]:
@@ -298,8 +366,23 @@ class StreamService:
         .fleet_report` over the coalescer's batch-ordered error list —
         after a drain it is byte-identical to the batch pipeline's
         figures, because it *is* the batch computation.
+
+        The snapshot is memoized on ``(lines read, watermark,
+        drained)``: ingest state only changes when lines arrive, so
+        between polls a thousand concurrent pollers share one computed
+        report instead of re-deriving it per request.
         """
         with self._lock:
+            cache_key = (
+                self.ingest.lines_read,
+                self.ingest.watermark,
+                self.ingest.drained,
+            )
+            if (
+                self._fleet_cache is not None
+                and self._fleet_cache[0] == cache_key
+            ):
+                return self._fleet_cache[1]
             errors = self.ingest.coalescer.errors()
             downtime = self.ingest.downtime_records()
             watermark = self.ingest.watermark
@@ -312,7 +395,7 @@ class StreamService:
                 errors, downtime, window, node_count=self._node_count
             )
             health = self.ingest.health()
-            return {
+            snapshot = {
                 "report": report,
                 "estimators": self.estimators.snapshot(),
                 "stream": {
@@ -324,11 +407,25 @@ class StreamService:
                     "completeness": health.completeness,
                 },
             }
+            self._fleet_cache = (cache_key, snapshot)
+            return snapshot
 
     def alerts_snapshot(self) -> Dict[str, object]:
         """``/v1/alerts``: rule definitions and fired-alert history."""
         with self._lock:
             return self.alerts.snapshot()
+
+    def slo_snapshot(self) -> Dict[str, object]:
+        """``/v1/slo``: objectives, burn rates, verdicts, alerts.
+
+        Evaluation state (latches, gauges) moves only on the poll
+        loop's :meth:`~repro.obs.slo.SLOEngine.evaluate`; the snapshot
+        itself is a read under the engine's own lock, augmented with
+        the live per-route latency digests.
+        """
+        snapshot = self.slo.snapshot()
+        snapshot["request_latency"] = self.request_obs.quantile_snapshot()
+        return snapshot
 
     def health_report(self) -> PipelineHealthReport:
         """The live data-quality report (CLI summary on exit)."""

@@ -27,6 +27,8 @@ PACKAGES = [
     "repro.study",
     "repro.pipeline",
     "repro.stream",
+    "repro.obs",
+    "repro.loadgen",
     "repro.analysis",
     "repro.reporting",
     "repro.calibration",

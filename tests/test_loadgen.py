@@ -1,0 +1,225 @@
+"""Unit tests for the load harness (repro.loadgen).
+
+The harness is exercised against a real in-process
+:class:`~repro.stream.serve.FleetHealthServer` with stub routes, so
+tests stay fast while still covering sockets, keep-alive, and the HTTP
+status paths.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.exceptions import ReproError
+from repro.loadgen import (
+    LoadConfig,
+    build_report,
+    check_service,
+    jain_fairness,
+    run_load,
+)
+from repro.loadgen.harness import TRANSPORT_ERROR, _build_schedule
+from repro.stream import FleetHealthServer, json_route
+
+
+@pytest.fixture()
+def stub_service():
+    """A fake fleet-health service: healthz, data routes, slo."""
+    server = FleetHealthServer(
+        {
+            "/healthz": json_route(lambda: {"status": "ok"}),
+            "/v1/fleet": json_route(lambda: {"report": {"x": 1}}),
+            "/v1/alerts": json_route(lambda: {"rules": []}),
+            "/v1/slo": json_route(
+                lambda: {
+                    "schema": "repro-slo-v1",
+                    "objectives": [
+                        {
+                            "name": "fleet-availability",
+                            "verdict": "pass",
+                            "compliance": 1.0,
+                            "error_budget_spent": 0.0,
+                            "alerting": False,
+                        }
+                    ],
+                    "alerts": [],
+                }
+            ),
+        },
+        port=0,
+    )
+    server.start()
+    yield f"http://127.0.0.1:{server.port}"
+    server.stop()
+
+
+def _config(url, **overrides):
+    defaults = dict(
+        url=url, pollers=4, duration_seconds=0.4, seed=3,
+        timeout_seconds=5.0,
+    )
+    defaults.update(overrides)
+    return LoadConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            LoadConfig(mode="burst")
+        with pytest.raises(ValueError, match="pollers"):
+            LoadConfig(pollers=0)
+        with pytest.raises(ValueError, match="duration"):
+            LoadConfig(duration_seconds=0)
+        with pytest.raises(ValueError, match="rate"):
+            LoadConfig(mode="open", rate=0)
+        with pytest.raises(ValueError, match="routes"):
+            LoadConfig(routes=())
+
+    def test_host_port_parsing(self):
+        assert LoadConfig(url="http://10.1.2.3:9999").host_port == (
+            "10.1.2.3", 9999,
+        )
+        assert LoadConfig(url="http://example.org").host_port == (
+            "example.org", 80,
+        )
+
+
+class TestSchedule:
+    def test_deterministic_for_seed(self):
+        config = LoadConfig(mode="open", rate=500.0, duration_seconds=1.0, seed=9)
+        assert _build_schedule(config) == _build_schedule(config)
+        other = LoadConfig(mode="open", rate=500.0, duration_seconds=1.0, seed=10)
+        assert _build_schedule(other) != _build_schedule(config)
+
+    def test_arrivals_inside_duration_and_sorted(self):
+        config = LoadConfig(mode="open", rate=200.0, duration_seconds=2.0, seed=1)
+        schedule = _build_schedule(config)
+        offsets = [offset for offset, _ in schedule]
+        assert offsets == sorted(offsets)
+        assert all(0.0 < offset < 2.0 for offset in offsets)
+        assert {route for _, route in schedule} <= set(config.routes)
+
+
+class TestFairness:
+    def test_uniform_is_one(self):
+        assert jain_fairness([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_starvation_approaches_reciprocal(self):
+        assert jain_fairness([40, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0, 0]) == 1.0
+
+
+class TestClosedLoop:
+    def test_drives_and_reports(self, stub_service):
+        result = run_load(_config(stub_service))
+        assert result.requests > 0
+        assert result.errors == 0
+        assert len(result.per_poller_requests) == 4
+        assert sum(result.per_poller_requests) == result.requests
+        report = build_report(result)
+        assert report["schema"] == "repro-loadgen-v1"
+        assert report["totals"]["errors"] == 0
+        assert report["rates"]["offered_per_sec"] is None
+        assert report["rates"]["achieved_per_sec"] > 0
+        assert set(report["routes"]) == {"/v1/fleet", "/v1/alerts"}
+        for stats in report["routes"].values():
+            assert stats["latency_ms"]["p50"] <= stats["latency_ms"]["max"]
+        assert 0.0 < report["fairness"]["jain_index"] <= 1.0
+        assert report["slo"]["verdicts"]["fleet-availability"]["verdict"] == "pass"
+        json.dumps(report)  # schema must be JSON-clean
+
+    def test_http_500s_count_as_errors(self, stub_service):
+        def explode():
+            raise RuntimeError("nope")
+
+        server = FleetHealthServer({"/bad": json_route(explode)}, port=0)
+        server.start()
+        try:
+            config = _config(
+                f"http://127.0.0.1:{server.port}",
+                routes=("/bad",),
+                duration_seconds=0.3,
+                pollers=2,
+            )
+            result = run_load(config, fetch_slo=False)
+            assert result.errors == result.requests > 0
+            report = build_report(result)
+            assert report["totals"]["error_rate"] == 1.0
+            assert report["slo"] is None
+        finally:
+            server.stop()
+
+
+class TestOpenLoop:
+    def test_executes_schedule(self, stub_service):
+        config = _config(
+            stub_service, mode="open", rate=100.0, duration_seconds=0.5
+        )
+        result = run_load(config)
+        assert result.offered == len(_build_schedule(config))
+        assert result.requests == result.offered
+        report = build_report(result)
+        assert report["rates"]["offered_per_sec"] == pytest.approx(
+            result.offered / 0.5
+        )
+
+
+class TestFailurePaths:
+    def test_check_service_raises_on_dead_port(self):
+        config = _config("http://127.0.0.1:9", timeout_seconds=0.5)
+        with pytest.raises(ReproError, match="cannot reach"):
+            check_service(config)
+
+    def test_check_service_ok(self, stub_service):
+        health = check_service(_config(stub_service))
+        assert health["status"] == "ok"
+
+    def test_transport_failures_counted(self):
+        config = _config(
+            "http://127.0.0.1:9",
+            pollers=1,
+            duration_seconds=0.1,
+            timeout_seconds=0.2,
+        )
+        result = run_load(config, fetch_slo=False)
+        assert result.requests > 0
+        assert result.statuses.get(TRANSPORT_ERROR) == result.requests
+        assert result.errors == result.requests
+
+
+class TestCli:
+    def test_unreachable_service_exits_3(self, capsys):
+        code = main(
+            ["loadgen", "--url", "http://127.0.0.1:9", "--timeout", "0.5"]
+        )
+        assert code == 3
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_bad_config_exits_2(self, capsys):
+        code = main(["loadgen", "--pollers", "0"])
+        assert code == 2
+
+    def test_end_to_end_with_report_file(self, stub_service, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "loadgen",
+                "--url", stub_service,
+                "--pollers", "2",
+                "--duration", "0.3",
+                "--seed", "11",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "loadgen report" in printed
+        assert "fleet-availability" in printed
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro-loadgen-v1"
+        assert report["config"]["seed"] == 11
+        assert report["totals"]["requests"] > 0

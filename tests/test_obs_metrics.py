@@ -211,6 +211,99 @@ class TestPrometheusExport:
         assert build(["a_total", "b_total"]) == build(["b_total", "a_total"])
 
 
+def _unescape_label(value):
+    """Invert Prometheus label escaping (\\\\, \\", \\n)."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, ch + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestPrometheusConformance:
+    """Exposition-format conformance, verified through the parser.
+
+    ``load_metric_rows`` (the ``repro obs`` reader) re-parses what
+    ``render_prometheus`` wrote, closing the loop: whatever the
+    renderer escapes or buckets must survive a round trip.
+    """
+
+    def _rows(self, reg):
+        from repro.obs.report import _parse_prometheus
+
+        return _parse_prometheus(reg.render_prometheus(include_host=True))
+
+    def test_histogram_inf_bucket_equals_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0), labels=("route",))
+        for v in (0.05, 0.5, 5.0, 50.0, 0.01):
+            h.labels(route="/a").observe(v)
+        rows = {(name, labels): value for name, labels, value in self._rows(reg)}
+        inf_bucket = rows[("lat_bucket", "le=+Inf,route=/a")]
+        assert inf_bucket == rows[("lat_count", "route=/a")] == 5
+
+    def test_bucket_counts_are_cumulative_and_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        observations = (0.05, 0.5, 0.5, 5.0, 50.0)
+        for v in observations:
+            h.observe(v)
+        buckets = [
+            (labels, value)
+            for name, labels, value in self._rows(reg)
+            if name == "lat_bucket"
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        # The per-bucket increments re-sum to _count.
+        increments = [counts[0]] + [
+            b - a for a, b in zip(counts, counts[1:])
+        ]
+        assert sum(increments) == len(observations)
+
+    def test_sum_series_present_and_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(4.0)
+        rows = {name: value for name, _, value in self._rows(reg)}
+        assert rows["lat_sum"] == pytest.approx(4.25)
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        nasty = 'say "hi"\nback\\slash and a tab\t!'
+        reg.counter("x_total", labels=("msg",)).labels(msg=nasty).inc()
+        rows = self._rows(reg)
+        assert len(rows) == 1
+        _, labels, value = rows[0]
+        assert labels.startswith("msg=")
+        assert _unescape_label(labels[len("msg="):]) == nasty
+        assert value == 1.0
+
+    def test_every_series_parses(self):
+        # No line the renderer emits may be dropped by the parser.
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help", labels=("k",)).labels(k="v").inc(2)
+        reg.gauge("b", domain="host").set(1.5)
+        reg.histogram("c", buckets=(1.0,), labels=("r",)).labels(
+            r="/x"
+        ).observe(0.5)
+        text = reg.render_prometheus(include_host=True)
+        payload_lines = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(self._rows(reg)) == len(payload_lines)
+
+
 class TestJsonExport:
     def test_snapshot_round_trips_through_json(self):
         reg = MetricsRegistry()

@@ -1,0 +1,178 @@
+"""StreamingQuantile: accuracy bounds, mergeability, state round-trip.
+
+The accuracy tests are property-style: seeded draws from known
+distributions, estimates compared against ``statistics.quantiles`` on
+the retained samples, asserting the sketch's *relative* value-error
+guarantee ``(γ−1)/(γ+1) ≈ α`` (with slack for the interpolation
+difference between the two estimators).
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.obs.quantile import StreamingQuantile
+
+
+def _exact_quantile(samples, q):
+    """Reference quantile via statistics.quantiles (inclusive grid)."""
+    cuts = statistics.quantiles(samples, n=1000, method="inclusive")
+    index = min(len(cuts) - 1, max(0, int(round(q * 1000)) - 1))
+    return cuts[index]
+
+
+def _assert_close(estimate, exact, alpha, slack=2.5):
+    """Relative error within the sketch's guarantee (plus grid slack)."""
+    assert math.isfinite(estimate)
+    denominator = max(abs(exact), 1e-9)
+    relative = abs(estimate - exact) / denominator
+    assert relative <= alpha * slack, (
+        f"estimate {estimate} vs exact {exact}: "
+        f"relative error {relative:.4f} > {alpha * slack:.4f}"
+    )
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_uniform_distribution(self, seed):
+        rng = random.Random(seed)
+        sketch = StreamingQuantile()
+        samples = []
+        for _ in range(5000):
+            value = rng.uniform(0.0005, 2.0)
+            samples.append(value)
+            sketch.observe(value)
+        for q in (0.50, 0.90, 0.95, 0.99):
+            _assert_close(
+                sketch.quantile(q), _exact_quantile(samples, q), sketch.alpha
+            )
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_lognormal_distribution(self, seed):
+        rng = random.Random(seed)
+        sketch = StreamingQuantile()
+        samples = []
+        for _ in range(5000):
+            value = rng.lognormvariate(-4.0, 1.0)  # latency-like, ~18 ms median
+            samples.append(value)
+            sketch.observe(value)
+        for q in (0.50, 0.95, 0.99):
+            _assert_close(
+                sketch.quantile(q), _exact_quantile(samples, q), sketch.alpha
+            )
+
+    def test_extremes_clamped_to_observed_range(self):
+        sketch = StreamingQuantile()
+        for value in (0.010, 0.020, 0.030):
+            sketch.observe(value)
+        assert sketch.quantile(0.0) == pytest.approx(0.010)
+        assert sketch.quantile(1.0) == pytest.approx(0.030)
+
+    def test_mean_and_max_are_exact(self):
+        sketch = StreamingQuantile()
+        values = [0.001, 0.002, 0.5, 1.25]
+        for value in values:
+            sketch.observe(value)
+        assert sketch.mean == pytest.approx(sum(values) / len(values))
+        assert sketch.max == 1.25
+        assert sketch.min == 0.001
+        assert sketch.sum == pytest.approx(sum(values))
+
+
+class TestEdgeCases:
+    def test_empty_sketch(self):
+        sketch = StreamingQuantile()
+        assert math.isnan(sketch.quantile(0.5))
+        assert math.isnan(sketch.mean)
+        assert sketch.summary() == {
+            "count": 0, "mean": 0.0, "p50": 0.0,
+            "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingQuantile().observe(-0.1)
+
+    def test_bad_quantile_rejected(self):
+        sketch = StreamingQuantile()
+        sketch.observe(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+    def test_zero_bucket(self):
+        sketch = StreamingQuantile()
+        for _ in range(10):
+            sketch.observe(0.0)
+        sketch.observe(1.0)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == 1.0
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            StreamingQuantile(alpha=0.0)
+        with pytest.raises(ValueError):
+            StreamingQuantile(alpha=1.0)
+        with pytest.raises(ValueError):
+            StreamingQuantile(min_value=0.0)
+
+
+def _sketch_of(values):
+    sketch = StreamingQuantile()
+    for value in values:
+        sketch.observe(value)
+    return sketch
+
+
+class TestMerge:
+    def test_merge_equals_single_sketch(self):
+        rng = random.Random(5)
+        values = [rng.lognormvariate(-4.0, 1.0) for _ in range(3000)]
+        whole = _sketch_of(values)
+        left = _sketch_of(values[:1000])
+        right = _sketch_of(values[1000:])
+        assert left.merge(right) is left
+        assert left == whole
+
+    def test_merge_is_associative(self):
+        rng = random.Random(9)
+        chunks = [
+            [rng.uniform(0.001, 1.0) for _ in range(500)] for _ in range(3)
+        ]
+        a1, b1, c1 = (_sketch_of(chunk) for chunk in chunks)
+        a2, b2, c2 = (_sketch_of(chunk) for chunk in chunks)
+        left_fold = a1.merge(b1).merge(c1)
+        b2.merge(c2)
+        right_fold = a2.merge(b2)
+        assert left_fold == right_fold
+
+    def test_merge_resolution_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingQuantile(alpha=0.02).merge(StreamingQuantile(alpha=0.01))
+
+    def test_merge_empty_is_identity(self):
+        sketch = _sketch_of([0.1, 0.2])
+        before = sketch.to_state()
+        sketch.merge(StreamingQuantile())
+        assert sketch.to_state() == before
+
+
+class TestState:
+    def test_round_trip(self):
+        sketch = _sketch_of([0.0, 0.001, 0.05, 2.0])
+        rebuilt = StreamingQuantile.from_state(sketch.to_state())
+        assert rebuilt == sketch
+        assert rebuilt.quantile(0.95) == sketch.quantile(0.95)
+
+    def test_state_is_json_safe(self):
+        import json
+
+        state = _sketch_of([0.01, 0.2]).to_state()
+        rebuilt = StreamingQuantile.from_state(json.loads(json.dumps(state)))
+        assert rebuilt == _sketch_of([0.01, 0.2])
+
+    def test_empty_round_trip(self):
+        rebuilt = StreamingQuantile.from_state(StreamingQuantile().to_state())
+        assert rebuilt.count == 0
+        assert math.isnan(rebuilt.quantile(0.5))

@@ -1,0 +1,264 @@
+"""SLOEngine: burn-rate math, multi-window policies, latch/re-arm.
+
+All tests drive the engine with explicit ``now=`` timestamps (the
+injectable-clock contract), so window arithmetic is deterministic —
+the SLO analog of the alert engine's log-time rule.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BURN_POLICIES,
+    BURN_WINDOWS,
+    ServiceObjective,
+    SLOEngine,
+    default_slos,
+)
+
+
+def _availability(target=0.9):
+    return ServiceObjective(
+        name="avail",
+        description="requests succeed",
+        kind="availability",
+        target=target,
+        route="/v1/fleet",
+    )
+
+
+def _engine(target=0.9, registry=None):
+    return SLOEngine(objectives=[_availability(target)], registry=registry)
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceObjective(
+                name="x", description="", kind="throughput", target=0.9
+            )
+
+    def test_target_must_be_fraction(self):
+        with pytest.raises(ValueError):
+            ServiceObjective(
+                name="x", description="", kind="availability", target=1.0
+            )
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            ServiceObjective(
+                name="x", description="", kind="latency", target=0.9
+            )
+
+    def test_error_budget(self):
+        assert _availability(0.999).error_budget == pytest.approx(0.001)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEngine(objectives=[_availability(), _availability()])
+
+
+class TestDefaultSlos:
+    def test_stock_objective_set(self):
+        objectives = default_slos()
+        names = {o.name for o in objectives}
+        assert names == {
+            "fleet-availability", "fleet-latency",
+            "alerts-availability", "alerts-latency",
+            "ingest-freshness",
+        }
+        freshness = next(o for o in objectives if o.kind == "freshness")
+        assert freshness.threshold_seconds == 2.0
+
+
+class TestClassification:
+    def test_availability_good_bad(self):
+        engine = _engine()
+        engine.record_request("/v1/fleet", 200, 0.01, now=0.0)
+        engine.record_request("/v1/fleet", 404, 0.01, now=1.0)  # still good
+        engine.record_request("/v1/fleet", 500, 0.01, now=2.0)
+        snapshot = engine.snapshot(now=3.0)
+        objective = snapshot["objectives"][0]
+        assert (objective["good"], objective["bad"]) == (2, 1)
+
+    def test_route_filter(self):
+        engine = _engine()
+        engine.record_request("/v1/alerts", 500, 0.01, now=0.0)
+        assert engine.snapshot(now=1.0)["objectives"][0]["events"] == 0
+
+    def test_latency_classification(self):
+        engine = SLOEngine(objectives=[ServiceObjective(
+            name="lat", description="", kind="latency", target=0.5,
+            threshold_seconds=0.25,
+        )])
+        engine.record_request("/x", 200, 0.1, now=0.0)   # good
+        engine.record_request("/x", 200, 0.3, now=1.0)   # slow -> bad
+        engine.record_request("/x", 503, 0.01, now=2.0)  # failed -> bad
+        objective = engine.snapshot(now=3.0)["objectives"][0]
+        assert (objective["good"], objective["bad"]) == (1, 2)
+
+    def test_freshness_classification(self):
+        engine = SLOEngine(objectives=[ServiceObjective(
+            name="fresh", description="", kind="freshness", target=0.5,
+            threshold_seconds=2.0,
+        )])
+        engine.record_freshness(1.0, now=0.0)
+        engine.record_freshness(5.0, now=1.0)
+        objective = engine.snapshot(now=2.0)["objectives"][0]
+        assert (objective["good"], objective["bad"]) == (1, 1)
+        # request traffic does not touch freshness objectives
+        engine.record_request("/v1/fleet", 500, 0.01, now=2.0)
+        assert engine.snapshot(now=3.0)["objectives"][0]["events"] == 2
+
+
+class TestBurnRates:
+    def test_burn_rate_value(self):
+        # target 0.9 -> budget 0.1; half the events bad -> burn = 5.0.
+        engine = _engine(target=0.9)
+        for i in range(10):
+            engine.record_request("/v1/fleet", 200, 0.01, now=float(i))
+            engine.record_request("/v1/fleet", 500, 0.01, now=float(i))
+        objective = engine.snapshot(now=20.0)["objectives"][0]
+        for label, _ in BURN_WINDOWS:
+            assert objective["burn_rates"][label] == pytest.approx(5.0)
+
+    def test_windows_see_different_traffic(self):
+        engine = _engine(target=0.9)
+        # Old bad traffic outside 5m but inside 1h.
+        for i in range(10):
+            engine.record_request("/v1/fleet", 500, 0.01, now=600.0 + i)
+        # Recent good traffic inside 5m.
+        for i in range(10):
+            engine.record_request("/v1/fleet", 200, 0.01, now=1500.0 + i)
+        objective = engine.snapshot(now=1510.0)["objectives"][0]
+        assert objective["burn_rates"]["5m"] == pytest.approx(0.0)
+        assert objective["burn_rates"]["1h"] == pytest.approx(5.0)
+
+    def test_empty_window_burns_zero(self):
+        engine = _engine()
+        assert all(
+            rate == 0.0
+            for rate in engine.snapshot(now=0.0)["objectives"][0][
+                "burn_rates"
+            ].values()
+        )
+
+
+class TestAlerting:
+    def test_fast_policy_fires_once_and_latches(self):
+        engine = _engine(target=0.95)  # budget 0.05: all-bad burns at 20x
+        for i in range(50):
+            engine.record_request("/v1/fleet", 500, 0.01, now=float(i))
+        fired = engine.evaluate(now=50.0)
+        assert [a.policy for a in fired] == ["fast", "slow"]
+        assert fired[0].severity == "critical"
+        assert "avail" in fired[0].message
+        # Condition still true -> latched, no re-fire.
+        assert engine.evaluate(now=51.0) == []
+        assert engine.active_count() == 2
+
+    def test_rearm_after_recovery(self):
+        engine = _engine(target=0.95)
+        for i in range(50):
+            engine.record_request("/v1/fleet", 500, 0.01, now=float(i))
+        assert len(engine.evaluate(now=50.0)) == 2
+        # Seven hours later the bins have been evicted: burn 0, re-armed.
+        assert engine.evaluate(now=7 * 3600.0) == []
+        assert engine.active_count() == 0
+        for i in range(50):
+            engine.record_request(
+                "/v1/fleet", 500, 0.01, now=7 * 3600.0 + i
+            )
+        refired = engine.evaluate(now=7 * 3600.0 + 60.0)
+        assert [a.policy for a in refired] == ["fast", "slow"]
+        assert len(engine.history) == 4
+
+    def test_slow_but_not_fast(self):
+        # Burn ~8x: above the slow threshold (6) and below fast (14.4).
+        engine = _engine(target=0.9)
+        for i in range(100):
+            status = 500 if i % 5 < 4 else 200  # 80% bad -> burn 8.0
+            engine.record_request("/v1/fleet", status, 0.01, now=float(i))
+        fired = engine.evaluate(now=100.0)
+        assert [a.policy for a in fired] == ["slow"]
+        assert fired[0].severity == "warning"
+
+    def test_policy_table_shape(self):
+        names = [name for name, _, _, _ in BURN_POLICIES]
+        assert names == ["fast", "slow"]
+
+
+class TestMetricsPublication:
+    def test_families_published(self):
+        registry = MetricsRegistry(enabled=True)
+        engine = _engine(target=0.95, registry=registry)
+        for i in range(10):
+            engine.record_request("/v1/fleet", 500, 0.01, now=float(i))
+        engine.evaluate(now=10.0)
+        values = {
+            (s.name, tuple(sorted(s.labels.items()))): s.value
+            for s in registry.samples(include_host=True)
+        }
+        assert values[("slo_compliance", (("slo", "avail"),))] == 0.0
+        assert values[("slo_verdict", (("slo", "avail"),))] == 0.0
+        assert (
+            values[("slo_alerts_total", (("policy", "fast"), ("slo", "avail")))]
+            == 1.0
+        )
+        burn = values[("slo_burn_rate", (("slo", "avail"), ("window", "5m")))]
+        assert burn == pytest.approx(20.0)
+
+    def test_host_domain_excluded_from_default_export(self):
+        registry = MetricsRegistry(enabled=True)
+        engine = _engine(registry=registry)
+        engine.record_request("/v1/fleet", 200, 0.01, now=0.0)
+        engine.evaluate(now=1.0)
+        assert "slo_" not in registry.render_prometheus()
+        assert "slo_" not in registry.to_json()
+        assert any(
+            s.name.startswith("slo_")
+            for s in registry.samples(include_host=True)
+        )
+
+
+class TestViews:
+    def test_verdicts(self):
+        engine = SLOEngine(objectives=[
+            _availability(target=0.9),
+            ServiceObjective(
+                name="fresh", description="", kind="freshness",
+                target=0.9, threshold_seconds=2.0,
+            ),
+        ])
+        assert engine.verdicts() == {"avail": "no_data", "fresh": "no_data"}
+        engine.record_request("/v1/fleet", 200, 0.01, now=0.0)
+        engine.record_freshness(10.0, now=0.0)
+        assert engine.verdicts() == {"avail": "pass", "fresh": "fail"}
+
+    def test_snapshot_schema(self):
+        engine = _engine()
+        engine.record_request("/v1/fleet", 200, 0.01, now=0.0)
+        snapshot = engine.snapshot(now=1.0)
+        assert snapshot["schema"] == "repro-slo-v1"
+        assert set(snapshot["windows"]) == {"5m", "1h", "6h"}
+        assert [p["name"] for p in snapshot["policies"]] == ["fast", "slow"]
+        objective = snapshot["objectives"][0]
+        for key in (
+            "name", "description", "kind", "route", "target",
+            "threshold_seconds", "events", "good", "bad", "compliance",
+            "error_budget_spent", "burn_rates", "verdict", "alerting",
+        ):
+            assert key in objective
+        json.dumps(snapshot)  # must be JSON-serializable as-is
+
+    def test_budget_spent(self):
+        engine = _engine(target=0.9)
+        for i in range(9):
+            engine.record_request("/v1/fleet", 200, 0.01, now=float(i))
+        engine.record_request("/v1/fleet", 500, 0.01, now=9.0)
+        objective = engine.snapshot(now=10.0)["objectives"][0]
+        assert objective["compliance"] == pytest.approx(0.9)
+        assert objective["error_budget_spent"] == pytest.approx(1.0)
+        assert objective["verdict"] == "pass"  # >= target

@@ -355,6 +355,180 @@ class TestFleetHealthServer:
         finally:
             server.stop()
 
+    def test_request_id_header_and_head(self):
+        server = FleetHealthServer(
+            {"/ping": json_route(lambda: {"pong": True})}, port=0
+        )
+        server.start()
+        try:
+            url = f"http://127.0.0.1:{server.port}/ping"
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                rid = resp.headers["X-Request-Id"]
+                assert rid.startswith("req-")
+            head = urllib.request.Request(url, method="HEAD")
+            with urllib.request.urlopen(head, timeout=10) as resp:
+                assert resp.status == 200
+                body = resp.read()
+                assert body == b""
+                assert int(resp.headers["Content-Length"]) > 0
+                assert resp.headers["X-Request-Id"] != rid
+        finally:
+            server.stop()
+
+
+def _instrumented_server(routes, log_stream=None):
+    """A socket-bound server wired to a live telemetry bundle."""
+    from repro.obs import Telemetry
+    from repro.stream.serve import RequestObservability
+
+    telemetry = Telemetry.create(seed=1, log_stream=log_stream)
+    obs = RequestObservability(
+        registry=telemetry.metrics,
+        tracer=telemetry.tracer,
+        logger=telemetry.logger,
+    )
+    server = FleetHealthServer(routes, port=0, observability=obs)
+    return server, telemetry
+
+
+class TestRequestDispatch:
+    """Socket-free tests through FleetHealthServer.dispatch."""
+
+    def test_counts_latency_and_quantiles(self):
+        server, telemetry = _instrumented_server(
+            {"/ping": json_route(lambda: {"pong": True})}
+        )
+        try:
+            for _ in range(3):
+                status, content_type, body, rid = server.dispatch("/ping")
+            assert status == 200
+            assert rid == "req-00000003"
+            reg = telemetry.metrics
+            assert (
+                reg.value(
+                    "http_requests_total",
+                    route="/ping", method="GET", status="200",
+                )
+                == 3
+            )
+            assert reg.value("http_request_duration_seconds", route="/ping") == 3
+            digest = server.observability.quantile_snapshot()["/ping"]
+            assert digest["count"] == 3
+            assert digest["max"] > 0
+        finally:
+            server.stop()
+
+    def test_unmatched_routes_share_one_label(self):
+        from repro.stream.serve import UNMATCHED_ROUTE
+
+        server, telemetry = _instrumented_server({})
+        try:
+            for path in ("/a", "/b?q=1", "/c"):
+                status, _, body, rid = server.dispatch(path)
+                assert status == 404
+                assert json.loads(body)["request_id"] == rid
+            assert (
+                telemetry.metrics.value(
+                    "http_requests_total",
+                    route=UNMATCHED_ROUTE, method="GET", status="404",
+                )
+                == 3
+            )
+        finally:
+            server.stop()
+
+    def test_handler_exception_gives_generic_500(self):
+        import io
+
+        log = io.StringIO()
+
+        def explode():
+            raise ValueError("secret table name")
+
+        server, telemetry = _instrumented_server(
+            {"/boom": json_route(explode)}, log_stream=log
+        )
+        try:
+            status, content_type, body, rid = server.dispatch("/boom")
+            assert status == 500
+            doc = json.loads(body)
+            assert doc == {
+                "error": "internal server error", "request_id": rid
+            }
+            assert "secret" not in body
+            assert (
+                telemetry.metrics.value(
+                    "http_requests_errors_total", route="/boom"
+                )
+                == 1
+            )
+            # The real exception went to the structured log...
+            record = json.loads(log.getvalue().splitlines()[0])
+            assert record["event"] == "http_error"
+            assert "secret table name" in record["exception"]
+            assert record["request_id"] == rid
+            # ...and the error request got a span (errors always sampled).
+            spans = [
+                s for s in telemetry.tracer.finished
+                if s.name == "http-request"
+            ]
+            assert len(spans) == 1
+            assert spans[0].attrs["status"] == 500
+        finally:
+            server.stop()
+
+    def test_noop_path_still_serves(self):
+        server = FleetHealthServer(
+            {"/ping": json_route(lambda: {"pong": True})}, port=0
+        )
+        try:
+            assert server.observability.active is False
+            status, _, body, rid = server.dispatch("/ping")
+            assert status == 200
+            assert rid.startswith("req-")
+            assert server.observability.quantile_snapshot() == {}
+        finally:
+            server.stop()
+
+
+class _ExplodingWriter:
+    """A wfile stand-in whose write raises like a gone client."""
+
+    def __init__(self, exc_type):
+        self.exc_type = exc_type
+
+    def write(self, data):
+        raise self.exc_type("client went away")
+
+    def flush(self):
+        """Match the file protocol; nothing to flush."""
+
+
+class TestClientDisconnects:
+    @pytest.mark.parametrize(
+        "exc_type", [BrokenPipeError, ConnectionResetError]
+    )
+    def test_reply_swallows_disconnect(self, exc_type):
+        server, telemetry = _instrumented_server(
+            {"/ping": json_route(lambda: {"pong": True})}
+        )
+        try:
+            handler = object.__new__(server.handler_class)
+            handler.request_version = "HTTP/1.1"
+            handler.requestline = "GET /ping HTTP/1.1"
+            handler.close_connection = False
+            handler.wfile = _ExplodingWriter(exc_type)
+            handler._reply(200, "application/json", '{"pong": true}', "req-x")
+            assert handler.close_connection is True
+            assert (
+                telemetry.metrics.value("http_client_disconnects_total") == 1
+            )
+            assert (
+                telemetry.metrics.value("http_requests_errors_total") == 0
+            )
+        finally:
+            server.stop()
+
 
 @pytest.fixture(scope="module")
 def stream_artifacts(tmp_path_factory):
@@ -396,6 +570,65 @@ class TestStreamService:
             assert fleet["stream"]["drained"] is False
             status, alerts = _get(base + "/v1/alerts")
             assert "rules" in json.loads(alerts)
+        finally:
+            service.server.stop()
+
+    def test_slo_endpoint_and_request_instrumentation(
+        self, stream_artifacts, tmp_path
+    ):
+        service = StreamService(
+            stream_artifacts,
+            port=0,
+            checkpoint_dir=tmp_path / "ckpt",
+            poll_interval=0.05,
+        )
+        try:
+            service.poll_once()
+            service.poll_once()  # second poll records freshness
+            for _ in range(2):
+                status, _, _, _ = service.server.dispatch("/v1/fleet")
+                assert status == 200
+            status, _, body, _ = service.server.dispatch("/v1/slo")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["schema"] == "repro-slo-v1"
+            by_name = {o["name"]: o for o in doc["objectives"]}
+            assert by_name["fleet-availability"]["verdict"] == "pass"
+            assert by_name["fleet-availability"]["good"] == 2
+            assert by_name["ingest-freshness"]["events"] >= 1
+            assert "/v1/fleet" in doc["request_latency"]
+            # The new families reach /metrics (host domain included).
+            status, _, metrics_body, _ = service.server.dispatch("/metrics")
+            assert "http_requests_total" in metrics_body
+            assert "slo_compliance" in metrics_body
+            assert "stream_poll_duration_seconds" in metrics_body
+            # ...and health reports the live latency digests.
+            health = service.health_snapshot()
+            assert health["slo_alerting"] == 0
+            assert "/v1/fleet" in health["request_latency"]
+        finally:
+            service.server.stop()
+
+    def test_fleet_snapshot_memoized_until_lines_move(self, stream_artifacts):
+        service = StreamService(stream_artifacts, port=None, once=True)
+        service.poll_once()
+        first = service.fleet_snapshot()
+        assert service.fleet_snapshot() is first
+        service.poll_once(final=True)
+        assert service.fleet_snapshot() is not first
+
+    def test_request_obs_disabled_is_noop(self, stream_artifacts):
+        service = StreamService(
+            stream_artifacts, port=0, once=True, request_obs=False
+        )
+        try:
+            service.poll_once()
+            status, _, _, _ = service.server.dispatch("/v1/fleet")
+            assert status == 200
+            assert service.server.observability.active is False
+            _, _, metrics_body, _ = service.server.dispatch("/metrics")
+            assert "http_requests_total" not in metrics_body
+            assert "slo_compliance" not in metrics_body
         finally:
             service.server.stop()
 
