@@ -519,12 +519,116 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_tenants(args: argparse.Namespace) -> int:
+    """The multi-tenant branch of ``repro stream`` (``--tenant`` given)."""
+    from .stream import (
+        ChaosController,
+        GuardConfig,
+        MultiTenantService,
+        TenantSpec,
+        build_chaos_plan,
+        parse_tenant_arg,
+    )
+
+    specs = []
+    for raw in args.tenant:
+        name, follow_dir = parse_tenant_arg(raw)
+        fleet_out = (
+            Path(args.fleet_out) / f"{name}.json" if args.fleet_out else None
+        )
+        alerts_out = (
+            Path(args.alerts_out) / f"{name}.jsonl"
+            if args.alerts_out
+            else None
+        )
+        specs.append(
+            TenantSpec(
+                name,
+                follow_dir,
+                window_seconds=args.coalesce_window,
+                node_count=args.nodes,
+                fleet_out=fleet_out,
+                alerts_out=alerts_out,
+            )
+        )
+    chaos = None
+    if args.chaos:
+        plan = build_chaos_plan(
+            [spec.name for spec in specs],
+            seed=args.chaos_seed,
+            horizon_seconds=args.chaos_horizon,
+        )
+        chaos = ChaosController(plan)
+    guard = GuardConfig(
+        stall_timeout=args.stall_timeout,
+        backoff_base=args.restart_backoff,
+        backoff_max=max(args.restart_backoff * 16, args.restart_backoff),
+        breaker_threshold=args.breaker_threshold,
+        seed=args.chaos_seed,
+    )
+    telemetry = _telemetry_from_args(args, wall_clock=True)
+    service = MultiTenantService(
+        specs,
+        port=None if args.port < 0 else args.port,
+        checkpoint_root=Path(args.checkpoint) if args.checkpoint else None,
+        resume=args.resume,
+        once=args.once,
+        poll_interval=args.poll_interval,
+        checkpoint_interval=args.checkpoint_interval,
+        guard=guard,
+        idle_exit=args.idle_exit,
+        chaos=chaos,
+        telemetry=telemetry,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
+    )
+    if service.server is not None:
+        names = ",".join(spec.name for spec in specs)
+        print(
+            f"fleet-health service on http://{service.server.address} "
+            f"(tenants: {names}; /healthz /metrics /v1/slo "
+            "/v1/<tenant>/fleet /v1/<tenant>/alerts /v1/<tenant>/slo)",
+            flush=True,
+        )
+    code = service.run()
+    for runtime in service.runtimes:
+        core = runtime.core
+        print(
+            f"tenant {runtime.name}: {core.ingest.lines_read:,} lines, "
+            f"drained={core.ingest.drained}, "
+            f"restarts={sum(service.supervisor.restart_counts[runtime.name].values())}, "
+            f"quarantined={len(runtime.quarantined_checkpoints)}"
+        )
+    _finish_telemetry(telemetry, args)
+    return code
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .core.periods import StudyWindow
     from .stream import StreamService
 
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    if args.tenant and args.follow:
+        print(
+            "error: --tenant and --follow are mutually exclusive",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG_ERROR
+    if args.chaos and not args.tenant:
+        print(
+            "error: --chaos requires at least one --tenant NAME=DIR",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG_ERROR
+    if args.tenant:
+        return _cmd_stream_tenants(args)
+    if not args.follow:
+        print(
+            "error: one of --follow DIR or --tenant NAME=DIR is required",
+            file=sys.stderr,
+        )
         return EXIT_CONFIG_ERROR
     telemetry = _telemetry_from_args(args, wall_clock=True)
     service = StreamService(
@@ -542,6 +646,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         alerts_out=Path(args.alerts_out) if args.alerts_out else None,
         idle_exit=args.idle_exit,
         telemetry=telemetry,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
     )
     if service.server is not None:
         print(
@@ -560,6 +666,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from .loadgen import (
         DEFAULT_ROUTES,
+        AbuseConfig,
         LoadConfig,
         build_report,
         check_service,
@@ -583,11 +690,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             routes=routes,
             timeout_seconds=args.timeout,
         )
+        abuse = None
+        if args.chaos:
+            abuse = AbuseConfig(
+                url=args.url,
+                slow_loris=args.slow_loris,
+                aborters=args.aborters,
+                duration_seconds=args.duration,
+                route=routes[0],
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_CONFIG_ERROR
     check_service(config)  # raises ReproError -> exit 3 via main()
-    result = run_load(config)
+    result = run_load(config, abuse=abuse)
     report = build_report(result)
     print(render_report(report))
     if args.out:
@@ -795,8 +911,15 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     stream.add_argument(
-        "--follow", metavar="DIR", required=True,
-        help="artifact dir (containing syslog/) or the syslog dir itself",
+        "--follow", metavar="DIR", default=None,
+        help="artifact dir (containing syslog/) or the syslog dir itself "
+             "(single-tenant mode)",
+    )
+    stream.add_argument(
+        "--tenant", metavar="NAME=DIR", action="append", default=[],
+        help="serve this tenant's directory at /v1/NAME/* (repeatable; "
+             "enables the supervised multi-tenant service; with "
+             "--checkpoint, each tenant checkpoints to CHECKPOINT/NAME)",
     )
     stream.add_argument(
         "--port", type=int, default=8787,
@@ -834,11 +957,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--fleet-out", metavar="PATH", default=None,
-        help="write the final fleet snapshot JSON here on exit",
+        help="write the final fleet snapshot JSON here on exit "
+             "(with --tenant: a directory receiving <name>.json files)",
     )
     stream.add_argument(
         "--alerts-out", metavar="PATH", default=None,
-        help="append fired alerts to this JSON-lines file",
+        help="append fired alerts to this JSON-lines file "
+             "(with --tenant: a directory receiving <name>.jsonl files)",
+    )
+    overload = stream.add_argument_group("overload control")
+    overload.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="shed requests beyond N concurrent with 429 + Retry-After "
+             "(default: unbounded)",
+    )
+    overload.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-connection read/write deadline — drops slow-loris "
+             "clients (default: none)",
+    )
+    guard_group = stream.add_argument_group(
+        "supervision (multi-tenant mode)"
+    )
+    guard_group.add_argument(
+        "--stall-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="heartbeat silence before an ingest worker is replaced "
+             "(default %(default)s)",
+    )
+    guard_group.add_argument(
+        "--restart-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base restart delay, doubling per consecutive failure "
+             "(default %(default)s)",
+    )
+    guard_group.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive failures that open the circuit breaker "
+             "(default %(default)s)",
+    )
+    chaos_group = stream.add_argument_group("chaos (multi-tenant mode)")
+    chaos_group.add_argument(
+        "--chaos", action="store_true",
+        help="inject a seeded fault plan (ingest kills, torn "
+             "checkpoints, follower I/O errors) while serving",
+    )
+    chaos_group.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="fault-plan seed (also seeds restart-backoff jitter)",
+    )
+    chaos_group.add_argument(
+        "--chaos-horizon", type=float, default=10.0, metavar="SECONDS",
+        help="window over which the fault plan is spread "
+             "(default %(default)s)",
     )
     stream.set_defaults(func=_cmd_stream)
 
@@ -878,6 +1047,20 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the repro-loadgen-v1 JSON report here",
+    )
+    abuse_group = loadgen.add_argument_group("abusive clients")
+    abuse_group.add_argument(
+        "--chaos", action="store_true",
+        help="run abusive clients (slow-loris + mid-body aborts) "
+             "concurrently with the honest load",
+    )
+    abuse_group.add_argument(
+        "--slow-loris", type=int, default=2, metavar="N",
+        help="slow-loris header-trickling clients (default %(default)s)",
+    )
+    abuse_group.add_argument(
+        "--aborters", type=int, default=2, metavar="N",
+        help="connect-then-slam clients (default %(default)s)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
     return parser

@@ -8,11 +8,18 @@ a schema-stable ``repro-loadgen-v1`` JSON report pairing
 client-observed latency quantiles (mergeable per-worker sketches, no
 sample retention) with the service's own ``/v1/slo`` verdicts.
 
+The chaos half (:mod:`~repro.loadgen.abuse`, ``repro loadgen
+--chaos``) adds deliberately abusive clients — slow-loris header
+tricklers and mid-body connection slammers — run *concurrently* with
+the honest load, so a single report answers both "how fast is the
+service" and "does it stay fast while being attacked".
+
 Entry points: :func:`~repro.loadgen.harness.run_load` from code,
-``repro loadgen`` from the CLI, and benchmark E16 for the
-1000-poller + overhead acceptance run.
+``repro loadgen`` from the CLI, and benchmarks E16/E17 for the
+acceptance runs.
 """
 
+from .abuse import AbuseConfig, AbuseResult, run_abuse
 from .harness import (
     DEFAULT_ROUTES,
     LoadConfig,
@@ -24,6 +31,9 @@ from .report import build_report, jain_fairness, render_report
 
 __all__ = [
     "DEFAULT_ROUTES",
+    "AbuseConfig",
+    "AbuseResult",
+    "run_abuse",
     "LoadConfig",
     "LoadResult",
     "check_service",

@@ -1,0 +1,254 @@
+"""Abusive clients: the load generator's half of the chaos harness.
+
+The service-side chaos controller (:mod:`repro.stream.chaos`) attacks
+ingest; this module attacks the HTTP front end the way misbehaving
+clients do, to prove the overload controls hold:
+
+* **slow loris** — opens a raw socket, sends a partial request header,
+  then trickles one byte per interval forever.  A server without a
+  read deadline accumulates these until its listener starves; a server
+  with ``request_timeout`` set must drop each one (the harness counts
+  ``closed_by_server`` and the smoke test asserts it equals the number
+  of abusers).
+* **mid-body abort** — sends a complete GET, reads one byte of the
+  response, and slams the connection.  The server must swallow the
+  broken pipe (counted in ``http_client_disconnects_total``), not
+  crash the handler thread.
+
+Abusers run on plain sockets rather than ``http.client`` because the
+whole point is to violate the protocol in controlled ways.  Counts are
+deterministic given a responsive server; timing is wall-clock.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+from urllib.parse import urlsplit
+
+__all__ = ["AbuseConfig", "AbuseResult", "run_abuse", "start_abuse"]
+
+
+@dataclass(frozen=True)
+class AbuseConfig:
+    """One abusive-client campaign.
+
+    Attributes:
+        url: service base URL (host/port are extracted).
+        slow_loris: number of trickling header clients.
+        aborters: number of connect-read-one-byte-slam clients.
+        duration_seconds: how long each slow loris keeps trickling
+            before giving up (aborters fire repeatedly for the whole
+            duration).
+        trickle_interval_seconds: gap between single trickled bytes.
+        connect_timeout_seconds: socket connect deadline.
+        route: the route aborters request (and the loris pretends to).
+    """
+
+    url: str = "http://127.0.0.1:8787"
+    slow_loris: int = 2
+    aborters: int = 2
+    duration_seconds: float = 10.0
+    trickle_interval_seconds: float = 0.5
+    connect_timeout_seconds: float = 5.0
+    route: str = "/v1/fleet"
+
+    def __post_init__(self) -> None:
+        if self.slow_loris < 0 or self.aborters < 0:
+            raise ValueError("abuser counts must be >= 0")
+        if self.slow_loris + self.aborters == 0:
+            raise ValueError("at least one abuser is required")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.trickle_interval_seconds <= 0:
+            raise ValueError("trickle_interval_seconds must be positive")
+
+    @property
+    def host_port(self) -> Tuple[str, int]:
+        parts = urlsplit(self.url)
+        host = parts.hostname or "127.0.0.1"
+        port = parts.port or (443 if parts.scheme == "https" else 80)
+        return host, port
+
+
+@dataclass
+class AbuseResult:
+    """What happened to the abusers (the service's defense scorecard).
+
+    Attributes:
+        slow_loris: trickling clients launched.
+        closed_by_server: slow-loris connections the server dropped —
+            a healthy deadline defense closes every one.
+        survived: slow-loris connections still open when the campaign
+            ended — nonzero means the read deadline is missing or too
+            lax.
+        connect_failures: abusers that never got a connection (the
+            server may be shedding at accept, which is also a defense).
+        aborters: mid-body abort clients launched.
+        aborts_sent: completed request-then-slam cycles.
+    """
+
+    slow_loris: int = 0
+    closed_by_server: int = 0
+    survived: int = 0
+    connect_failures: int = 0
+    aborters: int = 0
+    aborts_sent: int = 0
+
+    def to_json(self) -> dict:
+        """JSON-ready dict for the loadgen report's ``abuse`` block."""
+        return {
+            "slow_loris": self.slow_loris,
+            "closed_by_server": self.closed_by_server,
+            "survived": self.survived,
+            "connect_failures": self.connect_failures,
+            "aborters": self.aborters,
+            "aborts_sent": self.aborts_sent,
+        }
+
+
+def _slow_loris(
+    config: AbuseConfig, result: AbuseResult, lock: threading.Lock,
+    stop: threading.Event,
+) -> None:
+    host, port = config.host_port
+    deadline = time.monotonic() + config.duration_seconds
+    try:
+        sock = socket.create_connection(
+            (host, port), timeout=config.connect_timeout_seconds
+        )
+    except OSError:
+        with lock:
+            result.connect_failures += 1
+        return
+    try:
+        sock.sendall(
+            f"GET {config.route} HTTP/1.1\r\nHost: {host}\r\n".encode()
+        )
+        # Trickle a header one byte at a time, watching for the server
+        # to hang up (recv returning b"" / a reset).
+        drip = b"X-Slow: " + b"a" * 64 + b"\r\n"
+        cursor = 0
+        sock.settimeout(config.trickle_interval_seconds)
+        while time.monotonic() < deadline and not stop.is_set():
+            try:
+                sock.sendall(drip[cursor % len(drip):][:1])
+                cursor += 1
+            except OSError:
+                with lock:
+                    result.closed_by_server += 1
+                return
+            try:
+                peek = sock.recv(256)
+            except socket.timeout:
+                continue  # nothing from the server yet: keep dripping
+            except OSError:
+                with lock:
+                    result.closed_by_server += 1
+                return
+            if peek == b"":
+                with lock:
+                    result.closed_by_server += 1
+                return
+            # Any actual bytes back (an error response) followed by
+            # EOF also counts as the server ending the connection;
+            # loop once more to observe the close.
+        with lock:
+            result.survived += 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _aborter(
+    config: AbuseConfig, result: AbuseResult, lock: threading.Lock,
+    stop: threading.Event,
+) -> None:
+    host, port = config.host_port
+    deadline = time.monotonic() + config.duration_seconds
+    request = (
+        f"GET {config.route} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+    )
+    while time.monotonic() < deadline and not stop.is_set():
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=config.connect_timeout_seconds
+            )
+        except OSError:
+            with lock:
+                result.connect_failures += 1
+            time.sleep(0.1)
+            continue
+        try:
+            sock.sendall(request)
+            sock.settimeout(config.connect_timeout_seconds)
+            try:
+                sock.recv(1)  # first byte of the status line, then slam
+            except OSError:
+                pass
+            # An abrupt close with unread response bytes queued makes
+            # the server's write fail with EPIPE/ECONNRESET.
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        with lock:
+            result.aborts_sent += 1
+        time.sleep(0.05)
+
+
+def start_abuse(
+    config: AbuseConfig,
+) -> Tuple[AbuseResult, List[threading.Thread], threading.Event]:
+    """Launch the campaign without waiting; returns (result, threads,
+    stop event).  The result object fills in as threads finish — join
+    them (or :func:`run_abuse`) before reading it.
+    """
+    result = AbuseResult(
+        slow_loris=config.slow_loris, aborters=config.aborters
+    )
+    lock = threading.Lock()
+    stop = threading.Event()
+    threads: List[threading.Thread] = []
+    for index in range(config.slow_loris):
+        threads.append(
+            threading.Thread(
+                target=_slow_loris,
+                args=(config, result, lock, stop),
+                name=f"abuse-loris-{index}",
+                daemon=True,
+            )
+        )
+    for index in range(config.aborters):
+        threads.append(
+            threading.Thread(
+                target=_aborter,
+                args=(config, result, lock, stop),
+                name=f"abuse-abort-{index}",
+                daemon=True,
+            )
+        )
+    for thread in threads:
+        thread.start()
+    return result, threads, stop
+
+
+def run_abuse(config: AbuseConfig) -> AbuseResult:
+    """Run the campaign to completion and return the scorecard."""
+    result, threads, _stop = start_abuse(config)
+    for thread in threads:
+        thread.join()
+    return result

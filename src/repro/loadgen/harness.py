@@ -35,6 +35,7 @@ from urllib.parse import urlsplit
 
 from ..core.exceptions import ReproError
 from ..obs.quantile import StreamingQuantile
+from .abuse import AbuseConfig, AbuseResult, start_abuse
 
 __all__ = [
     "DEFAULT_ROUTES",
@@ -121,6 +122,8 @@ class LoadResult:
         offered: open-loop arrivals scheduled (``None`` for closed).
         slo: the service's ``/v1/slo`` document fetched after the run
             (``None`` when unavailable).
+        abuse: scorecard of the concurrent abusive-client campaign
+            (``None`` unless the run was driven with one).
     """
 
     config: LoadConfig
@@ -132,6 +135,7 @@ class LoadResult:
     per_poller_requests: List[int] = field(default_factory=list)
     offered: Optional[int] = None
     slo: Optional[Dict[str, object]] = None
+    abuse: Optional[AbuseResult] = None
 
     @property
     def errors(self) -> int:
@@ -299,7 +303,11 @@ def _fetch_slo(config: LoadConfig) -> Optional[Dict[str, object]]:
         return None
 
 
-def run_load(config: LoadConfig, fetch_slo: bool = True) -> LoadResult:
+def run_load(
+    config: LoadConfig,
+    fetch_slo: bool = True,
+    abuse: Optional[AbuseConfig] = None,
+) -> LoadResult:
     """Drive the configured load and return the merged result.
 
     Spawns ``config.pollers`` worker threads (with reduced stacks),
@@ -307,9 +315,20 @@ def run_load(config: LoadConfig, fetch_slo: bool = True) -> LoadResult:
     per-worker sketches and counters, and — when ``fetch_slo`` — asks
     the service for its own ``/v1/slo`` verdict afterwards, so the
     report pairs client-observed latency with server-declared health.
+
+    When ``abuse`` is given, the abusive-client campaign
+    (:mod:`repro.loadgen.abuse`) runs *concurrently* with the
+    well-behaved load — the point is to measure whether the service
+    keeps serving honest clients while slow-loris and mid-body-abort
+    clients attack it — and its scorecard lands on ``result.abuse``.
     """
     workers = [_Worker(i, config) for i in range(config.pollers)]
     schedule = _build_schedule(config) if config.mode == "open" else None
+    abuse_result: Optional[AbuseResult] = None
+    abuse_threads: List[threading.Thread] = []
+    abuse_stop: Optional[threading.Event] = None
+    if abuse is not None:
+        abuse_result, abuse_threads, abuse_stop = start_abuse(abuse)
 
     previous_stack = threading.stack_size()
     try:
@@ -346,6 +365,10 @@ def run_load(config: LoadConfig, fetch_slo: bool = True) -> LoadResult:
         for thread in threads:
             thread.join()
         wall = time.perf_counter() - origin
+        if abuse_stop is not None:
+            abuse_stop.set()
+            for thread in abuse_threads:
+                thread.join(timeout=abuse.connect_timeout_seconds + 5.0)
     finally:
         try:
             threading.stack_size(previous_stack)
@@ -368,6 +391,7 @@ def run_load(config: LoadConfig, fetch_slo: bool = True) -> LoadResult:
         for route, sketch in worker.sketches.items():
             result.route_sketches[route].merge(sketch)
             result.route_requests[route] += sketch.count
+    result.abuse = abuse_result
     if fetch_slo:
         result.slo = _fetch_slo(config)
     return result

@@ -118,6 +118,15 @@ def build_report(result: LoadResult) -> Dict[str, object]:
             ),
         },
         "routes": routes,
+        "shed": {
+            "requests_429": result.statuses.get(429, 0),
+            "shed_rate": (
+                result.statuses.get(429, 0) / result.requests
+                if result.requests
+                else 0.0
+            ),
+        },
+        "abuse": result.abuse.to_json() if result.abuse is not None else None,
         "slo": _slo_digest(result.slo),
     }
 
@@ -157,6 +166,21 @@ def render_report(report: Dict[str, object]) -> str:
             f"  {route:<14} n={stats['requests']:<8,} "
             f"p50={latency['p50']:.2f}  p95={latency['p95']:.2f}  "
             f"p99={latency['p99']:.2f}  max={latency['max']:.2f}"
+        )
+    shed = report.get("shed")
+    if shed and shed["requests_429"]:
+        lines.append(
+            f"overload shed:   {shed['requests_429']:,} requests answered "
+            f"429 (rate {shed['shed_rate'] * 100:.3f}%)"
+        )
+    abuse = report.get("abuse")
+    if abuse:
+        lines.append(
+            f"abusive clients: {abuse['slow_loris']} slow-loris "
+            f"({abuse['closed_by_server']} closed by server, "
+            f"{abuse['survived']} survived), "
+            f"{abuse['aborters']} aborters "
+            f"({abuse['aborts_sent']} aborts sent)"
         )
     slo = report.get("slo")
     if slo:

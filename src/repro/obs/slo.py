@@ -46,6 +46,7 @@ __all__ = [
     "BURN_WINDOWS",
     "BURN_POLICIES",
     "default_slos",
+    "tenant_slos",
 ]
 
 #: Named burn-rate windows (label, seconds).
@@ -190,6 +191,62 @@ def default_slos(
             description=(
                 "99% of ingest polls keep append-to-visible lag under "
                 f"{freshness_threshold_seconds:g} s"
+            ),
+            kind="freshness",
+            target=0.99,
+            threshold_seconds=freshness_threshold_seconds,
+        )
+    )
+    return objectives
+
+
+def tenant_slos(
+    tenant: str,
+    routes: Sequence[str],
+    latency_threshold_seconds: float = 0.25,
+    freshness_threshold_seconds: float = 2.0,
+) -> List[ServiceObjective]:
+    """The stock objective set for one tenant of the multi-tenant
+    service, with names prefixed ``<tenant>:`` so objectives from
+    different tenants coexist in one engine.
+
+    The freshness objective is named ``<tenant>:ingest-freshness`` —
+    per-tenant poll loops target it by name via
+    :meth:`SLOEngine.record_freshness`.
+    """
+    objectives: List[ServiceObjective] = []
+    for route in routes:
+        stem = route.rsplit("/", 1)[-1] or route
+        objectives.append(
+            ServiceObjective(
+                name=f"{tenant}:{stem}-availability",
+                description=(
+                    f"99.9% of {route} requests succeed (non-5xx)"
+                ),
+                kind="availability",
+                target=0.999,
+                route=route,
+            )
+        )
+        objectives.append(
+            ServiceObjective(
+                name=f"{tenant}:{stem}-latency",
+                description=(
+                    f"95% of {route} requests complete within "
+                    f"{latency_threshold_seconds * 1000:g} ms"
+                ),
+                kind="latency",
+                target=0.95,
+                route=route,
+                threshold_seconds=latency_threshold_seconds,
+            )
+        )
+    objectives.append(
+        ServiceObjective(
+            name=f"{tenant}:ingest-freshness",
+            description=(
+                f"99% of {tenant} ingest polls keep append-to-visible "
+                f"lag under {freshness_threshold_seconds:g} s"
             ),
             kind="freshness",
             target=0.99,
@@ -352,13 +409,23 @@ class SLOEngine:
                 self._trackers[objective.name].record(good, t)
 
     def record_freshness(
-        self, lag_seconds: float, now: Optional[float] = None
+        self,
+        lag_seconds: float,
+        now: Optional[float] = None,
+        name: Optional[str] = None,
     ) -> None:
-        """Classify one ingest poll against the freshness objectives."""
+        """Classify one ingest poll against the freshness objectives.
+
+        ``name`` scopes the event to one objective (a tenant's own
+        freshness stream); ``None`` feeds every freshness objective —
+        the single-tenant behavior.
+        """
         t = self._now(now)
         with self._lock:
             for objective in self.objectives:
                 if objective.kind != "freshness":
+                    continue
+                if name is not None and objective.name != name:
                     continue
                 good = lag_seconds <= objective.threshold_seconds
                 self._trackers[objective.name].record(good, t)
@@ -468,12 +535,20 @@ class SLOEngine:
                     out[objective.name] = "fail"
         return out
 
-    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
-        """The ``/v1/slo`` document: objectives, burn rates, alerts."""
+    def snapshot(
+        self, now: Optional[float] = None, prefix: Optional[str] = None
+    ) -> Dict[str, object]:
+        """The ``/v1/slo`` document: objectives, burn rates, alerts.
+
+        ``prefix`` filters to objectives (and fired alerts) whose name
+        starts with it — the per-tenant ``/v1/<tenant>/slo`` view.
+        """
         t = self._now(now)
         objectives: List[Dict[str, object]] = []
         with self._lock:
             for objective in self.objectives:
+                if prefix is not None and not objective.name.startswith(prefix):
+                    continue
                 tracker = self._trackers[objective.name]
                 total = tracker.good + tracker.bad
                 compliance = tracker.good / total if total else None
@@ -510,7 +585,11 @@ class SLOEngine:
                         ),
                     }
                 )
-            history = [alert.to_json() for alert in self.history]
+            history = [
+                alert.to_json()
+                for alert in self.history
+                if prefix is None or alert.objective.startswith(prefix)
+            ]
         return {
             "schema": "repro-slo-v1",
             "windows": {label: seconds for label, seconds in BURN_WINDOWS},

@@ -133,38 +133,65 @@ class PipelineMetricSet:
         Safe to call after every poll: counters move by exactly the
         growth since the last call, labeled counters per reason, and
         the coverage/completeness gauges are set to the current value.
+
+        Deltas are clamped at zero: a supervised ingest restarted from
+        its last checkpoint reports *lower* totals than the crashed
+        generation it replaced, and a Prometheus counter must never
+        decrease.  The clamp under-counts the re-processed span once
+        and then tracks exactly again once totals re-pass the old
+        baseline (:meth:`reset_baseline` is the scratch-restart path).
         """
         prev = self._published
-        self.lines_read.inc(totals.lines_read - prev.lines_read)
-        self.lines_parsed.inc(totals.parsed_lines - prev.parsed_lines)
-        self.bytes_read.inc(totals.bytes_read - prev.bytes_read)
-        self.matched_lines.inc(totals.matched_lines - prev.matched_lines)
-        self.excluded_xid_lines.inc(
-            totals.excluded_xid_lines - prev.excluded_xid_lines
+
+        def delta(now: int, before: int) -> int:
+            return now - before if now > before else 0
+
+        self.lines_read.inc(delta(totals.lines_read, prev.lines_read))
+        self.lines_parsed.inc(delta(totals.parsed_lines, prev.parsed_lines))
+        self.bytes_read.inc(delta(totals.bytes_read, prev.bytes_read))
+        self.matched_lines.inc(
+            delta(totals.matched_lines, prev.matched_lines)
         )
-        self.malformed_lines.inc(totals.malformed_lines - prev.malformed_lines)
-        self.raw_hits.inc(totals.raw_hits - prev.raw_hits)
+        self.excluded_xid_lines.inc(
+            delta(totals.excluded_xid_lines, prev.excluded_xid_lines)
+        )
+        self.malformed_lines.inc(
+            delta(totals.malformed_lines, prev.malformed_lines)
+        )
+        self.raw_hits.inc(delta(totals.raw_hits, prev.raw_hits))
         self.coalesced_errors.inc(
-            totals.coalesced_errors - prev.coalesced_errors
+            delta(totals.coalesced_errors, prev.coalesced_errors)
         )
         self.downtime_episodes.inc(
-            totals.downtime_episodes - prev.downtime_episodes
+            delta(totals.downtime_episodes, prev.downtime_episodes)
         )
-        self.job_records.inc(totals.job_records - prev.job_records)
-        self.resumed_files.inc(totals.resumed_files - prev.resumed_files)
+        self.job_records.inc(delta(totals.job_records, prev.job_records))
+        self.resumed_files.inc(
+            delta(totals.resumed_files, prev.resumed_files)
+        )
         for family, now, before in (
             (self.quarantined, totals.quarantined, prev.quarantined),
             (self.repaired, totals.repaired, prev.repaired),
             (self.file_incidents, totals.file_incidents, prev.file_incidents),
         ):
             for reason, count in now.items():
-                delta = count - before.get(reason, 0)
-                if delta:
-                    family.labels(reason=reason).inc(delta)
+                step = delta(count, before.get(reason, 0))
+                if step:
+                    family.labels(reason=reason).inc(step)
         self.day_coverage.labels(state="present").set(totals.days_present)
         self.day_coverage.labels(state="missing").set(totals.days_missing)
         self.completeness.set(totals.completeness)
         self._published = totals
+
+    def reset_baseline(self) -> None:
+        """Restart delta accounting from zero totals.
+
+        Used when an ingest restarts *from scratch* (quarantined
+        checkpoint): the replacement genuinely re-processes every
+        line, so the counters should count that work rather than stall
+        until the old baseline is re-passed.
+        """
+        self._published = PipelineTotals()
 
     def publish_host_throughput(
         self,

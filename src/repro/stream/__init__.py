@@ -11,14 +11,26 @@ estimators and alert rules consume errors as they complete, and
 :class:`~repro.stream.service.StreamService` serves the whole thing
 over stdlib HTTP with durable checkpoint/resume.
 
+The multi-tenant layer (:mod:`~repro.stream.tenancy`) hosts several
+isolated fleets behind one front end, supervised by the watchdog /
+circuit-breaker machinery in :mod:`~repro.stream.guard` and stress-
+tested by the seeded fault injector in :mod:`~repro.stream.chaos`.
+
 The load-bearing property, enforced by the replay-identity tests: a
 drained streaming pass over a finished directory produces the same
 errors, quarantine accounting, and Table-I/availability figures —
 byte-identical JSON — as the batch pipeline, chaos-corrupted input
-included.
+included, supervised heal cycles included.
 """
 
 from .alerts import Alert, AlertEngine, AlertRule, default_rules
+from .chaos import (
+    CHAOS_KINDS,
+    ChaosController,
+    ChaosEvent,
+    ChaosInjectedError,
+    build_chaos_plan,
+)
 from .estimators import (
     DEFAULT_NODE_COUNT,
     FleetEstimators,
@@ -26,16 +38,39 @@ from .estimators import (
     fleet_report,
     infer_stream_window,
 )
-from .follow import DirectoryFollower, FollowStats
-from .ingest import CHECKPOINT_FILE, PollOutcome, StreamIngest
+from .follow import DirectoryFollower, FollowStats, FollowerReadError
+from .guard import (
+    CircuitBreaker,
+    GuardConfig,
+    IngestSupervisor,
+    RestartBackoff,
+)
+from .ingest import (
+    CHECKPOINT_FILE,
+    DamagedCheckpointError,
+    PollOutcome,
+    StreamIngest,
+    quarantine_checkpoint,
+)
 from .serve import FleetHealthServer, RequestObservability, json_route
 from .service import StreamService, resolve_syslog_dir
+from .tenancy import (
+    MultiTenantService,
+    TenantRuntime,
+    TenantSpec,
+    parse_tenant_arg,
+)
 
 __all__ = [
     "Alert",
     "AlertEngine",
     "AlertRule",
     "default_rules",
+    "CHAOS_KINDS",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosInjectedError",
+    "build_chaos_plan",
     "DEFAULT_NODE_COUNT",
     "FleetEstimators",
     "RollingWindow",
@@ -43,12 +78,23 @@ __all__ = [
     "infer_stream_window",
     "DirectoryFollower",
     "FollowStats",
+    "FollowerReadError",
+    "CircuitBreaker",
+    "GuardConfig",
+    "IngestSupervisor",
+    "RestartBackoff",
     "CHECKPOINT_FILE",
+    "DamagedCheckpointError",
     "PollOutcome",
     "StreamIngest",
+    "quarantine_checkpoint",
     "FleetHealthServer",
     "RequestObservability",
     "json_route",
     "StreamService",
+    "MultiTenantService",
+    "TenantRuntime",
+    "TenantSpec",
+    "parse_tenant_arg",
     "resolve_syslog_dir",
 ]

@@ -1,0 +1,287 @@
+"""Service-chaos harness: seeded fault injection for the fleet service.
+
+The paper characterizes GPU faults by injecting nothing — the fleet
+supplies the failures.  The reproduction's *service* has no such luxury:
+to claim the supervision layer heals ingest crashes, torn checkpoints,
+and flaky disks, the test bench must create those faults on demand,
+deterministically, through the same code paths real faults would take.
+
+A chaos **plan** is a seeded, sorted list of :class:`ChaosEvent`; a
+:class:`ChaosController` thread replays the plan against a running
+:class:`~repro.stream.tenancy.MultiTenantService` in wall-clock time.
+Three fault classes, each injected at the genuine failure boundary:
+
+* ``kill_ingest`` — arms an exception on the tenant's core; the next
+  poll raises it **on the worker thread**, so the supervisor sees an
+  ordinary crashed worker.
+* ``corrupt_checkpoint`` — garbles the checkpoint file on disk, then
+  arms a kill: the restart path finds the damage, quarantines the file
+  (``<name>.corrupt-<n>``), and rebuilds from scratch — the
+  satellite-1 recovery path under supervision.
+* ``io_error`` — installs a one-shot ``OSError`` on the follower's
+  read hook (disk-full / EIO at the ``open``/``read`` boundary); the
+  error propagates through the follower's real transient-failure
+  containment (:class:`~repro.stream.follow.FollowerReadError`) into
+  the worker, which dies and is restarted from checkpoint.
+
+Abusive *clients* (slow-loris, mid-body aborts) are the load
+generator's half of the harness — ``repro loadgen --chaos``
+(:mod:`repro.loadgen.abuse`) — since they attack the HTTP front end,
+not the ingest.
+
+Everything applied is logged (and exposed via ``/healthz`` under
+``chaos``), so the CI smoke test can assert *every* injected fault was
+detected, counted, and healed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.exceptions import ConfigurationError, ReproError
+
+__all__ = [
+    "KILL_INGEST",
+    "CORRUPT_CHECKPOINT",
+    "IO_ERROR",
+    "CHAOS_KINDS",
+    "ChaosInjectedError",
+    "ChaosEvent",
+    "build_chaos_plan",
+    "ChaosController",
+]
+
+KILL_INGEST = "kill_ingest"
+CORRUPT_CHECKPOINT = "corrupt_checkpoint"
+IO_ERROR = "io_error"
+CHAOS_KINDS = (KILL_INGEST, CORRUPT_CHECKPOINT, IO_ERROR)
+
+#: What a corrupted checkpoint looks like on disk: a torn write —
+#: valid JSON prefix, then truncation mid-token.
+_TORN_CHECKPOINT = b'{"version": 1, "follower": {"files": [{"name": "tr'
+
+
+class ChaosInjectedError(ReproError):
+    """The armed fault a ``kill_ingest`` event raises inside a poll."""
+
+    def __init__(self, tenant: str, event_index: int) -> None:
+        super().__init__(
+            f"chaos: injected ingest kill for tenant {tenant!r} "
+            f"(event #{event_index})"
+        )
+        self.tenant = tenant
+        self.event_index = event_index
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault.
+
+    Attributes:
+        at_seconds: offset from controller start at which to inject.
+        kind: one of :data:`CHAOS_KINDS`.
+        tenant: the victim tenant's name.
+    """
+
+    at_seconds: float
+    kind: str
+    tenant: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos kind {self.kind!r}; expected one of "
+                f"{CHAOS_KINDS}"
+            )
+        if self.at_seconds < 0:
+            raise ConfigurationError(
+                f"at_seconds must be >= 0, got {self.at_seconds}"
+            )
+
+
+def build_chaos_plan(
+    tenants: Sequence[str],
+    seed: int,
+    horizon_seconds: float = 10.0,
+    kills: int = 1,
+    corruptions: int = 1,
+    io_errors: int = 1,
+) -> List[ChaosEvent]:
+    """A deterministic plan: same seed + tenants → same events.
+
+    Events are spread uniformly (seeded) over ``horizon_seconds`` and
+    round-robined over the tenants in the order given, so every fault
+    class lands on a predictable victim — the smoke test knows which
+    tenant to watch heal and which co-tenant must stay fast.
+    """
+    if not tenants:
+        raise ConfigurationError("chaos plan needs at least one tenant")
+    if horizon_seconds <= 0:
+        raise ConfigurationError(
+            f"horizon_seconds must be positive, got {horizon_seconds}"
+        )
+    rng = random.Random(seed)
+    events: List[ChaosEvent] = []
+    cursor = 0
+    for kind, count in (
+        (KILL_INGEST, kills),
+        (CORRUPT_CHECKPOINT, corruptions),
+        (IO_ERROR, io_errors),
+    ):
+        for _ in range(count):
+            events.append(
+                ChaosEvent(
+                    at_seconds=rng.uniform(0.0, horizon_seconds),
+                    kind=kind,
+                    tenant=tenants[cursor % len(tenants)],
+                )
+            )
+            cursor += 1
+    events.sort(key=lambda e: (e.at_seconds, e.kind, e.tenant))
+    return events
+
+
+class ChaosController:
+    """Replays a chaos plan against an attached multi-tenant service.
+
+    Duck-typed to the ``chaos=`` slot of
+    :class:`~repro.stream.tenancy.MultiTenantService`: the service
+    calls :meth:`attach` at construction, :meth:`start` when it begins
+    following, and :meth:`stop` at shutdown; :meth:`snapshot` feeds
+    the ``chaos`` block of ``/healthz``.
+    """
+
+    def __init__(self, plan: Sequence[ChaosEvent]) -> None:
+        self.plan = sorted(
+            plan, key=lambda e: (e.at_seconds, e.kind, e.tenant)
+        )
+        self.applied: List[Dict[str, object]] = []
+        self._service = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def attach(self, service) -> None:
+        """Bind to the service whose tenants the plan names."""
+        names = {rt.name for rt in service.runtimes}
+        for event in self.plan:
+            if event.tenant not in names:
+                raise ConfigurationError(
+                    f"chaos plan targets unknown tenant {event.tenant!r}; "
+                    f"service has {sorted(names)}"
+                )
+        self._service = service
+
+    def start(self) -> None:
+        """Begin replaying the plan on a background thread.
+
+        Requires a prior :meth:`attach`; events fire relative to the
+        moment this method is called.
+        """
+        if self._service is None:
+            raise ConfigurationError(
+                "ChaosController.start() before attach()"
+            )
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-controller", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the replay thread; unfired events stay unfired."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def exhausted(self) -> bool:
+        """Every planned event has been injected."""
+        with self._lock:
+            return len(self.applied) >= len(self.plan)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/healthz`` chaos block: plan vs. applied."""
+        with self._lock:
+            return {
+                "planned": [
+                    {
+                        "at_seconds": event.at_seconds,
+                        "kind": event.kind,
+                        "tenant": event.tenant,
+                    }
+                    for event in self.plan
+                ],
+                "applied": [dict(entry) for entry in self.applied],
+                "exhausted": len(self.applied) >= len(self.plan),
+            }
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def _runtime(self, tenant: str):
+        for rt in self._service.runtimes:
+            if rt.name == tenant:
+                return rt
+        raise KeyError(tenant)
+
+    def _inject(self, event: ChaosEvent, index: int) -> str:
+        runtime = self._runtime(event.tenant)
+        core = runtime.core
+        if event.kind == KILL_INGEST:
+            core.armed_fault = ChaosInjectedError(event.tenant, index)
+            return "armed ingest kill"
+        if event.kind == CORRUPT_CHECKPOINT:
+            path = runtime.checkpoint_path
+            detail = "no checkpoint on disk yet; "
+            if path is not None:
+                # Write the damage even if no checkpoint exists yet —
+                # the restart then exercises the quarantine path either
+                # way.
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_bytes(_TORN_CHECKPOINT)
+                detail = ""
+            core.armed_fault = ChaosInjectedError(event.tenant, index)
+            return detail + "tore checkpoint and armed kill"
+        if event.kind == IO_ERROR:
+            fired = threading.Event()
+
+            def read_fault(file_name: str) -> None:
+                if fired.is_set():
+                    return
+                fired.set()
+                raise OSError(
+                    5, f"chaos: injected EIO reading {file_name}"
+                )
+
+            core.ingest.follower.read_fault = read_fault
+            return "installed one-shot EIO read fault"
+        raise AssertionError(event.kind)
+
+    def _run(self) -> None:
+        origin = time.monotonic()
+        for index, event in enumerate(self.plan):
+            delay = origin + event.at_seconds - time.monotonic()
+            if delay > 0 and self._stop.wait(delay):
+                return
+            if self._stop.is_set():
+                return
+            try:
+                detail = self._inject(event, index)
+            except Exception as exc:  # noqa: BLE001 - log, keep going
+                detail = f"injection failed: {type(exc).__name__}: {exc}"
+            with self._lock:
+                self.applied.append(
+                    {
+                        "index": index,
+                        "kind": event.kind,
+                        "tenant": event.tenant,
+                        "at_seconds": event.at_seconds,
+                        "detail": detail,
+                    }
+                )

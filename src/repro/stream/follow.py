@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..core.exceptions import ReproError
 from ..syslog.quarantine import (
     FILE_CORRUPT,
     FILE_DUPLICATE_DAY,
@@ -48,6 +49,34 @@ from ..syslog.reader import day_stem, dedupe_day_files, _iter_gzip_lines
 
 #: Binary read size per poll step (matches the batch reader's chunk).
 _CHUNK_BYTES = 1 << 20
+
+#: Consecutive ``OSError`` s tolerated per file before the follower
+#: gives up and quarantines it the way the batch reader would.
+MAX_TRANSIENT_READ_FAILURES = 2
+
+
+class FollowerReadError(ReproError):
+    """A *transient* I/O failure on a followed file (EIO, disk full…).
+
+    Raised instead of quarantining the file for the first
+    :data:`MAX_TRANSIENT_READ_FAILURES` consecutive failures: the
+    follower's offset/carry are untouched, so the caller can retry the
+    poll — or a supervisor can rebuild the whole ingest from its last
+    checkpoint — without dropping the file the way a permanent
+    quarantine would.  Only after the failure repeats does the
+    follower fall back to the batch-compatible containment
+    (:data:`~repro.syslog.quarantine.FILE_CORRUPT` /
+    :data:`~repro.syslog.quarantine.FILE_UNREADABLE` incident).
+    """
+
+    def __init__(self, name: str, reason: str, attempt: int, exc: OSError):
+        super().__init__(
+            f"transient read failure on {name} "
+            f"(attempt {attempt}/{MAX_TRANSIENT_READ_FAILURES}): {exc}"
+        )
+        self.file_name = name
+        self.reason = reason
+        self.attempt = attempt
 
 
 def _split_complete_lines(
@@ -160,6 +189,15 @@ class DirectoryFollower:
         #: largest day stem ingestion has started on.
         self._max_started = ""
         self.stats = FollowStats()
+        #: Optional fault hook (chaos harness): called with the file
+        #: name before each open/read; an ``OSError`` it raises flows
+        #: through the real containment path.
+        self.read_fault: Optional[Callable[[str], None]] = None
+        #: Consecutive read failures per file (in-memory only — an
+        #: operational counter, deliberately not checkpointed).
+        self._read_failures: Dict[str, int] = {}
+        #: Transient failures surfaced as :class:`FollowerReadError`.
+        self.transient_read_errors = 0
 
     def day_stems(self) -> List[str]:
         """Sorted stems of the days chosen for ingestion so far."""
@@ -295,6 +333,27 @@ class DirectoryFollower:
         state.close()
         self.stats.files_finalized += 1
 
+    def _read_failed(
+        self, state: _FileState, reason: str, exc: OSError
+    ) -> None:
+        """Classify one read ``OSError``: transient retry or quarantine.
+
+        The first :data:`MAX_TRANSIENT_READ_FAILURES` consecutive
+        failures close the handle but keep offset/carry intact and
+        raise :class:`FollowerReadError` — the next poll (or a
+        supervisor restart from checkpoint) re-reads from the same
+        line boundary, losing nothing.  Past that, the failure is
+        treated as permanent and the file is quarantined exactly as
+        the batch reader would.
+        """
+        count = self._read_failures.get(state.name, 0) + 1
+        self._read_failures[state.name] = count
+        state.close()
+        if count <= MAX_TRANSIENT_READ_FAILURES:
+            self.transient_read_errors += 1
+            raise FollowerReadError(state.name, reason, count, exc)
+        self._fail_file(state, reason)
+
     def _tail_plain(
         self,
         path: Path,
@@ -305,22 +364,27 @@ class DirectoryFollower:
         """Incrementally read one plain day file from its offset."""
         if state.handle is None:
             try:
+                if self.read_fault is not None:
+                    self.read_fault(state.name)
                 state.handle = open(path, "rb")
-            except OSError:
-                self._fail_file(state, FILE_UNREADABLE)
+            except OSError as exc:
+                self._read_failed(state, FILE_UNREADABLE, exc)
                 return
             try:
                 state.handle.seek(state.offset + len(state.carry))
-            except OSError:
-                self._fail_file(state, FILE_CORRUPT)
+            except OSError as exc:
+                self._read_failed(state, FILE_CORRUPT, exc)
                 return
         while True:
             try:
+                if self.read_fault is not None:
+                    self.read_fault(state.name)
                 chunk = state.handle.read(_CHUNK_BYTES)  # type: ignore[attr-defined]
-            except OSError:
-                self._fail_file(state, FILE_CORRUPT)
+            except OSError as exc:
+                self._read_failed(state, FILE_CORRUPT, exc)
                 return
             if not chunk:
+                self._read_failures.pop(state.name, None)
                 break
             buf = state.carry + chunk
             lines, state.carry = _split_complete_lines(buf)

@@ -60,6 +60,34 @@ CHECKPOINT_VERSION = 1
 _NEG_INF = float("-inf")
 
 
+class DamagedCheckpointError(ConfigurationError):
+    """The checkpoint file exists but its content is unusable.
+
+    Distinct from the deliberate refusals (wrong directory, wrong
+    schema version) so the service layer can quarantine the damage and
+    restart from scratch while still refusing to resume someone else's
+    offsets.
+    """
+
+
+def quarantine_checkpoint(path: Path) -> Path:
+    """Move a damaged checkpoint aside as ``<name>.corrupt-<n>``.
+
+    Keeps the evidence (the damaged bytes stay on disk for a
+    post-mortem) while clearing the resume path, so the next start
+    ingests from scratch instead of refusing forever.
+    """
+    path = Path(path)
+    n = 1
+    while True:
+        target = path.with_name(f"{path.name}.corrupt-{n}")
+        if not target.exists():
+            break
+        n += 1
+    path.rename(target)
+    return target
+
+
 @dataclass
 class PollOutcome:
     """What one ingest poll produced.
@@ -380,10 +408,15 @@ class StreamIngest:
     ) -> Optional["StreamIngest"]:
         """Resume from a checkpoint directory, or ``None`` when absent.
 
-        A damaged (torn, non-JSON) checkpoint raises — the atomic
-        writer makes that impossible in normal operation, so damage
-        means something external happened and silently starting from
-        zero would double-count the whole history.
+        A damaged checkpoint (torn, non-JSON, or structurally invalid)
+        raises :class:`DamagedCheckpointError` — the atomic writer
+        makes that impossible in normal operation, so damage means
+        something external happened.  The service layer catches it via
+        :meth:`resume_or_quarantine`; library callers that resume
+        directly keep the strict behavior.  Wrong-directory and
+        wrong-version checkpoints raise the plain refusal
+        (:class:`~repro.core.exceptions.ConfigurationError`) — those
+        are operator mistakes, not damage.
         """
         import json
 
@@ -393,7 +426,44 @@ class StreamIngest:
         try:
             state = json.loads(path.read_text("utf-8"))
         except ValueError as exc:
-            raise ConfigurationError(
+            raise DamagedCheckpointError(
                 f"damaged stream checkpoint at {path}: {exc}"
             ) from exc
-        return cls.from_state(syslog_dir, state, inventory=inventory)
+        if not isinstance(state, dict):
+            raise DamagedCheckpointError(
+                f"damaged stream checkpoint at {path}: not a JSON object"
+            )
+        try:
+            return cls.from_state(syslog_dir, state, inventory=inventory)
+        except ConfigurationError:
+            raise  # deliberate refusal (wrong dir / version)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DamagedCheckpointError(
+                f"damaged stream checkpoint at {path}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    @classmethod
+    def resume_or_quarantine(
+        cls,
+        syslog_dir: Path,
+        checkpoint_dir: Path,
+        inventory: Optional[Inventory] = None,
+    ) -> tuple:
+        """Service-grade resume: damage is quarantined, not fatal.
+
+        Returns ``(ingest, quarantined_path)`` where ``ingest`` is
+        ``None`` when there was nothing usable to resume (no
+        checkpoint, or a damaged one) and ``quarantined_path`` is the
+        ``<name>.corrupt-<n>`` destination when damage was found.  The
+        wrong-directory and wrong-version refusals still raise — they
+        protect against resuming the wrong offsets, which quarantining
+        would silently paper over.
+        """
+        try:
+            return cls.resume(syslog_dir, checkpoint_dir, inventory), None
+        except DamagedCheckpointError:
+            quarantined = quarantine_checkpoint(
+                Path(checkpoint_dir) / CHECKPOINT_FILE
+            )
+            return None, quarantined

@@ -35,22 +35,44 @@ structured log and the ``http_requests_errors_total`` counter, never
 to the client.  A client that disconnects mid-write
 (``BrokenPipeError``/``ConnectionResetError``) is counted, not logged
 as a traceback, and not misclassified as a server error.
+
+**Overload control.**  With ``max_inflight`` set, requests beyond the
+cap are shed with ``429`` + ``Retry-After`` before any handler runs —
+a deliberate, cheap refusal instead of queue collapse — and counted
+in ``http_requests_shed_total``.  With ``request_timeout`` set, every
+connection carries a socket deadline, so a slow-loris client that
+trickles header bytes (or stops reading its response) is disconnected
+and counted in ``http_slow_client_timeouts_total`` instead of pinning
+a handler thread forever.
+
+**Shutdown.**  :meth:`FleetHealthServer.stop` stops accepting, then
+*drains*: it waits (bounded by ``drain_deadline``) for every request
+currently being handled to finish its body write before closing the
+socket, so SIGTERM under load never tears a response mid-body.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 from ..obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 from ..obs.quantile import StreamingQuantile
 
-#: A route handler: () -> (content type, response body).
-RouteHandler = Callable[[], Tuple[str, str]]
+#: A route handler: () -> (content type, body) or
+#: () -> (content type, body, extra response headers).
+RouteHandler = Callable[
+    [],
+    Union[
+        Tuple[str, str],
+        Tuple[str, str, Mapping[str, str]],
+    ],
+]
 
 #: Route label used for paths that match no registered route — one
 #: shared label keeps scanner noise from exploding metric cardinality.
@@ -118,6 +140,17 @@ class RequestObservability:
             "clients that disconnected mid-response",
             domain="host",
         )
+        self.shed = reg.counter(
+            "http_requests_shed_total",
+            "requests refused with 429 by the inflight cap",
+            labels=("route",),
+            domain="host",
+        )
+        self.slow_clients = reg.counter(
+            "http_slow_client_timeouts_total",
+            "connections dropped for exceeding the read/write deadline",
+            domain="host",
+        )
         self.latency = reg.histogram(
             "http_request_duration_seconds",
             "request latency from dispatch to handler return",
@@ -179,6 +212,16 @@ class RequestObservability:
         if self.active:
             self.disconnects.inc()
 
+    def request_shed(self, route: str) -> None:
+        """Count one load-shed (429) refusal."""
+        if self.active:
+            self.shed.labels(route=route).inc()
+
+    def slow_client(self) -> None:
+        """Count a connection dropped for blowing its socket deadline."""
+        if self.active:
+            self.slow_clients.inc()
+
     def handler_error(self, route: str, request_id: str, exc: BaseException) -> None:
         """Record a handler exception: counter plus structured log."""
         if not self.active:
@@ -215,6 +258,63 @@ def json_route(fn: Callable[[], object]) -> RouteHandler:
     return handler
 
 
+class _DeadlineFile:
+    """Read wrapper enforcing a *total* wall-clock budget per request.
+
+    A bare socket timeout is per-``recv``: a slow-loris client that
+    trickles one header byte per interval resets the clock on every
+    byte, keeps a single ``readline`` call alive forever, and never
+    trips it.  This wrapper reads header lines byte-wise, arming the
+    socket with the *remaining* budget before each byte and raising
+    ``socket.timeout`` itself once the budget is spent — so the whole
+    request line + header read must finish within one
+    ``request_timeout`` no matter how the client paces its bytes.  The
+    budget re-arms per request (keep-alive connections get a fresh one
+    each time).
+
+    The byte loop runs against the buffered reader, so honest clients
+    that deliver their header in one packet pay ~one buffered read per
+    header byte in Python — microseconds per request, and only when
+    ``request_timeout`` is configured at all.
+    """
+
+    def __init__(self, raw, sock, budget: float) -> None:
+        self._raw = raw
+        self._sock = sock
+        self._budget = budget
+        self._deadline = time.monotonic() + budget
+
+    def reset(self) -> None:
+        """Start a fresh budget (called at each request boundary)."""
+        self._deadline = time.monotonic() + self._budget
+
+    def _arm(self) -> None:
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0:
+            raise socket.timeout("request read deadline exceeded")
+        self._sock.settimeout(remaining)
+
+    def readline(self, limit: int = -1) -> bytes:
+        cap = limit if limit is not None and limit >= 0 else 65537
+        buf = bytearray()
+        while len(buf) < cap:
+            self._arm()
+            byte = self._raw.read(1)
+            if not byte:
+                break
+            buf += byte
+            if byte == b"\n":
+                break
+        return bytes(buf)
+
+    def read(self, *args):
+        self._arm()
+        return self._raw.read(*args)
+
+    def __getattr__(self, name):
+        return getattr(self._raw, name)
+
+
 class FleetHealthServer:
     """Threaded HTTP server over a route table.
 
@@ -231,6 +331,15 @@ class FleetHealthServer:
     ``HEAD`` is answered for every route — handlers run, headers are
     sent, the body is withheld — so load balancers probing with HEAD
     see 200s, not 501s.
+
+    Overload knobs:
+
+    * ``max_inflight`` — hard cap on concurrently dispatched requests;
+      excess requests are shed with ``429`` + ``Retry-After`` before
+      any handler work happens.
+    * ``request_timeout`` — per-connection socket deadline (seconds)
+      applied to header reads *and* body writes, so a slow-loris
+      client cannot pin a handler thread.
     """
 
     def __init__(
@@ -239,12 +348,28 @@ class FleetHealthServer:
         host: str = "127.0.0.1",
         port: int = 0,
         observability: Optional[RequestObservability] = None,
+        max_inflight: Optional[int] = None,
+        request_timeout: Optional[float] = None,
+        retry_after_seconds: float = 1.0,
     ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
         self._routes = dict(routes)
         self.observability = (
             observability if observability is not None else RequestObservability()
         )
         self._request_ids = itertools.count(1)
+        self._max_inflight = max_inflight
+        self._retry_after = retry_after_seconds
+        self._inflight_lock = threading.Lock()
+        self._inflight_count = 0
+        self._active_replies = 0
+        self._drained = threading.Event()
+        self._drained.set()
         outer = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -254,22 +379,60 @@ class FleetHealthServer:
             # Headers and body leave in separate writes; without
             # TCP_NODELAY, Nagle + delayed ACK stalls the body ~40 ms.
             disable_nagle_algorithm = True
+            # socketserver applies this as the connection's socket
+            # timeout in setup(); a client that stalls a read blows it
+            # and the connection is closed (the slow-loris defense).
+            timeout = request_timeout
+
+            def setup(self) -> None:
+                """Wrap reads in the total-budget deadline file."""
+                super().setup()
+                if self.timeout is not None:
+                    self.rfile = _DeadlineFile(
+                        self.rfile, self.connection, self.timeout
+                    )
+
+            def handle_one_request(self) -> None:
+                """Re-arm the read budget; contain abusive disconnects.
+
+                A client that slams its connection shut (RST) between
+                keep-alive requests surfaces here as a reset during
+                the header read — stdlib only catches ``socket.timeout``
+                on that path, and anything else escapes as a handler
+                traceback.  Count it as a disconnect and close quietly.
+                """
+                if isinstance(self.rfile, _DeadlineFile):
+                    self.rfile.reset()
+                try:
+                    super().handle_one_request()
+                except (BrokenPipeError, ConnectionResetError):
+                    outer.observability.client_disconnect()
+                    self.close_connection = True
 
             def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
                 """Dispatch one GET request through the route table."""
-                status, content_type, body, request_id = outer.dispatch(
-                    self.path, method="GET"
-                )
-                self._reply(status, content_type, body, request_id)
+                outer._begin_reply()
+                try:
+                    status, content_type, body, request_id, headers = (
+                        outer.dispatch(self.path, method="GET")
+                    )
+                    self._reply(status, content_type, body, request_id, headers)
+                finally:
+                    outer._end_reply()
 
             def do_HEAD(self) -> None:  # noqa: N802 (stdlib naming)
                 """Answer HEAD with GET's headers and no body."""
-                status, content_type, body, request_id = outer.dispatch(
-                    self.path, method="HEAD"
-                )
-                self._reply(
-                    status, content_type, body, request_id, send_body=False
-                )
+                outer._begin_reply()
+                try:
+                    status, content_type, body, request_id, headers = (
+                        outer.dispatch(self.path, method="HEAD")
+                    )
+                    self._reply(
+                        status, content_type, body, request_id, headers,
+                        send_body=False,
+                    )
+                finally:
+                    outer._end_reply()
 
             def _reply(
                 self,
@@ -277,6 +440,7 @@ class FleetHealthServer:
                 content_type: str,
                 body: str,
                 request_id: str = "",
+                headers: Optional[Mapping[str, str]] = None,
                 send_body: bool = True,
             ) -> None:
                 """Send one complete response.
@@ -284,10 +448,17 @@ class FleetHealthServer:
                 A client gone mid-write is routine for a polled service
                 (curl timeouts, load-balancer probes): swallow the
                 broken pipe, count it, and close the connection instead
-                of spewing a traceback or faking a 500.
+                of spewing a traceback or faking a 500.  A client that
+                stops *reading* blows the socket deadline mid-write and
+                is dropped as a slow client.
                 """
                 payload = body.encode("utf-8")
                 try:
+                    if self.timeout is not None:
+                        # The read phase may have left a near-expired
+                        # socket timeout armed; the write phase gets
+                        # its own full budget.
+                        self.connection.settimeout(self.timeout)
                     self.send_response(status)
                     self.send_header(
                         "Content-Type", content_type + "; charset=utf-8"
@@ -295,12 +466,22 @@ class FleetHealthServer:
                     self.send_header("Content-Length", str(len(payload)))
                     if request_id:
                         self.send_header("X-Request-Id", request_id)
+                    for name, value in (headers or {}).items():
+                        self.send_header(name, value)
                     self.end_headers()
                     if send_body:
                         self.wfile.write(payload)
+                except TimeoutError:
+                    outer.observability.slow_client()
+                    self.close_connection = True
                 except (BrokenPipeError, ConnectionResetError):
                     outer.observability.client_disconnect()
                     self.close_connection = True
+
+            def log_error(self, format: str, *args: object) -> None:
+                """Count stdlib-detected read timeouts, silence the rest."""
+                if "timed out" in (format % args):
+                    outer.observability.slow_client()
 
             def log_message(self, format: str, *args: object) -> None:
                 """Silence per-request stderr logging."""
@@ -324,19 +505,68 @@ class FleetHealthServer:
     # Request pipeline (socket-free; tests call this directly)
     # ------------------------------------------------------------------
 
+    def _begin_reply(self) -> None:
+        """Track a request whose response bytes are not yet on the wire."""
+        with self._inflight_lock:
+            self._active_replies += 1
+            self._drained.clear()
+
+    def _end_reply(self) -> None:
+        with self._inflight_lock:
+            self._active_replies -= 1
+            if self._active_replies <= 0:
+                self._drained.set()
+
+    def _try_admit(self) -> bool:
+        """Claim an inflight slot; False means shed this request."""
+        if self._max_inflight is None:
+            return True
+        with self._inflight_lock:
+            if self._inflight_count >= self._max_inflight:
+                return False
+            self._inflight_count += 1
+            return True
+
+    def _release(self) -> None:
+        if self._max_inflight is None:
+            return
+        with self._inflight_lock:
+            self._inflight_count -= 1
+
     def dispatch(
         self, path: str, method: str = "GET"
-    ) -> Tuple[int, str, str, str]:
+    ) -> Tuple[int, str, str, str, Dict[str, str]]:
         """Run one request through routing, the handler, and telemetry.
 
-        Returns ``(status, content type, body, request id)``.  All
-        outcomes — 200, 404, handler crash — are timed and counted
-        under the matched route (404s share one ``(unmatched)`` label).
+        Returns ``(status, content type, body, request id, extra
+        headers)``.  All outcomes — 200, 404, 429 shed, handler crash —
+        are timed and counted under the matched route (404s share one
+        ``(unmatched)`` label).  Handlers may return a third element, a
+        header mapping, which is passed through to the response (the
+        degraded-mode ``X-Fleet-Staleness-Seconds`` path).
         """
         request_id = f"req-{next(self._request_ids):08x}"
         route = path.split("?", 1)[0]
         handler = self._routes.get(route)
         obs = self.observability
+        headers: Dict[str, str] = {}
+        if not self._try_admit():
+            # Shed before any handler work: the whole point is that a
+            # refusal must stay cheap when the service is drowning.
+            obs.request_shed(route if handler is not None else UNMATCHED_ROUTE)
+            body = (
+                json.dumps(
+                    {"error": "overloaded", "request_id": request_id},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            headers["Retry-After"] = f"{self._retry_after:g}"
+            obs.observe(
+                route if handler is not None else UNMATCHED_ROUTE,
+                method, 429, 0.0,
+            )
+            return 429, "application/json", body, request_id, headers
         obs.inflight.inc()
         start = time.perf_counter()
         try:
@@ -353,7 +583,12 @@ class FleetHealthServer:
                 route = UNMATCHED_ROUTE
             else:
                 try:
-                    content_type, body = handler()
+                    result = handler()
+                    if len(result) == 3:
+                        content_type, body, extra = result
+                        headers.update(extra)
+                    else:
+                        content_type, body = result
                     status = 200
                 except Exception as exc:
                     # Generic body only: the exception text goes to the
@@ -370,8 +605,9 @@ class FleetHealthServer:
                     obs.handler_error(route, request_id, exc)
         finally:
             obs.inflight.dec()
+            self._release()
         obs.observe(route, method, status, time.perf_counter() - start)
-        return status, content_type, body, request_id
+        return status, content_type, body, request_id, headers
 
     @property
     def port(self) -> int:
@@ -395,11 +631,20 @@ class FleetHealthServer:
         )
         self._thread.start()
 
-    def stop(self) -> None:
-        """Shut the server down and join its thread."""
+    def stop(self, drain_deadline: float = 5.0) -> bool:
+        """Shut down gracefully: stop accepting, drain, then close.
+
+        After the accept loop exits, requests already being handled
+        get up to ``drain_deadline`` seconds to finish writing their
+        bodies before the socket closes — SIGTERM under load must not
+        tear a response mid-body.  Returns True when the drain
+        completed (False: the deadline expired with replies in flight).
+        """
         if self._thread is None:
-            return
+            return True
         self._server.shutdown()
         self._thread.join(timeout=5.0)
+        drained = self._drained.wait(timeout=max(0.0, drain_deadline))
         self._server.server_close()
         self._thread = None
+        return drained

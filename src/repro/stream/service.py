@@ -118,6 +118,12 @@ class StreamService:
         request_obs: master switch for the per-request telemetry; when
             False the HTTP layer runs on the shared NOOP instruments
             (the overhead path benchmark E16 measures).
+        max_inflight: shed requests beyond this concurrency with 429 +
+            ``Retry-After`` (``None`` = unbounded).
+        request_timeout: per-connection socket deadline in seconds —
+            the slow-loris defense (``None`` = no deadline).
+        drain_deadline: seconds :meth:`run` waits for in-flight
+            responses to finish writing at shutdown.
     """
 
     def __init__(
@@ -140,6 +146,9 @@ class StreamService:
         telemetry: Optional[Telemetry] = None,
         slos: Optional[Sequence[ServiceObjective]] = None,
         request_obs: bool = True,
+        max_inflight: Optional[int] = None,
+        request_timeout: Optional[float] = None,
+        drain_deadline: float = 5.0,
     ) -> None:
         if poll_interval <= 0:
             raise ConfigurationError(
@@ -161,9 +170,16 @@ class StreamService:
 
         inventory = _find_inventory(self._syslog_dir)
         self.ingest: Optional[StreamIngest] = None
+        self.quarantined_checkpoint: Optional[Path] = None
         if resume and self._checkpoint_dir is not None:
-            self.ingest = StreamIngest.resume(
-                self._syslog_dir, self._checkpoint_dir, inventory=inventory
+            # A damaged checkpoint is quarantined aside (logged and
+            # counted below) and ingest restarts from scratch; the
+            # wrong-directory/version refusals still raise.
+            self.ingest, self.quarantined_checkpoint = (
+                StreamIngest.resume_or_quarantine(
+                    self._syslog_dir, self._checkpoint_dir,
+                    inventory=inventory,
+                )
             )
         if self.ingest is None:
             self.ingest = StreamIngest(
@@ -206,6 +222,20 @@ class StreamService:
             "append-to-visible upper bound: last poll duration + interval",
             domain="host",
         )
+        self._checkpoint_quarantines = registry.counter(
+            "stream_checkpoint_quarantined_total",
+            "damaged checkpoints moved aside at startup",
+        )
+        if self.quarantined_checkpoint is not None:
+            self._checkpoint_quarantines.inc()
+            logger = telemetry.logger if telemetry is not None else None
+            if logger is not None and logger.enabled:
+                logger.event(
+                    "checkpoint_quarantined",
+                    level="warning",
+                    quarantined=str(self.quarantined_checkpoint),
+                    action="restarting ingest from scratch",
+                )
 
         # Self-observability: SLO engine on a monotonic wall clock
         # (same latch/re-arm semantics as the fleet alert engine, but
@@ -233,6 +263,7 @@ class StreamService:
         self._lock = threading.Lock()
         self._fleet_cache: Optional[tuple] = None
         self._stop = threading.Event()
+        self._drain_deadline = drain_deadline
         self.server: Optional[FleetHealthServer] = None
         if port is not None:
             self.server = FleetHealthServer(
@@ -245,6 +276,8 @@ class StreamService:
                 },
                 port=port,
                 observability=self.request_obs,
+                max_inflight=max_inflight,
+                request_timeout=request_timeout,
             )
 
     # ------------------------------------------------------------------
@@ -499,7 +532,7 @@ class StreamService:
             self._flush_outputs()
         finally:
             if self.server is not None:
-                self.server.stop()
+                self.server.stop(drain_deadline=self._drain_deadline)
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
         return 0

@@ -400,7 +400,7 @@ class TestRequestDispatch:
         )
         try:
             for _ in range(3):
-                status, content_type, body, rid = server.dispatch("/ping")
+                status, content_type, body, rid, _hdrs = server.dispatch("/ping")
             assert status == 200
             assert rid == "req-00000003"
             reg = telemetry.metrics
@@ -424,7 +424,7 @@ class TestRequestDispatch:
         server, telemetry = _instrumented_server({})
         try:
             for path in ("/a", "/b?q=1", "/c"):
-                status, _, body, rid = server.dispatch(path)
+                status, _, body, rid, _hdrs = server.dispatch(path)
                 assert status == 404
                 assert json.loads(body)["request_id"] == rid
             assert (
@@ -449,7 +449,7 @@ class TestRequestDispatch:
             {"/boom": json_route(explode)}, log_stream=log
         )
         try:
-            status, content_type, body, rid = server.dispatch("/boom")
+            status, content_type, body, rid, _hdrs = server.dispatch("/boom")
             assert status == 500
             doc = json.loads(body)
             assert doc == {
@@ -483,7 +483,7 @@ class TestRequestDispatch:
         )
         try:
             assert server.observability.active is False
-            status, _, body, rid = server.dispatch("/ping")
+            status, _, body, rid, _hdrs = server.dispatch("/ping")
             assert status == 200
             assert rid.startswith("req-")
             assert server.observability.quantile_snapshot() == {}
@@ -586,9 +586,9 @@ class TestStreamService:
             service.poll_once()
             service.poll_once()  # second poll records freshness
             for _ in range(2):
-                status, _, _, _ = service.server.dispatch("/v1/fleet")
+                status, _, _, _, _hdrs = service.server.dispatch("/v1/fleet")
                 assert status == 200
-            status, _, body, _ = service.server.dispatch("/v1/slo")
+            status, _, body, _, _hdrs = service.server.dispatch("/v1/slo")
             assert status == 200
             doc = json.loads(body)
             assert doc["schema"] == "repro-slo-v1"
@@ -598,7 +598,7 @@ class TestStreamService:
             assert by_name["ingest-freshness"]["events"] >= 1
             assert "/v1/fleet" in doc["request_latency"]
             # The new families reach /metrics (host domain included).
-            status, _, metrics_body, _ = service.server.dispatch("/metrics")
+            status, _, metrics_body, _, _hdrs = service.server.dispatch("/metrics")
             assert "http_requests_total" in metrics_body
             assert "slo_compliance" in metrics_body
             assert "stream_poll_duration_seconds" in metrics_body
@@ -623,10 +623,10 @@ class TestStreamService:
         )
         try:
             service.poll_once()
-            status, _, _, _ = service.server.dispatch("/v1/fleet")
+            status, _, _, _, _hdrs = service.server.dispatch("/v1/fleet")
             assert status == 200
             assert service.server.observability.active is False
-            _, _, metrics_body, _ = service.server.dispatch("/metrics")
+            _, _, metrics_body, _, _hdrs = service.server.dispatch("/metrics")
             assert "http_requests_total" not in metrics_body
             assert "slo_compliance" not in metrics_body
         finally:

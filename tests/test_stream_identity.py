@@ -10,8 +10,13 @@ included.
 """
 
 import json
+import os
 import random
 import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -218,6 +223,144 @@ class TestCheckpointSafety:
         (ckpt / CHECKPOINT_FILE).write_text("{not json")
         with pytest.raises(ConfigurationError):
             StreamIngest.resume(tmp_path, ckpt)
+
+    def test_damaged_checkpoint_quarantined_not_deleted(self, tmp_path):
+        """resume_or_quarantine moves the damage aside and starts fresh."""
+        from repro.stream.ingest import CHECKPOINT_FILE
+
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        damage = b'{"version": 1, "follower": {"files": [{"name": "tr'
+        (ckpt / CHECKPOINT_FILE).write_bytes(damage)
+        ingest, quarantined = StreamIngest.resume_or_quarantine(
+            tmp_path, ckpt
+        )
+        assert ingest is None  # caller builds from scratch
+        assert quarantined is not None
+        assert quarantined.name == f"{CHECKPOINT_FILE}.corrupt-1"
+        assert quarantined.read_bytes() == damage  # evidence preserved
+        assert not (ckpt / CHECKPOINT_FILE).exists()
+        # A second damaged checkpoint gets the next quarantine slot.
+        (ckpt / CHECKPOINT_FILE).write_bytes(damage)
+        _, second = StreamIngest.resume_or_quarantine(tmp_path, ckpt)
+        assert second.name == f"{CHECKPOINT_FILE}.corrupt-2"
+
+    def test_resume_or_quarantine_passes_through_good_checkpoint(
+        self, tmp_path
+    ):
+        live = tmp_path / "syslog"
+        live.mkdir()
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        StreamIngest(live).checkpoint(ckpt)
+        ingest, quarantined = StreamIngest.resume_or_quarantine(live, ckpt)
+        assert ingest is not None
+        assert quarantined is None
+
+
+#: Poll/checkpoint loop run as a subprocess so the parent can SIGKILL
+#: it at arbitrary byte offsets — including mid-checkpoint-write.
+_CHECKPOINT_LOOP = """\
+import sys, time
+from pathlib import Path
+from repro.cluster.inventory import Inventory
+from repro.stream import StreamIngest
+
+live, ckpt, inv = (Path(arg) for arg in sys.argv[1:4])
+inventory = Inventory.load(inv)
+ingest = StreamIngest.resume(live, ckpt, inventory=inventory)
+if ingest is None:
+    ingest = StreamIngest(live, inventory=inventory)
+while True:
+    ingest.poll()
+    ingest.checkpoint(ckpt)
+    time.sleep(0.005)
+"""
+
+
+class TestSigkillCheckpointAtomicity:
+    """SIGKILL a live poll/checkpoint loop, repeatedly, then prove
+    the survivors: resume never sees a torn checkpoint (the atomic
+    writer's contract) and the final drain still matches batch (no
+    duplicated or dropped lines across any number of hard kills)."""
+
+    def _spawn(self, script, live_sys, ckpt, inventory_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable,
+                str(script),
+                str(live_sys),
+                str(ckpt),
+                str(inventory_path),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+
+    def test_sigkill_mid_checkpoint_loop_identity(self, chaos_run, tmp_path):
+        src_dir, batch = chaos_run
+        live_sys = tmp_path / "live" / "syslog"
+        live_sys.mkdir(parents=True)
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        script = tmp_path / "checkpoint_loop.py"
+        script.write_text(_CHECKPOINT_LOOP)
+        inventory_path = src_dir / "inventory.json"
+
+        rng = random.Random(13)
+        kills = 0
+        proc = self._spawn(script, live_sys, ckpt, inventory_path)
+        try:
+            files = sorted(
+                (src_dir / "syslog").iterdir(),
+                key=lambda p: p.name.split(".")[0],
+            )
+            for path in files:
+                data = path.read_bytes()
+                if path.name.endswith(".gz"):
+                    (live_sys / path.name).write_bytes(data)
+                    continue
+                with open(live_sys / path.name, "wb") as fh:
+                    pos = 0
+                    while pos < len(data):
+                        step = rng.randint(50_000, 400_000)
+                        fh.write(data[pos : pos + step])
+                        fh.flush()
+                        pos += step
+                        if kills < 4 and rng.random() < 0.05:
+                            # Let the loop poll/checkpoint a little,
+                            # then kill it wherever it happens to be.
+                            time.sleep(rng.uniform(0.02, 0.1))
+                            proc.kill()
+                            stderr = proc.communicate()[1]
+                            assert proc.returncode == -9, (
+                                "checkpoint loop died on its own "
+                                f"(rc={proc.returncode}): "
+                                f"{stderr.decode(errors='replace')}"
+                            )
+                            kills += 1
+                            proc = self._spawn(
+                                script, live_sys, ckpt, inventory_path
+                            )
+        finally:
+            proc.kill()
+            proc.wait()
+        assert kills >= 2, "kill schedule never fired; adjust seed"
+
+        # Resume from whatever checkpoint survived the last SIGKILL:
+        # it must parse (atomicity) and must not double- or
+        # under-count a single line (identity).
+        ingest = StreamIngest.resume(
+            live_sys, ckpt, inventory=_inventory(src_dir)
+        )
+        if ingest is None:
+            ingest = StreamIngest(live_sys, inventory=_inventory(src_dir))
+        ingest.drain()
+        assert_identical(ingest.result(), batch, samples="multiset")
 
 
 class TestServiceResumeIdentity:
