@@ -261,6 +261,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         resume=args.resume,
         telemetry=telemetry,
         workers=workers,
+        scan_cache=not args.no_scan_cache,
     )
     stats = result.extraction_stats
     print(f"raw lines scanned:        {stats.total_lines}")
@@ -274,6 +275,16 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     print(f"downtime episodes:        {len(result.downtime)}")
     print(f"job records:              {len(result.jobs)}")
+    scan = result.scan
+    if scan.cache_hits or scan.cache_stores or scan.cache_corrupt:
+        corrupt = (
+            f", {scan.cache_corrupt} corrupt" if scan.cache_corrupt else ""
+        )
+        print(
+            f"scan cache:               {scan.cache_hits} hits, "
+            f"{scan.cache_misses} misses, "
+            f"{scan.cache_stores} stores{corrupt}"
+        )
     if result.recovery:
         from .pipeline import recovery_timeline_summary
 
@@ -788,6 +799,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="shard-scan process count: an integer, or "
                                "'auto' for one per available core "
                                "(results are identical for any value)")
+    pipeline.add_argument("--no-scan-cache", action="store_true",
+                          help="disable the persistent per-day scan cache "
+                               "(.pipeline_scan_cache/); results are "
+                               "identical either way, only slower")
     pipeline.set_defaults(func=_cmd_pipeline)
 
     report = sub.add_parser(

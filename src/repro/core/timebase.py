@@ -118,8 +118,44 @@ def format_slurm_timestamp(sim_seconds: float) -> str:
     return to_datetime(sim_seconds).strftime("%Y-%m-%dT%H:%M:%S")
 
 
+#: Exact shape emitted by :func:`format_slurm_timestamp` (whole
+#: seconds, no fraction); anything else takes ``strptime``.
+_CANONICAL_SLURM_TIMESTAMP = re.compile(
+    r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}$", re.ASCII
+)
+
+
 def parse_slurm_timestamp(text: str) -> float:
-    """Parse a Slurm ``sacct`` timestamp back into simulation seconds."""
+    """Parse a Slurm ``sacct`` timestamp back into simulation seconds.
+
+    Same structure as :func:`parse_syslog_timestamp` (accounting files
+    carry three timestamps per job record, so this is warm on large
+    corpora): canonical shapes parse by field slicing against the
+    shared per-date midnight cache with the exact
+    ``timedelta.total_seconds()`` arithmetic; anything else falls back
+    to ``strptime`` for identical error semantics.
+    """
+    if _CANONICAL_SLURM_TIMESTAMP.match(text) is not None:
+        day_part = text[:10]
+        midnight_us = _MIDNIGHT_CACHE.get(day_part)
+        if midnight_us is None:
+            try:
+                parsed = date.fromisoformat(day_part)
+            except ValueError:
+                return from_datetime(
+                    datetime.strptime(text, "%Y-%m-%dT%H:%M:%S")
+                )
+            midnight_us = (parsed - _EPOCH_DATE).days * 86_400_000_000
+            _MIDNIGHT_CACHE[day_part] = midnight_us
+        hour = int(text[11:13])
+        minute = int(text[14:16])
+        second = int(text[17:19])
+        if hour < 24 and minute < 60 and second < 60:
+            micros = (
+                midnight_us
+                + (hour * 3600 + minute * 60 + second) * 1_000_000
+            )
+            return micros / 10**6
     moment = datetime.strptime(text, "%Y-%m-%dT%H:%M:%S")
     return from_datetime(moment)
 

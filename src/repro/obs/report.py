@@ -89,6 +89,39 @@ def render_run_report(telemetry) -> str:
         lines.append("throughput:")
         lines.extend(throughput)
 
+    # Scan efficiency: bytes-first decode ratio and persistent
+    # scan-cache traffic (host-domain, published once per batch pass).
+    scan_rows = {
+        s.name: s.value
+        for s in metrics.samples(include_host=True)
+        if s.name.startswith("pipeline_scan_")
+        or s.name
+        in ("pipeline_lines_decoded_total", "pipeline_lines_from_cache_total")
+    }
+    if scan_rows:
+        lines.append("scan efficiency:")
+        ratio = scan_rows.get("pipeline_scan_decode_ratio")
+        if ratio is not None:
+            decoded = scan_rows.get("pipeline_lines_decoded_total", 0.0)
+            lines.append(
+                f"  decode ratio:        {ratio * 100:.2f}%"
+                f"  ({_fmt_rate(decoded)} lines decoded)"
+            )
+        hits = scan_rows.get("pipeline_scan_cache_hits_total", 0.0)
+        misses = scan_rows.get("pipeline_scan_cache_misses_total", 0.0)
+        if hits or misses:
+            replayed = scan_rows.get("pipeline_lines_from_cache_total", 0.0)
+            lines.append(
+                f"  scan-cache hits:     {_fmt_rate(hits)} of "
+                f"{_fmt_rate(hits + misses)} day files"
+                f"  ({_fmt_rate(replayed)} lines replayed)"
+            )
+        corrupt = scan_rows.get("pipeline_scan_cache_corrupt_total", 0.0)
+        if corrupt:
+            lines.append(
+                f"  corrupt entries:     {_fmt_rate(corrupt)} quarantined"
+            )
+
     # Hottest subsystems: host-domain callback seconds from the engine,
     # falling back to per-name span wall aggregates.
     hot: List[Tuple[str, float]] = []

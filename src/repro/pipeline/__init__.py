@@ -9,6 +9,7 @@ from .coalesce import (
     StreamingCoalescer,
     WindowMode,
     coalesce,
+    coalesce_columns,
     iter_coalesced,
 )
 from .downtime import DOWNTIME_MARKER, DowntimeExtractor, extract_downtime
@@ -28,7 +29,8 @@ from .run import (
     run_pipeline,
     totals_from_result,
 )
-from .shard import DayScan, merge_scan, scan_day_file
+from .scancache import SCAN_CACHE_DIRNAME, ScanCache, ScanStats
+from .shard import DayScan, HitColumns, merge_scan, scan_day_file
 
 __all__ = [
     "DEFAULT_WINDOW_SECONDS",
@@ -56,7 +58,12 @@ __all__ = [
     "CHECKPOINT_DIRNAME",
     "PipelineResult",
     "run_pipeline",
+    "SCAN_CACHE_DIRNAME",
+    "ScanCache",
+    "ScanStats",
+    "coalesce_columns",
     "DayScan",
+    "HitColumns",
     "merge_scan",
     "scan_day_file",
     "host_cores",

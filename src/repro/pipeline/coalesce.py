@@ -155,6 +155,111 @@ def coalesce(
     return errors
 
 
+#: Inverse of ``EventClass(...)`` without the enum-call overhead.
+_CLASS_BY_VALUE = {cls.value: cls for cls in EventClass}
+
+_NEG_INF = float("-inf")
+
+
+def coalesce_columns(
+    cols,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    mode: WindowMode = WindowMode.TUMBLING,
+) -> List[ExtractedError]:
+    """:func:`coalesce` over a columnar hit store, without boxing.
+
+    ``cols`` is a :class:`~repro.pipeline.shard.HitColumns` (duck-typed
+    to avoid the import cycle).  Output is list-equal to
+    ``coalesce(cols.to_hits(), ...)`` by construction:
+
+    * **Grouping** — the identity key maps bijectively onto small
+      ints: ``node`` ↔ its unique intern id, ``EventClass`` ↔ its
+      unique class id, and the GPU key (``gpu_index`` when resolved,
+      else the PCI string) ↔ ``gpu_index`` when non-negative, else
+      ``-1 - pci_id`` (negative, so it can never collide with a real
+      GPU index; distinct PCI strings have distinct intern ids).
+      Hits therefore land in exactly the groups :func:`_identity`
+      would produce — only the dict keys hash small int tuples
+      instead of ``(str, object, EventClass)``.
+    * **Window logic** — same boundary arithmetic, applied to the
+      same non-decreasing time stream.
+    * **Ordering** — same construction as :func:`coalesce`: completed
+      errors in push order, flushed groups appended in time order,
+      one final stable time sort.
+
+    Boxed objects are only built per *coalesced error* (one
+    :class:`~repro.core.records.ExtractedError` each), never per raw
+    hit — on real corpora that is an order of magnitude fewer
+    allocations than the hit stream.
+    """
+    if window_seconds < 0:
+        raise ValueError(f"window must be non-negative, got {window_seconds}")
+    tumbling = mode is WindowMode.TUMBLING
+    window = window_seconds
+    nodes = cols.nodes
+    classes = [_CLASS_BY_VALUE[value] for value in cols.classes]
+    xids = cols.xids
+    gpu_indexes = cols.gpu_indexes
+
+    # key -> [first_time, last_time, count, node_id, gpu, xid, cid]:
+    # each group carries its first hit's fields so no per-hit index
+    # bookkeeping (and no column lookups at emit time) is needed.
+    open_groups: Dict[Tuple[int, int, int], list] = {}
+    get_group = open_groups.get
+    completed: List[list] = []
+    last_time = _NEG_INF
+    # Error hits arrive in bursts: the previous hit's group fields
+    # short-circuit the key build and dict probe for consecutive
+    # same-key hits (the overwhelming case on real corpora).
+    prev_n = prev_g = prev_p = prev_c = None
+    key = group = None
+    for t, n, g, p, c, x in zip(
+        cols.times,
+        cols.node_ids,
+        gpu_indexes,
+        cols.pci_ids,
+        cols.class_ids,
+        xids,
+    ):
+        if t < last_time - 1e-9:
+            raise ValueError(f"hits out of order: {t} after {last_time}")
+        last_time = t
+        if n != prev_n or g != prev_g or p != prev_p or c != prev_c:
+            prev_n = n
+            prev_g = g
+            prev_p = p
+            prev_c = c
+            key = (n, g if g >= 0 else -1 - p, c)
+            group = get_group(key)
+            if group is None:
+                open_groups[key] = group = [t, t, 1, n, g, x, c]
+                continue
+        boundary = (group[0] if tumbling else group[1]) + window
+        if t < boundary:
+            group[1] = t
+            group[2] += 1
+            continue
+        completed.append(group)
+        open_groups[key] = group = [t, t, 1, n, g, x, c]
+    # Push-completions in push order, then flushed groups in first-time
+    # order, one final stable time sort: coalesce()'s exact ordering.
+    completed.extend(sorted(open_groups.values(), key=lambda grp: grp[0]))
+    errors = [
+        ExtractedError(
+            time=first_time,
+            node=nodes[n],
+            gpu_index=None if g < 0 else g,
+            event_class=classes[c],
+            xid=None if x < 0 else x,
+            raw_line_count=count,
+            last_time=group_last,
+        )
+        for first_time, group_last, count, n, g, x, c in completed
+    ]
+    errors.sort(key=lambda e: e.time)
+    return errors
+
+
 class StreamingCoalescer:
     """Watermark-evicting coalescer whose drained output is *identical*
     to batch :func:`coalesce` over the same hit stream.

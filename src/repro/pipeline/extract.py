@@ -22,6 +22,12 @@ from ..core.exceptions import LogFormatError
 from ..core.xid import EventClass, classify_xid, is_excluded
 from ..syslog.reader import RawLine, iter_raw_lines, parse_line
 
+#: Literal shared by both analyzed patterns.  The per-line prefilter
+#: in :meth:`XidExtractor.extract_line` and the bytes-first scanner
+#: (:mod:`repro.pipeline.bytescan`) both gate on it before any regex
+#: or even any UTF-8 decode runs.
+NVRM_MARKER = "NVRM:"
+
 #: Matches NVRM XID lines: ``NVRM: Xid (PCI:0000:C7:00): 79, ...``.
 XID_PATTERN = re.compile(
     r"NVRM: Xid \(PCI:(?P<pci>[0-9A-Fa-f:]+)\): (?P<xid>\d+),"
@@ -106,7 +112,7 @@ class XidExtractor:
         """
         self.stats.total_lines += 1
         message = line.message
-        if "NVRM:" not in message:
+        if NVRM_MARKER not in message:
             return None
         if "Xid (" in message:
             match = XID_PATTERN.search(message)
@@ -128,6 +134,25 @@ class XidExtractor:
                 )
         return None
 
+    def resolve_gpu(self, host: str, pci: str) -> Optional[int]:
+        """Memoized PCI → GPU-index resolution, with accounting.
+
+        Shared by :meth:`_hit` and the bytes-first scanner
+        (:mod:`repro.pipeline.bytescan`), so both paths hit the same
+        memo and count unresolved addresses identically.
+        """
+        if self._inventory is None:
+            return None
+        key = (host, pci)
+        try:
+            gpu_index = self._resolve_cache[key]
+        except KeyError:
+            gpu_index = self._inventory.resolve(host, pci)
+            self._resolve_cache[key] = gpu_index
+        if gpu_index is None:
+            self.stats.unresolved_pci_lines += 1
+        return gpu_index
+
     def _hit(
         self,
         line: RawLine,
@@ -135,16 +160,7 @@ class XidExtractor:
         event_class: EventClass,
         xid: Optional[int],
     ) -> ErrorHit:
-        gpu_index = None
-        if self._inventory is not None:
-            key = (line.host, pci)
-            try:
-                gpu_index = self._resolve_cache[key]
-            except KeyError:
-                gpu_index = self._inventory.resolve(line.host, pci)
-                self._resolve_cache[key] = gpu_index
-            if gpu_index is None:
-                self.stats.unresolved_pci_lines += 1
+        gpu_index = self.resolve_gpu(line.host, pci)
         self.stats.matched_lines += 1
         return ErrorHit(
             time=line.time,

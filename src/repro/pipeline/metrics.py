@@ -193,6 +193,61 @@ class PipelineMetricSet:
         """
         self._published = PipelineTotals()
 
+    def publish_scan_stats(self, scan) -> None:
+        """Publish scan-efficiency accounting for a finished pass.
+
+        ``scan`` is a :class:`~repro.pipeline.scancache.ScanStats`.
+        All families are host-domain: cache hit rates depend on what
+        previous runs left on disk and the decode ratio is a property
+        of the scanner, so none of them belong in deterministic
+        exports.  Families are registered lazily so paths that never
+        publish them (the streaming service) keep their metric surface
+        unchanged.  Call once per pass — values are added as one-shot
+        increments, not deltas.
+        """
+        m = self._metrics
+        for name, help_text, value in (
+            (
+                "pipeline_scan_cache_hits_total",
+                "day scans replayed from the persistent scan cache",
+                scan.cache_hits,
+            ),
+            (
+                "pipeline_scan_cache_misses_total",
+                "cache-enabled day scans that ran fresh "
+                "(absent, stale, or corrupt entries)",
+                scan.cache_misses,
+            ),
+            (
+                "pipeline_scan_cache_stores_total",
+                "fresh scans persisted to the scan cache",
+                scan.cache_stores,
+            ),
+            (
+                "pipeline_scan_cache_corrupt_total",
+                "scan-cache entries quarantined as corrupt",
+                scan.cache_corrupt,
+            ),
+            (
+                "pipeline_lines_decoded_total",
+                "lines materialized as str by the bytes-first scan",
+                scan.lines_decoded,
+            ),
+            (
+                "pipeline_lines_from_cache_total",
+                "lines replayed from scan-cache entries",
+                scan.lines_from_cache,
+            ),
+        ):
+            if value:
+                m.counter(name, help_text, domain="host").inc(value)
+        if scan.lines_scanned:
+            m.gauge(
+                "pipeline_scan_decode_ratio",
+                "fraction of freshly scanned lines that needed a decode",
+                domain="host",
+            ).set(scan.decode_ratio)
+
     def publish_host_throughput(
         self,
         *,

@@ -8,6 +8,15 @@ order.  This module owns the pool mechanics: per-worker initialization
 file it scans), the picklable task function, and worker-count
 resolution for the CLI's ``--workers auto`` default.
 
+When the run has a persistent scan cache enabled, each worker also
+*stores* its own scans (:mod:`repro.pipeline.scancache`): entry
+serialization happens in the worker, in parallel, instead of on the
+parent's ordered merge path.  The store is keyed by the worker's
+pre-scan ``stat`` of the file, so a file mutated around the scan can
+only produce an entry that later validation rejects.  Cache writes are
+strictly best-effort — any failure is swallowed and the scan is
+returned unchanged.
+
 The pool is an optimization, never a requirement: the orchestrator in
 :mod:`repro.pipeline.run` falls back to in-process scanning when the
 pool cannot be created or a worker dies, so ``workers=N`` can only
@@ -22,6 +31,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..cluster.inventory import Inventory
+from .scancache import ScanCache
 from .shard import DayScan, scan_day_file
 
 __all__ = ["host_cores", "resolve_workers", "create_scan_pool", "submit_scan"]
@@ -29,20 +39,51 @@ __all__ = ["host_cores", "resolve_workers", "create_scan_pool", "submit_scan"]
 #: Inventory loaded once per worker process by :func:`_init_worker`.
 _WORKER_INVENTORY: Optional[Inventory] = None
 
+#: Scan-cache writer built once per worker process (``None`` when the
+#: run has no cache enabled).
+_WORKER_CACHE: Optional[ScanCache] = None
 
-def _init_worker(inventory_path: Optional[str]) -> None:
-    """Pool initializer: load the inventory once per worker process."""
-    global _WORKER_INVENTORY
+
+def _init_worker(
+    inventory_path: Optional[str],
+    cache_dir: Optional[str] = None,
+    inventory_key: str = "absent",
+) -> None:
+    """Pool initializer: load the inventory (and cache writer) once."""
+    global _WORKER_INVENTORY, _WORKER_CACHE
     _WORKER_INVENTORY = (
         Inventory.load(Path(inventory_path)) if inventory_path else None
+    )
+    _WORKER_CACHE = (
+        ScanCache(Path(cache_dir), inventory_key) if cache_dir else None
     )
 
 
 def _scan_task(path_str: str, want_fingerprint: bool) -> DayScan:
-    """One pool task: scan a single day file against the worker inventory."""
-    return scan_day_file(
-        Path(path_str), _WORKER_INVENTORY, want_fingerprint=want_fingerprint
+    """One pool task: scan a single day file against the worker inventory.
+
+    With a cache configured, the worker stats the file *before*
+    scanning and persists the finished scan under that identity — the
+    same pre-scan-stat rule the checkpoint store follows, so mid-scan
+    mutations invalidate rather than poison the entry.
+    """
+    path = Path(path_str)
+    cache = _WORKER_CACHE
+    st = None
+    if cache is not None:
+        try:
+            st = path.stat()
+        except OSError:
+            st = None
+    scan = scan_day_file(
+        path, _WORKER_INVENTORY, want_fingerprint=want_fingerprint
     )
+    if cache is not None and st is not None:
+        try:
+            cache.store(path, st, scan)
+        except Exception:
+            pass  # cache writes must never fail the scan
+    return scan
 
 
 def host_cores() -> int:
@@ -69,9 +110,15 @@ def resolve_workers(workers: Union[int, str, None]) -> int:
 
 
 def create_scan_pool(
-    workers: int, inventory_path: Optional[Path]
+    workers: int,
+    inventory_path: Optional[Path],
+    cache: Optional[ScanCache] = None,
 ) -> ProcessPoolExecutor:
     """A process pool whose workers have the inventory preloaded.
+
+    ``cache`` (when given) arms worker-side scan-cache stores: its
+    directory and inventory key are shipped to every worker so stores
+    land in the same cache the parent validates against.
 
     Raises whatever the platform raises when process pools are
     unavailable; callers treat any failure as "run serial instead".
@@ -79,7 +126,11 @@ def create_scan_pool(
     return ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(str(inventory_path) if inventory_path else None,),
+        initargs=(
+            str(inventory_path) if inventory_path else None,
+            str(cache.root) if cache is not None else None,
+            cache.inventory_key if cache is not None else "absent",
+        ),
     )
 
 

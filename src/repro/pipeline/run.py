@@ -37,7 +37,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.inventory import Inventory
 from ..core.atomicio import atomic_write_json
@@ -53,14 +53,19 @@ from ..syslog.reader import (
     dedupe_day_files,
     list_day_files,
 )
-from .coalesce import DEFAULT_WINDOW_SECONDS, WindowMode, coalesce
+from .coalesce import (
+    DEFAULT_WINDOW_SECONDS,
+    WindowMode,
+    coalesce_columns,
+)
 from .downtime import DowntimeExtractor
 from .extract import ExtractionStats
 from .health import PipelineHealthReport
 from .metrics import PipelineMetricSet, PipelineTotals
 from .parallel import create_scan_pool, submit_scan
 from .recovery import RecoveryEvent, RecoveryExtractor
-from .shard import DayScan, decode_hits, merge_scan, scan_day_file
+from .scancache import SCAN_CACHE_DIRNAME, ScanCache, ScanStats
+from .shard import DayScan, HitColumns, merge_scan, scan_day_file
 
 #: Directory (under the artifact dir) holding checkpoint state.
 CHECKPOINT_DIRNAME = ".pipeline_checkpoint"
@@ -89,6 +94,10 @@ class PipelineResult:
             repaired lines, file incidents, day coverage, resume info).
         recovery: gang-recovery events reconstructed from ``gangd:``
             log lines (empty for runs without a recovery policy).
+        scan: scan-efficiency accounting (decode ratio, scan-cache
+            hits, walls).  Host-domain observability: excluded from
+            equality, because cache state and wall clocks vary between
+            otherwise identical passes.
     """
 
     errors: List[ExtractedError]
@@ -99,6 +108,9 @@ class PipelineResult:
     raw_hits: int
     health: Optional[PipelineHealthReport] = None
     recovery: List[RecoveryEvent] = field(default_factory=list)
+    scan: ScanStats = field(
+        default_factory=ScanStats, compare=False, repr=False
+    )
 
     @property
     def coalescing_reduction(self) -> float:
@@ -249,6 +261,7 @@ def _flush_pipeline_metrics(
     """
     metric_set = PipelineMetricSet(telemetry.metrics)
     metric_set.publish_totals(totals_from_result(result, bytes_read))
+    metric_set.publish_scan_stats(result.scan)
     metric_set.publish_host_throughput(
         workers=workers,
         shard_rates=shard_rates,
@@ -268,6 +281,7 @@ def run_pipeline(
     interrupt_after_files: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
     workers: int = 1,
+    scan_cache: bool = False,
 ) -> PipelineResult:
     """Run the full Stage-II pipeline over a run's artifact directory.
 
@@ -297,6 +311,15 @@ def run_pipeline(
             (the default) scans in-process; any value produces
             identical results (see :mod:`repro.pipeline.shard` for the
             merge contract).
+        scan_cache: persist per-day scans under
+            ``<artifact_dir>/.pipeline_scan_cache/`` and replay them
+            on later passes over unchanged day files (validated by
+            size + mtime_ns + inventory hash; corrupt entries are
+            quarantined and rescanned).  Like ``workers``, the cache
+            can only change wall-clock time, never results.  Off by
+            default at the library level so correctness tests exercise
+            real scans; the CLI enables it (``--no-scan-cache`` opts
+            out).
 
     Returns:
         the :class:`PipelineResult`, with a populated ``health`` report.
@@ -320,7 +343,7 @@ def run_pipeline(
             inventory_key = "absent"
             if inventory_path.exists():
                 inventory = Inventory.load(inventory_path)
-                if checkpoint:
+                if checkpoint or scan_cache:
                     inventory_key = _fingerprint(inventory_path)
             else:
                 inventory_path = None
@@ -355,7 +378,34 @@ def run_pipeline(
                     payload = store.payload_for(path, st)
                     if payload is not None:
                         payloads[path.name] = payload
-            to_scan = [p for p in unique_files if p.name not in payloads]
+
+            # Scan-cache probe: replay prior scans of unchanged files
+            # so they are neither submitted to the pool nor rescanned.
+            scan_stats = ScanStats()
+            cache: Optional[ScanCache] = None
+            cached_scans: Dict[str, DayScan] = {}
+            if scan_cache:
+                cache = ScanCache(
+                    artifact_dir / SCAN_CACHE_DIRNAME,
+                    inventory_key,
+                    stats=scan_stats,
+                )
+                for path in unique_files:
+                    if path.name in payloads:
+                        continue
+                    st = stats_by_name.get(path.name)
+                    if st is None:
+                        continue
+                    cached = cache.load(
+                        path, st, want_fingerprint=checkpoint
+                    )
+                    if cached is not None:
+                        cached_scans[path.name] = cached
+            to_scan = [
+                p
+                for p in unique_files
+                if p.name not in payloads and p.name not in cached_scans
+            ]
         tel.logger.event(
             "pipeline.start",
             day_files=len(unique_files),
@@ -366,7 +416,10 @@ def run_pipeline(
         stats = ExtractionStats()
         downtime_extractor = DowntimeExtractor()
         recovery_extractor = RecoveryExtractor()
-        hits: list = []
+        # Run-global columnar hit store: merge_scan folds day columns
+        # into it array-to-array and Stage III coalesces it directly —
+        # no per-hit ErrorHit objects anywhere on the batch path.
+        hits = HitColumns()
         last_time = float("-inf")
         lines_read = 0
         parsed_lines = 0
@@ -379,7 +432,7 @@ def run_pipeline(
         if workers > 1 and len(to_scan) > 1:
             try:
                 pool = create_scan_pool(
-                    min(workers, len(to_scan)), inventory_path
+                    min(workers, len(to_scan)), inventory_path, cache
                 )
                 futures = {
                     p.name: submit_scan(pool, p, checkpoint)
@@ -395,7 +448,17 @@ def run_pipeline(
                 for index, path in enumerate(unique_files):
                     payload = payloads.get(path.name)
                     if payload is not None:
-                        hits.extend(decode_hits(payload["hits"]))
+                        for t, node, gpu, pci, class_value, xid in payload[
+                            "hits"
+                        ]:
+                            hits.append_fields(
+                                t,
+                                node,
+                                -1 if gpu is None else gpu,
+                                pci,
+                                class_value,
+                                -1 if xid is None else xid,
+                            )
                         for time_, host, message in payload["downtime_lines"]:
                             raw = RawLine(
                                 time=time_, host=host, message=message
@@ -411,9 +474,31 @@ def run_pipeline(
                             last_time = max(last_time, payload["last_time"])
                         resumed_files += 1
                     else:
-                        scan = _resolve_scan(
-                            path, futures, inventory, checkpoint, tracer
-                        )
+                        scan = cached_scans.get(path.name)
+                        from_pool = False
+                        if scan is None:
+                            scan, from_pool = _resolve_scan(
+                                path, futures, inventory, checkpoint, tracer
+                            )
+                            scan_stats.lines_scanned += scan.lines_read
+                            scan_stats.lines_decoded += scan.lines_decoded
+                            scan_stats.scan_wall_seconds += (
+                                scan.scan_wall_seconds
+                            )
+                            if cache is not None:
+                                if from_pool:
+                                    # The worker persisted its own scan
+                                    # (serialization happens off the
+                                    # merge path); count the attempt.
+                                    scan_stats.cache_stores += 1
+                                else:
+                                    cache.store(
+                                        path,
+                                        stats_by_name.get(path.name),
+                                        scan,
+                                    )
+                        st = stats_by_name.get(path.name)
+                        checkpointing = store is not None and st is not None
                         last_time, day_payload = merge_scan(
                             scan,
                             last_time,
@@ -422,6 +507,7 @@ def run_pipeline(
                             downtime_extractor,
                             hits,
                             recovery_extractor,
+                            want_payload=checkpointing,
                         )
                         lines_read += scan.lines_read
                         parsed_lines += scan.parsed_lines
@@ -429,8 +515,7 @@ def run_pipeline(
                             shard_rates.append(
                                 scan.lines_read / scan.scan_wall_seconds
                             )
-                        st = stats_by_name.get(path.name)
-                        if store is not None and st is not None:
+                        if checkpointing:
                             store.store(
                                 path, st, scan.fingerprint, day_payload
                             )
@@ -451,7 +536,7 @@ def run_pipeline(
                 pool.shutdown(wait=False, cancel_futures=True)
 
         with tracer.span("coalesce"):
-            errors = coalesce(hits, window_seconds, mode)
+            errors = coalesce_columns(hits, window_seconds, mode)
         with tracer.span("downtime"):
             downtime = downtime_extractor.finish()
         with tracer.span("recovery"):
@@ -479,6 +564,7 @@ def run_pipeline(
             raw_hits=len(hits),
             health=health,
             recovery=recovery_events,
+            scan=scan_stats,
         )
         if tel.enabled:
             _flush_pipeline_metrics(
@@ -500,7 +586,7 @@ def _resolve_scan(
     inventory: Optional[Inventory],
     checkpoint: bool,
     tracer,
-) -> DayScan:
+) -> "Tuple[DayScan, bool]":
     """The scan for one day file: pool result, or in-process fallback.
 
     A pool worker's crash (or the absence of a pool) degrades to
@@ -508,6 +594,9 @@ def _resolve_scan(
     a correctness dependency.  In-process scans are traced as ``day``
     spans (the serial pipeline's per-file span); pool scans get a
     ``shard`` span carrying the worker's wall time.
+
+    Returns ``(scan, from_pool)`` — the caller needs to know whether a
+    pool worker produced (and therefore already cached) the scan.
     """
     future = futures.get(path.name)
     if future is not None:
@@ -523,10 +612,10 @@ def _resolve_scan(
                     span.set_attr(
                         "scan_wall_seconds", scan.scan_wall_seconds
                     )
-            return scan
+            return scan, True
     with tracer.span("day", file=day_stem(path)) as span:
         scan = scan_day_file(path, inventory, want_fingerprint=checkpoint)
         if span is not None:
             span.set_attr("lines", scan.lines_read)
             span.set_attr("hits", len(scan.hits))
-    return scan
+    return scan, False

@@ -59,7 +59,6 @@ from __future__ import annotations
 
 import hashlib
 import time
-from array import array
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -74,7 +73,14 @@ from ..syslog.quarantine import (
     Quarantine,
 )
 from ..recovery.machine import RECOVERY_MARKER
-from ..syslog.reader import RawLine, iter_file_lines, parse_line
+from ..syslog.reader import (
+    RawLine,
+    close_plain_buffer,
+    iter_file_lines,
+    open_plain_buffer,
+    parse_line,
+)
+from .bytescan import scan_buffer
 from .downtime import DOWNTIME_MARKER, DowntimeExtractor
 from .extract import ErrorHit, ExtractionStats, XidExtractor
 from .recovery import RecoveryExtractor
@@ -92,6 +98,202 @@ _SUB_CLOCK = 1
 
 _NEG_INF = float("-inf")
 
+#: Inverse of ``EventClass(...)`` without the enum-call overhead
+#: (the constructor costs ~1µs; scans rebuild hundreds of thousands
+#: of hits per pass).
+_CLASS_BY_VALUE = {cls.value: cls for cls in EventClass}
+
+
+@dataclass
+class HitColumns:
+    """Columnar store for one day's error hits.
+
+    Parallel columns plus tiny per-file string tables: a hit costs a
+    few slots instead of a boxed
+    :class:`~repro.pipeline.extract.ErrorHit`, which makes shards
+    cheap to pickle across the worker boundary and gives the
+    persistent scan cache a raw-blob serialization (plain lists here —
+    the fastest structure to append to and iterate from CPython — with
+    ``array`` packing applied at the cache boundary).  ``None``
+    ``gpu_index``/``xid`` are encoded as ``-1`` (both are non-negative
+    when present); ``class_ids`` indexes ``classes``, a table of
+    :class:`~repro.core.xid.EventClass` *values*.
+
+    :func:`merge_scan` folds per-day columns into a run-global
+    ``HitColumns`` via :meth:`extend_clamped` (column-to-column, with
+    the watermark stitched in), and Stage III coalesces the columns
+    directly (:func:`~repro.pipeline.coalesce.coalesce_columns`) —
+    nothing downstream re-parses log text, and boxed
+    :class:`~repro.pipeline.extract.ErrorHit` objects only ever
+    materialize on demand via :meth:`to_hits`.
+    """
+
+    times: List[float] = field(default_factory=list)
+    node_ids: List[int] = field(default_factory=list)
+    pci_ids: List[int] = field(default_factory=list)
+    gpu_indexes: List[int] = field(default_factory=list)
+    class_ids: List[int] = field(default_factory=list)
+    xids: List[int] = field(default_factory=list)
+    nodes: List[str] = field(default_factory=list)
+    pcis: List[str] = field(default_factory=list)
+    classes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._node_ids = {n: i for i, n in enumerate(self.nodes)}
+        self._pci_ids = {p: i for i, p in enumerate(self.pcis)}
+        self._class_ids = {c: i for i, c in enumerate(self.classes)}
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def append_hit(self, hit: ErrorHit) -> None:
+        """Append one hit (interning node/pci/class strings)."""
+        self.append_fields(
+            hit.time,
+            hit.node,
+            -1 if hit.gpu_index is None else hit.gpu_index,
+            hit.pci_address,
+            hit.event_class.value,
+            -1 if hit.xid is None else hit.xid,
+        )
+
+    def append_fields(
+        self,
+        time_: float,
+        node: str,
+        gpu_index: int,
+        pci: str,
+        class_value: str,
+        xid: int,
+    ) -> None:
+        """Append one hit from raw fields (``-1`` encodes ``None``).
+
+        The bytes-first scanner lands extracted fields here directly,
+        skipping the boxed :class:`ErrorHit` on the hot path.
+        """
+        node_id = self._node_ids.get(node)
+        if node_id is None:
+            node_id = len(self.nodes)
+            self._node_ids[node] = node_id
+            self.nodes.append(node)
+        pci_id = self._pci_ids.get(pci)
+        if pci_id is None:
+            pci_id = len(self.pcis)
+            self._pci_ids[pci] = pci_id
+            self.pcis.append(pci)
+        class_id = self._class_ids.get(class_value)
+        if class_id is None:
+            class_id = len(self.classes)
+            self._class_ids[class_value] = class_id
+            self.classes.append(class_value)
+        self.times.append(time_)
+        self.node_ids.append(node_id)
+        self.pci_ids.append(pci_id)
+        self.gpu_indexes.append(gpu_index)
+        self.class_ids.append(class_id)
+        self.xids.append(xid)
+
+    def _remap(self, day: "HitColumns") -> Tuple[list, list, list]:
+        """Per-day id → global id translation tables (tiny: the string
+        tables hold a few hundred entries per day at most)."""
+        maps = []
+        for day_table, table, intern in (
+            (day.nodes, self.nodes, self._node_ids),
+            (day.pcis, self.pcis, self._pci_ids),
+            (day.classes, self.classes, self._class_ids),
+        ):
+            mapping = []
+            for name in day_table:
+                i = intern.get(name)
+                if i is None:
+                    i = len(table)
+                    intern[name] = i
+                    table.append(name)
+                mapping.append(i)
+            maps.append(mapping)
+        return maps[0], maps[1], maps[2]
+
+    def extend_clamped(self, day: "HitColumns", watermark: float) -> None:
+        """Fold one day's columns into this (global) store.
+
+        Times below ``watermark`` are clamped to it — exactly the
+        stitch :meth:`to_hits` applies, but column-to-column.  Day
+        times arrive non-decreasing (the scan clamps against the
+        *local* watermark), so the clamp affects exactly the prefix
+        before ``bisect_left(times, watermark)``; everything else
+        extends at C speed through ``list.extend``/``map`` over the
+        translation tables.
+        """
+        node_map, pci_map, class_map = self._remap(day)
+        times = day.times
+        cut = (
+            bisect_left(times, watermark) if watermark != _NEG_INF else 0
+        )
+        if cut:
+            self.times.extend([watermark] * cut)
+            self.times.extend(times[cut:])
+        else:
+            self.times.extend(times)
+        self.node_ids.extend(map(node_map.__getitem__, day.node_ids))
+        self.pci_ids.extend(map(pci_map.__getitem__, day.pci_ids))
+        self.gpu_indexes.extend(day.gpu_indexes)
+        self.class_ids.extend(map(class_map.__getitem__, day.class_ids))
+        self.xids.extend(day.xids)
+
+    def payload_rows(self, watermark: float = _NEG_INF) -> List[list]:
+        """Checkpoint-payload hit rows, clamped — the JSON form of
+        :meth:`to_hits` without materializing :class:`ErrorHit`."""
+        nodes = self.nodes
+        pcis = self.pcis
+        classes = self.classes
+        return [
+            [
+                t if t >= watermark else watermark,
+                nodes[n],
+                None if g < 0 else g,
+                pcis[p],
+                classes[c],
+                None if x < 0 else x,
+            ]
+            for t, n, g, p, c, x in zip(
+                self.times,
+                self.node_ids,
+                self.gpu_indexes,
+                self.pci_ids,
+                self.class_ids,
+                self.xids,
+            )
+        ]
+
+    def to_hits(self, watermark: float = _NEG_INF) -> List[ErrorHit]:
+        """Materialize hits, clamping times below ``watermark``.
+
+        The columns store the appended values themselves, so the
+        rebuilt hits are identical to the ones appended (modulo the
+        requested clamp).
+        """
+        nodes = self.nodes
+        pcis = self.pcis
+        classes = [_CLASS_BY_VALUE[value] for value in self.classes]
+        return [
+            ErrorHit(
+                t if t >= watermark else watermark,
+                nodes[n],
+                None if g < 0 else g,
+                pcis[p],
+                classes[c],
+                None if x < 0 else x,
+            )
+            for t, n, g, p, c, x in zip(
+                self.times,
+                self.node_ids,
+                self.gpu_indexes,
+                self.pci_ids,
+                self.class_ids,
+                self.xids,
+            )
+        ]
+
 
 @dataclass
 class DayScan:
@@ -108,9 +310,12 @@ class DayScan:
             streaming pass (empty when not requested).
         lines_read: raw lines streamed (blank lines included).
         parsed_lines: lines surviving parse + quarantine.
+        lines_decoded: lines materialized as ``str`` — the bytes-first
+            scan's fallback traffic (equal to ``lines_read`` on the
+            decoded paths).  Observability only; never affects output.
         local_max: largest raw timestamp seen (``None`` when the file
             yielded no parsed lines).
-        hits: extracted error hits, locally clamped.
+        hits: extracted error hits in columnar form, locally clamped.
         downtime_lines: downtime-relevant lines, locally clamped.
         stats: :class:`ExtractionStats` deltas for this file.
         rejected / repaired / file_incidents: nonzero quarantine
@@ -133,8 +338,9 @@ class DayScan:
     fingerprint: str = ""
     lines_read: int = 0
     parsed_lines: int = 0
+    lines_decoded: int = 0
     local_max: Optional[float] = None
-    hits: List[ErrorHit] = field(default_factory=list)
+    hits: HitColumns = field(default_factory=HitColumns)
     downtime_lines: List[Tuple[float, str, str]] = field(default_factory=list)
     stats: Dict[str, int] = field(default_factory=dict)
     rejected: Dict[str, int] = field(default_factory=dict)
@@ -144,81 +350,89 @@ class DayScan:
     boundary_candidates: List[Tuple[int, str, float]] = field(
         default_factory=list
     )
-    unclamped_times: array = field(default_factory=lambda: array("d"))
+    unclamped_times: List[float] = field(default_factory=list)
     scan_wall_seconds: float = 0.0
     bytes_read: int = 0
 
 
-class _IncidentRecorder:
-    """Quarantine-shaped sink the tolerant reader reports into.
+class _LineProcessor:
+    """The per-line Stage-II logic, state included.
 
-    Captures whole-file incidents with their position in the line
-    stream so the merge can interleave them into the global sample
-    order exactly where the serial pass would have recorded them.
+    There is still exactly ONE implementation of per-line behaviour:
+    this class.  The decoded plain path and the gz path feed every
+    line through :meth:`process_raw`; the bytes-first scanner
+    (:mod:`repro.pipeline.bytescan`) routes every *suspicious* line
+    through the same method, sharing the same mutable state, and
+    handles only lines whose observable effects it can reproduce
+    exactly from the raw bytes.
+
+    The class doubles as the quarantine-shaped sink the tolerant
+    reader reports whole-file incidents into, capturing them with
+    their position in the line stream so the merge can interleave
+    them into the global sample order exactly where the serial pass
+    would have recorded them.
     """
 
-    def __init__(self, scan: DayScan, event_counts, sample_limit: int):
-        self._scan = scan
-        self._counts = event_counts
-        self._limit = sample_limit
+    __slots__ = (
+        "scan",
+        "extractor",
+        "event_counts",
+        "sample_limit",
+        "line_idx",
+        "parsed",
+        "local_last",
+        "clock_repairs",
+        "encoding_repairs",
+        "lines_decoded",
+    )
+
+    def __init__(
+        self,
+        scan: DayScan,
+        inventory: Optional[Inventory],
+        sample_limit: int,
+    ) -> None:
+        self.scan = scan
+        self.extractor = XidExtractor(inventory)
+        self.event_counts: Dict[str, int] = {}
+        self.sample_limit = sample_limit
         self.line_idx = 0
+        self.parsed = 0
+        self.local_last = _NEG_INF
+        self.clock_repairs = 0
+        self.encoding_repairs = 0
+        self.lines_decoded = 0
 
     def file_incident(self, reason: str, name: str) -> None:
-        scan = self._scan
+        """Reader-quarantine protocol: record a whole-file incident."""
+        scan = self.scan
         scan.file_incidents[reason] = scan.file_incidents.get(reason, 0) + 1
-        if self._counts.get(reason, 0) < self._limit:
-            self._counts[reason] = self._counts.get(reason, 0) + 1
+        counts = self.event_counts
+        if counts.get(reason, 0) < self.sample_limit:
+            counts[reason] = counts.get(reason, 0) + 1
             scan.events.append(
                 (self.line_idx + 1, _SUB_FIRST, _OP_FILE, reason, name, None)
             )
 
-
-def scan_day_file(
-    path: Path,
-    inventory: Optional[Inventory] = None,
-    want_fingerprint: bool = False,
-    sample_limit: int = Quarantine.DEFAULT_SAMPLE_LIMIT,
-) -> DayScan:
-    """Run the watermark-independent half of Stage II over one file.
-
-    This is the pipeline's hot loop, shared verbatim by the serial
-    pass (``workers=1``) and every pool worker — parallelism cannot
-    change per-line behaviour because there is only one implementation
-    of it.
-    """
-    started = time.perf_counter()
-    scan = DayScan(day=path.name)
-    try:
-        scan.bytes_read = path.stat().st_size
-    except OSError:
-        pass
-    hasher = hashlib.sha256() if want_fingerprint else None
-    extractor = XidExtractor(inventory)
-    event_counts: Dict[str, int] = {}
-    recorder = _IncidentRecorder(scan, event_counts, sample_limit)
-
-    events = scan.events
-    hits = scan.hits
-    downtime_lines = scan.downtime_lines
-    unclamped = scan.unclamped_times
-    boundary = scan.boundary_candidates
-    rejected = scan.rejected
-    local_last = _NEG_INF
-    local_clock_repairs = 0
-    encoding_repairs = 0
-    line_idx = 0
-    parsed_count = 0
-
-    for raw in iter_file_lines(path, recorder, hasher):
-        line_idx += 1
-        recorder.line_idx = line_idx
+    def process_raw(self, raw: str) -> None:
+        """Consume one raw line (terminator optional: every consumer
+        of ``raw`` strips it before use, so both spellings behave
+        identically)."""
+        self.line_idx += 1
+        self.lines_decoded += 1
         if not raw.strip():
-            continue
+            return
+        scan = self.scan
+        events = scan.events
+        event_counts = self.event_counts
+        sample_limit = self.sample_limit
+        extractor = self.extractor
+        line_idx = self.line_idx
         try:
             line = parse_line(raw)
         except LogFormatError as exc:
             reason = exc.reason
-            rejected[reason] = rejected.get(reason, 0) + 1
+            scan.rejected[reason] = scan.rejected.get(reason, 0) + 1
             extractor.stats.malformed_lines += 1
             if event_counts.get(reason, 0) < sample_limit:
                 event_counts[reason] = event_counts.get(reason, 0) + 1
@@ -232,9 +446,9 @@ def scan_day_file(
                         None,
                     )
                 )
-            continue
+            return
         if "�" in line.message:
-            encoding_repairs += 1
+            self.encoding_repairs += 1
             if event_counts.get(REASON_ENCODING, 0) < sample_limit:
                 event_counts[REASON_ENCODING] = (
                     event_counts.get(REASON_ENCODING, 0) + 1
@@ -249,8 +463,8 @@ def scan_day_file(
                         None,
                     )
                 )
-        if line.time < local_last:
-            local_clock_repairs += 1
+        if line.time < self.local_last:
+            self.clock_repairs += 1
             if event_counts.get(REASON_CLOCK_STEP, 0) < sample_limit:
                 event_counts[REASON_CLOCK_STEP] = (
                     event_counts.get(REASON_CLOCK_STEP, 0) + 1
@@ -262,37 +476,94 @@ def scan_day_file(
                         _OP_CLOCK,
                         line.host,
                         line.time,
-                        local_last,
+                        self.local_last,
                     )
                 )
-            line = line._replace(time=local_last)
+            line = line._replace(time=self.local_last)
         else:
-            unclamped.append(line.time)
-            if len(boundary) < sample_limit:
-                boundary.append((line_idx, line.host, line.time))
-            local_last = line.time
-        parsed_count += 1
+            scan.unclamped_times.append(line.time)
+            if len(scan.boundary_candidates) < sample_limit:
+                scan.boundary_candidates.append(
+                    (line_idx, line.host, line.time)
+                )
+            self.local_last = line.time
+        self.parsed += 1
         # One shared channel carries both stateful-extraction line
         # families: downtime markers and gangd recovery lines.  The
         # downstream extractors each prefilter on their own marker.
         if DOWNTIME_MARKER in line.message or RECOVERY_MARKER in line.message:
-            downtime_lines.append((line.time, line.host, line.message))
+            scan.downtime_lines.append((line.time, line.host, line.message))
         hit = extractor.extract_line(line)
         if hit is not None:
-            hits.append(hit)
+            scan.hits.append_hit(hit)
 
-    scan.lines_read = line_idx
-    scan.parsed_lines = parsed_count
-    scan.local_max = local_last if local_last != _NEG_INF else None
-    if encoding_repairs:
-        scan.repaired[REASON_ENCODING] = encoding_repairs
-    if local_clock_repairs:
-        scan.repaired[REASON_CLOCK_STEP] = local_clock_repairs
-    scan.stats = {
-        name: value
-        for name, value in vars(extractor.stats).items()
-        if value
-    }
+    def finish(self) -> None:
+        """Fold the accumulated state into the scan's summary fields."""
+        scan = self.scan
+        scan.lines_read = self.line_idx
+        scan.parsed_lines = self.parsed
+        scan.lines_decoded = self.lines_decoded
+        scan.local_max = (
+            self.local_last if self.local_last != _NEG_INF else None
+        )
+        if self.encoding_repairs:
+            scan.repaired[REASON_ENCODING] = self.encoding_repairs
+        if self.clock_repairs:
+            scan.repaired[REASON_CLOCK_STEP] = self.clock_repairs
+        scan.stats = {
+            name: value
+            for name, value in vars(self.extractor.stats).items()
+            if value
+        }
+
+
+def scan_day_file(
+    path: Path,
+    inventory: Optional[Inventory] = None,
+    want_fingerprint: bool = False,
+    sample_limit: int = Quarantine.DEFAULT_SAMPLE_LIMIT,
+    force_decode: bool = False,
+) -> DayScan:
+    """Run the watermark-independent half of Stage II over one file.
+
+    This is the pipeline's hot loop, shared verbatim by the serial
+    pass (``workers=1``) and every pool worker — parallelism cannot
+    change per-line behaviour because there is only one implementation
+    of it.
+
+    Plain files take the bytes-first path: the whole file is mapped
+    (or read) as one buffer and only *suspicious* lines — marker
+    matches, non-ASCII, torn shapes, anything non-canonical — are
+    decoded, each through the exact legacy per-line logic
+    (:meth:`_LineProcessor.process_raw`).  Gz files keep the tolerant
+    chunked incremental decode.  ``force_decode=True`` pins the legacy
+    decoded path for plain files too; it is the reference
+    implementation the bytes-first differential tests compare against,
+    and the automatic fallback when a file cannot be buffered.
+    """
+    started = time.perf_counter()
+    scan = DayScan(day=path.name)
+    try:
+        scan.bytes_read = path.stat().st_size
+    except OSError:
+        pass
+    hasher = hashlib.sha256() if want_fingerprint else None
+    proc = _LineProcessor(scan, inventory, sample_limit)
+
+    buf = None
+    if not force_decode and not path.name.endswith(".gz"):
+        buf = open_plain_buffer(path)
+    if buf is not None:
+        try:
+            if hasher is not None:
+                hasher.update(buf)
+            scan_buffer(buf, proc)
+        finally:
+            close_plain_buffer(buf)
+    else:
+        for raw in iter_file_lines(path, proc, hasher):
+            proc.process_raw(raw)
+    proc.finish()
     if hasher is not None:
         scan.fingerprint = hasher.hexdigest()
     scan.scan_wall_seconds = time.perf_counter() - started
@@ -320,9 +591,10 @@ def merge_scan(
     quarantine: Quarantine,
     stats: ExtractionStats,
     downtime_extractor: DowntimeExtractor,
-    hits_out: List[ErrorHit],
+    hits_out: "HitColumns | List[ErrorHit]",
     recovery_extractor: Optional[RecoveryExtractor] = None,
-) -> Tuple[float, dict]:
+    want_payload: bool = True,
+) -> Tuple[float, Optional[dict]]:
     """Fold one scan into the global accumulators, in day order.
 
     Args:
@@ -335,10 +607,15 @@ def merge_scan(
         stats: the run's global extraction stats (deltas added).
         downtime_extractor: the run's downtime state machine (fed the
             shard's downtime lines, stitched times, in line order).
-        hits_out: the run's accumulated error hits.
+        hits_out: the run's accumulated error hits — either a global
+            :class:`HitColumns` (folded column-to-column; the pipeline's
+            fast path) or a plain ``ErrorHit`` list (legacy callers).
         recovery_extractor: optional gang-recovery state machine; fed
             the same stitched line channel (it prefilters on its own
             marker, so non-recovery runs pay nothing).
+        want_payload: build the checkpoint payload.  Callers that are
+            not persisting checkpoints pass ``False`` and get ``None``
+            back instead of paying for the row materialization.
 
     Returns:
         ``(new_watermark, checkpoint_payload)`` — the watermark to
@@ -396,28 +673,22 @@ def merge_scan(
         setattr(stats, name, getattr(stats, name) + value)
 
     # --- hits and downtime lines (watermark stitch) -------------------
+    # Hits arrive columnar.  A columnar accumulator (the pipeline's
+    # own hot path) folds column-to-column; a plain list (legacy callers)
+    # gets materialized ``ErrorHit`` objects.  Either way the clamp is
+    # applied inline (``t < -inf`` is vacuously false for the first
+    # day).
+    if isinstance(hits_out, HitColumns):
+        hits_out.extend_clamped(scan.hits, watermark)
+    else:
+        hits_out.extend(scan.hits.to_hits(watermark))
     if watermark != _NEG_INF:
-        day_hits = [
-            ErrorHit(
-                time=watermark,
-                node=h.node,
-                gpu_index=h.gpu_index,
-                pci_address=h.pci_address,
-                event_class=h.event_class,
-                xid=h.xid,
-            )
-            if h.time < watermark
-            else h
-            for h in scan.hits
-        ]
         day_downtime = [
             (watermark if t < watermark else t, host, message)
             for t, host, message in scan.downtime_lines
         ]
     else:
-        day_hits = list(scan.hits)
         day_downtime = [tuple(d) for d in scan.downtime_lines]
-    hits_out.extend(day_hits)
     for t, host, message in day_downtime:
         raw = RawLine(time=t, host=host, message=message)
         downtime_extractor.feed(raw)
@@ -429,11 +700,10 @@ def merge_scan(
     if scan.local_max is not None and scan.local_max > new_watermark:
         new_watermark = scan.local_max
 
+    if not want_payload:
+        return new_watermark, None
     payload = {
-        "hits": [
-            [h.time, h.node, h.gpu_index, h.pci_address, h.event_class.value, h.xid]
-            for h in day_hits
-        ],
+        "hits": scan.hits.payload_rows(watermark),
         "downtime_lines": [list(d) for d in day_downtime],
         "stats": dict(scan.stats),
         "quarantine": delta,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import codecs
 import gzip
 import io
+import mmap
 import re
 from pathlib import Path
 from typing import Iterable, Iterator, List, NamedTuple, Optional, Tuple
@@ -147,6 +148,39 @@ def open_day_file(path: Path):
 
 #: Binary read size for the chunked plain-file decode path.
 _CHUNK_BYTES = 1 << 20
+
+
+def open_plain_buffer(path: Path):
+    """One whole-file bytes buffer for the bytes-first scanner.
+
+    Maps the file read-only when possible (zero-copy, pages stream in
+    on demand); an empty file cannot be mapped (POSIX) and some
+    filesystems refuse ``mmap`` entirely, so those fall back to one
+    plain read.  Returns ``None`` on any open/read failure — the
+    caller then retries through the tolerant decoded reader, which
+    re-encounters the failure and records the same incident the
+    legacy path always has.
+    """
+    try:
+        handle = open(path, "rb")
+    except OSError:
+        return None
+    with handle:
+        try:
+            return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            pass
+        try:
+            handle.seek(0)
+            return handle.read()
+        except OSError:
+            return None
+
+
+def close_plain_buffer(buf) -> None:
+    """Release a buffer from :func:`open_plain_buffer`."""
+    if isinstance(buf, mmap.mmap):
+        buf.close()
 
 
 def _iter_plain_lines(path: Path, quarantine, hasher) -> Iterator[str]:
