@@ -30,12 +30,27 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..cluster.topology import ClusterShape
+from ..core.exceptions import CalibrationError
 from ..core.xid import EventClass
 from ..faults.config import FaultSuiteConfig
 from .delta import delta_fault_suite
 
 #: DeltaAI-like fleet: 114 four-way GH200 nodes.
 HOPPER_SHAPE = ClusterShape(four_way_nodes=114, eight_way_nodes=0, cpu_nodes=0)
+
+#: GPUs in the hopper calibration fleet (the projection's rate basis).
+HOPPER_GPUS = HOPPER_SHAPE.gpu_count
+
+#: ``--arch-sweep`` key → :class:`HopperProjection` field.
+PROJECTION_KEYS = {
+    "gsp": "gsp_rate_multiplier",
+    "memory": "memory_rate_multiplier",
+    "nvlink": "nvlink_rate_multiplier",
+    "nvlink_retry": "nvlink_retry_success",
+    "mmu": "mmu_rate_multiplier",
+    "pmu": "pmu_rate_multiplier",
+    "fob": "fob_rate_multiplier",
+}
 
 
 @dataclass(frozen=True)
@@ -68,6 +83,47 @@ class HopperProjection:
         if not 0.0 <= self.nvlink_retry_success <= 1.0:
             raise ValueError("nvlink_retry_success must be in [0, 1]")
 
+    @classmethod
+    def from_spec(cls, spec: str) -> "HopperProjection":
+        """Parse a ``--arch-sweep`` override spec.
+
+        The spec is a comma-separated list of ``key=value`` overrides
+        using the short keys of :data:`PROJECTION_KEYS`, e.g.
+        ``"gsp=0.5,memory=2.0"``.  Unknown keys, malformed pairs, and
+        out-of-range values raise
+        :class:`~repro.core.exceptions.CalibrationError` so the CLI
+        reports them as configuration errors (exit code 2).
+        """
+        overrides = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or not raw.strip():
+                raise CalibrationError(
+                    f"malformed --arch-sweep entry {part!r}: "
+                    f"expected key=value"
+                )
+            field_name = PROJECTION_KEYS.get(key)
+            if field_name is None:
+                known = ", ".join(sorted(PROJECTION_KEYS))
+                raise CalibrationError(
+                    f"unknown --arch-sweep key {key!r} (known: {known})"
+                )
+            try:
+                value = float(raw)
+            except ValueError:
+                raise CalibrationError(
+                    f"--arch-sweep {key}: {raw.strip()!r} is not a number"
+                ) from None
+            overrides[field_name] = value
+        try:
+            return cls(**overrides)
+        except ValueError as exc:
+            raise CalibrationError(f"--arch-sweep: {exc}") from None
+
 
 _SIMPLE_MULTIPLIER_FIELDS = {
     EventClass.GSP_ERROR: "gsp_rate_multiplier",
@@ -77,16 +133,16 @@ _SIMPLE_MULTIPLIER_FIELDS = {
 }
 
 
-def hopper_fault_suite(
-    projection: HopperProjection = HopperProjection(),
+def apply_projection(
+    suite: FaultSuiteConfig, projection: HopperProjection
 ) -> FaultSuiteConfig:
-    """The projected H100 fault suite.
+    """Apply projection multipliers to an existing A100-calibrated suite.
 
-    Starts from the A100 calibration (without the defective-GPU
-    episode — a unit-specific defect, not an architectural property)
-    and applies the projection multipliers.
+    Used directly by heterogeneous runs, which derive the Hopper
+    sub-fleet's suite from whatever (possibly ablated) A100 suite the
+    study was configured with instead of always starting from the
+    pristine Delta calibration.
     """
-    suite = delta_fault_suite(include_episode=False)
     simple = tuple(
         replace(
             cfg,
@@ -121,6 +177,18 @@ def hopper_fault_suite(
         ),
     )
     return replace(suite, simple_faults=simple, memory_chain=chain, nvlink=nvlink)
+
+
+def hopper_fault_suite(
+    projection: HopperProjection = HopperProjection(),
+) -> FaultSuiteConfig:
+    """The projected H100 fault suite.
+
+    Starts from the A100 calibration (without the defective-GPU
+    episode — a unit-specific defect, not an architectural property)
+    and applies the projection multipliers.
+    """
+    return apply_projection(delta_fault_suite(include_episode=False), projection)
 
 
 def hopper_study_config(

@@ -5,6 +5,12 @@ The subcommands cover the full workflow:
 * ``simulate`` — run a study and write the raw artifacts (optionally
   corrupting the emitted logs with the chaos layer via ``--corrupt``,
   or arming the gang-recovery engine via ``--recovery <preset>``).
+  ``--arch {a100,hopper,mixed}`` swaps the cluster for an architecture
+  preset, ``--scale N`` sizes it in GPUs, and ``--arch-sweep
+  gsp=0.5,memory=2.0`` overrides the Hopper projection multipliers.
+* ``fleetscale`` — run a thinned-sampling fleet campaign (10k–100k
+  GPUs, multi-year) and write per-architecture Table I/II analogs
+  plus ``fleet_result.json``; see DESIGN §17.
 * ``chaos`` — corrupt an existing artifact directory's syslog with the
   seeded chaos injector and print what was injected.
 * ``pipeline`` — run Stage-II extraction/coalescing over an artifact
@@ -199,8 +205,73 @@ def _finish_telemetry(
     print(render_run_report(telemetry))
 
 
+def _parse_projection(spec: Optional[str]):
+    """``--arch-sweep`` spec → HopperProjection (CalibrationError → exit 2)."""
+    if spec is None:
+        return None
+    from .calibration.hopper import HopperProjection
+
+    return HopperProjection.from_spec(spec)
+
+
+def _arch_shape(arch: str, gpu_scale: int):
+    """A DES-ready shape for an architecture preset: GPU node mix from
+    :func:`repro.fleetscale.fleet.shape_for_scale` plus CPU nodes kept
+    at Delta's CPU:GPU node ratio (the workload needs somewhere to put
+    CPU jobs)."""
+    import dataclasses
+
+    from .cluster.topology import DELTA_A100_NODES, DELTA_CPU_NODES
+    from .fleetscale.fleet import shape_for_scale
+
+    shape = shape_for_scale(arch, gpu_scale)
+    cpu = max(
+        1, round(shape.gpu_node_count * DELTA_CPU_NODES / DELTA_A100_NODES)
+    )
+    return dataclasses.replace(shape, cpu_nodes=cpu)
+
+
+def _apply_arch_options(config: StudyConfig, args: argparse.Namespace):
+    """Fold ``--arch`` / ``--scale`` / ``--arch-sweep`` into the config.
+
+    ``--arch a100`` (the default) with ``--scale`` swaps in a scaled
+    A100 shape and rescales the fault suite so per-GPU rates are
+    preserved (the homogeneous runner path applies the suite
+    unscaled).  ``hopper`` / ``mixed`` shapes are scaled per-arch by
+    the runner itself, so only the shape and projection change here.
+    """
+    import dataclasses
+
+    from .cluster.topology import DELTA_A100_GPUS
+    from .faults.config import scale_counts
+
+    projection = _parse_projection(args.arch_sweep)
+    if args.arch == "a100":
+        if projection is not None:
+            raise ConfigurationError(
+                "--arch-sweep only applies to --arch hopper or --arch mixed"
+            )
+        if args.scale is None:
+            return config
+        shape = _arch_shape("a100", args.scale)
+        suite = scale_counts(
+            config.fault_suite, shape.gpu_count / DELTA_A100_GPUS
+        )
+        return dataclasses.replace(
+            config, cluster_shape=shape, fault_suite=suite
+        )
+    scale = args.scale
+    if scale is None:
+        scale = DELTA_A100_GPUS if args.arch == "hopper" else 2 * DELTA_A100_GPUS
+    shape = _arch_shape(args.arch, scale)
+    return dataclasses.replace(
+        config, cluster_shape=shape, hopper_projection=projection
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args.preset, args.seed, args.job_scale)
+    config = _apply_arch_options(config, args)
     if args.recovery is not None:
         import dataclasses
 
@@ -224,6 +295,67 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(report.summary())
     _finish_telemetry(telemetry, args)
     return 0
+
+
+def _cmd_fleetscale(args: argparse.Namespace) -> int:
+    from .core.periods import StudyWindow
+    from .fleetscale import FleetCampaignConfig, run_campaign
+
+    projection = _parse_projection(args.arch_sweep)
+    if projection is not None and args.arch == "a100":
+        raise ConfigurationError(
+            "--arch-sweep only applies to --arch hopper or --arch mixed"
+        )
+    if args.days is None:
+        window = StudyWindow.delta_default()
+    else:
+        if args.days <= 0:
+            raise ConfigurationError(
+                f"--days must be positive, got {args.days}"
+            )
+        # Keep Delta's pre-operational share of the window.
+        ref = StudyWindow.delta_default()
+        pre_frac = ref.pre_operational.duration / (ref.end - ref.start)
+        window = StudyWindow.scaled(
+            pre_days=args.days * pre_frac,
+            op_days=args.days * (1.0 - pre_frac),
+        )
+    config = FleetCampaignConfig(
+        arch=args.arch,
+        scale=args.scale,
+        window=window,
+        seed=args.seed,
+        slice_days=args.slice_days,
+        projection=projection,
+    )
+    telemetry = _telemetry_from_args(args, seed=args.seed, wall_clock=True)
+    result = run_campaign(
+        config,
+        out_dir=Path(args.output_dir),
+        metrics=telemetry.metrics if telemetry else None,
+        write_inventory=args.write_inventory,
+    )
+    summary = result.config_summary
+    host = result.host
+    print(
+        f"fleet: {summary['gpu_count']:,} GPUs on "
+        f"{summary['node_count']:,} nodes "
+        f"({', '.join(summary['architectures'])}), "
+        f"{summary['total_days']:.0f} days"
+    )
+    print(
+        f"events: {result.total_events:,} "
+        f"({host['events_per_second']:,.0f}/s, "
+        f"wall {host['wall_seconds']:.2f}s)"
+    )
+    print(
+        f"host: peak RSS {host['peak_rss_mib']:.0f} MiB, "
+        f"heap high-water {host['heap_high_water']:,} entries, "
+        f"{host['slices_run']} slices"
+    )
+    print(f"artifacts written to {args.output_dir}")
+    _finish_telemetry(telemetry, args)
+    return EXIT_OK
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -775,7 +907,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the gang-recovery engine with a named policy preset "
              f"(choices: {', '.join(sorted(_recovery_presets))})",
     )
+    simulate.add_argument(
+        "--arch", choices=("a100", "hopper", "mixed"), default="a100",
+        help="architecture preset for the cluster (default %(default)s)",
+    )
+    simulate.add_argument(
+        "--scale", type=int, default=None, metavar="GPUS",
+        help="target GPU count for the --arch preset (default: Delta's "
+             "448 for a100/hopper, 896 for mixed)",
+    )
+    simulate.add_argument(
+        "--arch-sweep", metavar="SPEC", default=None,
+        help="Hopper projection overrides as key=value pairs, e.g. "
+             "'gsp=0.5,memory=2.0' (requires --arch hopper|mixed; "
+             "unknown keys are a configuration error)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
+
+    fleetscale = sub.add_parser(
+        "fleetscale",
+        help="thinned-sampling fleet campaign (10k-100k GPUs, multi-year)",
+        parents=[obs_flags],
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    fleetscale.add_argument("output_dir",
+                            help="artifact directory (fleet_result.json, "
+                                 "table1_<arch>.txt, table2_<arch>.txt)")
+    fleetscale.add_argument(
+        "--arch", choices=("a100", "hopper", "mixed"), default="a100",
+        help="architecture preset (default %(default)s)",
+    )
+    fleetscale.add_argument(
+        "--scale", type=int, default=10_000, metavar="GPUS",
+        help="target GPU count (default %(default)s)",
+    )
+    fleetscale.add_argument(
+        "--days", type=float, default=None,
+        help="campaign length in days, split pre-op/op at Delta's ratio "
+             "(default: the full 1170-day window)",
+    )
+    fleetscale.add_argument("--seed", type=int, default=2022)
+    fleetscale.add_argument(
+        "--slice-days", type=float, default=30.0,
+        help="sampling/batching slice length (default %(default)s)",
+    )
+    fleetscale.add_argument(
+        "--arch-sweep", metavar="SPEC", default=None,
+        help="Hopper projection overrides, e.g. 'gsp=0.5,memory=2.0' "
+             "(requires --arch hopper|mixed)",
+    )
+    fleetscale.add_argument(
+        "--write-inventory", action="store_true",
+        help="also stream the fleet inventory.json (safe at 100k GPUs)",
+    )
+    fleetscale.set_defaults(func=_cmd_fleetscale)
 
     chaos = sub.add_parser(
         "chaos", help="corrupt an artifact dir's syslog (chaos layer)"

@@ -16,18 +16,26 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from ..core.arch import Architecture
 from ..core.atomicio import atomic_write_json
 from .topology import Cluster
 
 
 @dataclass(frozen=True)
 class InventoryEntry:
-    """One GPU's identity in the hardware database."""
+    """One GPU's identity in the hardware database.
+
+    ``architecture`` records the silicon generation so Stage-II can
+    attribute extracted errors per architecture in heterogeneous
+    fleets; inventories written before the field existed load as the
+    paper's homogeneous A100 default.
+    """
 
     node: str
     gpu_index: int
     pci_address: str
     serial: str
+    architecture: str = Architecture.A100.value
 
 
 class Inventory:
@@ -42,12 +50,15 @@ class Inventory:
         """Snapshot the inventory of a simulated cluster."""
         entries: Dict[Tuple[str, str], InventoryEntry] = {}
         for node in cluster.gpu_nodes():
+            arch = node.architecture
+            arch_name = arch.value if arch is not None else Architecture.A100.value
             for gpu in node.gpus:
                 entry = InventoryEntry(
                     node=node.name,
                     gpu_index=gpu.index,
                     pci_address=gpu.pci_address,
                     serial=gpu.serial,
+                    architecture=arch_name,
                 )
                 entries[(node.name, gpu.pci_address)] = entry
         return cls(entries)
@@ -56,6 +67,24 @@ class Inventory:
         """GPU index for a (node, PCI address) pair, or ``None``."""
         entry = self._entries.get((node, pci_address))
         return entry.gpu_index if entry is not None else None
+
+    def architecture_of(self, node: str) -> Optional[str]:
+        """Architecture name of a node's GPUs, or ``None`` if unknown."""
+        for (entry_node, _), entry in self._entries.items():
+            if entry_node == node:
+                return entry.architecture
+        return None
+
+    def node_architectures(self) -> Dict[str, str]:
+        """Node name → architecture map over every inventoried node."""
+        return {e.node: e.architecture for e in self._entries.values()}
+
+    def node_counts_by_architecture(self) -> Dict[str, int]:
+        """Architecture name → GPU-node count (per-arch Table I scale)."""
+        counts: Dict[str, int] = {}
+        for arch in self.node_architectures().values():
+            counts[arch] = counts.get(arch, 0) + 1
+        return counts
 
     def entries(self) -> Tuple[InventoryEntry, ...]:
         """All entries in stable (node, index) order."""
@@ -74,6 +103,7 @@ class Inventory:
                 "gpu_index": e.gpu_index,
                 "pci_address": e.pci_address,
                 "serial": e.serial,
+                "architecture": e.architecture,
             }
             for e in self.entries()
         ]
@@ -90,6 +120,9 @@ class Inventory:
                 gpu_index=int(item["gpu_index"]),
                 pci_address=item["pci_address"],
                 serial=item["serial"],
+                architecture=item.get(
+                    "architecture", Architecture.A100.value
+                ),
             )
             entries[(entry.node, entry.pci_address)] = entry
         return cls(entries)

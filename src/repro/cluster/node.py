@@ -1,9 +1,12 @@
 """Model of a Delta compute node.
 
-Two node flavours matter to the study:
+Three node flavours matter to the study:
 
 * **A100 GPU nodes** — one 64-core AMD EPYC Milan CPU plus 4 or 8 A100
   GPUs (100 four-way and 6 eight-way nodes on Delta).
+* **GH200 nodes** — DeltaAI-style 4-way Grace-Hopper superchips; only
+  present when a heterogeneous :class:`~repro.cluster.topology.ClusterShape`
+  asks for them (EXPERIMENTS E18).
 * **CPU-only nodes** — two 64-core EPYC Milan CPUs; included because
   Section V-A compares GPU-job and CPU-job success rates.
 
@@ -17,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..core.arch import Architecture
 from ..core.exceptions import TopologyError
 from .gpu import GpuState
 
@@ -27,6 +31,16 @@ class NodeKind(enum.Enum):
     CPU = "cpu"
     GPU_A100_4WAY = "a100_4way"
     GPU_A100_8WAY = "a100_8way"
+    GPU_GH200_4WAY = "gh200_4way"
+
+
+#: GPU architecture per node kind (``None`` for CPU-only nodes).
+KIND_ARCHITECTURE = {
+    NodeKind.CPU: None,
+    NodeKind.GPU_A100_4WAY: Architecture.A100,
+    NodeKind.GPU_A100_8WAY: Architecture.A100,
+    NodeKind.GPU_GH200_4WAY: Architecture.HOPPER,
+}
 
 
 class NodeState(enum.Enum):
@@ -63,8 +77,13 @@ class Node:
 
     @property
     def is_gpu_node(self) -> bool:
-        """True for A100 nodes."""
+        """True for GPU-accelerated nodes (A100 or GH200)."""
         return self.kind is not NodeKind.CPU
+
+    @property
+    def architecture(self) -> Optional[Architecture]:
+        """GPU architecture of the node, or ``None`` for CPU nodes."""
+        return KIND_ARCHITECTURE[self.kind]
 
     @property
     def schedulable(self) -> bool:

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from ..core.arch import Architecture
 from ..core.exceptions import TopologyError
 from .gpu import GpuState
 from .node import Node, NodeKind
@@ -31,14 +32,32 @@ DELTA_CPU_NODES = 132
 DELTA_A100_NODES = DELTA_4WAY_NODES + DELTA_8WAY_NODES
 DELTA_A100_GPUS = DELTA_4WAY_NODES * 4 + DELTA_8WAY_NODES * 8
 
+#: GPUs per node for each GPU node kind.
+GPUS_PER_NODE = {
+    NodeKind.GPU_A100_4WAY: 4,
+    NodeKind.GPU_A100_8WAY: 8,
+    NodeKind.GPU_GH200_4WAY: 4,
+}
+
+#: Node-name prefix per GPU node kind (Delta/DeltaAI conventions).
+NODE_PREFIX = {
+    NodeKind.GPU_A100_4WAY: "gpua",
+    NodeKind.GPU_A100_8WAY: "gpuc",
+    NodeKind.GPU_GH200_4WAY: "gh",
+}
+
+
+def _gpu_node(name: str, kind: NodeKind) -> Node:
+    gpus = [
+        GpuState(node=name, index=i, serial=f"{name}-u{i}-r0")
+        for i in range(GPUS_PER_NODE[kind])
+    ]
+    return Node(name=name, kind=kind, gpus=gpus, cpu_cores=64)
+
 
 def _a100_node(name: str, gpu_count: int) -> Node:
     kind = NodeKind.GPU_A100_4WAY if gpu_count == 4 else NodeKind.GPU_A100_8WAY
-    gpus = [
-        GpuState(node=name, index=i, serial=f"{name}-u{i}-r0")
-        for i in range(gpu_count)
-    ]
-    return Node(name=name, kind=kind, gpus=gpus, cpu_cores=64)
+    return _gpu_node(name, kind)
 
 
 @dataclass(frozen=True)
@@ -52,41 +71,78 @@ class ClusterShape:
     four_way_nodes: int = DELTA_4WAY_NODES
     eight_way_nodes: int = DELTA_8WAY_NODES
     cpu_nodes: int = DELTA_CPU_NODES
+    gh200_nodes: int = 0
 
     def __post_init__(self) -> None:
-        if self.four_way_nodes < 0 or self.eight_way_nodes < 0 or self.cpu_nodes < 0:
+        if (
+            self.four_way_nodes < 0
+            or self.eight_way_nodes < 0
+            or self.cpu_nodes < 0
+            or self.gh200_nodes < 0
+        ):
             raise ValueError("node counts must be non-negative")
-        if self.four_way_nodes + self.eight_way_nodes == 0:
+        if self.four_way_nodes + self.eight_way_nodes + self.gh200_nodes == 0:
             raise ValueError("cluster needs at least one GPU node")
 
     @property
     def gpu_node_count(self) -> int:
-        """Total A100 nodes (the per-node-MTBE multiplier in Table I)."""
-        return self.four_way_nodes + self.eight_way_nodes
+        """Total GPU nodes (the per-node-MTBE multiplier in Table I)."""
+        return self.four_way_nodes + self.eight_way_nodes + self.gh200_nodes
 
     @property
     def gpu_count(self) -> int:
-        """Total A100 GPUs."""
-        return self.four_way_nodes * 4 + self.eight_way_nodes * 8
+        """Total GPUs across all architectures."""
+        return (
+            self.four_way_nodes * 4
+            + self.eight_way_nodes * 8
+            + self.gh200_nodes * 4
+        )
+
+    def node_count_for(self, arch: Architecture) -> int:
+        """GPU nodes belonging to one architecture."""
+        if arch is Architecture.A100:
+            return self.four_way_nodes + self.eight_way_nodes
+        return self.gh200_nodes
+
+    def gpu_count_for(self, arch: Architecture) -> int:
+        """GPUs belonging to one architecture."""
+        if arch is Architecture.A100:
+            return self.four_way_nodes * 4 + self.eight_way_nodes * 8
+        return self.gh200_nodes * 4
+
+    @property
+    def architectures(self) -> Tuple[Architecture, ...]:
+        """Architectures present, in stable reporting order."""
+        return tuple(
+            arch for arch in Architecture if self.node_count_for(arch) > 0
+        )
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when more than one GPU architecture is present."""
+        return len(self.architectures) > 1
 
 
 class Cluster:
     """The machine under study: nodes, GPUs, and the NVLink graph.
 
     Node naming follows Delta conventions: ``gpuaNNN`` for 4-way A100
-    nodes, ``gpucNNN`` for 8-way A100 nodes, and ``cnNNN`` for CPU-only
-    nodes.
+    nodes, ``gpucNNN`` for 8-way A100 nodes, ``ghNNN`` for GH200 nodes
+    (DeltaAI convention), and ``cnNNN`` for CPU-only nodes.
     """
 
     def __init__(self, shape: ClusterShape = ClusterShape()) -> None:
         self._shape = shape
         self._nodes: Dict[str, Node] = {}
-        for i in range(1, shape.four_way_nodes + 1):
-            node = _a100_node(f"gpua{i:03d}", 4)
-            self._nodes[node.name] = node
-        for i in range(1, shape.eight_way_nodes + 1):
-            node = _a100_node(f"gpuc{i:03d}", 8)
-            self._nodes[node.name] = node
+        for kind, count in (
+            (NodeKind.GPU_A100_4WAY, shape.four_way_nodes),
+            (NodeKind.GPU_A100_8WAY, shape.eight_way_nodes),
+            (NodeKind.GPU_GH200_4WAY, shape.gh200_nodes),
+        ):
+            prefix = NODE_PREFIX[kind]
+            for i in range(1, count + 1):
+                node = _gpu_node(f"{prefix}{i:03d}", kind)
+                self._nodes[node.name] = node
         for i in range(1, shape.cpu_nodes + 1):
             name = f"cn{i:03d}"
             self._nodes[name] = Node(name=name, kind=NodeKind.CPU, cpu_cores=128)
@@ -125,8 +181,12 @@ class Cluster:
         return list(self._nodes.values())
 
     def gpu_nodes(self) -> List[Node]:
-        """All A100 nodes in stable order."""
+        """All GPU nodes in stable order."""
         return [n for n in self._nodes.values() if n.is_gpu_node]
+
+    def gpu_nodes_for(self, arch: Architecture) -> List[Node]:
+        """GPU nodes belonging to one architecture, in stable order."""
+        return [n for n in self.gpu_nodes() if n.architecture is arch]
 
     def cpu_nodes(self) -> List[Node]:
         """All CPU-only nodes in stable order."""
@@ -166,7 +226,7 @@ class Cluster:
     def validate(self) -> None:
         """Internal consistency checks; raises TopologyError on failure."""
         for node in self.gpu_nodes():
-            expected = 4 if node.kind is NodeKind.GPU_A100_4WAY else 8
+            expected = GPUS_PER_NODE[node.kind]
             if node.gpu_count != expected:
                 raise TopologyError(
                     f"{node.name}: expected {expected} GPUs, has {node.gpu_count}"

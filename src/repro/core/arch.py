@@ -1,0 +1,33 @@
+"""GPU architecture taxonomy for heterogeneous fleets.
+
+The paper's fleet is homogeneous A100, but the scale-out study
+(EXPERIMENTS E18) mixes Ampere and Hopper sub-fleets in one campaign
+and attributes every fault, log line, and Table I/II analog to the
+architecture that produced it.  The enum below is the single source of
+truth for that attribution; everything else (node kinds, inventory
+entries, fleet accumulators) carries an :class:`Architecture` value.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Architecture(enum.Enum):
+    """GPU silicon generation of a node's accelerators."""
+
+    A100 = "a100"
+    HOPPER = "hopper"
+
+    @classmethod
+    def parse(cls, text: str) -> "Architecture":
+        """Parse an architecture name; raises ValueError on unknowns."""
+        for arch in cls:
+            if arch.value == text.lower():
+                return arch
+        known = ", ".join(a.value for a in cls)
+        raise ValueError(f"unknown architecture {text!r} (known: {known})")
+
+
+#: Stable iteration order for per-architecture reporting.
+ARCHITECTURES = tuple(Architecture)

@@ -375,3 +375,47 @@ class FaultSuiteConfig:
     ) -> "FaultSuiteConfig":
         """A copy with utilization coupling replaced (ablation A5)."""
         return replace(self, utilization_coupling=coupling)
+
+
+def scale_counts(suite: FaultSuiteConfig, factor: float) -> FaultSuiteConfig:
+    """Scale every calibrated error-count target by ``factor``.
+
+    Table I counts are absolute targets for the calibration fleet (448
+    A100 GPUs); a sub-fleet or scaled-out fleet with ``factor`` times
+    the GPU population keeps the same *per-GPU* rates by scaling the
+    aggregate targets.  The defective-GPU episode is one physical unit
+    and is deliberately left absolute.
+    """
+    if factor < 0:
+        raise CalibrationError("scale factor must be non-negative")
+    scaled_simple = tuple(
+        replace(
+            cfg,
+            pre_op_count=cfg.pre_op_count * factor,
+            op_count=cfg.op_count * factor,
+        )
+        for cfg in suite.simple_faults
+    )
+    memory = replace(
+        suite.memory_chain,
+        pre_op=replace(
+            suite.memory_chain.pre_op,
+            uncorrectable_count=(
+                suite.memory_chain.pre_op.uncorrectable_count * factor
+            ),
+        ),
+        op=replace(
+            suite.memory_chain.op,
+            uncorrectable_count=(
+                suite.memory_chain.op.uncorrectable_count * factor
+            ),
+        ),
+    )
+    nvlink = replace(
+        suite.nvlink,
+        pre_op_count=suite.nvlink.pre_op_count * factor,
+        op_count=suite.nvlink.op_count * factor,
+    )
+    return replace(
+        suite, simple_faults=scaled_simple, memory_chain=memory, nvlink=nvlink
+    )

@@ -21,7 +21,7 @@ logical errors that occurred.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +79,16 @@ class FaultInjector:
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
             per-class/per-XID injection counters are maintained when
             present.
+        stream_prefix: prefix for every RNG stream name the injector
+            derives.  The default empty prefix preserves the historical
+            stream names (and therefore byte-identical artifacts for
+            homogeneous runs); heterogeneous runs give each per-
+            architecture injector its own prefix so their draws are
+            independent.
+        nodes: optional node subset this injector targets (per-
+            architecture sub-fleets); ``None`` targets every GPU node.
+        episode_ids: optional shared episode-id counter so several
+            injectors on one engine keep ground-truth ids unique.
     """
 
     def __init__(
@@ -93,6 +103,9 @@ class FaultInjector:
         rngs: RngRegistry,
         fault_scale: float = 1.0,
         metrics=None,
+        stream_prefix: str = "",
+        nodes: Optional[List[Node]] = None,
+        episode_ids: Optional[Iterator[int]] = None,
     ) -> None:
         if fault_scale <= 0:
             raise ValueError(f"fault_scale must be positive, got {fault_scale}")
@@ -104,20 +117,27 @@ class FaultInjector:
         self._suite = suite
         self._window = window
         self._rngs = rngs
+        self._prefix = stream_prefix
         self._scale = fault_scale
-        self._episode_ids = itertools.count(1)
-        self._gpu_nodes = cluster.gpu_nodes()
+        self._episode_ids = (
+            episode_ids if episode_ids is not None else itertools.count(1)
+        )
+        self._gpu_nodes = (
+            list(nodes) if nodes is not None else cluster.gpu_nodes()
+        )
+        if not self._gpu_nodes:
+            raise ValueError("injector needs at least one target GPU node")
         self._nvlink_model = NvlinkFaultModel(
-            cluster, suite.nvlink.link_model, rngs.stream("faults.nvlink.model")
+            cluster, suite.nvlink.link_model, self._stream("faults.nvlink.model")
         )
         self._memory_models = {
             PeriodName.PRE_OPERATIONAL: MemoryRecoveryModel(
                 suite.memory_chain.pre_op.recovery,
-                rngs.stream("faults.memory.pre_op"),
+                self._stream("faults.memory.pre_op"),
             ),
             PeriodName.OPERATIONAL: MemoryRecoveryModel(
                 suite.memory_chain.op.recovery,
-                rngs.stream("faults.memory.op"),
+                self._stream("faults.memory.op"),
             ),
         }
         #: Ground truth: every logical error that occurred, in order of
@@ -141,6 +161,10 @@ class FaultInjector:
                 labels=("cause",),
             )
 
+    def _stream(self, name: str) -> np.random.Generator:
+        """Named RNG stream under this injector's prefix."""
+        return self._rngs.stream(self._prefix + name)
+
     # ------------------------------------------------------------------
     # Arming: pre-draw arrivals and schedule onsets
     # ------------------------------------------------------------------
@@ -162,7 +186,7 @@ class FaultInjector:
         process = PiecewisePoissonProcess(
             pre_rate * self._scale, op_rate * self._scale
         )
-        rng = self._rngs.stream(f"faults.arrivals.{cfg.event_class.value}")
+        rng = self._stream(f"faults.arrivals.{cfg.event_class.value}")
         for time in process.sample(rng, self._window):
             self._engine.schedule(
                 float(time),
@@ -177,7 +201,7 @@ class FaultInjector:
         process = PiecewisePoissonProcess(
             pre_rate * self._scale, op_rate * self._scale
         )
-        rng = self._rngs.stream("faults.arrivals.memory_chain")
+        rng = self._stream("faults.arrivals.memory_chain")
         for time in process.sample(rng, self._window):
             self._engine.schedule(
                 float(time), self._memory_onset, label="onset:memory"
@@ -196,7 +220,7 @@ class FaultInjector:
         process = PiecewisePoissonProcess(
             pre_rate * self._scale, op_rate * self._scale
         )
-        rng = self._rngs.stream("faults.arrivals.nvlink")
+        rng = self._stream("faults.arrivals.nvlink")
         for time in process.sample(rng, self._window):
             self._engine.schedule(
                 float(time), self._nvlink_onset, label="onset:nvlink"
@@ -228,7 +252,7 @@ class FaultInjector:
             gap_floor_seconds=cfg.gap_floor_seconds,
             mean_extra_seconds=cfg.mean_extra_seconds,
         )
-        rng = self._rngs.stream("faults.episode.defective")
+        rng = self._stream("faults.episode.defective")
         times = process.sample(rng)
         episode_id = next(self._episode_ids)
         for time in times:
@@ -251,7 +275,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def _pick_gpu(self, policy: TargetPolicy) -> Optional[Tuple[Node, GpuState]]:
-        rng = self._rngs.stream("faults.targeting")
+        rng = self._stream("faults.targeting")
         if policy is TargetPolicy.BUSY_GPU:
             busy = [
                 (node, gpu)
@@ -269,7 +293,7 @@ class FaultInjector:
         return None
 
     def _pick_node(self) -> Optional[Node]:
-        rng = self._rngs.stream("faults.targeting")
+        rng = self._stream("faults.targeting")
         for _ in range(8):
             node = self._gpu_nodes[int(rng.integers(0, len(self._gpu_nodes)))]
             if node.state is not NodeState.DOWN:
@@ -284,7 +308,7 @@ class FaultInjector:
         split = _PAIRED_XID_SPLIT.get(event_class)
         if split is None:
             return primary
-        rng = self._rngs.stream("faults.xid_split")
+        rng = self._stream("faults.xid_split")
         roll = rng.random()
         cumulative = 0.0
         for code, weight in split:
@@ -306,7 +330,7 @@ class FaultInjector:
     ) -> None:
         """Emit one logical error: log lines + ground-truth record."""
         now = self._engine.now
-        rng = self._rngs.stream("faults.duplication")
+        rng = self._stream("faults.duplication")
         line = render_event_line(event_class, xid, gpu.pci_address, rng)
         self._log_bus.emit(now, node.name, line)
         mean_extra = (
@@ -369,7 +393,7 @@ class FaultInjector:
         shape = cfg.episode
         if shape.mean_extra_errors <= 0:
             return
-        rng = self._rngs.stream(f"faults.episode.{cfg.event_class.value}")
+        rng = self._stream(f"faults.episode.{cfg.event_class.value}")
         count = int(rng.poisson(shape.mean_extra_errors))
         if count == 0:
             return
@@ -410,7 +434,7 @@ class FaultInjector:
         gpu: GpuState,
         kills_only: bool = False,
     ) -> None:
-        rng = self._rngs.stream("faults.impact")
+        rng = self._stream("faults.impact")
         if impact.kill_probability > 0:
             if impact.kill_scope is KillScope.NODE:
                 victims = self._scheduler.jobs_on_node(node.name)
@@ -447,7 +471,7 @@ class FaultInjector:
         node_failure: bool,
         node: Optional[str] = None,
     ) -> None:
-        rng = self._rngs.stream("faults.impact")
+        rng = self._stream("faults.impact")
         delay = float(rng.uniform(_KILL_DELAY_LO, _KILL_DELAY_HI))
         self._m_kills.labels(cause=cause.value).inc()
         self._engine.schedule_after(
@@ -462,7 +486,7 @@ class FaultInjector:
     ) -> None:
         if impact.propagate_mmu_probability <= 0:
             return
-        rng = self._rngs.stream("faults.impact")
+        rng = self._stream("faults.impact")
         if rng.random() >= impact.propagate_mmu_probability:
             return
         mmu_cfg = self._suite.fault_for(EventClass.MMU_ERROR)
@@ -487,7 +511,7 @@ class FaultInjector:
         period = self._window.period_of(self._engine.now)
         params = self._suite.memory_chain.params_for(period)
         model = self._memory_models[period]
-        rng = self._rngs.stream("faults.memory.branches")
+        rng = self._stream("faults.memory.branches")
         outcome = model.process_uncorrectable(
             gpu,
             force_remap_failure=rng.random() < params.remap_failure_probability,
@@ -543,7 +567,7 @@ class FaultInjector:
             )
         self._schedule_nvlink_repeats(node, manifest.affected_gpus, episode_id)
         self._apply_nvlink_impact(node, manifest.affected_gpus, manifest.masked_by_retry)
-        rng = self._rngs.stream("faults.impact")
+        rng = self._stream("faults.impact")
         if rng.random() < cfg.recovery_probability:
             self._ops.request_recovery(
                 node.name,
@@ -559,7 +583,7 @@ class FaultInjector:
         whose NVLink plane carries live multi-GPU traffic (when one
         exists); otherwise anywhere.
         """
-        rng = self._rngs.stream("faults.targeting")
+        rng = self._stream("faults.targeting")
         if active_bias > 0 and rng.random() < active_bias:
             active = self._scheduler.nodes_with_multi_gpu_jobs()
             candidates = [
@@ -579,7 +603,7 @@ class FaultInjector:
         shape = self._suite.nvlink.episode
         if shape.mean_extra_errors <= 0:
             return
-        rng = self._rngs.stream("faults.episode.nvlink")
+        rng = self._stream("faults.episode.nvlink")
         count = int(rng.poisson(shape.mean_extra_errors))
         if count == 0:
             return
@@ -612,7 +636,7 @@ class FaultInjector:
             )
         # Repeated link errors re-expose whatever is running; the CRC
         # retry lottery is drawn independently each time.
-        rng = self._rngs.stream("faults.impact")
+        rng = self._stream("faults.impact")
         masked = bool(
             self._suite.nvlink.link_model.crc_retry_enabled
             and rng.random()
@@ -627,7 +651,7 @@ class FaultInjector:
         crc_enabled = cfg.link_model.crc_retry_enabled
         if masked:
             return
-        rng = self._rngs.stream("faults.impact")
+        rng = self._stream("faults.impact")
         victims = set()
         for index in affected:
             victims.update(self._scheduler.jobs_using_gpu(node.name, index))

@@ -1,0 +1,40 @@
+"""Fleet-scale campaigns: 10k–100k-GPU, multi-year simulations.
+
+The full DES study (:class:`~repro.study.runner.DeltaStudy`) models
+every GPU, job, and log line — right for a 106-node reproduction,
+far too heavy for the fleet sizes where modern training runs live.
+This package trades the per-job machinery for three scale enablers
+(DESIGN §17):
+
+1. **Lazy superposition-and-thinning sampling** — one aggregate
+   Poisson process per (architecture, fault family) instead of
+   per-GPU arrival processes; per-GPU events exist only once drawn.
+2. **Per-node batching with bounded heap** — each time slice's events
+   are coalesced into one engine entry per node, and only the current
+   slice is resident, so heap depth and RSS stay flat as fleets grow.
+3. **Per-architecture accumulators** — streaming counters sized by
+   ``O(nodes + classes)``, emitting Table I/II analogs per
+   architecture at campaign end.
+"""
+
+from .fleet import FleetSpec, shape_for_scale
+from .sampling import ThinnedFleetSampler
+from .accumulator import ArchStats, FleetAccumulator
+from .campaign import (
+    CampaignResult,
+    FleetCampaign,
+    FleetCampaignConfig,
+    run_campaign,
+)
+
+__all__ = [
+    "ArchStats",
+    "CampaignResult",
+    "FleetAccumulator",
+    "FleetCampaign",
+    "FleetCampaignConfig",
+    "FleetSpec",
+    "ThinnedFleetSampler",
+    "run_campaign",
+    "shape_for_scale",
+]

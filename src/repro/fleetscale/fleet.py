@@ -1,0 +1,221 @@
+"""Fleet geometry without per-GPU object materialization.
+
+A 100k-GPU fleet must not allocate 100k :class:`GpuState` objects and
+25k :class:`Node` objects just to know who exists.  :class:`FleetSpec`
+keeps the same node-naming and GPU-indexing conventions as
+:class:`~repro.cluster.topology.Cluster` — so inventories, syslog
+resolution, and Stage-II attribution agree byte-for-byte with the full
+DES path — but stores only the shape and derives every (node,
+gpu_index) pair arithmetically from a flat per-architecture GPU
+ordinal.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Dict, List, Tuple
+
+import numpy as np
+
+from ..cluster.gpu import PCI_ADDRESSES
+from ..cluster.node import NodeKind
+from ..cluster.topology import (
+    DELTA_4WAY_NODES,
+    DELTA_8WAY_NODES,
+    DELTA_A100_GPUS,
+    GPUS_PER_NODE,
+    NODE_PREFIX,
+    ClusterShape,
+)
+from ..core.arch import Architecture
+from ..core.exceptions import ConfigurationError
+
+
+def shape_for_scale(arch: str, gpu_target: int) -> ClusterShape:
+    """A :class:`ClusterShape` for a preset architecture at a GPU scale.
+
+    * ``"a100"`` keeps Delta's 4-way : 8-way GPU ratio (400 : 48).
+    * ``"hopper"`` is all 4-way GH200 nodes (DeltaAI-style).
+    * ``"mixed"`` splits the target half/half between the two.
+
+    Rounding always yields at least one node per requested flavour so
+    tiny test fleets stay heterogeneous when asked to be.
+    """
+    if gpu_target < 1:
+        raise ConfigurationError(f"--scale must be >= 1 GPU, got {gpu_target}")
+    if arch == "a100":
+        four = max(1, round(gpu_target * (DELTA_4WAY_NODES * 4) / DELTA_A100_GPUS / 4))
+        eight = round(gpu_target * (DELTA_8WAY_NODES * 8) / DELTA_A100_GPUS / 8)
+        return ClusterShape(four, eight, 0)
+    if arch == "hopper":
+        return ClusterShape(0, 0, 0, gh200_nodes=max(1, round(gpu_target / 4)))
+    if arch == "mixed":
+        a100 = shape_for_scale("a100", max(1, gpu_target // 2))
+        gh = max(1, round((gpu_target - a100.gpu_count) / 4))
+        return ClusterShape(
+            a100.four_way_nodes, a100.eight_way_nodes, 0, gh200_nodes=gh
+        )
+    raise ConfigurationError(
+        f"unknown architecture preset {arch!r} (known: a100, hopper, mixed)"
+    )
+
+
+@dataclass(frozen=True)
+class _NodeGroup:
+    """A contiguous run of identically-shaped nodes of one kind."""
+
+    kind: NodeKind
+    count: int
+
+    @property
+    def gpus_per_node(self) -> int:
+        return GPUS_PER_NODE[self.kind]
+
+    @property
+    def gpu_count(self) -> int:
+        return self.count * self.gpus_per_node
+
+
+class SubFleet:
+    """One architecture's slice of the fleet.
+
+    GPU ordinals run ``0 .. gpu_count-1`` across the architecture's
+    node groups in declaration order; :meth:`locate` maps an ordinal
+    back to its ``(node_name, gpu_index)`` in O(1).
+    """
+
+    def __init__(self, arch: Architecture, groups: List[_NodeGroup]) -> None:
+        self.arch = arch
+        self.groups = [g for g in groups if g.count > 0]
+        self.node_count = sum(g.count for g in self.groups)
+        self.gpu_count = sum(g.gpu_count for g in self.groups)
+        # Cumulative GPU / node offsets per group for ordinal arithmetic.
+        self._gpu_offsets = np.cumsum([0] + [g.gpu_count for g in self.groups])
+        self._node_offsets = np.cumsum([0] + [g.count for g in self.groups])
+
+    def node_name(self, node_ordinal: int) -> str:
+        """Node name for an architecture-local node ordinal."""
+        for i, group in enumerate(self.groups):
+            base = int(self._node_offsets[i])
+            if node_ordinal < base + group.count:
+                return f"{NODE_PREFIX[group.kind]}{node_ordinal - base + 1:03d}"
+        raise IndexError(f"node ordinal {node_ordinal} out of range")
+
+    def locate(self, gpu_ordinal: int) -> Tuple[int, int]:
+        """(node_ordinal, gpu_index) for an arch-local GPU ordinal."""
+        node_ord, gpu_idx, _ = self.locate_many(np.asarray([gpu_ordinal]))
+        return int(node_ord[0]), int(gpu_idx[0])
+
+    def locate_many(
+        self, gpu_ordinals: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ordinal → (node_ordinal, gpu_index, node_gpus).
+
+        ``node_gpus`` (GPUs on the host node) feeds the NVLink
+        manifestation spread, which is bounded by node size.
+        """
+        node_ord = np.zeros(len(gpu_ordinals), dtype=np.int64)
+        gpu_idx = np.zeros(len(gpu_ordinals), dtype=np.int64)
+        node_gpus = np.zeros(len(gpu_ordinals), dtype=np.int64)
+        for i, group in enumerate(self.groups):
+            lo, hi = int(self._gpu_offsets[i]), int(self._gpu_offsets[i + 1])
+            mask = (gpu_ordinals >= lo) & (gpu_ordinals < hi)
+            if not mask.any():
+                continue
+            local = gpu_ordinals[mask] - lo
+            per = group.gpus_per_node
+            node_ord[mask] = int(self._node_offsets[i]) + local // per
+            gpu_idx[mask] = local % per
+            node_gpus[mask] = per
+        return node_ord, gpu_idx, node_gpus
+
+    def node_names(self) -> List[str]:
+        """Every node name, ordinal order (test fleets only — O(nodes))."""
+        return [self.node_name(i) for i in range(self.node_count)]
+
+
+class FleetSpec:
+    """The whole fleet: one :class:`SubFleet` per architecture present."""
+
+    def __init__(self, shape: ClusterShape) -> None:
+        self.shape = shape
+        self.subfleets: Dict[Architecture, SubFleet] = {}
+        a100_groups = [
+            _NodeGroup(NodeKind.GPU_A100_4WAY, shape.four_way_nodes),
+            _NodeGroup(NodeKind.GPU_A100_8WAY, shape.eight_way_nodes),
+        ]
+        if shape.four_way_nodes + shape.eight_way_nodes > 0:
+            self.subfleets[Architecture.A100] = SubFleet(
+                Architecture.A100, a100_groups
+            )
+        if shape.gh200_nodes > 0:
+            self.subfleets[Architecture.HOPPER] = SubFleet(
+                Architecture.HOPPER,
+                [_NodeGroup(NodeKind.GPU_GH200_4WAY, shape.gh200_nodes)],
+            )
+
+    @property
+    def architectures(self) -> Tuple[Architecture, ...]:
+        return tuple(self.subfleets)
+
+    @property
+    def gpu_count(self) -> int:
+        return self.shape.gpu_count
+
+    @property
+    def node_count(self) -> int:
+        return self.shape.gpu_node_count
+
+    def write_inventory(self, path: Path, compress: bool = False) -> int:
+        """Stream the fleet's ``inventory.json`` without a Cluster.
+
+        Entry schema matches
+        :meth:`repro.cluster.inventory.Inventory.save`, and entries are
+        emitted in node-name order (``gh…`` sorts before ``gpua…``), so
+        ``Inventory.load`` and Stage-II ``(host, pci)`` resolution work
+        unchanged.  Streams one entry at a time — a 100k-GPU inventory
+        never materializes in memory; returns the entry count.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        opener = (lambda p: gzip.open(p, "wt", encoding="utf-8")) if compress else (
+            lambda p: open(p, "w", encoding="utf-8")
+        )
+        written = 0
+        handle: IO[str]
+        with opener(path) as handle:
+            handle.write("[\n")
+            first = True
+            ordered = sorted(
+                self.subfleets.values(),
+                key=lambda s: NODE_PREFIX[s.groups[0].kind],
+            )
+            for sub in ordered:
+                for node_ordinal in range(sub.node_count):
+                    name = sub.node_name(node_ordinal)
+                    per = self._gpus_on(sub, node_ordinal)
+                    for index in range(per):
+                        item = {
+                            "node": name,
+                            "gpu_index": index,
+                            "pci_address": PCI_ADDRESSES[index],
+                            "serial": f"{name}-u{index}-r0",
+                            "architecture": sub.arch.value,
+                        }
+                        if not first:
+                            handle.write(",\n")
+                        handle.write(json.dumps(item))
+                        first = False
+                        written += 1
+            handle.write("\n]\n")
+        return written
+
+    @staticmethod
+    def _gpus_on(sub: SubFleet, node_ordinal: int) -> int:
+        for i, group in enumerate(sub.groups):
+            base = int(sub._node_offsets[i])
+            if node_ordinal < base + group.count:
+                return group.gpus_per_node
+        raise IndexError(node_ordinal)

@@ -1,0 +1,33 @@
+"""Host process resource measurements (domain="host").
+
+Peak and current resident-set size for the running process, used by
+the fleet-scale campaign runner and the scaling benchmarks to verify
+the bounded-memory claim of DESIGN §17.  Linux reports
+``ru_maxrss`` in KiB; macOS in bytes — both are normalized to MiB.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from pathlib import Path
+
+
+def peak_rss_mib() -> float:
+    """High-water resident-set size of this process, in MiB."""
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return maxrss / (1024.0 * 1024.0)
+    return maxrss / 1024.0
+
+
+def current_rss_mib() -> float:
+    """Current resident-set size in MiB (0.0 where /proc is absent)."""
+    status = Path("/proc/self/status")
+    try:
+        for line in status.read_text().splitlines():
+            if line.startswith("VmRSS:"):
+                return float(line.split()[1]) / 1024.0
+    except OSError:  # pragma: no cover - non-Linux hosts
+        pass
+    return 0.0

@@ -1,0 +1,148 @@
+"""Per-architecture reporting: fleet Table I/II analogs, arch splits.
+
+Two consumers share these helpers:
+
+* the fleet-scale campaign runner (:mod:`repro.fleetscale.campaign`)
+  renders Table I/II analogs straight from its streaming accumulators
+  (duck-typed here to avoid a package cycle);
+* the Stage-II path splits a coalesced error stream by architecture
+  using the inventory's per-node architecture tags, so heterogeneous
+  runs get one ``MtbeAnalysis`` per architecture with the correct
+  per-node multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis.mtbe import MtbeAnalysis
+from ..cluster.inventory import Inventory
+from ..core.periods import PeriodName, StudyWindow
+from ..core.records import ExtractedError
+from ..core.xid import primary_xid, spec_for, table1_order
+from .tables import _fmt, _render_rows
+
+#: Bucket for errors whose node is absent from the inventory.
+UNKNOWN_ARCH = "unknown"
+
+
+def arch_split(
+    errors: Sequence[ExtractedError], inventory: Inventory
+) -> Dict[str, List[ExtractedError]]:
+    """Partition Stage-II errors by the erroring node's architecture.
+
+    Nodes missing from the inventory land in :data:`UNKNOWN_ARCH`
+    rather than being silently dropped — cross-architecture leakage is
+    a correctness bug the tests assert against, so attribution must be
+    total.
+    """
+    by_node = inventory.node_architectures()
+    out: Dict[str, List[ExtractedError]] = {}
+    for error in errors:
+        arch = by_node.get(error.node, UNKNOWN_ARCH)
+        out.setdefault(arch, []).append(error)
+    return out
+
+
+def per_arch_mtbe(
+    errors: Sequence[ExtractedError],
+    inventory: Inventory,
+    window: StudyWindow,
+) -> Dict[str, MtbeAnalysis]:
+    """One :class:`MtbeAnalysis` per architecture present in ``errors``.
+
+    Each analysis gets its own node count so per-node MTBEs use the
+    right multiplier (106 for Delta's A100 slice, the GH200 node count
+    for the Hopper slice, ...).
+    """
+    node_counts = inventory.node_counts_by_architecture()
+    analyses: Dict[str, MtbeAnalysis] = {}
+    for arch, subset in arch_split(errors, inventory).items():
+        if arch == UNKNOWN_ARCH:
+            continue
+        analyses[arch] = MtbeAnalysis(
+            subset, window, node_count=node_counts[arch]
+        )
+    return analyses
+
+
+def render_fleet_table1(stats, window: StudyWindow) -> str:
+    """Table I analog from a fleet accumulator's per-arch tallies.
+
+    ``stats`` is duck-typed (``repro.fleetscale.accumulator.ArchStats``)
+    so the reporting layer stays import-cycle-free: it must expose
+    ``arch``, ``node_count``, ``gpu_count`` and
+    ``class_stat(window, period, event_class)``.
+    """
+    header = [
+        "Event",
+        "XID",
+        "Category",
+        "Pre-op N",
+        "Op N",
+        "Pre sysMTBE(h)",
+        "Pre nodeMTBE(h)",
+        "Op sysMTBE(h)",
+        "Op nodeMTBE(h)",
+    ]
+    rows: List[Sequence[str]] = []
+    for event_class in table1_order():
+        spec = spec_for(event_class)
+        pre = stats.class_stat(
+            window, PeriodName.PRE_OPERATIONAL, event_class
+        )
+        op = stats.class_stat(window, PeriodName.OPERATIONAL, event_class)
+        xid = primary_xid(event_class)
+        rows.append(
+            [
+                spec.abbreviation,
+                str(xid) if xid is not None else "-",
+                spec.category.value,
+                str(pre["count"]),
+                str(op["count"]),
+                _fmt_mtbe(pre["system_mtbe_hours"]),
+                _fmt_mtbe(pre["per_node_mtbe_hours"], 0),
+                _fmt_mtbe(op["system_mtbe_hours"]),
+                _fmt_mtbe(op["per_node_mtbe_hours"], 0),
+            ]
+        )
+    title = (
+        f"Table I analog — {stats.arch.value} "
+        f"({stats.node_count} nodes, {stats.gpu_count} GPUs)"
+    )
+    return title + "\n" + _render_rows(header, rows)
+
+
+def render_fleet_table2(stats) -> str:
+    """Table II analog (operational period) from fleet impact tallies."""
+    header = [
+        "XID",
+        "GPU Error",
+        "# failed",
+        "# encountering",
+        "P(fail|XID) %",
+    ]
+    rows: List[Sequence[str]] = []
+    for event_class in table1_order():
+        spec = spec_for(event_class)
+        impact = stats.impact_stat(PeriodName.OPERATIONAL, event_class)
+        xid = primary_xid(event_class)
+        rows.append(
+            [
+                str(xid) if xid is not None else "-",
+                spec.abbreviation,
+                str(impact["failed"]),
+                str(impact["encountered"]),
+                _fmt(impact["failure_rate"] * 100, 2)
+                if impact["encountered"]
+                else "-",
+            ]
+        )
+    title = f"Table II analog — {stats.arch.value} (operational period)"
+    return title + "\n" + _render_rows(header, rows)
+
+
+def _fmt_mtbe(value: float, digits: int = 1) -> str:
+    if value == float("inf"):
+        return "-"
+    return _fmt(value, digits)

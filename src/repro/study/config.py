@@ -25,6 +25,7 @@ from ..recovery.config import RecoveryPolicy
 from ..syslog.noise import NoiseConfig
 from ..workload.generator import WorkloadConfig
 from ..calibration.delta import delta_fault_suite
+from ..calibration.hopper import HopperProjection
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,11 @@ class StudyConfig:
             jobs are injected and the recovery state machine runs
             (``None`` keeps runs byte-identical to pre-recovery
             builds).
+        hopper_projection: multipliers for the Hopper sub-fleet of a
+            heterogeneous shape (``gh200_nodes > 0``); ``None`` uses
+            the default :class:`~repro.calibration.hopper.HopperProjection`.
+            Ignored for homogeneous A100 shapes, which keep the
+            historical single-injector code path byte-for-byte.
     """
 
     seed: int = 2022
@@ -64,6 +70,7 @@ class StudyConfig:
     utilization_sample_interval_hours: float = 6.0
     compress_logs: bool = False
     recovery: Optional[RecoveryPolicy] = None
+    hopper_projection: Optional[HopperProjection] = None
 
     def __post_init__(self) -> None:
         if self.fault_scale <= 0:

@@ -18,10 +18,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, Iterator, List, Optional, Tuple
 
+import itertools
+
+from ..calibration.hopper import HopperProjection, apply_projection
 from ..cluster.inventory import Inventory
-from ..cluster.topology import Cluster
+from ..cluster.topology import Cluster, DELTA_A100_GPUS
+from ..core.arch import Architecture
 from ..core.exceptions import SimulationInterrupted
 from ..core.timebase import DAY, HOUR
+from ..faults.config import scale_counts
 from ..faults.injector import FaultInjector
 from ..obs import Telemetry
 from ..ops.manager import OpsManager
@@ -75,6 +80,93 @@ class _JobFeeder:
     def _submit(self, request: JobRequest) -> None:
         self._scheduler.submit(request)
         self._advance()
+
+
+def _build_injectors(
+    cfg: StudyConfig,
+    *,
+    engine: Engine,
+    cluster: Cluster,
+    scheduler,
+    ops,
+    log_bus,
+    rngs: RngRegistry,
+    metrics,
+) -> List[FaultInjector]:
+    """Build the run's fault injector(s).
+
+    Homogeneous A100 shapes keep the historical single-injector path —
+    same stream names, same arguments — so existing seeds remain
+    byte-identical.  Heterogeneous shapes get one injector per
+    architecture: the A100 sub-fleet runs the configured suite scaled
+    to its GPU share of the Delta calibration fleet, and the GH200
+    sub-fleet runs the Hopper projection applied to that same suite
+    (so ablations carry over), scaled likewise.  Injectors share one
+    episode-id counter so ground-truth episode ids stay unique.
+    """
+    shape = cfg.cluster_shape
+    if shape.gh200_nodes == 0:
+        return [
+            FaultInjector(
+                engine=engine,
+                cluster=cluster,
+                scheduler=scheduler,
+                ops=ops,
+                log_bus=log_bus,
+                suite=cfg.fault_suite,
+                window=cfg.window,
+                rngs=rngs,
+                fault_scale=cfg.fault_scale,
+                metrics=metrics,
+            )
+        ]
+    projection = (
+        cfg.hopper_projection
+        if cfg.hopper_projection is not None
+        else HopperProjection()
+    )
+    episode_ids = itertools.count(1)
+    injectors: List[FaultInjector] = []
+    for arch in shape.architectures:
+        if arch is Architecture.A100:
+            suite = scale_counts(
+                cfg.fault_suite, shape.gpu_count_for(arch) / DELTA_A100_GPUS
+            )
+        else:
+            suite = scale_counts(
+                apply_projection(cfg.fault_suite.without_episode(), projection),
+                shape.gpu_count_for(arch) / DELTA_A100_GPUS,
+            )
+        injector = FaultInjector(
+            engine=engine,
+            cluster=cluster,
+            scheduler=scheduler,
+            ops=ops,
+            log_bus=log_bus,
+            suite=suite,
+            window=cfg.window,
+            rngs=rngs,
+            fault_scale=cfg.fault_scale,
+            metrics=metrics,
+            stream_prefix=f"arch.{arch.value}.",
+            nodes=cluster.gpu_nodes_for(arch),
+            episode_ids=episode_ids,
+        )
+        injectors.append(injector)
+    return injectors
+
+
+def _merged_logical_events(injectors: List[FaultInjector]):
+    """Ground truth across injectors, time-ordered.
+
+    The single-injector case returns the list untouched (creation
+    order), preserving the historical artifact byte-for-byte.
+    """
+    if len(injectors) == 1:
+        return injectors[0].logical_events
+    merged = [e for injector in injectors for e in injector.logical_events]
+    merged.sort(key=lambda e: e.time)
+    return merged
 
 
 class DeltaStudy:
@@ -154,16 +246,14 @@ class DeltaStudy:
                     on_event=log_bus.emit,
                     metrics=metrics,
                 )
-                injector = FaultInjector(
+                injectors = _build_injectors(
+                    cfg,
                     engine=engine,
                     cluster=cluster,
                     scheduler=scheduler,
                     ops=ops,
                     log_bus=log_bus,
-                    suite=cfg.fault_suite,
-                    window=cfg.window,
                     rngs=rngs,
-                    fault_scale=cfg.fault_scale,
                     metrics=metrics,
                 )
             recorder: Optional[CheckpointRecorder] = None
@@ -203,7 +293,8 @@ class DeltaStudy:
                 gpu_nodes=cfg.cluster_shape.gpu_node_count,
             )
             with tel.tracer.span("arm"):
-                injector.arm()
+                for injector in injectors:
+                    injector.arm()
                 recovery_manager: Optional[GangRecoveryManager] = None
                 if cfg.recovery is not None:
                     recovery_manager = GangRecoveryManager(
@@ -247,10 +338,11 @@ class DeltaStudy:
             if recorder is not None:
                 recorder.finalize()
             engine.flush_metrics()
+            logical_events = _merged_logical_events(injectors)
             tel.logger.event(
                 "simulate.engine-done",
                 executed_events=engine.executed_events,
-                logical_errors=len(injector.logical_events),
+                logical_errors=len(logical_events),
                 job_records=len(scheduler.records),
             )
 
@@ -304,7 +396,7 @@ class DeltaStudy:
             truth_path=truth_path,
             window=cfg.window,
             node_count=cfg.cluster_shape.gpu_node_count,
-            logical_events=injector.logical_events,
+            logical_events=logical_events,
             downtime_records=ops.downtime_records,
             job_records=scheduler.records,
             utilization_samples=utilization_samples,

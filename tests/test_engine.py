@@ -144,3 +144,127 @@ class TestRunControl:
         engine = Engine(horizon=100.0)
         handle = engine.schedule(33.0, lambda: None)
         assert handle.time == 33.0
+
+
+class TestScheduleBatch:
+    def test_batch_matches_individual_scheduling(self):
+        """A batch executes in exactly the order k schedule() calls would."""
+        entries = [(30.0, "b"), (10.0, "a"), (10.0, "a2"), (50.0, "c")]
+        individual = Engine(horizon=100.0)
+        seen_individual = []
+        for time, tag in entries:
+            individual.schedule(
+                time, lambda t=tag: seen_individual.append(t)
+            )
+        individual.run()
+
+        batched = Engine(horizon=100.0)
+        seen_batched = []
+        batched.schedule_batch(
+            (time, lambda t=tag: seen_batched.append(t))
+            for time, tag in entries
+        )
+        batched.run()
+        assert seen_batched == seen_individual == ["a", "a2", "b", "c"]
+
+    def test_large_batch_heapifies_and_keeps_order(self):
+        """The O(n+k) heapify path preserves time/seq execution order."""
+        engine = Engine(horizon=10_000.0)
+        fired = []
+        # Small pre-existing heap, then a batch large enough to trip
+        # the heapify branch (k >= max(64, heap // 4)).
+        engine.schedule(5000.0, lambda: fired.append(-1))
+        count = engine.schedule_batch(
+            (float(1 + (i * 7919) % 4000), lambda i=i: fired.append(i))
+            for i in range(500)
+        )
+        assert count == 500
+        engine.run()
+        assert fired[-1] == -1
+        assert len(fired) == 501
+        times = sorted(
+            (float(1 + (i * 7919) % 4000), i) for i in range(500)
+        )
+        assert fired[:-1] == [i for _, i in times]
+
+    def test_batch_interleaves_with_singles_deterministically(self):
+        engine = Engine(horizon=100.0)
+        fired = []
+        engine.schedule(10.0, lambda: fired.append("single"))
+        engine.schedule_batch([(10.0, lambda: fired.append("batch"))])
+        engine.run()
+        # Same time, same priority: FIFO by shared sequence counter.
+        assert fired == ["single", "batch"]
+
+    def test_batch_in_past_rejected(self):
+        engine = Engine(horizon=100.0)
+        engine.schedule(50.0, lambda: None)
+        engine.run(until=60.0)
+        with pytest.raises(SimulationError, match="before current"):
+            engine.schedule_batch([(10.0, lambda: None)])
+
+    def test_empty_batch_is_noop(self):
+        engine = Engine(horizon=100.0)
+        assert engine.schedule_batch([]) == 0
+        assert engine.pending_events == 0
+
+
+class TestAutoCompactionAtScale:
+    """Tombstone storms on large heaps must not thrash O(n) heapify.
+
+    The trigger fires only on heaps >= the size floor and only when
+    pending tombstones reach ratio x heap size, so every compaction
+    pass removes at least ratio of what it scans: total scan work is
+    bounded by cancellations / ratio regardless of heap size.
+    """
+
+    def test_storm_scan_work_is_amortized(self):
+        ratio, minimum = 0.25, 1024
+        engine = Engine(
+            horizon=1e9, auto_compact_ratio=ratio, auto_compact_min=minimum
+        )
+        handles = [
+            engine.schedule(1e6 + i, lambda: None) for i in range(120_000)
+        ]
+        cancelled = 0
+        for i, handle in enumerate(handles):
+            if i % 5 != 0:  # cancel 80% in one long storm
+                handle.cancel()
+                cancelled += 1
+        assert engine.compactions > 0
+        # Each pass scans <= pending/ratio entries, so the total scan
+        # work is linear in cancellations, not in heap size x storms.
+        assert engine.compaction_scanned <= cancelled / ratio + 120_000
+        # And the heap actually shrank: survivors plus bounded slack.
+        assert engine.pending_events < 120_000 - cancelled / 2
+
+    def test_small_heap_never_auto_compacts(self):
+        """Heaps below the minimum keep the historical no-compact path."""
+        engine = Engine(horizon=1e6, auto_compact_min=4096)
+        handles = [
+            engine.schedule(1000.0 + i, lambda: None) for i in range(500)
+        ]
+        for handle in handles:
+            handle.cancel()
+        assert engine.compactions == 0
+        assert engine.compaction_scanned == 0
+
+    def test_compaction_bursts_stay_rare_under_repeated_storms(self):
+        """Repeated cancel waves trigger O(log-ish) few compactions."""
+        ratio, minimum = 0.5, 256
+        engine = Engine(
+            horizon=1e9, auto_compact_ratio=ratio, auto_compact_min=minimum
+        )
+        total_cancelled = 0
+        for wave in range(50):
+            handles = [
+                engine.schedule(1e6 + wave * 10_000 + i, lambda: None)
+                for i in range(2_000)
+            ]
+            for handle in handles[: 1_800]:
+                handle.cancel()
+            total_cancelled += 1_800
+        assert engine.compaction_scanned <= total_cancelled / ratio + 100_000
+        # Live events survive every pass.
+        live = engine.live_pending_events
+        assert live == 50 * 200

@@ -108,3 +108,47 @@ class TestStudyConfig:
             )
 
         assert gsp_count(projected) < 0.6 * gsp_count(base)
+
+
+class TestFromSpec:
+    """`--arch-sweep` spec parsing (HopperProjection.from_spec)."""
+
+    def test_parses_key_value_pairs(self):
+        proj = HopperProjection.from_spec("gsp=0.5,memory=2.0")
+        assert proj.gsp_rate_multiplier == 0.5
+        assert proj.memory_rate_multiplier == 2.0
+        # Untouched keys keep the calibrated defaults.
+        assert proj.mmu_rate_multiplier == HopperProjection().mmu_rate_multiplier
+
+    def test_whitespace_and_empty_parts_tolerated(self):
+        proj = HopperProjection.from_spec(" gsp = 0.5 , , nvlink=1.25 ")
+        assert proj.gsp_rate_multiplier == 0.5
+        assert proj.nvlink_rate_multiplier == 1.25
+
+    def test_unknown_key_rejected_with_known_list(self):
+        from repro.core.exceptions import CalibrationError
+
+        with pytest.raises(CalibrationError, match=r"unknown --arch-sweep key 'bogus'"):
+            HopperProjection.from_spec("bogus=1.0")
+        with pytest.raises(CalibrationError, match=r"known: fob, gsp"):
+            HopperProjection.from_spec("bogus=1.0")
+
+    def test_malformed_pair_rejected(self):
+        from repro.core.exceptions import CalibrationError
+
+        with pytest.raises(CalibrationError, match="expected key=value"):
+            HopperProjection.from_spec("gsp")
+
+    def test_non_numeric_value_rejected(self):
+        from repro.core.exceptions import CalibrationError
+
+        with pytest.raises(CalibrationError, match="gsp"):
+            HopperProjection.from_spec("gsp=fast")
+
+    def test_out_of_range_value_rejected(self):
+        from repro.core.exceptions import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            HopperProjection.from_spec("nvlink_retry=1.5")
+        with pytest.raises(CalibrationError):
+            HopperProjection.from_spec("gsp=-1.0")
